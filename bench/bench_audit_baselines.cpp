@@ -1,0 +1,188 @@
+// Ablation — the paper's multiset-hash auditing device vs a
+// Merkle-accumulator baseline (DESIGN.md §7).
+//
+// Both catch every insertion/deletion/substitution. The difference is
+// the systems bill: the multiset hash gives O(1) device state and O(1)
+// updates/audits; the canonical (sorted-leaf) Merkle commitment needs
+// O(n) device state, O(n) inserts, and O(n) audit-time recompute. The
+// Merkle side's consolation prize — logarithmic membership proofs — is
+// not something the paper's device ever needs.
+
+#include <chrono>
+
+#include "audit/audit_baseline.h"
+#include "audit/auditing_device.h"
+#include "audit/tuple_generator.h"
+#include "bench_util.h"
+#include "crypto/merkle_tree.h"
+
+namespace {
+
+using namespace hsis;
+using namespace hsis::audit;
+using sovereign::Dataset;
+using sovereign::Tuple;
+
+crypto::MultisetHashFamily MuFamily() {
+  return std::move(
+      crypto::MultisetHashFamily::CreateMu(crypto::PrimeGroup::SmallTestGroup())
+          .value());
+}
+
+Bytes MultisetCommit(const crypto::MultisetHashFamily& family,
+                     const Dataset& data) {
+  auto h = family.NewHash();
+  for (const Tuple& t : data.tuples()) h->Add(t.value);
+  return h->Serialize();
+}
+
+void PrintReproduction() {
+  bench::PrintRule(
+      "Ablation: multiset-hash device (Section 6) vs Merkle baseline");
+
+  std::printf("Device-side state after streaming N tuples:\n\n");
+  std::printf("  %-10s %-22s %-22s\n", "N", "multiset hash (bytes)",
+              "Merkle baseline (bytes)");
+  for (size_t n : {size_t{100}, size_t{1000}, size_t{10000}, size_t{100000}}) {
+    crypto::MultisetHashFamily family = MuFamily();
+    AuditingDevice device = std::move(AuditingDevice::Create(1.0, 50).value());
+    TupleGenerator tg =
+        std::move(TupleGenerator::Create("p", family, &device).value());
+    MerkleAuditAccumulator baseline;
+    for (size_t i = 0; i < n; ++i) {
+      Bytes value = ToBytes("t" + std::to_string(i));
+      (void)tg.Issue(value);
+      baseline.Record(MerkleTupleHash(value));
+    }
+    std::printf("  %-10zu %-22zu %-22zu\n", n, device.StateBytes(),
+                baseline.StateBytes());
+  }
+
+  std::printf("\nAudit latency against a fresh commitment at N tuples:\n\n");
+  std::printf("  %-10s %-22s %-22s\n", "N", "multiset hash", "Merkle baseline");
+  for (size_t n : {size_t{100}, size_t{1000}, size_t{10000}}) {
+    crypto::MultisetHashFamily family = MuFamily();
+    AuditingDevice device = std::move(AuditingDevice::Create(1.0, 50).value());
+    TupleGenerator tg =
+        std::move(TupleGenerator::Create("p", family, &device).value());
+    MerkleAuditAccumulator baseline;
+    Dataset data;
+    for (size_t i = 0; i < n; ++i) {
+      Bytes value = ToBytes("t" + std::to_string(i));
+      data.Add(tg.Issue(value).value());
+      baseline.Record(MerkleTupleHash(value));
+    }
+    Bytes ms_commit = MultisetCommit(family, data);
+    Bytes mk_commit = MerkleDatasetCommitment(data);
+
+    auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < 100; ++k) {
+      (void)device.Audit("p", ms_commit);
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    for (int k = 0; k < 100; ++k) {
+      benchmark::DoNotOptimize(baseline.Matches(mk_commit));
+    }
+    auto t2 = std::chrono::steady_clock::now();
+    std::printf("  %-10zu %-22s %-22s\n", n,
+                (std::to_string(
+                     std::chrono::duration<double, std::micro>(t1 - t0).count() /
+                     100) +
+                 " us")
+                    .c_str(),
+                (std::to_string(
+                     std::chrono::duration<double, std::micro>(t2 - t1).count() /
+                     100) +
+                 " us")
+                    .c_str());
+  }
+
+  std::printf("\nDetection parity (both must catch the same cheats):\n");
+  crypto::MultisetHashFamily family = MuFamily();
+  AuditingDevice device = std::move(AuditingDevice::Create(1.0, 50).value());
+  TupleGenerator tg =
+      std::move(TupleGenerator::Create("p", family, &device).value());
+  MerkleAuditAccumulator baseline;
+  Dataset data;
+  for (const char* v : {"a", "b", "c", "d"}) {
+    Bytes value = ToBytes(v);
+    data.Add(tg.Issue(value).value());
+    baseline.Record(MerkleTupleHash(value));
+  }
+  Dataset cheated = data;
+  cheated.Add(Tuple::FromString("fake"));
+  bool ms_detect =
+      device.Audit("p", MultisetCommit(family, cheated))->cheating_detected;
+  bool mk_detect = !baseline.Matches(MerkleDatasetCommitment(cheated));
+  std::printf("  fabricated tuple: multiset device detects = %s, Merkle "
+              "baseline detects = %s\n\n",
+              ms_detect ? "yes" : "NO", mk_detect ? "yes" : "NO");
+  std::printf("Conclusion: identical detection power; the multiset hash\n"
+              "wins on every systems axis the paper cares about (constant\n"
+              "state, constant update, constant audit).\n");
+}
+
+void BM_MultisetRecord(benchmark::State& state) {
+  crypto::MultisetHashFamily family = MuFamily();
+  AuditingDevice device = std::move(AuditingDevice::Create(1.0, 50).value());
+  TupleGenerator tg =
+      std::move(TupleGenerator::Create("p", family, &device).value());
+  Bytes value = ToBytes("tuple-value");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tg.Issue(value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MultisetRecord);
+
+void BM_MerkleRecord(benchmark::State& state) {
+  size_t preload = static_cast<size_t>(state.range(0));
+  MerkleAuditAccumulator baseline;
+  for (size_t i = 0; i < preload; ++i) {
+    baseline.Record(MerkleTupleHash(ToBytes("t" + std::to_string(i))));
+  }
+  Bytes h = MerkleTupleHash(ToBytes("new-tuple"));
+  for (auto _ : state) {
+    baseline.Record(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("sorted insert into " + std::to_string(preload) + " leaves");
+}
+BENCHMARK(BM_MerkleRecord)->Arg(1000)->Arg(10000);
+
+void BM_MerkleAudit(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  MerkleAuditAccumulator baseline;
+  Dataset data;
+  for (size_t i = 0; i < n; ++i) {
+    Bytes value = ToBytes("t" + std::to_string(i));
+    data.Add(Tuple(value));
+    baseline.Record(MerkleTupleHash(value));
+  }
+  Bytes commit = MerkleDatasetCommitment(data);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline.Matches(commit));
+  }
+  state.SetLabel("O(n) recompute per audit");
+}
+BENCHMARK(BM_MerkleAudit)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_MerkleProof(benchmark::State& state) {
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < 4096; ++i) {
+    leaves.push_back(ToBytes("leaf" + std::to_string(i)));
+  }
+  crypto::MerkleTree tree = crypto::MerkleTree::Build(leaves);
+  for (auto _ : state) {
+    auto proof = tree.Prove(2048);
+    bool ok = crypto::MerkleTree::Verify(tree.root(), leaves[2048], *proof,
+                                         leaves.size());
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetLabel("what the baseline buys: O(log n) membership proofs");
+}
+BENCHMARK(BM_MerkleProof);
+
+}  // namespace
+
+HSIS_BENCH_MAIN(PrintReproduction)

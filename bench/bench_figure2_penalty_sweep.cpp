@@ -1,0 +1,81 @@
+// Experiment E4 — Figure 2 (Section 4.1): equilibria of the symmetric
+// audited game as the penalty P sweeps at fixed frequency f.
+//
+// The figure has two panels: for f > (F-B)/F honesty is the unique
+// equilibrium from P = 0 on (frequent checking alone deters); for
+// smaller f the landscape crosses from (C,C) to (H,H) at
+// P* = ((1-f)F - B)/f (Observation 3).
+
+#include "bench_util.h"
+#include "game/landscape.h"
+
+namespace {
+
+using namespace hsis;
+using namespace hsis::game;
+
+constexpr double kB = 10, kF = 25, kL = 8;
+
+void PrintPanel(double f, double max_penalty) {
+  double p_star = CriticalPenalty(kB, kF, f);
+  std::printf("--- panel f = %.2f  (zero-penalty frequency (F-B)/F = %.2f) ---\n",
+              f, ZeroPenaltyFrequency(kB, kF));
+  if (p_star < 0) {
+    std::printf("f exceeds (F-B)/F: P* = %.2f < 0, honesty needs no penalty.\n",
+                p_star);
+  } else {
+    std::printf("Analytic crossover (Observation 3): P* = ((1-f)F-B)/f = %.2f\n",
+                p_star);
+  }
+  auto rows = SweepPenalty(kB, kF, kL, f, max_penalty, 11).value();
+  std::printf("  %-8s %-34s %-10s %-8s %s\n", "P", "analytic region",
+              "NE (enum)", "HH=DSE", "match");
+  int mismatches = 0;
+  for (const PenaltySweepRow& row : rows) {
+    std::string ne;
+    for (const std::string& e : row.nash_equilibria) ne += e + " ";
+    std::printf("  %-8.1f %-34s %-10s %-8s %s\n", row.penalty,
+                SymmetricRegionName(row.analytic_region), ne.c_str(),
+                row.honest_is_dse ? "yes" : "no",
+                row.analytic_matches_enumeration ? "ok" : "MISMATCH");
+    mismatches += !row.analytic_matches_enumeration;
+  }
+  std::printf("Panel %s.\n\n", mismatches == 0 ? "REPRODUCED" : "MISMATCH");
+}
+
+void PrintReproduction() {
+  bench::PrintRule(
+      "E4 / Figure 2: equilibria vs penalty P (B=10, F=25, L=8)");
+  // Lower panel of the figure: 0 <= f < (F-B)/F.
+  PrintPanel(0.2, 80);
+  // Upper panel: f > (F-B)/F — all-honest for every P >= 0.
+  PrintPanel(0.7, 80);
+
+  std::printf("Duality check: the Figure 1 and Figure 2 boundaries are the\n"
+              "same curve — P*(f*(P)) == P:\n");
+  for (double p : {10.0, 40.0, 160.0}) {
+    double f_star = CriticalFrequency(kB, kF, p);
+    std::printf("  P = %-6.0f f*(P) = %.4f  P*(f*) = %.2f\n", p, f_star,
+                CriticalPenalty(kB, kF, f_star));
+  }
+}
+
+void BM_SweepPenalty101(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rows = SweepPenalty(kB, kF, kL, 0.2, 100, 101);
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_SweepPenalty101);
+
+void BM_CriticalPenaltyClosedForm(benchmark::State& state) {
+  for (auto _ : state) {
+    double p = CriticalPenalty(kB, kF, 0.2);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_CriticalPenaltyClosedForm);
+
+}  // namespace
+
+HSIS_BENCH_MAIN(PrintReproduction)

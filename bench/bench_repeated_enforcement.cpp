@@ -1,0 +1,97 @@
+// Extension — enforcement without (or with less) auditing: the folk
+// theorem applied to the honesty game.
+//
+// Grim-trigger repetition sustains honesty in the *unaudited* game iff
+// the collateral damage of mutual cheating exceeds the cheating gain
+// (L >= F - B) and players are patient (delta >= (F-B)/L). Auditing and
+// patience trade off along the generalized Observation 2 frontier
+// f*(delta) = (F - delta L - B)/(F - delta L + P).
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "game/repeated_analysis.h"
+#include "game/thresholds.h"
+
+namespace {
+
+using namespace hsis;
+using namespace hsis::game;
+
+constexpr double kB = 10, kF = 25;
+
+void PrintReproduction() {
+  bench::PrintRule(
+      "Extension: repetition-based enforcement (folk-theorem analysis)");
+
+  std::printf("(1) Can patience alone replace the auditing device?\n"
+              "    delta* = (F - B)/L for the unaudited game (B=10, F=25):\n\n");
+  std::printf("  %-8s %-14s %s\n", "L", "delta*", "verdict");
+  for (double loss : {5.0, 10.0, 15.0, 20.0, 30.0, 60.0}) {
+    double d = CriticalDiscount(kB, kF, loss);
+    if (std::isinf(d)) {
+      std::printf("  %-8.0f %-14s cheating damage too small — repetition "
+                  "can never deter\n", loss, "unreachable");
+    } else {
+      std::printf("  %-8.0f %-14.3f honest iff players discount above this\n",
+                  loss, d);
+    }
+  }
+  std::printf("\n  -> The paper's device is *necessary* whenever L < F - B\n"
+              "     or participants are impatient; otherwise repetition is\n"
+              "     an audit-free alternative.\n\n");
+
+  std::printf("(2) The audit/patience frontier f*(delta) at L = 12, P = 10\n"
+              "    (delta = 0 is exactly Observation 2):\n\n");
+  std::printf("  %-8s %-10s\n", "delta", "f*");
+  for (double delta : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    std::printf("  %-8.2f %-10.4f\n", delta,
+                CriticalFrequencyWithPatience(kB, kF, 12, 10, delta));
+  }
+  std::printf("\n  Consistency: delta = 0 gives %.4f = CriticalFrequency = "
+              "%.4f\n\n",
+              CriticalFrequencyWithPatience(kB, kF, 12, 10, 0),
+              CriticalFrequency(kB, kF, 10));
+
+  std::printf("(3) Value-function verification at L = 20, f = 0.1, P = 5:\n\n");
+  const double loss = 20, f = 0.1, penalty = 5;
+  double deviation = (1 - f) * kF - f * penalty;
+  double punishment = deviation - (1 - f) * loss;
+  double d_star = CriticalDiscount(kB, kF, loss, f, penalty);
+  std::printf("  delta* = %.4f; discounted streams around it:\n", d_star);
+  std::printf("  %-8s %-16s %-16s %s\n", "delta", "honest value",
+              "deviate value", "honesty holds");
+  for (double delta : {d_star - 0.1, d_star - 0.01, d_star + 0.01,
+                       d_star + 0.1}) {
+    double hv = DiscountedValue(kB, delta);
+    double dv = DeviationValue(deviation, punishment, delta);
+    std::printf("  %-8.3f %-16.2f %-16.2f %s\n", delta, hv, dv,
+                hv >= dv ? "yes" : "no");
+  }
+  std::printf("\n  -> the incentive flips exactly at delta*, matching the\n"
+              "     closed form. REPRODUCED (extension-internal check).\n");
+}
+
+void BM_CriticalDiscount(benchmark::State& state) {
+  for (auto _ : state) {
+    double d = CriticalDiscount(kB, kF, 20, 0.1, 5);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_CriticalDiscount);
+
+void BM_FrontierSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0;
+    for (int i = 0; i <= 100; ++i) {
+      acc += CriticalFrequencyWithPatience(kB, kF, 12, 10, i / 101.0);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel("101-point frontier");
+}
+BENCHMARK(BM_FrontierSweep);
+
+}  // namespace
+
+HSIS_BENCH_MAIN(PrintReproduction)

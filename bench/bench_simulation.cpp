@@ -1,0 +1,185 @@
+// Experiment E9 — the paper's end-to-end claim: rational and learning
+// participants converge to honesty exactly when the auditing device
+// operates in the transformative region.
+//
+// (1) Empirical Figure 1: honesty rate of learning populations vs audit
+//     frequency — the sharp flip at f*.
+// (2) Learning-rule ablation: best response vs fictitious play vs
+//     epsilon-greedy Q (DESIGN.md §7).
+// (3) Full stack: real datasets, real protocol, real audits — realized
+//     per-round economics of a cheater below and above the threshold.
+
+#include "bench_util.h"
+#include "core/honest_sharing_session.h"
+#include "game/thresholds.h"
+#include "sim/repeated_game.h"
+#include "sim/workload.h"
+
+namespace {
+
+using namespace hsis;
+using namespace hsis::sim;
+
+constexpr double kB = 10, kF = 25, kL = 8, kP = 40;
+
+game::NPlayerHonestyGame MakeGame(int n, double f, double penalty = kP) {
+  game::NPlayerHonestyGame::Params p;
+  p.n = n;
+  p.benefit = kB;
+  p.gain = game::LinearGain(kF, 0);
+  p.frequency = f;
+  p.penalty = penalty;
+  p.uniform_loss = kL;
+  return std::move(game::NPlayerHonestyGame::Create(p).value());
+}
+
+enum class Rule { kBestResponse, kFictitiousPlay, kQLearning };
+
+std::unique_ptr<Agent> MakeAgent(Rule rule,
+                                 const game::NPlayerHonestyGame* game,
+                                 uint64_t seed) {
+  switch (rule) {
+    case Rule::kBestResponse:
+      return MakeBestResponse(game);
+    case Rule::kFictitiousPlay:
+      return MakeFictitiousPlay(game, seed);
+    case Rule::kQLearning:
+      return MakeEpsilonGreedy(seed, 0.5, 0.995, 0.15);
+  }
+  return nullptr;
+}
+
+RepeatedGameResult Run(const game::NPlayerHonestyGame& game, Rule rule,
+                       int rounds, uint64_t seed, PayoffMode mode) {
+  std::vector<std::unique_ptr<Agent>> agents;
+  for (int i = 0; i < game.n(); ++i) {
+    agents.push_back(MakeAgent(rule, &game, seed + static_cast<uint64_t>(i)));
+  }
+  RepeatedGameConfig config;
+  config.rounds = rounds;
+  config.seed = seed;
+  config.mode = mode;
+  return std::move(RunRepeatedGame(game, agents, config).value());
+}
+
+void PrintReproduction() {
+  bench::PrintRule("E9 / end-to-end honesty enforcement");
+
+  double f_star = game::CriticalFrequency(kB, kF, kP);
+  std::printf("(1) Empirical Figure 1 — 6-player populations, honesty rate\n"
+              "    in the final 20 rounds vs audit frequency (f* = %.3f):\n\n",
+              f_star);
+  std::printf("  %-6s %-14s %-16s %s\n", "f", "best-response",
+              "fictitious-play", "q-learning(sampled)");
+  for (double f : {0.0, 0.1, 0.2, f_star - 0.02, f_star + 0.02, 0.4, 0.6,
+                   0.9}) {
+    game::NPlayerHonestyGame g = MakeGame(6, f);
+    double br = Run(g, Rule::kBestResponse, 150, 11, PayoffMode::kExpected)
+                    .honesty_rate_final;
+    double fp = Run(g, Rule::kFictitiousPlay, 150, 22, PayoffMode::kExpected)
+                    .honesty_rate_final;
+    double ql = Run(g, Rule::kQLearning, 1200, 33, PayoffMode::kSampled)
+                    .honesty_rate_final;
+    std::printf("  %-6.2f %-14.2f %-16.2f %.2f\n", f, br, fp, ql);
+  }
+  std::printf("\n  -> all three populations flip from all-cheat to all-honest\n"
+              "     around f*, reproducing Figure 1 behaviorally.\n\n");
+
+  std::printf("(2) Convergence-speed ablation (f = %.2f > f*, 6 players,\n"
+              "    round at which the final stable profile was reached):\n\n",
+              f_star + 0.1);
+  game::NPlayerHonestyGame g = MakeGame(6, f_star + 0.1);
+  for (Rule rule : {Rule::kBestResponse, Rule::kFictitiousPlay}) {
+    RepeatedGameResult r = Run(g, rule, 200, 44, PayoffMode::kExpected);
+    std::printf("  %-16s converged=%s at round %d (honesty %.2f)\n",
+                rule == Rule::kBestResponse ? "best-response"
+                                            : "fictitious-play",
+                r.converged ? "yes" : "no", r.convergence_round,
+                r.honesty_rate_final);
+  }
+  RepeatedGameResult q = Run(g, Rule::kQLearning, 1500, 55, PayoffMode::kSampled);
+  std::printf("  %-16s honesty %.2f after 1500 sampled rounds\n\n",
+              "q-learning", q.honesty_rate_final);
+
+  std::printf("(3) Full stack (real protocol + audits), 150 exchanges of a\n"
+              "    persistent prober, penalty from MechanismDesigner:\n\n");
+  Rng rng(9);
+  TwoFirmWorkload workload = MakeTwoFirmWorkload(40, 40, 15, rng);
+  for (double f : {0.1, 0.6}) {
+    core::SessionConfig config;
+    config.audit_frequency = f;
+    config.penalty = kP;
+    config.group = &crypto::PrimeGroup::SmallTestGroup();
+    config.seed = 17;
+    core::HonestSharingSession session =
+        std::move(core::HonestSharingSession::Create(config).value());
+    session.AddParty("rowi");
+    session.AddParty("colie");
+    session.IssueTuples("rowi", workload.firm_a);
+    session.IssueTuples("colie", workload.firm_b);
+
+    double cheat_payoff = 0;
+    size_t stolen = 0;
+    const int kRounds = 150;
+    for (int i = 0; i < kRounds; ++i) {
+      core::CheatPlan plan;
+      plan.fabricate = MakeProbeList(workload.b_private, 8, 0.5, rng);
+      core::ExchangeResult r =
+          session.RunExchange("rowi", "colie", plan, {}).value();
+      stolen += r.a.probe_hits;
+      cheat_payoff += r.a.detected ? -kP : kF;
+    }
+    std::printf("  f = %.1f (%s): cheater avg payoff %.2f/round vs honest "
+                "%.0f; stole %zu names, fined %.0f total\n",
+                f,
+                game::ClassifySymmetricDevice(kB, kF, f, kP) ==
+                        game::DeviceEffectiveness::kTransformative
+                    ? "transformative"
+                    : "ineffective",
+                cheat_payoff / kRounds, kB, stolen,
+                session.TotalPenalties("rowi"));
+  }
+  std::printf("\n  -> below threshold cheating pays; above it the realized\n"
+              "     cheating payoff drops under the honest payoff. The\n"
+              "     mechanism works end to end.\n");
+}
+
+void BM_RepeatedGameRound(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  game::NPlayerHonestyGame g = MakeGame(n, 0.4);
+  std::vector<std::unique_ptr<Agent>> agents;
+  for (int i = 0; i < n; ++i) agents.push_back(MakeBestResponse(&g));
+  RepeatedGameConfig config;
+  config.rounds = 100;
+  for (auto _ : state) {
+    auto r = RunRepeatedGame(g, agents, config);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.SetLabel("items = rounds");
+}
+BENCHMARK(BM_RepeatedGameRound)->Arg(2)->Arg(10)->Arg(50);
+
+void BM_FullStackExchange(benchmark::State& state) {
+  Rng rng(3);
+  TwoFirmWorkload workload = MakeTwoFirmWorkload(20, 20, 10, rng);
+  core::SessionConfig config;
+  config.audit_frequency = 0.5;
+  config.penalty = kP;
+  config.group = &crypto::PrimeGroup::SmallTestGroup();
+  core::HonestSharingSession session =
+      std::move(core::HonestSharingSession::Create(config).value());
+  session.AddParty("a");
+  session.AddParty("b");
+  session.IssueTuples("a", workload.firm_a);
+  session.IssueTuples("b", workload.firm_b);
+  for (auto _ : state) {
+    auto r = session.RunExchange("a", "b");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullStackExchange);
+
+}  // namespace
+
+HSIS_BENCH_MAIN(PrintReproduction)

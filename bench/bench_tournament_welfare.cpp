@@ -1,0 +1,140 @@
+// Extension — population dynamics and social welfare.
+//
+// (1) Axelrod-style round-robin among eight behaviors, with and without
+//     the auditing device: deterrence inverts the ecosystem — exploiters
+//     rule the unaudited tournament and finish last under a
+//     transformative device.
+// (2) The price of dishonesty — how much collective value the (C,C)
+//     equilibrium destroys as the collateral damage L grows — and the
+//     device's net welfare contribution after paying for its audits.
+
+#include "bench_util.h"
+#include "game/honesty_games.h"
+#include "game/thresholds.h"
+#include "game/welfare.h"
+#include "sim/evolutionary.h"
+#include "sim/tournament.h"
+
+namespace {
+
+using namespace hsis;
+using namespace hsis::game;
+using namespace hsis::sim;
+
+constexpr double kB = 10, kF = 25;
+
+NPlayerHonestyGame MakeTwoPlayer(double penalty, double frequency) {
+  NPlayerHonestyGame::Params p;
+  p.n = 2;
+  p.benefit = kB;
+  p.gain = LinearGain(kF, 0);
+  p.frequency = frequency;
+  p.penalty = penalty;
+  p.uniform_loss = 8;
+  return std::move(NPlayerHonestyGame::Create(p).value());
+}
+
+void PrintStandings(const NPlayerHonestyGame& g, const char* title) {
+  TournamentConfig config;
+  config.rounds_per_match = 150;
+  config.seed = 9;
+  auto standings =
+      std::move(RunRoundRobinTournament(g, StandardLineup(&g), config).value());
+  std::printf("%s\n", title);
+  std::printf("  %-4s %-18s %s\n", "#", "strategy", "avg payoff/round");
+  int rank = 1;
+  for (const TournamentStanding& s : standings) {
+    std::printf("  %-4d %-18s %.2f\n", rank++, s.name.c_str(),
+                s.average_payoff_per_round);
+  }
+  std::printf("\n");
+}
+
+void PrintReproduction() {
+  bench::PrintRule("Extension: strategy ecosystem & social welfare");
+
+  std::printf("(1) Round-robin tournaments (B=10, F=25, L=8):\n\n");
+  NPlayerHonestyGame lawless = MakeTwoPlayer(0, 0);
+  PrintStandings(lawless, "--- no auditing: exploitation pays ---");
+
+  double p_star = CriticalPenalty(kB, kF, 0.4);
+  NPlayerHonestyGame audited = MakeTwoPlayer(p_star * 2, 0.4);
+  PrintStandings(audited,
+                 "--- transformative device (f=0.4, P=2P*): honesty pays ---");
+
+  std::printf("(2) Price of dishonesty vs collateral damage L (no audit):\n\n");
+  std::printf("  %-6s %-16s %-20s %s\n", "L", "optimal welfare",
+              "equilibrium welfare", "price of dishonesty");
+  for (double loss : {0.0, 8.0, 16.0, 20.0, 24.0, 24.9}) {
+    NormalFormGame g = std::move(MakeNoAuditGame(kB, kF, loss).value());
+    WelfareAnalysis w = std::move(AnalyzeWelfare(g).value());
+    std::printf("  %-6.1f %-16.1f %-20.1f %.2f\n", loss, w.optimal_welfare,
+                w.equilibrium_welfare, w.price_of_dishonesty);
+  }
+  std::printf("\n  Note: the optimum is (H,H) only once L > F - B; for small\n"
+              "  L mutual cheating is collectively productive yet still a\n"
+              "  privacy catastrophe — welfare alone understates the harm.\n\n");
+
+  std::printf("(3) Net welfare of the device at the honest equilibrium\n"
+              "    (n = 10, audit cost c per audit, f from Observation 2 at\n"
+              "    each penalty cap):\n\n");
+  std::printf("  %-12s %-10s %-14s %s\n", "penalty cap", "f needed",
+              "net welfare c=5", "net welfare c=20");
+  for (double cap : {10.0, 40.0, 160.0, 640.0}) {
+    double f = CriticalFrequency(kB, kF, cap) + 1e-6;
+    std::printf("  %-12.0f %-10.4f %-14.2f %.2f\n", cap, f,
+                NetWelfareAllHonest(10, kB, f, 5),
+                NetWelfareAllHonest(10, kB, f, 20));
+  }
+  std::printf("\n  Bigger permissible fines let the operator audit less and\n"
+              "  return more of the collaboration surplus to the players.\n\n");
+
+  std::printf("(4) Evolutionary dynamics (replicator, p0 = 0.5; Moran,\n"
+              "    N = 40, 20 runs): does selection itself pick honesty?\n\n");
+  std::printf("  %-12s %-10s %-18s %s\n", "penalty", "ESS(H)?",
+              "replicator p_final", "Moran honest fixations");
+
+  Rng rng(31);
+  for (double mult : {0.5, 0.9, 1.1, 2.0}) {
+    NPlayerHonestyGame g = MakeTwoPlayer(p_star * mult, 0.4);
+    bool ess = HonestyIsEvolutionarilyStable(g);
+    ReplicatorResult rep =
+        std::move(RunReplicatorDynamics(g, 0.5, 3000).value());
+    int fixations = 0;
+    for (int t = 0; t < 20; ++t) {
+      MoranResult m =
+          std::move(RunMoranProcess(g, 40, 20, 0.0, 500000, rng).value());
+      fixations += m.fixated_honest;
+    }
+    std::printf("  %-12.2f %-10s %-18.3f %d/20\n", p_star * mult,
+                ess ? "yes" : "no", rep.final_fraction, fixations);
+  }
+  std::printf("\n  Selection agrees with rationality: honesty invades and\n"
+              "  fixates exactly in the transformative region.\n");
+}
+
+void BM_RoundRobinTournament(benchmark::State& state) {
+  NPlayerHonestyGame g = MakeTwoPlayer(40, 0.4);
+  TournamentConfig config;
+  config.rounds_per_match = 100;
+  auto lineup = StandardLineup(&g);
+  for (auto _ : state) {
+    auto standings = RunRoundRobinTournament(g, lineup, config);
+    benchmark::DoNotOptimize(standings);
+  }
+  state.SetLabel("8 strategies, 36 matches x 100 rounds");
+}
+BENCHMARK(BM_RoundRobinTournament);
+
+void BM_WelfareAnalysis(benchmark::State& state) {
+  NormalFormGame g = std::move(MakeNoAuditGame(kB, kF, 8).value());
+  for (auto _ : state) {
+    auto w = AnalyzeWelfare(g);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_WelfareAnalysis);
+
+}  // namespace
+
+HSIS_BENCH_MAIN(PrintReproduction)

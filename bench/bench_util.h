@@ -1,0 +1,33 @@
+#ifndef HSIS_BENCH_BENCH_UTIL_H_
+#define HSIS_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+/// Shared main() for all reproduction benches: print the paper artifact
+/// first (tables/series exactly as DESIGN.md §4 specifies), then run the
+/// google-benchmark timings registered by the binary.
+#define HSIS_BENCH_MAIN(print_fn)                                   \
+  int main(int argc, char** argv) {                                 \
+    print_fn();                                                     \
+    ::benchmark::Initialize(&argc, argv);                           \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
+      return 1;                                                     \
+    }                                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                          \
+    ::benchmark::Shutdown();                                        \
+    return 0;                                                       \
+  }
+
+namespace hsis::bench {
+
+inline void PrintRule(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace hsis::bench
+
+#endif  // HSIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,124 @@
+// Inside the auditing device (Section 6): attestation, incremental
+// multiset hashes, tamper cases, and the court's polynomial-time check.
+//
+// Build & run:  ./build/examples/audit_forensics
+
+#include <cstdio>
+
+#include "audit/auditing_device.h"
+#include "audit/judge.h"
+#include "audit/secure_coprocessor.h"
+#include "audit/tuple_generator.h"
+#include "crypto/multiset_hash.h"
+#include "sovereign/dataset.h"
+
+using namespace hsis;
+
+namespace {
+
+Bytes Commit(const crypto::MultisetHashFamily& family,
+             const sovereign::Dataset& data) {
+  auto h = family.NewHash();
+  for (const auto& t : data.tuples()) h->Add(t.value);
+  return h->Serialize();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(1);
+
+  std::printf("=== 1. Remote attestation of the device ===\n\n");
+  audit::SecureCoprocessor coprocessor =
+      audit::SecureCoprocessor::Manufacture(rng);
+  Bytes trusted_code = ToBytes("hsis-auditing-device v1.0");
+  coprocessor.InstallApplication(trusted_code);
+  Bytes challenge = rng.RandomBytes(16);
+  auto report = coprocessor.Attest(challenge).value();
+  bool verified = audit::SecureCoprocessor::VerifyAttestation(
+      report, audit::SecureCoprocessor::MeasureCode(trusted_code),
+      coprocessor.endorsement_key());
+  std::printf("Participant challenges the device; attestation verifies: %s\n"
+              "(code hash %s...)\n\n",
+              verified ? "yes" : "NO",
+              HexEncode(report.code_hash).substr(0, 16).c_str());
+
+  std::printf("=== 2. The tuple-generator path ===\n\n");
+  crypto::MultisetHashFamily family = std::move(
+      crypto::MultisetHashFamily::CreateMu(crypto::PrimeGroup::SmallTestGroup())
+          .value());
+  audit::AuditingDevice device =
+      std::move(audit::AuditingDevice::Create(/*frequency=*/1.0,
+                                              /*penalty=*/50)
+                    .value());
+  audit::TupleGenerator tg = std::move(
+      audit::TupleGenerator::Create("rowi", family, &device).value());
+
+  sovereign::Dataset database;
+  for (const char* customer : {"bob", "uma", "vera", "yuri"}) {
+    database.Add(tg.IssueString(customer).value());
+  }
+  std::printf("TG issued %llu tuples; device state is %zu bytes — O(1)\n"
+              "per player, and the device never saw a tuple value.\n\n",
+              static_cast<unsigned long long>(tg.issued()),
+              device.StateBytes());
+
+  std::printf("=== 3. Audits: honest, insert, delete, substitute ===\n\n");
+  struct Case {
+    const char* label;
+    sovereign::Dataset reported;
+  };
+  sovereign::Dataset insert = database;
+  insert.Add(sovereign::Tuple::FromString("xena"));
+  sovereign::Dataset remove =
+      database.Difference(sovereign::Dataset::FromStrings({"vera"}));
+  sovereign::Dataset swap = remove;
+  swap.Add(sovereign::Tuple::FromString("zoe"));
+  Case cases[] = {
+      {"honest report        ", database},
+      {"fabricated tuple     ", insert},
+      {"withheld tuple       ", remove},
+      {"substitution (same n)", swap},
+  };
+  for (const Case& c : cases) {
+    auto outcome = device.Audit("rowi", Commit(family, c.reported)).value();
+    std::printf("  %s -> %s\n", c.label,
+                outcome.cheating_detected ? "CHEATING DETECTED (fined 50)"
+                                          : "passes");
+  }
+  std::printf("\nAudit log has %zu entries; total fines: %.0f\n\n",
+              device.log().size(), device.TotalPenalties("rowi"));
+
+  std::printf("=== 4. The court (judge) check ===\n\n");
+  Bytes honest_commitment = Commit(family, database);
+  bool judge_honest = audit::VerifyCommitment(database, honest_commitment,
+                                              family);
+  bool judge_forged = audit::VerifyCommitment(insert, honest_commitment,
+                                              family);
+  std::printf("Judge verifies disclosed data against the reported hash in\n"
+              "polynomial time: honest pair -> %s, forged pair -> %s\n\n",
+              judge_honest ? "consistent" : "INCONSISTENT",
+              judge_forged ? "consistent" : "inconsistent (liable)");
+
+  std::printf("=== 5. All four hash schemes catch the same cheat ===\n\n");
+  for (auto scheme :
+       {crypto::MultisetHashScheme::kXor, crypto::MultisetHashScheme::kAdd,
+        crypto::MultisetHashScheme::kMu, crypto::MultisetHashScheme::kVAdd}) {
+    bool keyed = scheme == crypto::MultisetHashScheme::kXor ||
+                 scheme == crypto::MultisetHashScheme::kAdd;
+    auto f = crypto::MultisetHashFamily::Create(
+                 scheme, keyed ? ToBytes("tg-key") : Bytes{})
+                 .value();
+    auto honest_hash = f.NewHash();
+    auto cheat_hash = f.NewHash();
+    for (const auto& t : database.tuples()) {
+      honest_hash->Add(t.value);
+      cheat_hash->Add(t.value);
+    }
+    cheat_hash->Add(ToBytes("xena"));
+    std::printf("  %-15s detects insertion: %s\n",
+                crypto::MultisetHashSchemeName(scheme),
+                honest_hash->Equivalent(*cheat_hash) ? "NO" : "yes");
+  }
+  return 0;
+}

@@ -1,0 +1,157 @@
+// hsis_tool — a small command-line front end to the library.
+//
+//   hsis_tool design <B> <F> [--frequency f | --penalty P]
+//       Mechanism design: thresholds and recommendations for the given
+//       economics (Observations 2 & 3).
+//
+//   hsis_tool sweep <figure1|figure2|figure3|figure4> <out.csv>
+//       Regenerate one of the paper's figure landscapes as CSV.
+//
+//   hsis_tool demo
+//       Run a miniature audited exchange end to end.
+//
+// Build & run:  ./build/examples/hsis_tool demo
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/file.h"
+#include "core/honest_sharing_session.h"
+#include "core/mechanism_designer.h"
+#include "game/report.h"
+
+using namespace hsis;
+
+namespace {
+
+int Usage() {
+  std::printf(
+      "usage:\n"
+      "  hsis_tool design <B> <F> [--frequency f | --penalty P]\n"
+      "  hsis_tool sweep <figure1|figure2|figure3|figure4> <out.csv>\n"
+      "  hsis_tool demo\n");
+  return 2;
+}
+
+int RunDesign(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  double benefit = std::atof(argv[2]);
+  double cheat_gain = std::atof(argv[3]);
+  Result<core::MechanismDesigner> designer =
+      core::MechanismDesigner::Create(benefit, cheat_gain);
+  if (!designer.ok()) {
+    std::printf("error: %s\n", designer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("economics: B = %g, F = %g (net temptation %g)\n", benefit,
+              cheat_gain, cheat_gain - benefit);
+  std::printf("zero-penalty frequency (F-B)/F = %.4f\n",
+              designer->ZeroPenaltyFrequency());
+
+  if (argc >= 6 && std::strcmp(argv[4], "--frequency") == 0) {
+    double f = std::atof(argv[5]);
+    Result<double> p = designer->MinPenalty(f);
+    if (!p.ok()) {
+      std::printf("error: %s\n", p.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("at f = %.4f: minimum penalty P = %.4f  (device: %s)\n", f,
+                *p, game::DeviceEffectivenessName(designer->Classify(f, *p)));
+  } else if (argc >= 6 && std::strcmp(argv[4], "--penalty") == 0) {
+    double p = std::atof(argv[5]);
+    double f = designer->MinFrequency(p);
+    std::printf("at P = %.4f: minimum frequency f = %.4f  (device: %s)\n", p,
+                f, game::DeviceEffectivenessName(designer->Classify(f, p)));
+  } else {
+    std::printf("pass --frequency f or --penalty P for a recommendation\n");
+  }
+  return 0;
+}
+
+int RunSweep(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  std::string which = argv[2];
+  std::string out_path = argv[3];
+  const double kB = 10, kF = 25, kL = 8;
+
+  std::string csv;
+  if (which == "figure1") {
+    csv = game::FrequencySweepToCsv(
+        game::SweepFrequency(kB, kF, kL, 40, 201).value());
+  } else if (which == "figure2") {
+    csv = game::PenaltySweepToCsv(
+        game::SweepPenalty(kB, kF, kL, 0.2, 120, 201).value());
+  } else if (which == "figure3") {
+    game::TwoPlayerGameParams params;
+    params.player1 = {10, 30};
+    params.player2 = {6, 20};
+    params.loss_to_1 = 4;
+    params.loss_to_2 = 9;
+    params.audit1 = {0, 20};
+    params.audit2 = {0, 15};
+    csv = game::AsymmetricGridToCsv(
+        game::SweepAsymmetricGrid(params, 41).value());
+  } else if (which == "figure4") {
+    game::NPlayerHonestyGame::Params params;
+    params.n = 8;
+    params.benefit = kB;
+    params.gain = game::LinearGain(20, 2);
+    params.frequency = 0.3;
+    params.uniform_loss = 4;
+    double top =
+        game::NPlayerPenaltyBound(kB, params.gain, 0.3, params.n - 1);
+    csv = game::NPlayerBandsToCsv(
+        game::SweepNPlayerPenalty(params, top * 1.2, 201).value());
+  } else {
+    return Usage();
+  }
+  Status status = WriteFile(out_path, csv);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+int RunDemo() {
+  core::SessionConfig config;
+  config.audit_frequency = 0.5;
+  config.penalty = 40;
+  config.seed = 1;
+  core::HonestSharingSession session =
+      std::move(core::HonestSharingSession::Create(config).value());
+  session.AddParty("alice");
+  session.AddParty("bob");
+  session.IssueTuples("alice", {"x", "y", "z"});
+  session.IssueTuples("bob", {"y", "z", "w"});
+
+  core::ExchangeResult honest = session.RunExchange("alice", "bob").value();
+  std::printf("honest exchange -> %zu common tuples, detections: %d/%d\n",
+              honest.a.intersection_size, honest.a.detected,
+              honest.b.detected);
+
+  core::CheatPlan cheat;
+  cheat.fabricate = {"w"};
+  core::ExchangeResult probed =
+      session.RunExchange("alice", "bob", cheat, {}).value();
+  std::printf("alice probes for 'w' -> hit: %zu, audited: %d, caught: %d, "
+              "fine: %.0f\n",
+              probed.a.probe_hits, probed.a.audited, probed.a.detected,
+              probed.a.penalty_paid);
+  std::printf("alice's total fines so far: %.0f\n",
+              session.TotalPenalties("alice"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "design") == 0) return RunDesign(argc, argv);
+  if (std::strcmp(argv[1], "sweep") == 0) return RunSweep(argc, argv);
+  if (std::strcmp(argv[1], "demo") == 0) return RunDemo();
+  return Usage();
+}

@@ -1,0 +1,71 @@
+// Mechanism-designer tour: turning the paper's observations into
+// operating decisions.
+//
+// "The above observations provide the game-designer the chance to
+//  decide, based on estimations of the players' losses and gains, the
+//  minimum checking frequencies or penalty amounts that can guarantee
+//  the desired level of honesty in the system."  (Section 4.1)
+//
+// Build & run:  ./build/examples/mechanism_designer_tour
+
+#include <cstdio>
+
+#include "core/mechanism_designer.h"
+#include "game/thresholds.h"
+
+using namespace hsis;
+
+int main() {
+  const double kB = 10, kF = 25;
+  core::MechanismDesigner designer =
+      std::move(core::MechanismDesigner::Create(kB, kF).value());
+
+  std::printf("Economics: B = %.0f (honest benefit), F = %.0f (cheating gain)\n\n",
+              kB, kF);
+
+  std::printf("--- Q1: audits are cheap, fines capped. How often must I check? ---\n");
+  std::printf("  penalty P   min frequency f*   (Observation 2: (F-B)/(P+F))\n");
+  for (double p : {0.0, 10.0, 25.0, 50.0, 100.0, 500.0}) {
+    std::printf("  %-11.0f %.4f\n", p, designer.MinFrequency(p));
+  }
+
+  std::printf("\n--- Q2: audits are expensive. What fine lets me audit rarely? ---\n");
+  std::printf("  frequency f   min penalty P*   (Observation 3: ((1-f)F-B)/f)\n");
+  for (double f : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    std::printf("  %-13.2f %.2f\n", f, designer.MinPenalty(f).value());
+  }
+  std::printf("  Above f = %.2f no penalty is needed at all: frequent checks\n"
+              "  alone push the expected cheating gain below B.\n",
+              designer.ZeroPenaltyFrequency());
+
+  std::printf("\n--- Q3: each audit costs 100. Cheapest transformative point? ---\n");
+  for (double max_penalty : {25.0, 100.0, 1000.0}) {
+    core::OperatingPoint point =
+        designer.CheapestTransformative(/*audit_cost=*/100, max_penalty)
+            .value();
+    std::printf("  max fine %-7.0f -> audit %.2f%% of exchanges, expected "
+                "audit cost %.2f/round\n",
+                max_penalty, 100 * point.frequency,
+                point.expected_audit_cost);
+  }
+
+  std::printf("\n--- Q4: the consortium is growing. How do penalties scale? ---\n");
+  game::GainFunction gain = game::LinearGain(kF, 1.5);
+  std::printf("  (gain function F(x) = 25 + 1.5x: each honest peer is one\n"
+              "   more victim to exploit)\n");
+  std::printf("  members n   min penalty (Proposition 1)\n");
+  for (int n : {2, 5, 10, 25, 50, 100}) {
+    std::printf("  %-11d %.2f\n", n,
+                designer.MinPenaltyNPlayer(n, gain, 0.3).value());
+  }
+
+  std::printf("\n--- Q5: classify an arbitrary operating point ---\n");
+  struct Point { double f, p; };
+  double boundary = game::CriticalFrequency(kB, kF, /*penalty=*/0);
+  for (Point pt : {Point{0.1, 10}, Point{0.3, 40}, Point{0.65, 0},
+                   Point{boundary, 0}}) {
+    std::printf("  f = %.2f, P = %-5.0f -> %s\n", pt.f, pt.p,
+                game::DeviceEffectivenessName(designer.Classify(pt.f, pt.p)));
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// N-party supply chain (Section 5): many suppliers sharing stock lists.
+//
+// Shows (1) the n-party sovereign intersection over a ring of
+// commutative encryptions, (2) Theorem 1's penalty bands — how the
+// required deterrent grows with the number of honest players a cheater
+// can exploit — and (3) a population of learning agents converging to
+// all-honest exactly when the device is transformative.
+//
+// Build & run:  ./build/examples/supply_chain
+
+#include <cstdio>
+
+#include "core/mechanism_designer.h"
+#include "sim/repeated_game.h"
+#include "sim/workload.h"
+#include "sovereign/multiparty.h"
+
+using namespace hsis;
+
+int main() {
+  const int kParties = 6;
+  Rng rng(2006);
+
+  std::printf("=== 1. Six suppliers intersect their stock lists ===\n\n");
+  auto stocks = sim::MakeSupplyChainWorkload(kParties, /*catalog_size=*/200,
+                                             /*hold_probability=*/0.7, rng);
+  std::vector<sovereign::Dataset> reported;
+  for (int p = 0; p < kParties; ++p) {
+    reported.push_back(
+        sovereign::Dataset::FromStrings(stocks[static_cast<size_t>(p)]));
+    std::printf("  supplier-%d stocks %zu parts\n", p,
+                reported.back().size());
+  }
+  crypto::MultisetHashFamily family = std::move(
+      crypto::MultisetHashFamily::CreateMu(crypto::PrimeGroup::SmallTestGroup())
+          .value());
+  auto outcomes = sovereign::RunMultiPartyIntersection(
+                      reported, crypto::PrimeGroup::SmallTestGroup(), family,
+                      rng)
+                      .value();
+  std::printf("Parts stocked by every supplier: %zu (each party learned\n"
+              "only this set — no pairwise lists were revealed).\n\n",
+              outcomes[0].intersection.size());
+
+  std::printf("=== 2. Theorem 1: penalty bands scale with n ===\n\n");
+  const double kBenefit = 10, kFrequency = 0.3;
+  game::GainFunction gain = game::LinearGain(20, 2);
+  core::MechanismDesigner designer =
+      std::move(core::MechanismDesigner::Create(kBenefit, 25).value());
+  std::printf("  n    min penalty for all-honest DSE (f = %.1f)\n", kFrequency);
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    double p = designer.MinPenaltyNPlayer(n, gain, kFrequency).value();
+    std::printf("  %-4d %.2f\n", n, p);
+  }
+  std::printf("The more honest peers a cheater can exploit (F monotone in\n"
+              "x), the bigger the deterrent must be (Proposition 1).\n\n");
+
+  std::printf("=== 3. Learning suppliers converge to honesty ===\n\n");
+  game::NPlayerHonestyGame::Params params;
+  params.n = kParties;
+  params.benefit = kBenefit;
+  params.gain = gain;
+  params.frequency = kFrequency;
+  params.uniform_loss = 4;
+
+  for (bool deterred : {false, true}) {
+    params.penalty =
+        deterred
+            ? designer.MinPenaltyNPlayer(kParties, gain, kFrequency).value()
+            : 0.0;
+    game::NPlayerHonestyGame game =
+        std::move(game::NPlayerHonestyGame::Create(params).value());
+
+    std::vector<std::unique_ptr<sim::Agent>> agents;
+    for (int i = 0; i < kParties; ++i) {
+      agents.push_back(sim::MakeFictitiousPlay(&game, 500 + static_cast<uint64_t>(i)));
+    }
+    sim::RepeatedGameConfig config;
+    config.rounds = 300;
+    sim::RepeatedGameResult result =
+        std::move(sim::RunRepeatedGame(game, agents, config).value());
+    std::printf("  penalty P = %-7.2f final honesty rate = %.0f%%  %s\n",
+                params.penalty, 100 * result.honesty_rate_final,
+                deterred ? "(transformative device)" : "(no deterrence)");
+  }
+  std::printf("\nFictitious-play suppliers end up all-honest exactly when\n"
+              "the device operates above the Theorem 1 bound.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef HSIS_AUDIT_AUDIT_BASELINE_H_
+#define HSIS_AUDIT_AUDIT_BASELINE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/merkle_tree.h"
+#include "sovereign/dataset.h"
+
+namespace hsis::audit {
+
+/// Baseline audit accumulator built on a Merkle tree, for the ablation
+/// against the paper's incremental-multiset-hash device.
+///
+/// To be order-insensitive (a dataset is a multiset, not a sequence)
+/// the accumulator canonicalizes: leaves are the sorted per-tuple
+/// hashes. That forces the device to retain *all* leaf hashes — O(n)
+/// state — and makes each new tuple a sorted insert plus a tree
+/// recompute at audit time, versus the multiset hash's O(1) state and
+/// O(1) update. The redeeming feature (not needed by the paper's
+/// device) is logarithmic membership proofs.
+///
+/// Privacy is preserved the same way: the accumulator sees only hashes
+/// of tuples, never tuple values.
+class MerkleAuditAccumulator {
+ public:
+  /// Folds in one issued tuple's hash (32 bytes, from the tuple
+  /// generator). Sorted insert: O(n) movement.
+  void Record(const Bytes& tuple_hash);
+
+  /// Current commitment (root over the sorted leaf hashes). Rebuilds
+  /// the tree: O(n) hashing.
+  Bytes Commitment() const;
+
+  /// True iff `reported_root` equals the current commitment.
+  bool Matches(const Bytes& reported_root) const;
+
+  /// Device-side retained bytes (the sorted leaf list).
+  size_t StateBytes() const;
+
+  uint64_t count() const { return leaves_.size(); }
+
+ private:
+  std::vector<Bytes> leaves_;  // sorted tuple hashes
+};
+
+/// Party-side commitment for a reported dataset under the Merkle
+/// baseline: root over the sorted per-tuple hashes.
+Bytes MerkleDatasetCommitment(const sovereign::Dataset& data);
+
+/// The per-tuple hash both sides use (SHA-256 of the tuple value).
+Bytes MerkleTupleHash(const Bytes& tuple_value);
+
+}  // namespace hsis::audit
+
+#endif  // HSIS_AUDIT_AUDIT_BASELINE_H_

@@ -1,0 +1,18 @@
+#include "audit/judge.h"
+
+namespace hsis::audit {
+
+bool VerifyCommitment(const sovereign::Dataset& disclosed_data,
+                      const Bytes& reported_commitment,
+                      const crypto::MultisetHashFamily& family) {
+  Result<std::unique_ptr<crypto::MultisetHash>> reported =
+      family.Deserialize(reported_commitment);
+  if (!reported.ok()) return false;
+  std::unique_ptr<crypto::MultisetHash> recomputed = family.NewHash();
+  for (const sovereign::Tuple& t : disclosed_data.tuples()) {
+    recomputed->Add(t.value);
+  }
+  return recomputed->Equivalent(**reported);
+}
+
+}  // namespace hsis::audit

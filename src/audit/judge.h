@@ -1,0 +1,23 @@
+#ifndef HSIS_AUDIT_JUDGE_H_
+#define HSIS_AUDIT_JUDGE_H_
+
+#include "crypto/multiset_hash.h"
+#include "sovereign/dataset.h"
+
+namespace hsis::audit {
+
+/// The "court" check from Section 6.2: a player is reluctant to report
+/// D_i alongside a hash H_i(D_i') with D_i' != D_i because "the judge
+/// will be able to decide in polynomial time whether the hash value
+/// H_i(D_i') ==H H_i(D_i)".
+///
+/// `VerifyCommitment` recomputes the multiset hash of `disclosed_data`
+/// (linear in the dataset) and compares it with the reported commitment.
+/// Returns true iff the commitment is well formed and matches.
+bool VerifyCommitment(const sovereign::Dataset& disclosed_data,
+                      const Bytes& reported_commitment,
+                      const crypto::MultisetHashFamily& family);
+
+}  // namespace hsis::audit
+
+#endif  // HSIS_AUDIT_JUDGE_H_

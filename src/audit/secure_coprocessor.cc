@@ -1,0 +1,60 @@
+#include "audit/secure_coprocessor.h"
+
+#include "crypto/authenticated_cipher.h"
+#include "crypto/hmac_sha256.h"
+#include "crypto/sha256.h"
+
+namespace hsis::audit {
+
+SecureCoprocessor SecureCoprocessor::Manufacture(Rng& rng) {
+  return SecureCoprocessor(rng.RandomBytes(32), rng.RandomBytes(32));
+}
+
+void SecureCoprocessor::InstallApplication(const Bytes& code) {
+  code_hash_ = MeasureCode(code);
+}
+
+Bytes SecureCoprocessor::MeasureCode(const Bytes& code) {
+  return crypto::Sha256::Hash(code);
+}
+
+Result<SecureCoprocessor::AttestationReport> SecureCoprocessor::Attest(
+    const Bytes& challenge_nonce) const {
+  if (code_hash_.empty()) {
+    return Status::FailedPrecondition("no application installed");
+  }
+  Bytes payload = code_hash_;
+  Append(payload, challenge_nonce);
+  AttestationReport report;
+  report.code_hash = code_hash_;
+  report.nonce = challenge_nonce;
+  report.mac = crypto::HmacSha256(endorsement_key_, payload);
+  return report;
+}
+
+bool SecureCoprocessor::VerifyAttestation(const AttestationReport& report,
+                                          const Bytes& expected_code_hash,
+                                          const Bytes& endorsement_key) {
+  if (!ConstantTimeEqual(report.code_hash, expected_code_hash)) return false;
+  Bytes payload = report.code_hash;
+  Append(payload, report.nonce);
+  Bytes expected_mac = crypto::HmacSha256(endorsement_key, payload);
+  return ConstantTimeEqual(report.mac, expected_mac);
+}
+
+Result<Bytes> SecureCoprocessor::Seal(const Bytes& state, Rng& rng) const {
+  Result<crypto::AuthenticatedCipher> cipher =
+      crypto::AuthenticatedCipher::Create(storage_key_);
+  HSIS_RETURN_IF_ERROR(cipher.status());
+  Bytes nonce = rng.RandomBytes(crypto::AuthenticatedCipher::kNonceSize);
+  return cipher->Seal(nonce, state, ToBytes("hsis.sealed-state"));
+}
+
+Result<Bytes> SecureCoprocessor::Unseal(const Bytes& sealed) const {
+  Result<crypto::AuthenticatedCipher> cipher =
+      crypto::AuthenticatedCipher::Create(storage_key_);
+  HSIS_RETURN_IF_ERROR(cipher.status());
+  return cipher->Open(sealed, ToBytes("hsis.sealed-state"));
+}
+
+}  // namespace hsis::audit

@@ -1,0 +1,76 @@
+#ifndef HSIS_AUDIT_SECURE_COPROCESSOR_H_
+#define HSIS_AUDIT_SECURE_COPROCESSOR_H_
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace hsis::audit {
+
+/// Simulation of the secure coprocessor (IBM 4758-class) that hosts the
+/// auditing device in Section 6.2.
+///
+/// What the paper relies on: (a) certified application code can be
+/// installed and then executes untampered, and (b) remote attestation
+/// proves to the participants that the device runs a known, trusted
+/// version of that code. We model attestation with a MAC under the
+/// device's endorsement key over the measured code hash and a
+/// verifier-chosen challenge nonce. (Real hardware signs with a
+/// certified asymmetric key; the shared-key MAC preserves the property
+/// that matters here — unforgeability by the participants — without
+/// pulling a signature scheme into the substrate.) Sealed storage wraps
+/// device state with an internal AEAD key that never leaves the device.
+class SecureCoprocessor {
+ public:
+  /// A remote-attestation report for a challenge nonce.
+  struct AttestationReport {
+    Bytes code_hash;  // measurement of the installed application
+    Bytes nonce;      // verifier's challenge
+    Bytes mac;        // MAC_ek(code_hash || nonce)
+  };
+
+  /// Creates a device with fresh internal keys.
+  static SecureCoprocessor Manufacture(Rng& rng);
+
+  /// Installs (measures) application code. Only one application at a
+  /// time; reinstalling changes the measurement.
+  void InstallApplication(const Bytes& code);
+
+  /// True once an application is installed.
+  bool HasApplication() const { return !code_hash_.empty(); }
+
+  /// Produces an attestation report for the verifier's challenge.
+  /// Requires an installed application.
+  Result<AttestationReport> Attest(const Bytes& challenge_nonce) const;
+
+  /// Verifies a report against the code hash the verifier trusts.
+  /// `endorsement_key` models the device certificate chain.
+  static bool VerifyAttestation(const AttestationReport& report,
+                                const Bytes& expected_code_hash,
+                                const Bytes& endorsement_key);
+
+  /// Measurement helper so verifiers can compute the expected hash of
+  /// the code they trust.
+  static Bytes MeasureCode(const Bytes& code);
+
+  /// Seals device state so it can only be restored by this device.
+  Result<Bytes> Seal(const Bytes& state, Rng& rng) const;
+  Result<Bytes> Unseal(const Bytes& sealed) const;
+
+  /// The endorsement (attestation) key. Exposed to stand in for the
+  /// manufacturer's certificate verification path.
+  const Bytes& endorsement_key() const { return endorsement_key_; }
+
+ private:
+  SecureCoprocessor(Bytes endorsement_key, Bytes storage_key)
+      : endorsement_key_(std::move(endorsement_key)),
+        storage_key_(std::move(storage_key)) {}
+
+  Bytes endorsement_key_;
+  Bytes storage_key_;
+  Bytes code_hash_;
+};
+
+}  // namespace hsis::audit
+
+#endif  // HSIS_AUDIT_SECURE_COPROCESSOR_H_

@@ -1,0 +1,30 @@
+#include "audit/tuple_generator.h"
+
+namespace hsis::audit {
+
+Result<TupleGenerator> TupleGenerator::Create(
+    std::string player, crypto::MultisetHashFamily family,
+    AuditingDevice* device) {
+  if (device == nullptr) {
+    return Status::InvalidArgument("tuple generator needs an auditing device");
+  }
+  HSIS_RETURN_IF_ERROR(device->RegisterPlayer(player, family));
+  return TupleGenerator(std::move(player), std::move(family), device);
+}
+
+Result<sovereign::Tuple> TupleGenerator::Issue(Bytes value) {
+  // H_i({t}): singleton accumulator — the (H_i(t), i) message of the
+  // paper, carrying no information about t beyond its hash.
+  std::unique_ptr<crypto::MultisetHash> singleton = family_.NewHash();
+  singleton->Add(value);
+  HSIS_RETURN_IF_ERROR(
+      device_->RecordTupleHash(player_, singleton->Serialize()));
+  ++issued_;
+  return sovereign::Tuple(std::move(value));
+}
+
+Result<sovereign::Tuple> TupleGenerator::IssueString(std::string_view value) {
+  return Issue(ToBytes(value));
+}
+
+}  // namespace hsis::audit

@@ -1,0 +1,59 @@
+#ifndef HSIS_COMMON_BYTES_H_
+#define HSIS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hsis {
+
+/// Raw byte buffer used throughout the crypto and protocol layers.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a string's characters to bytes (no encoding applied).
+Bytes ToBytes(std::string_view s);
+
+/// Converts raw bytes to a std::string (byte-for-byte).
+std::string BytesToString(const Bytes& b);
+
+/// Hex-encodes `b` using lowercase digits.
+std::string HexEncode(const Bytes& b);
+
+/// Decodes a hex string (case-insensitive). Fails on odd length or
+/// non-hex characters.
+Result<Bytes> HexDecode(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void Append(Bytes& dst, const Bytes& src);
+
+/// Appends a 4-byte big-endian encoding of `v`.
+void AppendUint32BE(Bytes& dst, uint32_t v);
+
+/// Appends an 8-byte big-endian encoding of `v`.
+void AppendUint64BE(Bytes& dst, uint64_t v);
+
+/// Reads a 4-byte big-endian integer at `offset`; caller guarantees bounds.
+uint32_t ReadUint32BE(const Bytes& src, size_t offset);
+
+/// Reads an 8-byte big-endian integer at `offset`; caller guarantees bounds.
+uint64_t ReadUint64BE(const Bytes& src, size_t offset);
+
+/// Appends a length-prefixed (uint32 BE) byte string; the standard framing
+/// used by the message layer.
+void AppendLengthPrefixed(Bytes& dst, const Bytes& payload);
+
+/// Reads a length-prefixed byte string at `*offset`, advancing it.
+/// Fails if the buffer is truncated.
+Result<Bytes> ReadLengthPrefixed(const Bytes& src, size_t* offset);
+
+/// Constant-time equality (length leaks, contents do not). Use for
+/// comparing MACs and hash commitments.
+bool ConstantTimeEqual(const Bytes& a, const Bytes& b);
+
+}  // namespace hsis
+
+#endif  // HSIS_COMMON_BYTES_H_

@@ -1,0 +1,33 @@
+#include "common/file.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hsis {
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open for reading: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read failed: " + path);
+  }
+  return buffer.str();
+}
+
+}  // namespace hsis

@@ -1,0 +1,19 @@
+#ifndef HSIS_COMMON_FILE_H_
+#define HSIS_COMMON_FILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace hsis {
+
+/// Writes `content` to `path`, creating or truncating the file.
+Status WriteFile(const std::string& path, std::string_view content);
+
+/// Reads the whole file at `path`.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace hsis
+
+#endif  // HSIS_COMMON_FILE_H_

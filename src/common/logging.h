@@ -1,0 +1,89 @@
+#ifndef HSIS_COMMON_LOGGING_H_
+#define HSIS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hsis {
+
+/// Severity levels for the library logger, lowest to highest.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Defaults to kWarning so library internals stay quiet in tests/benches.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log-message collector; emits on destruction.
+/// Fatal messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement whose level is disabled, keeping the
+/// streamed expressions unevaluated cheap to skip at the call site.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace hsis
+
+#define HSIS_LOG(level)                                                   \
+  (static_cast<int>(::hsis::LogLevel::k##level) <                         \
+   static_cast<int>(::hsis::GetLogLevel()))                               \
+      ? void(0)                                                           \
+      : void(::hsis::internal::LogMessage(::hsis::LogLevel::k##level,     \
+                                          __FILE__, __LINE__)             \
+             << "")
+
+#define HSIS_LOG_DEBUG \
+  ::hsis::internal::LogMessage(::hsis::LogLevel::kDebug, __FILE__, __LINE__)
+#define HSIS_LOG_INFO \
+  ::hsis::internal::LogMessage(::hsis::LogLevel::kInfo, __FILE__, __LINE__)
+#define HSIS_LOG_WARNING \
+  ::hsis::internal::LogMessage(::hsis::LogLevel::kWarning, __FILE__, __LINE__)
+#define HSIS_LOG_ERROR \
+  ::hsis::internal::LogMessage(::hsis::LogLevel::kError, __FILE__, __LINE__)
+#define HSIS_LOG_FATAL \
+  ::hsis::internal::LogMessage(::hsis::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Invariant check: aborts (with location) when `cond` is false.
+/// Active in all build types — these guard programmer errors, not input.
+#define HSIS_CHECK(cond)                                          \
+  while (!(cond))                                                 \
+  ::hsis::internal::LogMessage(::hsis::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #cond " "
+
+#define HSIS_DCHECK(cond) HSIS_CHECK(cond)
+
+#endif  // HSIS_COMMON_LOGGING_H_

@@ -1,0 +1,101 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hsis {
+
+namespace {
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformUint64(uint64_t bound) {
+  HSIS_CHECK(bound > 0);
+  // Rejection sampling over the largest multiple of `bound`.
+  uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  HSIS_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(UniformUint64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits → uniform in [0, 1) with full double precision.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+Bytes Rng::RandomBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    uint64_t r = NextUint64();
+    for (int k = 0; k < 8; ++k) out[i++] = static_cast<uint8_t>(r >> (8 * k));
+  }
+  if (i < n) {
+    uint64_t r = NextUint64();
+    while (i < n) {
+      out[i++] = static_cast<uint8_t>(r);
+      r >>= 8;
+    }
+  }
+  return out;
+}
+
+size_t Rng::Zipf(size_t n, double s) {
+  HSIS_CHECK(n > 0);
+  if (n == 1) return 0;
+  if (s <= 0.0) return UniformUint64(n);
+  // Inverse CDF by linear scan over normalized weights 1/(k+1)^s.
+  double norm = 0.0;
+  for (size_t k = 0; k < n; ++k) norm += std::pow(static_cast<double>(k + 1), -s);
+  double u = UniformDouble() * norm;
+  double acc = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -s);
+    if (u < acc) return k;
+  }
+  return n - 1;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace hsis

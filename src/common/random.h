@@ -1,0 +1,64 @@
+#ifndef HSIS_COMMON_RANDOM_H_
+#define HSIS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace hsis {
+
+/// Deterministic pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Everything stochastic in the library draws from an `Rng`
+/// instance passed in by the caller, so simulations and protocols are
+/// reproducible under seed control. Not cryptographically secure on its
+/// own; key material additionally passes through the crypto layer.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed`.
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound) using rejection sampling (unbiased).
+  /// `bound` must be positive.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Uniformly random bytes of the given length.
+  Bytes RandomBytes(size_t n);
+
+  /// Zipf-distributed rank in [0, n) with exponent `s` (s >= 0; s == 0 is
+  /// uniform). Uses inverse-CDF over precomputable weights per call —
+  /// intended for modest n in workload generation.
+  size_t Zipf(size_t n, double s);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformUint64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Splits off an independently-seeded child generator; used to give
+  /// each simulated party its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace hsis
+
+#endif  // HSIS_COMMON_RANDOM_H_

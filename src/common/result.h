@@ -1,0 +1,101 @@
+#ifndef HSIS_COMMON_RESULT_H_
+#define HSIS_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hsis {
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// This is the library's StatusOr: fallible functions that produce a value
+/// return `Result<T>`. Accessing the value of an errored result aborts the
+/// process (there are no exceptions), so call sites must check `ok()` first
+/// or use `HSIS_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a success value.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit by design
+
+  /// Constructs from an error status. Aborts if `status.ok()` — an OK
+  /// status carries no value and would leave the result in a bogus state.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) {
+      std::cerr << "Result<T> constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns the error status, or OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  /// Value accessors; abort on error (check `ok()` first).
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(data_);
+    return fallback;
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result<T> accessed with error: "
+                << std::get<Status>(data_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+}  // namespace hsis
+
+/// Evaluates `expr` (a `Result<T>`); on error returns the status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define HSIS_ASSIGN_OR_RETURN(lhs, expr)                        \
+  HSIS_ASSIGN_OR_RETURN_IMPL(                                   \
+      HSIS_RESULT_CONCAT(_hsis_result_, __LINE__), lhs, expr)
+
+#define HSIS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define HSIS_RESULT_CONCAT(a, b) HSIS_RESULT_CONCAT_IMPL(a, b)
+#define HSIS_RESULT_CONCAT_IMPL(a, b) a##b
+
+#endif  // HSIS_COMMON_RESULT_H_

@@ -1,0 +1,94 @@
+#ifndef HSIS_COMMON_STATUS_H_
+#define HSIS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace hsis {
+
+/// Machine-readable category of a `Status`.
+///
+/// Mirrors the usual database-engine status taxonomy (Arrow / RocksDB
+/// style). The library does not use C++ exceptions; every fallible
+/// operation returns a `Status` or a `Result<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kFailedPrecondition = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kOutOfRange = 5,
+  kUnauthenticated = 6,
+  kIntegrityViolation = 7,
+  kProtocolViolation = 8,
+  kInternal = 9,
+  kUnimplemented = 10,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying either success or an error code + message.
+///
+/// The success value is represented without allocation. `Status` is
+/// copyable and movable; moved-from statuses compare OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A `kOk` code
+  /// with a non-empty message is normalized to a plain OK status.
+  Status(StatusCode code, std::string message)
+      : code_(code),
+        message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status FailedPrecondition(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status Unauthenticated(std::string msg);
+  static Status IntegrityViolation(std::string msg);
+  static Status ProtocolViolation(std::string msg);
+  static Status Internal(std::string msg);
+  static Status Unimplemented(std::string msg);
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "Code: message" (or "OK").
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace hsis
+
+/// Propagates a non-OK `Status` from the enclosing function.
+#define HSIS_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::hsis::Status _hsis_status = (expr);         \
+    if (!_hsis_status.ok()) return _hsis_status;  \
+  } while (false)
+
+#endif  // HSIS_COMMON_STATUS_H_

@@ -1,0 +1,76 @@
+#include "core/campaign.h"
+
+namespace hsis::core {
+
+CheatPolicy HonestPolicy() {
+  return [](int, Rng&) { return CheatPlan{}; };
+}
+
+CheatPolicy PersistentProberPolicy(std::vector<std::string> probe_pool,
+                                   size_t probes_per_round) {
+  return [pool = std::move(probe_pool), probes_per_round,
+          cursor = size_t{0}](int, Rng&) mutable {
+    CheatPlan plan;
+    if (pool.empty()) return plan;
+    for (size_t i = 0; i < probes_per_round; ++i) {
+      plan.fabricate.push_back(pool[cursor % pool.size()]);
+      ++cursor;
+    }
+    return plan;
+  };
+}
+
+CheatPolicy OpportunisticProberPolicy(std::vector<std::string> probe_pool,
+                                      size_t probes_per_round,
+                                      double cheat_probability) {
+  CheatPolicy prober =
+      PersistentProberPolicy(std::move(probe_pool), probes_per_round);
+  return [prober = std::move(prober), cheat_probability](int round,
+                                                         Rng& rng) mutable {
+    if (!rng.Bernoulli(cheat_probability)) return CheatPlan{};
+    return prober(round, rng);
+  };
+}
+
+Result<CampaignResult> RunCampaign(HonestSharingSession& session,
+                                   const std::string& party_a,
+                                   const std::string& party_b, int rounds,
+                                   const CheatPolicy& policy_a,
+                                   const CheatPolicy& policy_b,
+                                   const CampaignEconomics& economics,
+                                   Rng& rng) {
+  if (rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+  if (!policy_a || !policy_b) {
+    return Status::InvalidArgument("both cheat policies are required");
+  }
+
+  CampaignResult result;
+  auto account = [&economics](PartyCampaignStats& stats,
+                              const ExchangeStats& round) {
+    ++stats.exchanges;
+    stats.times_audited += round.audited;
+    stats.times_detected += round.detected;
+    stats.penalties_paid += round.penalty_paid;
+    stats.tuples_stolen += round.probe_hits;
+    stats.tuples_leaked += round.leaked_tuples;
+    stats.realized_payoff +=
+        economics.honest_benefit +
+        economics.gain_per_probe_hit * static_cast<double>(round.probe_hits) -
+        economics.loss_per_leaked_tuple *
+            static_cast<double>(round.leaked_tuples) -
+        round.penalty_paid;
+  };
+
+  for (int round = 0; round < rounds; ++round) {
+    CheatPlan plan_a = policy_a(round, rng);
+    CheatPlan plan_b = policy_b(round, rng);
+    HSIS_ASSIGN_OR_RETURN(
+        ExchangeResult exchange,
+        session.RunExchange(party_a, party_b, plan_a, plan_b));
+    account(result.a, exchange.a);
+    account(result.b, exchange.b);
+  }
+  return result;
+}
+
+}  // namespace hsis::core

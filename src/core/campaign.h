@@ -1,0 +1,79 @@
+#ifndef HSIS_CORE_CAMPAIGN_H_
+#define HSIS_CORE_CAMPAIGN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/honest_sharing_session.h"
+
+namespace hsis::core {
+
+/// Per-round behavior of one party in a campaign: produces this round's
+/// cheat plan (empty plan = honest) given the round index and the
+/// caller's RNG.
+using CheatPolicy = std::function<CheatPlan(int round, Rng& rng)>;
+
+/// A policy that always reports honestly.
+CheatPolicy HonestPolicy();
+
+/// A policy that probes every round: `probes_per_round` fabricated
+/// values drawn without replacement from `probe_pool` (cycling).
+CheatPolicy PersistentProberPolicy(std::vector<std::string> probe_pool,
+                                   size_t probes_per_round);
+
+/// A policy that cheats with probability `cheat_probability` per round,
+/// probing like `PersistentProberPolicy` when it does.
+CheatPolicy OpportunisticProberPolicy(std::vector<std::string> probe_pool,
+                                      size_t probes_per_round,
+                                      double cheat_probability);
+
+/// Economic model translating exchange outcomes into per-round payoffs,
+/// mirroring the paper's B / F / L semantics at the systems level.
+struct CampaignEconomics {
+  /// Collaboration value realized from an exchange (B).
+  double honest_benefit = 0.0;
+  /// Value of each private peer tuple learned through a probe (the
+  /// "F - B" surplus, per stolen tuple).
+  double gain_per_probe_hit = 0.0;
+  /// Damage per own tuple leaked to a probing peer (L, per tuple).
+  double loss_per_leaked_tuple = 0.0;
+};
+
+/// Aggregated campaign statistics for one party.
+struct PartyCampaignStats {
+  int exchanges = 0;
+  int times_audited = 0;
+  int times_detected = 0;
+  double penalties_paid = 0.0;
+  size_t tuples_stolen = 0;   // probe hits
+  size_t tuples_leaked = 0;   // own tuples exposed to the peer
+  double realized_payoff = 0.0;
+
+  double average_payoff() const {
+    return exchanges == 0 ? 0.0 : realized_payoff / exchanges;
+  }
+};
+
+struct CampaignResult {
+  PartyCampaignStats a;
+  PartyCampaignStats b;
+};
+
+/// Runs `rounds` audited exchanges between two registered parties of
+/// `session`, applying each party's policy per round and accounting
+/// per-round payoffs as
+///
+///   honest_benefit + gain_per_probe_hit * probe_hits
+///   - loss_per_leaked_tuple * leaked - penalty_paid.
+Result<CampaignResult> RunCampaign(HonestSharingSession& session,
+                                   const std::string& party_a,
+                                   const std::string& party_b, int rounds,
+                                   const CheatPolicy& policy_a,
+                                   const CheatPolicy& policy_b,
+                                   const CampaignEconomics& economics,
+                                   Rng& rng);
+
+}  // namespace hsis::core
+
+#endif  // HSIS_CORE_CAMPAIGN_H_

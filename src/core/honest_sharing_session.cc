@@ -1,0 +1,320 @@
+#include "core/honest_sharing_session.h"
+
+#include "sovereign/multiparty.h"
+
+namespace hsis::core {
+
+namespace {
+
+/// Stand-in for the certified audit-application binary the secure
+/// coprocessor measures; participants pin its hash.
+const char kAuditApplicationCode[] =
+    "hsis-auditing-device v1.0: maintain HV_i via incremental multiset "
+    "hash; audit with frequency f; fine P on mismatch";
+
+}  // namespace
+
+Result<HonestSharingSession> HonestSharingSession::Create(
+    const SessionConfig& config) {
+  const crypto::PrimeGroup& group =
+      config.group != nullptr ? *config.group : crypto::PrimeGroup::Default();
+
+  Result<crypto::MultisetHashFamily> family =
+      config.hash_scheme == crypto::MultisetHashScheme::kMu
+          ? crypto::MultisetHashFamily::CreateMu(group)
+          : crypto::MultisetHashFamily::Create(config.hash_scheme,
+                                               config.scheme_key);
+  HSIS_RETURN_IF_ERROR(family.status());
+
+  Result<audit::AuditingDevice> device =
+      audit::AuditingDevice::Create(config.audit_frequency, config.penalty);
+  HSIS_RETURN_IF_ERROR(device.status());
+
+  Rng rng(config.seed);
+  audit::SecureCoprocessor coprocessor =
+      audit::SecureCoprocessor::Manufacture(rng);
+  Bytes code = ToBytes(kAuditApplicationCode);
+  coprocessor.InstallApplication(code);
+
+  SessionConfig resolved = config;
+  resolved.group = &group;
+  return HonestSharingSession(
+      resolved, std::move(*family), std::move(coprocessor),
+      std::make_unique<audit::AuditingDevice>(std::move(*device)),
+      audit::SecureCoprocessor::MeasureCode(code), std::move(rng));
+}
+
+Status HonestSharingSession::AddParty(const std::string& name) {
+  if (parties_.count(name) != 0) {
+    return Status::AlreadyExists("party already exists: " + name);
+  }
+  Result<audit::TupleGenerator> generator =
+      audit::TupleGenerator::Create(name, family_, device_.get());
+  HSIS_RETURN_IF_ERROR(generator.status());
+  PartyState state;
+  state.generator =
+      std::make_unique<audit::TupleGenerator>(std::move(*generator));
+  parties_.emplace(name, std::move(state));
+  return Status::OK();
+}
+
+Status HonestSharingSession::IssueTuples(
+    const std::string& party, const std::vector<std::string>& values) {
+  auto it = parties_.find(party);
+  if (it == parties_.end()) {
+    return Status::NotFound("unknown party: " + party);
+  }
+  for (const std::string& v : values) {
+    Result<sovereign::Tuple> tuple = it->second.generator->IssueString(v);
+    HSIS_RETURN_IF_ERROR(tuple.status());
+    it->second.data.Add(std::move(*tuple));
+  }
+  return Status::OK();
+}
+
+Result<sovereign::Dataset> HonestSharingSession::TrueData(
+    const std::string& party) const {
+  auto it = parties_.find(party);
+  if (it == parties_.end()) {
+    return Status::NotFound("unknown party: " + party);
+  }
+  return it->second.data;
+}
+
+Result<audit::SecureCoprocessor::AttestationReport>
+HonestSharingSession::Attest(const Bytes& challenge) const {
+  return coprocessor_.Attest(challenge);
+}
+
+const Bytes& HonestSharingSession::device_endorsement_key() const {
+  return coprocessor_.endorsement_key();
+}
+
+Result<ExchangeResult> HonestSharingSession::RunExchange(
+    const std::string& party_a, const std::string& party_b,
+    const CheatPlan& cheat_a, const CheatPlan& cheat_b) {
+  auto it_a = parties_.find(party_a);
+  auto it_b = parties_.find(party_b);
+  if (it_a == parties_.end() || it_b == parties_.end()) {
+    return Status::NotFound("unknown party in exchange");
+  }
+  if (party_a == party_b) {
+    return Status::InvalidArgument("a party cannot exchange with itself");
+  }
+
+  auto apply_cheat = [&](const sovereign::Dataset& data,
+                         const CheatPlan& plan) {
+    sovereign::Dataset reported = data;
+    reported.RemoveRandom(plan.withhold, rng_);
+    for (const std::string& f : plan.fabricate) {
+      reported.Add(sovereign::Tuple::FromString(f));
+    }
+    return reported;
+  };
+  sovereign::Dataset reported_a = apply_cheat(it_a->second.data, cheat_a);
+  sovereign::Dataset reported_b = apply_cheat(it_b->second.data, cheat_b);
+
+  HSIS_ASSIGN_OR_RETURN(
+      auto outcomes,
+      sovereign::RunTwoPartyIntersection(reported_a, reported_b,
+                                         *config_.group, family_, rng_));
+
+  ExchangeResult result;
+  result.a.reported_size = reported_a.size();
+  result.b.reported_size = reported_b.size();
+  result.a.intersection = std::move(outcomes.first.intersection);
+  result.b.intersection = std::move(outcomes.second.intersection);
+  result.a.intersection_size = outcomes.first.intersection_size;
+  result.b.intersection_size = outcomes.second.intersection_size;
+
+  // Audits: the device checks each party's reported commitment against
+  // HV_i with probability f.
+  auto audit_party = [&](const std::string& name, const Bytes& commitment,
+                         ExchangeStats& stats) -> Status {
+    Result<audit::AuditOutcome> outcome =
+        device_->MaybeAudit(name, commitment, rng_);
+    HSIS_RETURN_IF_ERROR(outcome.status());
+    stats.audited = outcome->audited;
+    stats.detected = outcome->cheating_detected;
+    stats.penalty_paid = outcome->penalty_applied;
+    return Status::OK();
+  };
+  HSIS_RETURN_IF_ERROR(
+      audit_party(party_a, outcomes.first.own_commitment, result.a));
+  HSIS_RETURN_IF_ERROR(
+      audit_party(party_b, outcomes.second.own_commitment, result.b));
+
+  // Probe accounting: a fabricated tuple that shows up in the cheater's
+  // intersection is a peer tuple the cheater illegitimately learned.
+  auto count_probe_hits = [](const CheatPlan& plan,
+                             const sovereign::Dataset& intersection) {
+    size_t hits = 0;
+    for (const std::string& f : plan.fabricate) {
+      if (intersection.Contains(sovereign::Tuple::FromString(f))) ++hits;
+    }
+    return hits;
+  };
+  result.a.probe_hits = count_probe_hits(cheat_a, result.a.intersection);
+  result.b.probe_hits = count_probe_hits(cheat_b, result.b.intersection);
+  result.a.leaked_tuples = result.b.probe_hits;
+  result.b.leaked_tuples = result.a.probe_hits;
+  return result;
+}
+
+Result<MultiExchangeResult> HonestSharingSession::RunMultiPartyExchange(
+    const std::vector<std::string>& names,
+    const std::vector<CheatPlan>& cheats) {
+  if (names.size() < 2) {
+    return Status::InvalidArgument("multi-party exchange needs >= 2 parties");
+  }
+  if (!cheats.empty() && cheats.size() != names.size()) {
+    return Status::InvalidArgument(
+        "cheat plans must be empty or one per party");
+  }
+  std::vector<const PartyState*> states;
+  states.reserve(names.size());
+  for (const std::string& name : names) {
+    auto it = parties_.find(name);
+    if (it == parties_.end()) {
+      return Status::NotFound("unknown party: " + name);
+    }
+    states.push_back(&it->second);
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      if (names[i] == names[j]) {
+        return Status::InvalidArgument("duplicate party in exchange");
+      }
+    }
+  }
+
+  static const CheatPlan kHonestPlan;
+  auto plan_for = [&](size_t i) -> const CheatPlan& {
+    return cheats.empty() ? kHonestPlan : cheats[i];
+  };
+
+  std::vector<sovereign::Dataset> reported;
+  reported.reserve(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    sovereign::Dataset r = states[i]->data;
+    r.RemoveRandom(plan_for(i).withhold, rng_);
+    for (const std::string& f : plan_for(i).fabricate) {
+      r.Add(sovereign::Tuple::FromString(f));
+    }
+    reported.push_back(std::move(r));
+  }
+
+  HSIS_ASSIGN_OR_RETURN(
+      std::vector<sovereign::MultiPartyOutcome> outcomes,
+      sovereign::RunMultiPartyIntersection(reported, *config_.group, family_,
+                                           rng_));
+
+  MultiExchangeResult result;
+  result.parties.resize(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    ExchangeStats& stats = result.parties[i];
+    stats.reported_size = reported[i].size();
+    stats.intersection = std::move(outcomes[i].intersection);
+    stats.intersection_size = stats.intersection.size();
+
+    HSIS_ASSIGN_OR_RETURN(
+        audit::AuditOutcome audit,
+        device_->MaybeAudit(names[i], outcomes[i].own_commitment, rng_));
+    stats.audited = audit.audited;
+    stats.detected = audit.cheating_detected;
+    stats.penalty_paid = audit.penalty_applied;
+
+    for (const std::string& f : plan_for(i).fabricate) {
+      if (stats.intersection.Contains(sovereign::Tuple::FromString(f))) {
+        ++stats.probe_hits;
+      }
+    }
+  }
+  // Leakage: party p's true tuples exposed by any other party's probes
+  // that survived into the global intersection.
+  for (size_t p = 0; p < names.size(); ++p) {
+    for (size_t q = 0; q < names.size(); ++q) {
+      if (p == q) continue;
+      for (const std::string& f : plan_for(q).fabricate) {
+        sovereign::Tuple probe = sovereign::Tuple::FromString(f);
+        if (states[p]->data.Contains(probe) &&
+            result.parties[q].intersection.Contains(probe)) {
+          ++result.parties[p].leaked_tuples;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+constexpr uint32_t kSessionStateVersion = 1;
+}  // namespace
+
+Bytes HonestSharingSession::SaveState() const {
+  Bytes out;
+  AppendUint32BE(out, kSessionStateVersion);
+  AppendUint32BE(out, static_cast<uint32_t>(parties_.size()));
+  for (const auto& [name, state] : parties_) {
+    AppendLengthPrefixed(out, ToBytes(name));
+    AppendUint32BE(out, static_cast<uint32_t>(state.data.size()));
+    for (const sovereign::Tuple& t : state.data.tuples()) {
+      AppendLengthPrefixed(out, t.value);
+    }
+  }
+  AppendLengthPrefixed(out, device_->SerializeState());
+  return out;
+}
+
+Status HonestSharingSession::LoadState(const Bytes& state) {
+  if (!parties_.empty()) {
+    return Status::FailedPrecondition(
+        "LoadState requires a fresh session with no parties");
+  }
+  if (state.size() < 8) {
+    return Status::InvalidArgument("truncated session state");
+  }
+  uint32_t version = ReadUint32BE(state, 0);
+  if (version != kSessionStateVersion) {
+    return Status::InvalidArgument("unsupported session state version");
+  }
+  uint32_t party_count = ReadUint32BE(state, 4);
+  size_t offset = 8;
+
+  // Parse fully before mutating the session.
+  std::vector<std::pair<std::string, sovereign::Dataset>> parsed;
+  for (uint32_t p = 0; p < party_count; ++p) {
+    HSIS_ASSIGN_OR_RETURN(Bytes name_bytes, ReadLengthPrefixed(state, &offset));
+    if (offset + 4 > state.size()) {
+      return Status::InvalidArgument("truncated session state");
+    }
+    uint32_t tuple_count = ReadUint32BE(state, offset);
+    offset += 4;
+    sovereign::Dataset data;
+    for (uint32_t t = 0; t < tuple_count; ++t) {
+      HSIS_ASSIGN_OR_RETURN(Bytes value, ReadLengthPrefixed(state, &offset));
+      data.Add(sovereign::Tuple(std::move(value)));
+    }
+    std::string name = BytesToString(name_bytes);
+    for (const auto& [existing, unused] : parsed) {
+      if (existing == name) {
+        return Status::InvalidArgument("duplicate party in session state");
+      }
+    }
+    parsed.emplace_back(std::move(name), std::move(data));
+  }
+  HSIS_ASSIGN_OR_RETURN(Bytes device_state, ReadLengthPrefixed(state, &offset));
+
+  for (auto& [name, data] : parsed) {
+    HSIS_RETURN_IF_ERROR(AddParty(name));
+    parties_.at(name).data = std::move(data);
+  }
+  Status restored = device_->RestoreState(device_state);
+  if (!restored.ok()) {
+    for (auto& [name, data] : parsed) parties_.erase(name);
+    return restored;
+  }
+  return Status::OK();
+}
+
+}  // namespace hsis::core

@@ -1,0 +1,63 @@
+#include "crypto/authenticated_cipher.h"
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac_sha256.h"
+
+namespace hsis::crypto {
+
+Result<AuthenticatedCipher> AuthenticatedCipher::Create(
+    const Bytes& master_key) {
+  if (master_key.size() != kKeySize) {
+    return Status::InvalidArgument("master key must be 32 bytes");
+  }
+  Bytes enc_key = DeriveKey(master_key, "hsis.aead.enc", kKeySize);
+  Bytes mac_key = DeriveKey(master_key, "hsis.aead.mac", kKeySize);
+  return AuthenticatedCipher(std::move(enc_key), std::move(mac_key));
+}
+
+Bytes AuthenticatedCipher::ComputeTag(const Bytes& nonce,
+                                      const Bytes& ciphertext,
+                                      const Bytes& aad) const {
+  Bytes mac_input;
+  AppendUint64BE(mac_input, aad.size());
+  Append(mac_input, aad);
+  Append(mac_input, nonce);
+  Append(mac_input, ciphertext);
+  return HmacSha256(mac_key_, mac_input);
+}
+
+Result<Bytes> AuthenticatedCipher::Seal(const Bytes& nonce,
+                                        const Bytes& plaintext,
+                                        const Bytes& aad) const {
+  if (nonce.size() != kNonceSize) {
+    return Status::InvalidArgument("nonce must be 12 bytes");
+  }
+  HSIS_ASSIGN_OR_RETURN(Bytes ciphertext,
+                        ChaCha20::Apply(enc_key_, nonce, plaintext));
+  Bytes tag = ComputeTag(nonce, ciphertext, aad);
+
+  Bytes sealed;
+  sealed.reserve(nonce.size() + ciphertext.size() + tag.size());
+  Append(sealed, nonce);
+  Append(sealed, ciphertext);
+  Append(sealed, tag);
+  return sealed;
+}
+
+Result<Bytes> AuthenticatedCipher::Open(const Bytes& sealed,
+                                        const Bytes& aad) const {
+  if (sealed.size() < kNonceSize + kTagSize) {
+    return Status::IntegrityViolation("sealed message truncated");
+  }
+  Bytes nonce(sealed.begin(), sealed.begin() + kNonceSize);
+  Bytes ciphertext(sealed.begin() + kNonceSize, sealed.end() - kTagSize);
+  Bytes tag(sealed.end() - kTagSize, sealed.end());
+
+  Bytes expected = ComputeTag(nonce, ciphertext, aad);
+  if (!ConstantTimeEqual(tag, expected)) {
+    return Status::IntegrityViolation("authentication tag mismatch");
+  }
+  return ChaCha20::Apply(enc_key_, nonce, ciphertext);
+}
+
+}  // namespace hsis::crypto

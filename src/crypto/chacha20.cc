@@ -1,0 +1,95 @@
+#include "crypto/chacha20.h"
+
+namespace hsis::crypto {
+
+namespace {
+
+uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl(d ^ a, 16);
+  c += d;
+  b = Rotl(b ^ c, 12);
+  a += b;
+  d = Rotl(d ^ a, 8);
+  c += d;
+  b = Rotl(b ^ c, 7);
+}
+
+uint32_t LoadLE32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<uint8_t, 64> ChaCha20::Block(const std::array<uint32_t, 8>& key,
+                                        const std::array<uint32_t, 3>& nonce,
+                                        uint32_t counter) {
+  uint32_t state[16] = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,  // "expand 32-byte k"
+      key[0],     key[1],     key[2],     key[3],
+      key[4],     key[5],     key[6],     key[7],
+      counter,    nonce[0],   nonce[1],   nonce[2],
+  };
+  uint32_t working[16];
+  for (int i = 0; i < 16; ++i) working[i] = state[i];
+
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(working[0], working[4], working[8], working[12]);
+    QuarterRound(working[1], working[5], working[9], working[13]);
+    QuarterRound(working[2], working[6], working[10], working[14]);
+    QuarterRound(working[3], working[7], working[11], working[15]);
+    QuarterRound(working[0], working[5], working[10], working[15]);
+    QuarterRound(working[1], working[6], working[11], working[12]);
+    QuarterRound(working[2], working[7], working[8], working[13]);
+    QuarterRound(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+Result<ChaCha20> ChaCha20::Create(const Bytes& key, const Bytes& nonce,
+                                  uint32_t initial_counter) {
+  if (key.size() != kKeySize) {
+    return Status::InvalidArgument("ChaCha20 key must be 32 bytes");
+  }
+  if (nonce.size() != kNonceSize) {
+    return Status::InvalidArgument("ChaCha20 nonce must be 12 bytes");
+  }
+  std::array<uint32_t, 8> k;
+  for (int i = 0; i < 8; ++i) k[i] = LoadLE32(&key[4 * static_cast<size_t>(i)]);
+  std::array<uint32_t, 3> n;
+  for (int i = 0; i < 3; ++i) n[i] = LoadLE32(&nonce[4 * static_cast<size_t>(i)]);
+  return ChaCha20(k, n, initial_counter);
+}
+
+void ChaCha20::Process(Bytes& data) {
+  for (uint8_t& byte : data) {
+    if (keystream_pos_ == 64) {
+      keystream_ = Block(key_, nonce_, counter_++);
+      keystream_pos_ = 0;
+    }
+    byte ^= keystream_[keystream_pos_++];
+  }
+}
+
+Result<Bytes> ChaCha20::Apply(const Bytes& key, const Bytes& nonce,
+                              const Bytes& data, uint32_t initial_counter) {
+  HSIS_ASSIGN_OR_RETURN(ChaCha20 cipher, Create(key, nonce, initial_counter));
+  Bytes out = data;
+  cipher.Process(out);
+  return out;
+}
+
+}  // namespace hsis::crypto

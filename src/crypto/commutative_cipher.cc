@@ -1,0 +1,32 @@
+#include "crypto/commutative_cipher.h"
+
+namespace hsis::crypto {
+
+Result<CommutativeCipher> CommutativeCipher::Create(const PrimeGroup& group,
+                                                    Rng& rng) {
+  U256 key = group.RandomExponent(rng);
+  return CreateWithKey(group, key);
+}
+
+Result<CommutativeCipher> CommutativeCipher::CreateWithKey(
+    const PrimeGroup& group, const U256& key) {
+  if (key.IsZero() || key >= group.order()) {
+    return Status::InvalidArgument("commutative key must be in [1, q)");
+  }
+  HSIS_ASSIGN_OR_RETURN(U256 inverse, group.InverseExponent(key));
+  return CommutativeCipher(group, key, inverse);
+}
+
+U256 CommutativeCipher::Encrypt(const U256& element) const {
+  return group_.Exp(element, key_);
+}
+
+U256 CommutativeCipher::Decrypt(const U256& element) const {
+  return group_.Exp(element, inverse_key_);
+}
+
+U256 CommutativeCipher::EncryptBytes(const Bytes& data) const {
+  return Encrypt(group_.HashToElement(data));
+}
+
+}  // namespace hsis::crypto

@@ -1,0 +1,77 @@
+#include "crypto/group.h"
+
+#include "common/logging.h"
+#include "crypto/prime.h"
+#include "crypto/sha256.h"
+
+namespace hsis::crypto {
+
+Result<PrimeGroup> PrimeGroup::Create(const U256& safe_prime,
+                                      bool check_primality) {
+  if (!safe_prime.IsOdd() || safe_prime < U256(7)) {
+    return Status::InvalidArgument("safe prime must be odd and >= 7");
+  }
+  U256 q = (safe_prime - U256(1)) >> 1;
+  if (!q.IsOdd()) {
+    return Status::InvalidArgument("(p-1)/2 must be odd (p = 2q+1, q prime)");
+  }
+  if (check_primality) {
+    Rng rng(0xC0FFEE);
+    if (!IsProbablePrime(safe_prime, 32, rng) || !IsProbablePrime(q, 32, rng)) {
+      return Status::InvalidArgument("modulus is not a safe prime");
+    }
+  }
+  HSIS_ASSIGN_OR_RETURN(MontgomeryContext ctx,
+                        MontgomeryContext::Create(safe_prime));
+  HSIS_ASSIGN_OR_RETURN(MontgomeryContext order_ctx,
+                        MontgomeryContext::Create(q));
+  return PrimeGroup(std::move(ctx), std::move(order_ctx), q);
+}
+
+const PrimeGroup& PrimeGroup::Default() {
+  static Result<PrimeGroup>* group =
+      new Result<PrimeGroup>(Create(DefaultSafePrime()));
+  HSIS_CHECK(group->ok());
+  return group->value();
+}
+
+const PrimeGroup& PrimeGroup::SmallTestGroup() {
+  static Result<PrimeGroup>* group =
+      new Result<PrimeGroup>(Create(SmallSafePrime()));
+  HSIS_CHECK(group->ok());
+  return group->value();
+}
+
+U256 PrimeGroup::HashToElement(const Bytes& data) const {
+  Bytes input = data;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    Bytes digest = Sha256::Hash(input);
+    U256 x = U256::FromBytesBE(digest);
+    x = DivMod(x, modulus()).remainder;
+    if (!x.IsZero()) {
+      return ctx_.ModMul(x, x);  // square into the QR subgroup
+    }
+    input.push_back(0x01);  // re-derive on the (improbable) zero
+  }
+  HSIS_LOG_FATAL << "HashToElement failed to find a nonzero residue";
+  return U256(1);
+}
+
+bool PrimeGroup::IsElement(const U256& a) const {
+  if (a.IsZero() || a >= modulus()) return false;
+  return ctx_.ModExp(a, order_) == U256(1);
+}
+
+U256 PrimeGroup::RandomExponent(Rng& rng) const {
+  for (;;) {
+    U256 e = U256::FromBytesBE(rng.RandomBytes(32));
+    e = DivMod(e, order_).remainder;
+    if (!e.IsZero()) return e;
+  }
+}
+
+Result<U256> PrimeGroup::InverseExponent(const U256& e) const {
+  return order_ctx_.ModInversePrime(e);
+}
+
+}  // namespace hsis::crypto

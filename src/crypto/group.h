@@ -1,0 +1,69 @@
+#ifndef HSIS_CRYPTO_GROUP_H_
+#define HSIS_CRYPTO_GROUP_H_
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/u256.h"
+#include "crypto/modmath.h"
+
+namespace hsis::crypto {
+
+/// The group of quadratic residues modulo a safe prime p = 2q + 1.
+///
+/// Because q is prime, the QR subgroup has prime order q: every element
+/// except 1 generates it, every exponent in [1, q) is invertible, and
+/// exponentiation x -> x^e is a bijection — exactly the structure the
+/// SRA/Pohlig–Hellman commutative cipher (and the MSet-Mu-Hash) need.
+class PrimeGroup {
+ public:
+  /// Creates a group from a safe prime. Verifies oddness and, when
+  /// `check_primality` is set, runs Miller–Rabin on p and q.
+  static Result<PrimeGroup> Create(const U256& safe_prime,
+                                   bool check_primality = false);
+
+  /// The library default: a fixed 256-bit safe-prime group.
+  static const PrimeGroup& Default();
+
+  /// A 64-bit safe-prime group for fast unit tests. Not secure.
+  static const PrimeGroup& SmallTestGroup();
+
+  const U256& modulus() const { return ctx_.modulus(); }
+  const U256& order() const { return order_; }
+
+  /// Deterministically maps arbitrary bytes to a group element:
+  /// x = SHA-256-derived value mod p, squared to land in the QR subgroup
+  /// (re-derived in the vanishingly unlikely event x == 0).
+  U256 HashToElement(const Bytes& data) const;
+
+  /// True iff `a` is in [1, p) and a^q == 1 (i.e. a is in the subgroup).
+  bool IsElement(const U256& a) const;
+
+  /// Group operations. Inputs must be group elements.
+  U256 Mul(const U256& a, const U256& b) const { return ctx_.ModMul(a, b); }
+  U256 Exp(const U256& base, const U256& e) const { return ctx_.ModExp(base, e); }
+  Result<U256> Inverse(const U256& a) const { return ctx_.ModInversePrime(a); }
+
+  /// Uniform exponent in [1, q).
+  U256 RandomExponent(Rng& rng) const;
+
+  /// Inverse of exponent e modulo the (prime) group order q.
+  Result<U256> InverseExponent(const U256& e) const;
+
+  /// Identity element.
+  static U256 One() { return U256(1); }
+
+ private:
+  PrimeGroup(MontgomeryContext ctx, MontgomeryContext order_ctx, U256 order)
+      : ctx_(std::move(ctx)),
+        order_ctx_(std::move(order_ctx)),
+        order_(order) {}
+
+  MontgomeryContext ctx_;        // arithmetic mod p
+  MontgomeryContext order_ctx_;  // arithmetic mod q (for exponent inverses)
+  U256 order_;                   // q = (p - 1) / 2
+};
+
+}  // namespace hsis::crypto
+
+#endif  // HSIS_CRYPTO_GROUP_H_

@@ -1,0 +1,53 @@
+#include "crypto/hmac_sha256.h"
+
+#include "crypto/sha256.h"
+
+namespace hsis::crypto {
+
+Bytes HmacSha256(const Bytes& key, const Bytes& message) {
+  constexpr size_t kBlock = Sha256::kBlockSize;
+
+  Bytes k = key;
+  if (k.size() > kBlock) k = Sha256::Hash(k);
+  k.resize(kBlock, 0);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  Bytes inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Bytes HmacPrf(const Bytes& key, uint8_t tag, const Bytes& message) {
+  Bytes tagged;
+  tagged.reserve(message.size() + 1);
+  tagged.push_back(tag);
+  Append(tagged, message);
+  return HmacSha256(key, tagged);
+}
+
+Bytes DeriveKey(const Bytes& master, std::string_view label, size_t out_len) {
+  Bytes out;
+  out.reserve(out_len);
+  uint32_t counter = 1;
+  while (out.size() < out_len) {
+    Bytes input = ToBytes(label);
+    AppendUint32BE(input, counter++);
+    Bytes block = HmacSha256(master, input);
+    size_t take = std::min(block.size(), out_len - out.size());
+    out.insert(out.end(), block.begin(), block.begin() + static_cast<ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace hsis::crypto

@@ -1,0 +1,24 @@
+#ifndef HSIS_CRYPTO_HMAC_SHA256_H_
+#define HSIS_CRYPTO_HMAC_SHA256_H_
+
+#include "common/bytes.h"
+
+namespace hsis::crypto {
+
+/// HMAC-SHA-256 (RFC 2104). Keys longer than the block size are hashed
+/// first; shorter keys are zero-padded, per the spec.
+Bytes HmacSha256(const Bytes& key, const Bytes& message);
+
+/// HMAC keyed pseudo-random function with a domain-separation tag byte —
+/// the keyed hash H_K(tag, b) used by the MSet-XOR / MSet-Add multiset
+/// hashes (Clarke et al., Asiacrypt 2003).
+Bytes HmacPrf(const Bytes& key, uint8_t tag, const Bytes& message);
+
+/// HKDF-style key derivation: HMAC(master, label) truncated/expanded to
+/// `out_len` bytes by counter-mode iteration. Used to split one session
+/// master secret into independent encryption and MAC keys.
+Bytes DeriveKey(const Bytes& master, std::string_view label, size_t out_len);
+
+}  // namespace hsis::crypto
+
+#endif  // HSIS_CRYPTO_HMAC_SHA256_H_

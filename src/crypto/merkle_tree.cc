@@ -1,0 +1,134 @@
+#include "crypto/merkle_tree.h"
+
+#include "common/logging.h"
+#include "crypto/sha256.h"
+
+namespace hsis::crypto {
+
+Bytes MerkleTree::LeafHash(const Bytes& leaf) {
+  Bytes input;
+  input.reserve(leaf.size() + 1);
+  input.push_back(0x00);
+  Append(input, leaf);
+  return Sha256::Hash(input);
+}
+
+Bytes MerkleTree::NodeHash(const Bytes& left, const Bytes& right) {
+  Bytes input;
+  input.reserve(left.size() + right.size() + 1);
+  input.push_back(0x01);
+  Append(input, left);
+  Append(input, right);
+  return Sha256::Hash(input);
+}
+
+MerkleTree MerkleTree::Build(const std::vector<Bytes>& leaves) {
+  MerkleTree tree;
+  tree.leaves_ = leaves;
+  tree.leaf_count_ = leaves.size();
+  tree.Rebuild();
+  return tree;
+}
+
+void MerkleTree::Rebuild() {
+  levels_.clear();
+  if (leaves_.empty()) {
+    levels_.push_back({Sha256::Hash(Bytes{0x02})});
+    return;
+  }
+  std::vector<Bytes> level;
+  level.reserve(leaves_.size());
+  for (const Bytes& leaf : leaves_) level.push_back(LeafHash(leaf));
+  levels_.push_back(level);
+  while (levels_.back().size() > 1) {
+    const std::vector<Bytes>& below = levels_.back();
+    std::vector<Bytes> above;
+    above.reserve((below.size() + 1) / 2);
+    for (size_t i = 0; i < below.size(); i += 2) {
+      if (i + 1 < below.size()) {
+        above.push_back(NodeHash(below[i], below[i + 1]));
+      } else {
+        above.push_back(below[i]);  // odd node promoted
+      }
+    }
+    levels_.push_back(std::move(above));
+  }
+}
+
+size_t MerkleTree::StateBytes() const {
+  size_t total = 0;
+  for (const auto& level : levels_) {
+    for (const Bytes& node : level) total += node.size();
+  }
+  return total;
+}
+
+Result<MerkleTree::Proof> MerkleTree::Prove(size_t index) const {
+  if (index >= leaf_count_) {
+    return Status::OutOfRange("leaf index out of range");
+  }
+  Proof proof;
+  proof.leaf_index = index;
+  size_t pos = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    size_t sibling = pos ^ 1;
+    if (sibling < levels_[level].size()) {
+      proof.siblings.push_back(levels_[level][sibling]);
+    } else {
+      proof.siblings.push_back(Bytes{});  // odd promotion: no sibling
+    }
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::Verify(const Bytes& root, const Bytes& leaf,
+                        const Proof& proof, size_t leaf_count) {
+  if (proof.leaf_index >= leaf_count) return false;
+  Bytes hash = LeafHash(leaf);
+  size_t pos = proof.leaf_index;
+  size_t width = leaf_count;
+  for (const Bytes& sibling : proof.siblings) {
+    if (sibling.empty()) {
+      // odd promotion: hash moves up unchanged
+    } else if (pos % 2 == 0) {
+      hash = NodeHash(hash, sibling);
+    } else {
+      hash = NodeHash(sibling, hash);
+    }
+    pos /= 2;
+    width = (width + 1) / 2;
+  }
+  return width == 1 && ConstantTimeEqual(hash, root);
+}
+
+Status MerkleTree::UpdateLeaf(size_t index, const Bytes& new_leaf) {
+  if (index >= leaf_count_) {
+    return Status::OutOfRange("leaf index out of range");
+  }
+  leaves_[index] = new_leaf;
+  // Recompute the root-ward path only: O(log n).
+  levels_[0][index] = LeafHash(new_leaf);
+  size_t pos = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    size_t parent = pos / 2;
+    size_t left = parent * 2;
+    size_t right = left + 1;
+    if (right < levels_[level].size()) {
+      levels_[level + 1][parent] =
+          NodeHash(levels_[level][left], levels_[level][right]);
+    } else {
+      levels_[level + 1][parent] = levels_[level][left];
+    }
+    pos = parent;
+  }
+  return Status::OK();
+}
+
+void MerkleTree::AppendLeaf(const Bytes& leaf) {
+  leaves_.push_back(leaf);
+  leaf_count_ = leaves_.size();
+  Rebuild();
+}
+
+}  // namespace hsis::crypto

@@ -1,0 +1,76 @@
+#ifndef HSIS_CRYPTO_MERKLE_TREE_H_
+#define HSIS_CRYPTO_MERKLE_TREE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace hsis::crypto {
+
+/// A binary SHA-256 Merkle tree over a list of byte-string leaves.
+///
+/// Built as the comparison baseline for the auditing device: committing
+/// to a dataset with a Merkle root is the standard alternative to an
+/// incremental multiset hash, but it is *ordered* (the same multiset in
+/// a different leaf order yields a different root) and updating it
+/// requires the whole tree (O(n) state) or a full O(n) recompute from
+/// the leaves — exactly the costs Section 6's multiset hashes avoid.
+/// It does offer something multiset hashes do not: logarithmic
+/// membership proofs.
+///
+/// Domain separation: leaves are hashed as SHA256(0x00 || leaf) and
+/// interior nodes as SHA256(0x01 || left || right), preventing
+/// leaf/node confusion attacks. Odd nodes are promoted unchanged.
+class MerkleTree {
+ public:
+  /// Builds a tree over `leaves` (order-sensitive). An empty leaf list
+  /// yields the well-defined empty root SHA256(0x02).
+  static MerkleTree Build(const std::vector<Bytes>& leaves);
+
+  /// The root commitment.
+  const Bytes& root() const { return levels_.back()[0]; }
+
+  size_t leaf_count() const { return leaf_count_; }
+
+  /// Total bytes held across all tree levels — the state an updatable
+  /// Merkle commitment must keep.
+  size_t StateBytes() const;
+
+  /// A membership proof: sibling hashes bottom-up plus position bits.
+  struct Proof {
+    size_t leaf_index = 0;
+    std::vector<Bytes> siblings;  // one per level, bottom-up
+  };
+
+  /// Produces a proof for the leaf at `index`; fails when out of range.
+  Result<Proof> Prove(size_t index) const;
+
+  /// Verifies that `leaf` sits at `proof.leaf_index` under `root`.
+  static bool Verify(const Bytes& root, const Bytes& leaf, const Proof& proof,
+                     size_t leaf_count);
+
+  /// Replaces the leaf at `index` and updates the O(log n) path —
+  /// the *incremental update* a Merkle-based device would use.
+  Status UpdateLeaf(size_t index, const Bytes& new_leaf);
+
+  /// Appends a leaf; rebuilds affected path(s). Amortized O(log n) but
+  /// O(n) when the tree level structure grows.
+  void AppendLeaf(const Bytes& leaf);
+
+ private:
+  MerkleTree() = default;
+
+  static Bytes LeafHash(const Bytes& leaf);
+  static Bytes NodeHash(const Bytes& left, const Bytes& right);
+  void Rebuild();
+
+  // levels_[0] = leaf hashes, levels_.back() = {root}.
+  std::vector<std::vector<Bytes>> levels_;
+  std::vector<Bytes> leaves_;
+  size_t leaf_count_ = 0;
+};
+
+}  // namespace hsis::crypto
+
+#endif  // HSIS_CRYPTO_MERKLE_TREE_H_

@@ -1,0 +1,127 @@
+#include "crypto/modmath.h"
+
+#include "common/logging.h"
+
+namespace hsis::crypto {
+
+using uint128 = unsigned __int128;
+
+U256 ModAdd(const U256& a, const U256& b, const U256& m) {
+  uint64_t carry = 0;
+  U256 sum = U256::AddWithCarry(a, b, &carry);
+  if (carry != 0 || sum >= m) sum = sum - m;
+  return sum;
+}
+
+U256 ModSub(const U256& a, const U256& b, const U256& m) {
+  uint64_t borrow = 0;
+  U256 diff = U256::SubWithBorrow(a, b, &borrow);
+  if (borrow != 0) diff = diff + m;
+  return diff;
+}
+
+U256 ModMulSlow(const U256& a, const U256& b, const U256& m) {
+  return U256::MulFull(a, b).Mod(m);
+}
+
+U256 Gcd(const U256& a, const U256& b) {
+  U256 x = a, y = b;
+  while (!y.IsZero()) {
+    U256 r = DivMod(x, y).remainder;
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+Result<MontgomeryContext> MontgomeryContext::Create(const U256& modulus) {
+  if (!modulus.IsOdd() || modulus <= U256(1)) {
+    return Status::InvalidArgument(
+        "Montgomery context requires an odd modulus > 1");
+  }
+  // n0inv = -n^{-1} mod 2^64 by Newton–Hensel lifting: each iteration
+  // doubles the number of correct low bits of the inverse.
+  uint64_t n0 = modulus.limb[0];
+  uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - n0 * inv;
+  uint64_t n0inv = ~inv + 1;  // negate mod 2^64
+
+  // r2 = 2^512 mod n, computed by doubling 2^256 mod n 256 times would be
+  // slow; instead reduce the 512-bit value (1 << 512 is not representable,
+  // so reduce (2^256 mod n)^2 with the generic divider).
+  U512 r = U512(1) << 256;
+  U256 r_mod_n = r.Mod(modulus);
+  U256 r2 = U256::MulFull(r_mod_n, r_mod_n).Mod(modulus);
+
+  return MontgomeryContext(modulus, n0inv, r2);
+}
+
+U256 MontgomeryContext::MontMul(const U256& a, const U256& b) const {
+  // CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+  // t has 4 + 2 limbs of headroom.
+  uint64_t t[6] = {0, 0, 0, 0, 0, 0};
+
+  for (size_t i = 0; i < 4; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      uint128 cur = static_cast<uint128>(a.limb[i]) * b.limb[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    uint128 cur = static_cast<uint128>(t[4]) + carry;
+    t[4] = static_cast<uint64_t>(cur);
+    t[5] = static_cast<uint64_t>(cur >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+    uint64_t m = t[0] * n0inv_;
+    carry = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      uint128 c2 = static_cast<uint128>(m) * n_.limb[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(c2);
+      carry = static_cast<uint64_t>(c2 >> 64);
+    }
+    cur = static_cast<uint128>(t[4]) + carry;
+    t[4] = static_cast<uint64_t>(cur);
+    t[5] += static_cast<uint64_t>(cur >> 64);
+
+    // shift t right by one limb
+    for (size_t j = 0; j < 5; ++j) t[j] = t[j + 1];
+    t[5] = 0;
+  }
+
+  U256 result(t[0], t[1], t[2], t[3]);
+  if (t[4] != 0 || result >= n_) result = result - n_;
+  return result;
+}
+
+U256 MontgomeryContext::ToMont(const U256& a) const { return MontMul(a, r2_); }
+
+U256 MontgomeryContext::FromMont(const U256& a) const {
+  return MontMul(a, U256(1));
+}
+
+U256 MontgomeryContext::ModMul(const U256& a, const U256& b) const {
+  return FromMont(MontMul(ToMont(a), ToMont(b)));
+}
+
+U256 MontgomeryContext::ModExp(const U256& base, const U256& exp) const {
+  U256 result = ToMont(U256(1));
+  U256 acc = ToMont(base);
+  size_t bits = exp.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exp.Bit(i)) result = MontMul(result, acc);
+    acc = MontMul(acc, acc);
+  }
+  return FromMont(result);
+}
+
+Result<U256> MontgomeryContext::ModInversePrime(const U256& a) const {
+  U256 reduced = (a >= n_) ? DivMod(a, n_).remainder : a;
+  if (reduced.IsZero()) {
+    return Status::InvalidArgument("zero has no modular inverse");
+  }
+  return ModExp(reduced, n_ - U256(2));
+}
+
+}  // namespace hsis::crypto

@@ -1,0 +1,61 @@
+#ifndef HSIS_CRYPTO_MODMATH_H_
+#define HSIS_CRYPTO_MODMATH_H_
+
+#include "common/result.h"
+#include "common/u256.h"
+
+namespace hsis::crypto {
+
+/// (a + b) mod m; inputs must already be reduced (< m).
+U256 ModAdd(const U256& a, const U256& b, const U256& m);
+
+/// (a - b) mod m; inputs must already be reduced (< m).
+U256 ModSub(const U256& a, const U256& b, const U256& m);
+
+/// (a * b) mod m via full 512-bit product and long division. Correct for
+/// any nonzero modulus; the Montgomery context below is ~50x faster for
+/// repeated work modulo one odd modulus.
+U256 ModMulSlow(const U256& a, const U256& b, const U256& m);
+
+/// gcd(a, b) by Euclid's algorithm.
+U256 Gcd(const U256& a, const U256& b);
+
+/// Precomputed context for fast arithmetic modulo a fixed odd modulus,
+/// using Montgomery multiplication (CIOS reduction).
+class MontgomeryContext {
+ public:
+  /// Builds a context; fails unless `modulus` is odd and > 1.
+  static Result<MontgomeryContext> Create(const U256& modulus);
+
+  const U256& modulus() const { return n_; }
+
+  /// Converts into / out of the Montgomery domain.
+  U256 ToMont(const U256& a) const;
+  U256 FromMont(const U256& a) const;
+
+  /// Product of two Montgomery-domain values (result in the domain).
+  U256 MontMul(const U256& a, const U256& b) const;
+
+  /// (a * b) mod n for plain-domain inputs (< n).
+  U256 ModMul(const U256& a, const U256& b) const;
+
+  /// base^exp mod n (plain domain, base < n), square-and-multiply.
+  U256 ModExp(const U256& base, const U256& exp) const;
+
+  /// a^(n-2) mod n — the inverse of `a` when n is prime and a != 0 mod n.
+  /// Fails on a == 0. The library only ever inverts modulo primes (the
+  /// quadratic-residue subgroup order q and the field prime p).
+  Result<U256> ModInversePrime(const U256& a) const;
+
+ private:
+  MontgomeryContext(const U256& n, uint64_t n0inv, const U256& r2)
+      : n_(n), n0inv_(n0inv), r2_(r2) {}
+
+  U256 n_;         // modulus
+  uint64_t n0inv_; // -n^{-1} mod 2^64
+  U256 r2_;        // (2^256)^2 mod n
+};
+
+}  // namespace hsis::crypto
+
+#endif  // HSIS_CRYPTO_MODMATH_H_

@@ -1,0 +1,128 @@
+#include "crypto/prime.h"
+
+#include "common/logging.h"
+#include "crypto/modmath.h"
+
+namespace hsis::crypto {
+
+namespace {
+
+constexpr uint64_t kSmallPrimes[] = {
+    2,  3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+    59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113};
+
+/// Returns 0 = composite, 1 = prime, 2 = unknown (needs Miller–Rabin).
+int TrialDivision(const U256& n) {
+  for (uint64_t p : kSmallPrimes) {
+    U256 prime(p);
+    if (n == prime) return 1;
+    if (DivMod(n, prime).remainder.IsZero()) return 0;
+  }
+  return 2;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const U256& n, int rounds, Rng& rng) {
+  if (n < U256(2)) return false;
+  int td = TrialDivision(n);
+  if (td != 2) return td == 1;
+  if (!n.IsOdd()) return false;
+
+  // Write n - 1 = d * 2^r with d odd.
+  U256 n_minus_1 = n - U256(1);
+  U256 d = n_minus_1;
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  Result<MontgomeryContext> ctx = MontgomeryContext::Create(n);
+  HSIS_CHECK(ctx.ok());
+
+  for (int round = 0; round < rounds; ++round) {
+    // Random base a in [2, n-2].
+    U256 a;
+    do {
+      Bytes raw = rng.RandomBytes(32);
+      a = U256::FromBytesBE(raw);
+      a = DivMod(a, n - U256(3)).remainder + U256(2);  // [2, n-2]
+    } while (a.IsZero());
+
+    U256 x = ctx->ModExp(a, d);
+    if (x == U256(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (size_t i = 0; i + 1 < r; ++i) {
+      x = ctx->ModMul(x, x);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+Result<U256> GeneratePrime(size_t bits, int rounds, Rng& rng) {
+  if (bits < 8 || bits > 256) {
+    return Status::InvalidArgument("prime size must be in [8, 256] bits");
+  }
+  for (int attempt = 0; attempt < 100000; ++attempt) {
+    Bytes raw = rng.RandomBytes(32);
+    U256 candidate = U256::FromBytesBE(raw);
+    // Mask to exactly `bits` bits, set top bit and low bit.
+    if (bits < 256) {
+      U256 mask = (U256(1) << bits) - U256(1);
+      candidate = candidate & mask;
+    }
+    candidate = candidate | (U256(1) << (bits - 1)) | U256(1);
+    if (IsProbablePrime(candidate, rounds, rng)) return candidate;
+  }
+  return Status::Internal("prime generation did not converge");
+}
+
+Result<U256> GenerateSafePrime(size_t bits, int rounds, Rng& rng) {
+  if (bits < 9 || bits > 256) {
+    return Status::InvalidArgument("safe-prime size must be in [9, 256] bits");
+  }
+  for (int attempt = 0; attempt < 1000000; ++attempt) {
+    HSIS_ASSIGN_OR_RETURN(U256 q, GeneratePrime(bits - 1, 8, rng));
+    uint64_t carry = 0;
+    U256 p = U256::AddWithCarry(q + q, U256(1), &carry);
+    if (carry != 0 || p.BitLength() != bits) continue;
+    if (IsProbablePrime(p, rounds, rng) && IsProbablePrime(q, rounds, rng)) {
+      return p;
+    }
+  }
+  return Status::Internal("safe-prime generation did not converge");
+}
+
+const U256& DefaultSafePrime() {
+  // p = 2q + 1, both prime; generated offline (seed 20060707, 48 MR rounds).
+  static const U256 kP = [] {
+    Result<U256> p = U256::FromHex(
+        "cde05cf0f12d7461bba3b68e5d42296d5d4865b7487d53d4702d9d40c60f68d7");
+    HSIS_CHECK(p.ok());
+    return *p;
+  }();
+  return kP;
+}
+
+const U256& DefaultSubgroupOrder() {
+  static const U256 kQ = [] {
+    Result<U256> q = U256::FromHex(
+        "66f02e787896ba30ddd1db472ea114b6aea432dba43ea9ea3816cea06307b46b");
+    HSIS_CHECK(q.ok());
+    return *q;
+  }();
+  return kQ;
+}
+
+const U256& SmallSafePrime() {
+  static const U256 kP(0x9390aa633eae9f7fULL);
+  return kP;
+}
+
+}  // namespace hsis::crypto

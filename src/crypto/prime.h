@@ -1,0 +1,38 @@
+#ifndef HSIS_CRYPTO_PRIME_H_
+#define HSIS_CRYPTO_PRIME_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "common/u256.h"
+
+namespace hsis::crypto {
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases
+/// (error probability <= 4^-rounds). Handles small inputs exactly via a
+/// trial-division pre-pass.
+bool IsProbablePrime(const U256& n, int rounds, Rng& rng);
+
+/// Generates a random prime with exactly `bits` bits (top bit set).
+/// `bits` must be in [8, 256].
+Result<U256> GeneratePrime(size_t bits, int rounds, Rng& rng);
+
+/// Generates a safe prime p = 2q + 1 (q also prime) with exactly `bits`
+/// bits. Intended for small/medium test groups — safe primes are sparse,
+/// so 256-bit generation can take a while; production code should use
+/// `DefaultSafePrime()` below.
+Result<U256> GenerateSafePrime(size_t bits, int rounds, Rng& rng);
+
+/// The library's default 256-bit safe prime p (generated offline with 48
+/// Miller–Rabin rounds on both p and (p-1)/2).
+const U256& DefaultSafePrime();
+
+/// q = (p - 1) / 2 for `DefaultSafePrime()` — the (prime) order of the
+/// quadratic-residue subgroup.
+const U256& DefaultSubgroupOrder();
+
+/// A 64-bit safe prime for fast unit tests.
+const U256& SmallSafePrime();
+
+}  // namespace hsis::crypto
+
+#endif  // HSIS_CRYPTO_PRIME_H_

@@ -1,0 +1,207 @@
+#include "game/equilibrium.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hsis::game {
+
+std::vector<int> BestResponses(const NormalFormGame& game, int player,
+                               const StrategyProfile& profile) {
+  StrategyProfile p = profile;
+  double best = -std::numeric_limits<double>::infinity();
+  for (int s = 0; s < game.num_strategies(player); ++s) {
+    p[static_cast<size_t>(player)] = s;
+    best = std::max(best, game.Payoff(p, player));
+  }
+  std::vector<int> out;
+  for (int s = 0; s < game.num_strategies(player); ++s) {
+    p[static_cast<size_t>(player)] = s;
+    if (game.Payoff(p, player) >= best - kPayoffEpsilon) out.push_back(s);
+  }
+  return out;
+}
+
+bool IsNashEquilibrium(const NormalFormGame& game,
+                       const StrategyProfile& profile) {
+  for (int player = 0; player < game.num_players(); ++player) {
+    double current = game.Payoff(profile, player);
+    StrategyProfile p = profile;
+    for (int s = 0; s < game.num_strategies(player); ++s) {
+      p[static_cast<size_t>(player)] = s;
+      if (game.Payoff(p, player) > current + kPayoffEpsilon) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<StrategyProfile> PureNashEquilibria(const NormalFormGame& game) {
+  std::vector<StrategyProfile> out;
+  for (size_t i = 0; i < game.num_profiles(); ++i) {
+    StrategyProfile profile = game.ProfileFromIndex(i);
+    if (IsNashEquilibrium(game, profile)) out.push_back(profile);
+  }
+  return out;
+}
+
+bool IsDominantStrategy(const NormalFormGame& game, int player, int s,
+                        bool strict) {
+  // `s` must beat every alternative s' against every full profile of the
+  // other players. Iterate all profiles and compare the two slices.
+  for (size_t i = 0; i < game.num_profiles(); ++i) {
+    StrategyProfile profile = game.ProfileFromIndex(i);
+    if (profile[static_cast<size_t>(player)] != 0) continue;  // canonicalize others' loop
+    StrategyProfile with_s = profile;
+    with_s[static_cast<size_t>(player)] = s;
+    double payoff_s = game.Payoff(with_s, player);
+    for (int alt = 0; alt < game.num_strategies(player); ++alt) {
+      if (alt == s) continue;
+      StrategyProfile with_alt = profile;
+      with_alt[static_cast<size_t>(player)] = alt;
+      double payoff_alt = game.Payoff(with_alt, player);
+      if (strict) {
+        if (payoff_s <= payoff_alt + kPayoffEpsilon) return false;
+      } else {
+        if (payoff_s < payoff_alt - kPayoffEpsilon) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<StrategyProfile> DominantStrategyEquilibrium(
+    const NormalFormGame& game, bool strict) {
+  StrategyProfile out(static_cast<size_t>(game.num_players()), -1);
+  for (int player = 0; player < game.num_players(); ++player) {
+    for (int s = 0; s < game.num_strategies(player); ++s) {
+      if (IsDominantStrategy(game, player, s, strict)) {
+        out[static_cast<size_t>(player)] = s;
+        break;
+      }
+    }
+    if (out[static_cast<size_t>(player)] < 0) return std::nullopt;
+  }
+  return out;
+}
+
+namespace {
+
+/// Invokes `fn` for every profile in which opponents of `player` play
+/// only strategies listed in `surviving` and `player` plays `own`.
+template <typename Fn>
+void ForEachRestrictedProfile(const NormalFormGame& game, int player, int own,
+                              const std::vector<std::vector<int>>& surviving,
+                              Fn&& fn) {
+  int n = game.num_players();
+  StrategyProfile profile(static_cast<size_t>(n));
+  profile[static_cast<size_t>(player)] = own;
+  std::vector<size_t> cursor(static_cast<size_t>(n), 0);
+  for (;;) {
+    for (int p = 0; p < n; ++p) {
+      if (p == player) continue;
+      profile[static_cast<size_t>(p)] =
+          surviving[static_cast<size_t>(p)][cursor[static_cast<size_t>(p)]];
+    }
+    fn(profile);
+    // Odometer increment over opponents.
+    int p = n - 1;
+    for (; p >= 0; --p) {
+      if (p == player) continue;
+      size_t& c = cursor[static_cast<size_t>(p)];
+      if (++c < surviving[static_cast<size_t>(p)].size()) break;
+      c = 0;
+    }
+    if (p < 0) break;
+  }
+}
+
+}  // namespace
+
+bool IsStrictlyDominated(const NormalFormGame& game, int player, int s,
+                         const std::vector<std::vector<int>>& surviving) {
+  for (int alt : surviving[static_cast<size_t>(player)]) {
+    if (alt == s) continue;
+    bool dominates = true;
+    ForEachRestrictedProfile(game, player, s, surviving,
+                             [&](StrategyProfile& profile) {
+                               double u_s = game.Payoff(profile, player);
+                               profile[static_cast<size_t>(player)] = alt;
+                               double u_alt = game.Payoff(profile, player);
+                               profile[static_cast<size_t>(player)] = s;
+                               if (u_alt <= u_s + kPayoffEpsilon) {
+                                 dominates = false;
+                               }
+                             });
+    if (dominates) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> IteratedStrictDominance(
+    const NormalFormGame& game) {
+  std::vector<std::vector<int>> surviving(
+      static_cast<size_t>(game.num_players()));
+  for (int p = 0; p < game.num_players(); ++p) {
+    for (int s = 0; s < game.num_strategies(p); ++s) {
+      surviving[static_cast<size_t>(p)].push_back(s);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int p = 0; p < game.num_players(); ++p) {
+      auto& mine = surviving[static_cast<size_t>(p)];
+      if (mine.size() <= 1) continue;
+      for (size_t i = 0; i < mine.size(); ++i) {
+        if (IsStrictlyDominated(game, p, mine[i], surviving)) {
+          mine.erase(mine.begin() + static_cast<ptrdiff_t>(i));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return surviving;
+}
+
+bool MixedProfile2x2::IsPure() const {
+  auto pure = [](double v) {
+    return std::abs(v) < kPayoffEpsilon || std::abs(v - 1.0) < kPayoffEpsilon;
+  };
+  return pure(p1_strategy0) && pure(p2_strategy0);
+}
+
+std::vector<MixedProfile2x2> AllEquilibria2x2(const NormalFormGame& game) {
+  HSIS_CHECK(game.num_players() == 2 && game.num_strategies(0) == 2 &&
+             game.num_strategies(1) == 2)
+      << "AllEquilibria2x2 requires a 2x2 game";
+
+  std::vector<MixedProfile2x2> out;
+
+  // Pure equilibria from enumeration.
+  for (const StrategyProfile& p : PureNashEquilibria(game)) {
+    out.push_back({p[0] == 0 ? 1.0 : 0.0, p[1] == 0 ? 1.0 : 0.0});
+  }
+
+  // Interior mixed equilibrium: each player mixes so the *other* player
+  // is indifferent between its two strategies.
+  auto u = [&](int player, int s1, int s2) {
+    return game.Payoff({s1, s2}, player);
+  };
+  // Player 2 indifferent given player 1 plays strategy 0 w.p. x:
+  //   x u2(0,0) + (1-x) u2(1,0) = x u2(0,1) + (1-x) u2(1,1)
+  double d2 = (u(1, 0, 0) - u(1, 0, 1)) - (u(1, 1, 0) - u(1, 1, 1));
+  // Player 1 indifferent given player 2 plays strategy 0 w.p. y:
+  double d1 = (u(0, 0, 0) - u(0, 1, 0)) - (u(0, 0, 1) - u(0, 1, 1));
+  if (std::abs(d2) > kPayoffEpsilon && std::abs(d1) > kPayoffEpsilon) {
+    double x = (u(1, 1, 1) - u(1, 1, 0)) / d2;
+    double y = (u(0, 1, 1) - u(0, 0, 1)) / d1;
+    if (x > kPayoffEpsilon && x < 1.0 - kPayoffEpsilon &&
+        y > kPayoffEpsilon && y < 1.0 - kPayoffEpsilon) {
+      out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+}  // namespace hsis::game

@@ -1,0 +1,66 @@
+#ifndef HSIS_GAME_EQUILIBRIUM_H_
+#define HSIS_GAME_EQUILIBRIUM_H_
+
+#include <optional>
+#include <vector>
+
+#include "game/normal_form_game.h"
+
+namespace hsis::game {
+
+/// Numerical tolerance for payoff comparisons throughout the solvers.
+inline constexpr double kPayoffEpsilon = 1e-9;
+
+/// The strategies of `player` that maximize its payoff holding the other
+/// players' strategies in `profile` fixed (ties all returned).
+std::vector<int> BestResponses(const NormalFormGame& game, int player,
+                               const StrategyProfile& profile);
+
+/// True iff no player can strictly gain by a unilateral deviation
+/// (Definition 1, Nash equilibrium).
+bool IsNashEquilibrium(const NormalFormGame& game,
+                       const StrategyProfile& profile);
+
+/// Exhaustive enumeration of all pure-strategy Nash equilibria.
+std::vector<StrategyProfile> PureNashEquilibria(const NormalFormGame& game);
+
+/// True iff strategy `s` is weakly dominant for `player`: at least as
+/// good as every alternative against every opponent profile (Definition
+/// 2). With `strict`, requires strictly better against every opponent
+/// profile.
+bool IsDominantStrategy(const NormalFormGame& game, int player, int s,
+                        bool strict = false);
+
+/// The profile of (weakly) dominant strategies, if every player has one
+/// (Definition 2, dominant-strategy equilibrium). When a player has
+/// several weakly-dominant strategies the lowest index is chosen.
+std::optional<StrategyProfile> DominantStrategyEquilibrium(
+    const NormalFormGame& game, bool strict = false);
+
+/// True iff strategy `s` of `player` is strictly dominated by some other
+/// pure strategy, restricted to opponents playing within `surviving`.
+bool IsStrictlyDominated(const NormalFormGame& game, int player, int s,
+                         const std::vector<std::vector<int>>& surviving);
+
+/// Iterated elimination of strictly dominated strategies. Returns, for
+/// each player, the set of surviving strategy indices (order preserved).
+std::vector<std::vector<int>> IteratedStrictDominance(
+    const NormalFormGame& game);
+
+/// A mixed-strategy equilibrium of a 2-player, 2-strategy game: each
+/// entry is the probability the player assigns to strategy 0.
+struct MixedProfile2x2 {
+  double p1_strategy0;
+  double p2_strategy0;
+  /// True when both probabilities are 0 or 1.
+  bool IsPure() const;
+};
+
+/// All equilibria (pure corners plus the interior mixed equilibrium when
+/// it exists) of a 2x2 game, via support enumeration / the
+/// indifference condition.
+std::vector<MixedProfile2x2> AllEquilibria2x2(const NormalFormGame& game);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_EQUILIBRIUM_H_

@@ -1,0 +1,164 @@
+#include "game/heterogeneous.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "game/equilibrium.h"
+
+namespace hsis::game {
+
+Result<HeterogeneousHonestyGame> HeterogeneousHonestyGame::Create(
+    std::vector<PlayerSpec> players) {
+  if (players.size() < 2) {
+    return Status::InvalidArgument("need at least 2 players");
+  }
+  for (const PlayerSpec& p : players) {
+    if (!p.gain) return Status::InvalidArgument("every player needs a gain F_i");
+    if (p.frequency < 0 || p.frequency > 1) {
+      return Status::InvalidArgument("frequency must be in [0, 1]");
+    }
+    if (p.penalty < 0 || p.benefit < 0) {
+      return Status::InvalidArgument("B_i and P_i must be non-negative");
+    }
+    for (size_t x = 0; x + 1 < players.size(); ++x) {
+      if (p.gain(static_cast<int>(x) + 1) < p.gain(static_cast<int>(x)) - 1e-12) {
+        return Status::InvalidArgument("gain functions must be monotone");
+      }
+    }
+  }
+  return HeterogeneousHonestyGame(std::move(players));
+}
+
+double HeterogeneousHonestyGame::CheatAdvantage(int player,
+                                                int honest_others) const {
+  const PlayerSpec& p = players_[static_cast<size_t>(player)];
+  return (1 - p.frequency) * p.gain(honest_others) -
+         p.frequency * p.penalty - p.benefit;
+}
+
+bool HeterogeneousHonestyGame::IsEquilibrium(
+    const std::vector<bool>& honest) const {
+  HSIS_CHECK(honest.size() == players_.size());
+  int honest_total = 0;
+  for (bool h : honest) honest_total += h;
+  for (int i = 0; i < n(); ++i) {
+    bool is_honest = honest[static_cast<size_t>(i)];
+    int others = honest_total - (is_honest ? 1 : 0);
+    double adv = CheatAdvantage(i, others);
+    if (is_honest && adv > kPayoffEpsilon) return false;
+    if (!is_honest && adv < -kPayoffEpsilon) return false;
+  }
+  return true;
+}
+
+Result<std::vector<std::vector<bool>>> HeterogeneousHonestyGame::AllEquilibria()
+    const {
+  if (n() > 20) {
+    return Status::OutOfRange("subset enumeration limited to n <= 20");
+  }
+  std::vector<std::vector<bool>> out;
+  std::vector<bool> profile(players_.size());
+  for (uint32_t mask = 0; mask < (1u << n()); ++mask) {
+    for (int i = 0; i < n(); ++i) {
+      profile[static_cast<size_t>(i)] = (mask >> i) & 1;
+    }
+    if (IsEquilibrium(profile)) out.push_back(profile);
+  }
+  return out;
+}
+
+bool HeterogeneousHonestyGame::IsHonestDominantForAll() const {
+  for (int i = 0; i < n(); ++i) {
+    if (CheatAdvantage(i, n() - 1) > kPayoffEpsilon) return false;
+  }
+  return true;
+}
+
+Result<std::vector<double>> MinPenaltiesForAllHonest(
+    const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
+    double margin) {
+  std::vector<double> out;
+  out.reserve(players.size());
+  int worst_case = static_cast<int>(players.size()) - 1;
+  for (const auto& p : players) {
+    if (p.frequency <= 0) {
+      return Status::InvalidArgument(
+          "penalties cannot deter a never-audited player (f_i = 0)");
+    }
+    double needed = ((1 - p.frequency) * p.gain(worst_case) - p.benefit) /
+                    p.frequency;
+    out.push_back(std::max(0.0, needed) + margin);
+  }
+  return out;
+}
+
+namespace {
+
+/// The frequency that makes honesty dominant for one player at its
+/// given penalty: f_i >= (F_i(n-1) - B_i) / (F_i(n-1) + P_i).
+Result<double> RequiredFrequency(
+    const HeterogeneousHonestyGame::PlayerSpec& p, int worst_case,
+    double margin) {
+  double gain = p.gain(worst_case);
+  if (gain <= p.benefit) return 0.0;  // no temptation at all
+  double denom = gain + p.penalty;
+  if (denom <= 0) return Status::Internal("non-positive threshold denominator");
+  return std::min(1.0, (gain - p.benefit) / denom + margin);
+}
+
+}  // namespace
+
+Result<AuditAllocation> MinCostFrequencies(
+    const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
+    const std::vector<double>& audit_costs, double margin) {
+  if (audit_costs.size() != players.size()) {
+    return Status::InvalidArgument("one audit cost per player required");
+  }
+  AuditAllocation out;
+  out.frequencies.reserve(players.size());
+  int worst_case = static_cast<int>(players.size()) - 1;
+  for (size_t i = 0; i < players.size(); ++i) {
+    if (audit_costs[i] < 0) {
+      return Status::InvalidArgument("audit costs must be non-negative");
+    }
+    HSIS_ASSIGN_OR_RETURN(double f,
+                          RequiredFrequency(players[i], worst_case, margin));
+    out.frequencies.push_back(f);
+    out.total_cost += f * audit_costs[i];
+  }
+  return out;
+}
+
+Result<BudgetedAllocation> MaxDeterredUnderBudget(
+    const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
+    double total_frequency_budget, double margin) {
+  if (total_frequency_budget < 0) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  int worst_case = static_cast<int>(players.size()) - 1;
+  std::vector<std::pair<double, size_t>> required;  // (f_i, player index)
+  for (size_t i = 0; i < players.size(); ++i) {
+    HSIS_ASSIGN_OR_RETURN(double f,
+                          RequiredFrequency(players[i], worst_case, margin));
+    required.push_back({f, i});
+  }
+  std::sort(required.begin(), required.end());
+
+  BudgetedAllocation out;
+  out.frequencies.assign(players.size(), 0.0);
+  out.deterred.assign(players.size(), false);
+  double remaining = total_frequency_budget;
+  for (const auto& [f, idx] : required) {
+    if (f <= remaining) {
+      remaining -= f;
+      out.frequencies[idx] = f;
+      out.deterred[idx] = true;
+      ++out.deterred_count;
+    }
+  }
+  out.budget_used = total_frequency_budget - remaining;
+  return out;
+}
+
+}  // namespace hsis::game

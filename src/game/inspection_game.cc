@@ -1,0 +1,84 @@
+#include "game/inspection_game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hsis::game {
+
+ZeroSum2x2Solution SolveZeroSum2x2(double a, double b, double c, double d) {
+  // Row player maximizes, column player minimizes, matrix {{a,b},{c,d}}.
+  ZeroSum2x2Solution out;
+
+  // Check for a saddle point (pure equilibrium) first.
+  double row_min[2] = {std::min(a, b), std::min(c, d)};
+  double col_max[2] = {std::max(a, c), std::max(b, d)};
+  double maximin = std::max(row_min[0], row_min[1]);
+  double minimax = std::min(col_max[0], col_max[1]);
+  if (maximin >= minimax - 1e-12) {
+    out.value = maximin;
+    out.row_first_probability = (row_min[0] >= row_min[1]) ? 1.0 : 0.0;
+    out.col_first_probability = (col_max[0] <= col_max[1]) ? 1.0 : 0.0;
+    return out;
+  }
+
+  // Interior mixed equilibrium of a 2x2 zero-sum game.
+  double denom = a + d - b - c;
+  out.value = (a * d - b * c) / denom;
+  out.row_first_probability = (d - c) / denom;
+  out.col_first_probability = (d - b) / denom;
+  out.row_first_probability = std::clamp(out.row_first_probability, 0.0, 1.0);
+  out.col_first_probability = std::clamp(out.col_first_probability, 0.0, 1.0);
+  return out;
+}
+
+Result<InspectionGameSolution> SolveInspectionGame(int periods,
+                                                   int inspections,
+                                                   double caught_payoff,
+                                                   double undetected_payoff) {
+  if (periods < 0 || inspections < 0) {
+    return Status::InvalidArgument("periods and inspections must be >= 0");
+  }
+  if (!(caught_payoff < 0) || undetected_payoff < 0) {
+    return Status::InvalidArgument(
+        "expect caught_payoff < 0 <= undetected_payoff");
+  }
+
+  // values[{n, k}] = game value with n periods and k inspections left.
+  std::map<std::pair<int, int>, ZeroSum2x2Solution> solved;
+  // Backward induction; k never exceeds n usefully (extra inspections
+  // are idle), but we solve the full rectangle for simplicity.
+  for (int n = 0; n <= periods; ++n) {
+    for (int k = 0; k <= inspections; ++k) {
+      ZeroSum2x2Solution solution;
+      if (n == 0) {
+        solution.value = 0;  // never violated
+      } else if (k == 0) {
+        // No inspections left: violate now, undetected for sure.
+        solution.value = undetected_payoff;
+        solution.row_first_probability = 1.0;  // violate
+        solution.col_first_probability = 0.0;
+      } else {
+        double wait_inspect = solved[{n - 1, k - 1}].value;
+        double wait_pass = solved[{n - 1, k}].value;
+        // Rows: violate / wait. Columns: inspect / pass.
+        solution = SolveZeroSum2x2(caught_payoff, undetected_payoff,
+                                   wait_inspect, wait_pass);
+      }
+      solved[{n, k}] = solution;
+    }
+  }
+
+  const ZeroSum2x2Solution& root = solved[{periods, inspections}];
+  InspectionGameSolution out;
+  out.value = root.value;
+  out.violate_probability = root.row_first_probability;
+  out.inspect_probability = root.col_first_probability;
+  if (periods == 0) {
+    out.violate_probability = 0;
+    out.inspect_probability = 0;
+  }
+  return out;
+}
+
+}  // namespace hsis::game

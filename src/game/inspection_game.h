@@ -1,0 +1,55 @@
+#ifndef HSIS_GAME_INSPECTION_GAME_H_
+#define HSIS_GAME_INSPECTION_GAME_H_
+
+#include "common/result.h"
+
+namespace hsis::game {
+
+/// The classical recursive inspection game (Dresher; Ferguson &
+/// Melolidakis — the related work the paper contrasts itself with in
+/// Section 1.2).
+///
+/// An inspectee has `periods` opportunities and wants to commit one
+/// violation undetected; the inspector has `inspections` inspections to
+/// distribute and both move simultaneously each period. The game is
+/// zero-sum from the inspectee's perspective: `undetected_payoff` for a
+/// violation in an uninspected period (then the game ends),
+/// `caught_payoff` for violating into an inspection, 0 for never
+/// violating.
+///
+/// The key structural difference from this paper's model: here the
+/// inspector is a *player* optimizing against the inspectee, so the
+/// equilibrium inspection rate varies per period and the inspectee
+/// retains positive value whenever inspections < periods. The paper's
+/// auditing device is a *referee* with a committed frequency f — by
+/// committing (and by fining), it can drive the cheating value strictly
+/// negative, which no equilibrium inspector can.
+struct InspectionGameSolution {
+  /// Game value to the inspectee under optimal play.
+  double value = 0;
+  /// First-period equilibrium mixed strategies.
+  double violate_probability = 0;
+  double inspect_probability = 0;
+};
+
+/// Solves the game by backward induction over (periods, inspections),
+/// solving a 2x2 zero-sum stage game at each state. `periods` >= 0,
+/// 0 <= `inspections`, payoffs with caught < 0 <= undetected.
+Result<InspectionGameSolution> SolveInspectionGame(
+    int periods, int inspections, double caught_payoff = -1.0,
+    double undetected_payoff = 1.0);
+
+/// Value of a 2x2 zero-sum game for the row maximizer with payoff
+/// matrix {{a, b}, {c, d}}, plus the optimal row/column mixtures
+/// (probability of the first row / first column).
+struct ZeroSum2x2Solution {
+  double value = 0;
+  double row_first_probability = 0;
+  double col_first_probability = 0;
+};
+
+ZeroSum2x2Solution SolveZeroSum2x2(double a, double b, double c, double d);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_INSPECTION_GAME_H_

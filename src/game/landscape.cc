@@ -1,0 +1,193 @@
+#include "game/landscape.h"
+
+#include <cmath>
+
+#include "game/equilibrium.h"
+
+namespace hsis::game {
+
+namespace {
+
+std::vector<std::string> EnumerateLabels(const NormalFormGame& game) {
+  std::vector<std::string> out;
+  for (const StrategyProfile& p : PureNashEquilibria(game)) {
+    out.push_back(ProfileLabel(p));
+  }
+  return out;
+}
+
+bool HonestHonestIsDse(const NormalFormGame& game) {
+  std::optional<StrategyProfile> dse = DominantStrategyEquilibrium(game);
+  return dse.has_value() && (*dse)[0] == kHonest && (*dse)[1] == kHonest;
+}
+
+/// Checks that the enumerated equilibria agree with the symmetric-region
+/// prediction. On the boundary both (H,H) and (C,C) (and possibly the
+/// off-diagonal profiles) can be equilibria; interior regions must be a
+/// single profile.
+bool SymmetricPredictionHolds(SymmetricRegion region,
+                              const std::vector<std::string>& equilibria) {
+  auto contains = [&](const char* label) {
+    for (const std::string& e : equilibria) {
+      if (e == label) return true;
+    }
+    return false;
+  };
+  switch (region) {
+    case SymmetricRegion::kAllCheatUniqueDse:
+      return equilibria.size() == 1 && contains("CC");
+    case SymmetricRegion::kAllHonestUniqueDse:
+      return equilibria.size() == 1 && contains("HH");
+    case SymmetricRegion::kBoundary:
+      return contains("HH");
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ProfileLabel(const StrategyProfile& profile) {
+  std::string out;
+  for (int s : profile) out += ActionName(s);
+  return out;
+}
+
+Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
+                                                      double cheat_gain,
+                                                      double loss,
+                                                      double penalty,
+                                                      int steps) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  std::vector<FrequencySweepRow> rows;
+  rows.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    double f = static_cast<double>(i) / (steps - 1);
+    HSIS_ASSIGN_OR_RETURN(
+        NormalFormGame game,
+        MakeSymmetricAuditedGame(benefit, cheat_gain, loss, f, penalty));
+    FrequencySweepRow row;
+    row.frequency = f;
+    row.analytic_region =
+        ClassifySymmetricRegion(benefit, cheat_gain, f, penalty);
+    row.nash_equilibria = EnumerateLabels(game);
+    row.honest_is_dse = HonestHonestIsDse(game);
+    row.analytic_matches_enumeration =
+        SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
+                                                  double cheat_gain,
+                                                  double loss,
+                                                  double frequency,
+                                                  double max_penalty,
+                                                  int steps) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  std::vector<PenaltySweepRow> rows;
+  rows.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    double p = max_penalty * static_cast<double>(i) / (steps - 1);
+    HSIS_ASSIGN_OR_RETURN(
+        NormalFormGame game,
+        MakeSymmetricAuditedGame(benefit, cheat_gain, loss, frequency, p));
+    PenaltySweepRow row;
+    row.penalty = p;
+    row.analytic_region =
+        ClassifySymmetricRegion(benefit, cheat_gain, frequency, p);
+    row.nash_equilibria = EnumerateLabels(game);
+    row.honest_is_dse = HonestHonestIsDse(game);
+    row.analytic_matches_enumeration =
+        SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
+    const TwoPlayerGameParams& params, int steps) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  std::vector<AsymmetricGridCell> cells;
+  cells.reserve(static_cast<size_t>(steps) * static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    for (int j = 0; j < steps; ++j) {
+      TwoPlayerGameParams p = params;
+      p.audit1.frequency = static_cast<double>(i) / (steps - 1);
+      p.audit2.frequency = static_cast<double>(j) / (steps - 1);
+      HSIS_ASSIGN_OR_RETURN(NormalFormGame game, MakeTwoPlayerHonestyGame(p));
+
+      AsymmetricGridCell cell;
+      cell.f1 = p.audit1.frequency;
+      cell.f2 = p.audit2.frequency;
+      cell.analytic_region = ClassifyAsymmetricRegion(
+          p.player1.benefit, p.player1.cheat_gain, p.audit1.penalty, cell.f1,
+          p.player2.benefit, p.player2.cheat_gain, p.audit2.penalty, cell.f2);
+      cell.nash_equilibria = EnumerateLabels(game);
+
+      // Interior regions predict a unique equilibrium with the
+      // corresponding label; boundary cells are vacuously consistent.
+      switch (cell.analytic_region) {
+        case AsymmetricRegion::kBoundary:
+          cell.analytic_matches_enumeration = true;
+          break;
+        case AsymmetricRegion::kBothCheat:
+          cell.analytic_matches_enumeration =
+              cell.nash_equilibria == std::vector<std::string>{"CC"};
+          break;
+        case AsymmetricRegion::kOnlyP1Cheats:
+          cell.analytic_matches_enumeration =
+              cell.nash_equilibria == std::vector<std::string>{"CH"};
+          break;
+        case AsymmetricRegion::kOnlyP2Cheats:
+          cell.analytic_matches_enumeration =
+              cell.nash_equilibria == std::vector<std::string>{"HC"};
+          break;
+        case AsymmetricRegion::kBothHonest:
+          cell.analytic_matches_enumeration =
+              cell.nash_equilibria == std::vector<std::string>{"HH"};
+          break;
+      }
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
+    const NPlayerHonestyGame::Params& base_params, double max_penalty,
+    int steps) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  if (base_params.frequency <= 0) {
+    return Status::InvalidArgument(
+        "n-player penalty sweep requires frequency > 0 (Theorem 1)");
+  }
+  std::vector<NPlayerBandRow> rows;
+  rows.reserve(static_cast<size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    NPlayerHonestyGame::Params p = base_params;
+    p.penalty = max_penalty * static_cast<double>(i) / (steps - 1);
+    HSIS_ASSIGN_OR_RETURN(NPlayerHonestyGame game,
+                          NPlayerHonestyGame::Create(p));
+    NPlayerBandRow row;
+    row.penalty = p.penalty;
+    row.analytic_honest_count = NPlayerEquilibriumHonestCount(
+        p.n, p.benefit, p.gain, p.frequency, p.penalty);
+    row.equilibrium_honest_counts = game.EquilibriumHonestCounts();
+    row.honest_is_dominant = game.IsHonestDominant();
+    row.cheat_is_dominant = game.IsCheatDominant();
+    // In band interiors there is exactly one equilibrium class and it
+    // matches Theorem 1; at band edges the enumeration may contain two
+    // adjacent classes, either of which may be the analytic pick.
+    bool match = false;
+    for (int x : row.equilibrium_honest_counts) {
+      if (x == row.analytic_honest_count) match = true;
+    }
+    row.analytic_matches_enumeration =
+        match && row.equilibrium_honest_counts.size() <= 2;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace hsis::game

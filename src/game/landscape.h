@@ -1,0 +1,88 @@
+#ifndef HSIS_GAME_LANDSCAPE_H_
+#define HSIS_GAME_LANDSCAPE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "game/honesty_games.h"
+#include "game/nplayer_game.h"
+#include "game/thresholds.h"
+
+namespace hsis::game {
+
+/// Compact label for a 2-player pure profile, e.g. "HC" (player 1
+/// honest, player 2 cheating).
+std::string ProfileLabel(const StrategyProfile& profile);
+
+/// One sample of the Figure 1 landscape (equilibria vs audit frequency
+/// at fixed penalty, symmetric game).
+struct FrequencySweepRow {
+  double frequency;
+  SymmetricRegion analytic_region;        // closed-form prediction
+  std::vector<std::string> nash_equilibria;  // brute-force enumeration
+  bool honest_is_dse;                     // (H,H) is a DSE
+  bool analytic_matches_enumeration;      // cross-check result
+};
+
+/// Sweeps f over [0, 1] in `steps` uniform samples of the symmetric
+/// audited game (Table 2) and cross-checks Observation 2 against exact
+/// equilibrium enumeration.
+Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
+                                                      double cheat_gain,
+                                                      double loss,
+                                                      double penalty,
+                                                      int steps);
+
+/// One sample of the Figure 2 landscape (equilibria vs penalty at fixed
+/// frequency).
+struct PenaltySweepRow {
+  double penalty;
+  SymmetricRegion analytic_region;
+  std::vector<std::string> nash_equilibria;
+  bool honest_is_dse;
+  bool analytic_matches_enumeration;
+};
+
+/// Sweeps P over [0, max_penalty] in `steps` samples; cross-checks
+/// Observation 3.
+Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
+                                                  double cheat_gain,
+                                                  double loss,
+                                                  double frequency,
+                                                  double max_penalty,
+                                                  int steps);
+
+/// One cell of the Figure 3 (f1, f2) grid for the asymmetric game.
+struct AsymmetricGridCell {
+  double f1;
+  double f2;
+  AsymmetricRegion analytic_region;
+  std::vector<std::string> nash_equilibria;
+  bool analytic_matches_enumeration;
+};
+
+/// Evaluates the asymmetric audited game on a `steps` x `steps` grid
+/// over [0,1]^2 of audit frequencies (penalties fixed in `params`).
+Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
+    const TwoPlayerGameParams& params, int steps);
+
+/// One sample of the Figure 4 landscape (n-player equilibria vs P).
+struct NPlayerBandRow {
+  double penalty;
+  int analytic_honest_count;       // Theorem 1 prediction
+  std::vector<int> equilibrium_honest_counts;  // game-theoretic check
+  bool honest_is_dominant;         // Proposition 1 regime
+  bool cheat_is_dominant;          // Proposition 2 regime
+  bool analytic_matches_enumeration;
+};
+
+/// Sweeps P over [0, max_penalty] for the n-player game and cross-checks
+/// Theorem 1's band structure.
+Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
+    const NPlayerHonestyGame::Params& base_params, double max_penalty,
+    int steps);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_LANDSCAPE_H_

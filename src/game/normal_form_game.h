@@ -1,0 +1,61 @@
+#ifndef HSIS_GAME_NORMAL_FORM_GAME_H_
+#define HSIS_GAME_NORMAL_FORM_GAME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hsis::game {
+
+/// One pure strategy index per player.
+using StrategyProfile = std::vector<int>;
+
+/// A finite n-player strategic (normal-form) game with dense payoff
+/// storage: payoffs are a tensor indexed by the strategy profile.
+///
+/// Suitable for the paper's 2-player games and for cross-validating the
+/// n-player honesty game at small n; `SymmetricBinaryGame` handles the
+/// large-n symmetric case without exponential blowup.
+class NormalFormGame {
+ public:
+  /// Creates a game with `strategy_counts[i]` strategies for player i.
+  /// All payoffs start at 0. Fails if any count is < 1, there are fewer
+  /// than 1 players, or the profile space exceeds ~64M entries.
+  static Result<NormalFormGame> Create(std::vector<int> strategy_counts);
+
+  int num_players() const { return static_cast<int>(strategy_counts_.size()); }
+  int num_strategies(int player) const { return strategy_counts_[static_cast<size_t>(player)]; }
+  size_t num_profiles() const { return num_profiles_; }
+
+  /// Sets player `player`'s payoff at `profile`.
+  void SetPayoff(const StrategyProfile& profile, int player, double value);
+
+  /// Sets all players' payoffs at `profile`.
+  void SetPayoffs(const StrategyProfile& profile,
+                  const std::vector<double>& values);
+
+  double Payoff(const StrategyProfile& profile, int player) const;
+
+  /// Mixed-radix encoding of a profile into [0, num_profiles()).
+  size_t ProfileIndex(const StrategyProfile& profile) const;
+
+  /// Inverse of `ProfileIndex`.
+  StrategyProfile ProfileFromIndex(size_t index) const;
+
+  /// Names used in reports and table printers; default "s0", "s1", ...
+  void SetStrategyNames(std::vector<std::string> names);
+  const std::string& StrategyName(int strategy) const;
+
+ private:
+  explicit NormalFormGame(std::vector<int> strategy_counts);
+
+  std::vector<int> strategy_counts_;
+  size_t num_profiles_;
+  std::vector<double> payoffs_;  // [profile_index * n + player]
+  std::vector<std::string> strategy_names_;
+};
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_NORMAL_FORM_GAME_H_

@@ -1,0 +1,53 @@
+#include "game/repeated_analysis.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace hsis::game {
+
+double CriticalDiscount(double benefit, double cheat_gain, double loss,
+                        double frequency, double penalty) {
+  HSIS_CHECK(frequency >= 0 && frequency <= 1);
+  HSIS_CHECK(loss >= 0 && penalty >= 0);
+  double deviation = (1 - frequency) * cheat_gain - frequency * penalty;
+  if (deviation <= benefit) return 0.0;  // stage game already deters
+  double bite = (1 - frequency) * loss;  // per-round punishment depth
+  if (bite <= 0) return std::numeric_limits<double>::infinity();
+  double delta = (deviation - benefit) / bite;
+  if (delta > 1.0) return std::numeric_limits<double>::infinity();
+  return delta;
+}
+
+bool GrimTriggerSustainsHonesty(double benefit, double cheat_gain, double loss,
+                                double frequency, double penalty,
+                                double delta) {
+  HSIS_CHECK(delta >= 0 && delta < 1);
+  return delta >= CriticalDiscount(benefit, cheat_gain, loss, frequency,
+                                   penalty);
+}
+
+double CriticalFrequencyWithPatience(double benefit, double cheat_gain,
+                                     double loss, double penalty,
+                                     double delta) {
+  HSIS_CHECK(delta >= 0 && delta < 1);
+  double effective_temptation = cheat_gain - delta * loss;
+  if (effective_temptation <= benefit) return 0.0;  // patience suffices
+  double denom = effective_temptation + penalty;
+  HSIS_CHECK(denom > 0);
+  return std::min(1.0, (effective_temptation - benefit) / denom);
+}
+
+double DiscountedValue(double per_round, double delta) {
+  HSIS_CHECK(delta >= 0 && delta < 1);
+  return per_round / (1 - delta);
+}
+
+double DeviationValue(double deviation_payoff, double punishment_per_round,
+                      double delta) {
+  HSIS_CHECK(delta >= 0 && delta < 1);
+  return deviation_payoff + delta * punishment_per_round / (1 - delta);
+}
+
+}  // namespace hsis::game

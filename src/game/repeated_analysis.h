@@ -1,0 +1,64 @@
+#ifndef HSIS_GAME_REPEATED_ANALYSIS_H_
+#define HSIS_GAME_REPEATED_ANALYSIS_H_
+
+#include "common/result.h"
+
+namespace hsis::game {
+
+/// Folk-theorem analysis of the infinitely repeated honesty game: can
+/// *repetition* (the shadow of the future) substitute for — or combine
+/// with — the auditing device?
+///
+/// Stage game = the symmetric audited game of Table 2 (Table 1 when
+/// f = P = 0). Strategy: grim trigger — play H until the opponent ever
+/// plays C, then play C forever. Because (C,C) is a stage-game Nash
+/// equilibrium (Observation 1), the punishment path is credible
+/// (subgame perfect).
+///
+/// With discount factor delta, a one-shot deviation yields
+/// d = (1-f)F - fP now and the mutual-cheat payoff m = d - (1-f)L
+/// forever after, against B forever on the path. Honesty is
+/// sustainable iff
+///
+///     delta >= (d - B) / (d - m) = ((1-f)F - fP - B) / ((1-f)L).
+///
+/// Setting f = P = 0 gives the pure-repetition condition
+/// delta* = (F - B)/L: patience alone deters exactly when the
+/// collateral damage L of mutual cheating exceeds the cheating gain
+/// F - B (and players are patient enough).
+
+/// The critical discount factor delta*. Returns 0 when the stage game
+/// already deters (d <= B); +infinity when punishment has no bite
+/// (L = 0, or the required delta exceeds 1 — repetition cannot help).
+double CriticalDiscount(double benefit, double cheat_gain, double loss,
+                        double frequency = 0.0, double penalty = 0.0);
+
+/// True iff grim trigger sustains (H,H) as a subgame-perfect outcome at
+/// discount `delta`.
+bool GrimTriggerSustainsHonesty(double benefit, double cheat_gain, double loss,
+                                double frequency, double penalty,
+                                double delta);
+
+/// The generalized Observation 2: the minimum audit frequency when
+/// players discount at `delta` and punish by grim trigger —
+///
+///     f*(delta) = max(0, (F - delta L - B) / (F - delta L + P)).
+///
+/// delta = 0 recovers CriticalFrequency exactly; patience shrinks the
+/// effective temptation from F to F - delta L.
+double CriticalFrequencyWithPatience(double benefit, double cheat_gain,
+                                     double loss, double penalty,
+                                     double delta);
+
+/// Discounted value of receiving `per_round` forever: per_round/(1-delta).
+/// Requires delta in [0, 1).
+double DiscountedValue(double per_round, double delta);
+
+/// Discounted value of a one-shot deviation followed by punishment
+/// forever: deviation_payoff + delta * punishment_per_round/(1-delta).
+double DeviationValue(double deviation_payoff, double punishment_per_round,
+                      double delta);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_REPEATED_ANALYSIS_H_

@@ -1,0 +1,137 @@
+#include "game/report.h"
+
+#include <cstdio>
+
+namespace hsis::game {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string Join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ';';
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string JoinInts(const std::vector<int>& parts) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ';';
+    out += std::to_string(parts[i]);
+  }
+  return out;
+}
+
+const char* AsymmetricRegionSlug(AsymmetricRegion region) {
+  switch (region) {
+    case AsymmetricRegion::kBothCheat:
+      return "CC";
+    case AsymmetricRegion::kOnlyP1Cheats:
+      return "CH";
+    case AsymmetricRegion::kOnlyP2Cheats:
+      return "HC";
+    case AsymmetricRegion::kBothHonest:
+      return "HH";
+    case AsymmetricRegion::kBoundary:
+      return "boundary";
+  }
+  return "?";
+}
+
+const char* RegionSlug(SymmetricRegion region) {
+  switch (region) {
+    case SymmetricRegion::kAllCheatUniqueDse:
+      return "all_cheat";
+    case SymmetricRegion::kBoundary:
+      return "boundary";
+    case SymmetricRegion::kAllHonestUniqueDse:
+      return "all_honest";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string FrequencySweepToCsv(const std::vector<FrequencySweepRow>& rows) {
+  std::string out =
+      "frequency,region,nash_equilibria,honest_is_dse,matches_enumeration\n";
+  for (const FrequencySweepRow& row : rows) {
+    out += FormatDouble(row.frequency);
+    out += ',';
+    out += RegionSlug(row.analytic_region);
+    out += ',';
+    out += Join(row.nash_equilibria);
+    out += ',';
+    out += row.honest_is_dse ? "1" : "0";
+    out += ',';
+    out += row.analytic_matches_enumeration ? "1" : "0";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string PenaltySweepToCsv(const std::vector<PenaltySweepRow>& rows) {
+  std::string out =
+      "penalty,region,nash_equilibria,honest_is_dse,matches_enumeration\n";
+  for (const PenaltySweepRow& row : rows) {
+    out += FormatDouble(row.penalty);
+    out += ',';
+    out += RegionSlug(row.analytic_region);
+    out += ',';
+    out += Join(row.nash_equilibria);
+    out += ',';
+    out += row.honest_is_dse ? "1" : "0";
+    out += ',';
+    out += row.analytic_matches_enumeration ? "1" : "0";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AsymmetricGridToCsv(const std::vector<AsymmetricGridCell>& cells) {
+  std::string out = "f1,f2,region,nash_equilibria,matches_enumeration\n";
+  for (const AsymmetricGridCell& cell : cells) {
+    out += FormatDouble(cell.f1);
+    out += ',';
+    out += FormatDouble(cell.f2);
+    out += ',';
+    out += AsymmetricRegionSlug(cell.analytic_region);
+    out += ',';
+    out += Join(cell.nash_equilibria);
+    out += ',';
+    out += cell.analytic_matches_enumeration ? "1" : "0";
+    out += '\n';
+  }
+  return out;
+}
+
+std::string NPlayerBandsToCsv(const std::vector<NPlayerBandRow>& rows) {
+  std::string out =
+      "penalty,analytic_honest_count,equilibrium_honest_counts,"
+      "honest_dominant,cheat_dominant,matches_enumeration\n";
+  for (const NPlayerBandRow& row : rows) {
+    out += FormatDouble(row.penalty);
+    out += ',';
+    out += std::to_string(row.analytic_honest_count);
+    out += ',';
+    out += JoinInts(row.equilibrium_honest_counts);
+    out += ',';
+    out += row.honest_is_dominant ? "1" : "0";
+    out += ',';
+    out += row.cheat_is_dominant ? "1" : "0";
+    out += ',';
+    out += row.analytic_matches_enumeration ? "1" : "0";
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hsis::game

@@ -1,0 +1,33 @@
+#ifndef HSIS_GAME_REPORT_H_
+#define HSIS_GAME_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "game/landscape.h"
+
+namespace hsis::game {
+
+/// CSV serializers for the landscape sweeps — plot-ready data for the
+/// paper's four figures. Each returns a header row followed by one line
+/// per sample; fields containing commas are not produced by these
+/// sweeps so no quoting is needed.
+
+/// Columns: frequency, region, nash_equilibria (';'-joined), honest_is_dse,
+/// matches_enumeration.
+std::string FrequencySweepToCsv(const std::vector<FrequencySweepRow>& rows);
+
+/// Columns: penalty, region, nash_equilibria, honest_is_dse,
+/// matches_enumeration.
+std::string PenaltySweepToCsv(const std::vector<PenaltySweepRow>& rows);
+
+/// Columns: f1, f2, region, nash_equilibria, matches_enumeration.
+std::string AsymmetricGridToCsv(const std::vector<AsymmetricGridCell>& cells);
+
+/// Columns: penalty, analytic_honest_count, equilibrium_honest_counts
+/// (';'-joined), honest_dominant, cheat_dominant, matches_enumeration.
+std::string NPlayerBandsToCsv(const std::vector<NPlayerBandRow>& rows);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_REPORT_H_

@@ -1,0 +1,74 @@
+#include "game/reward_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "game/honesty_games.h"
+
+namespace hsis::game {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+Result<NormalFormGame> MakeRewardAuditedGame(double benefit, double cheat_gain,
+                                             double loss,
+                                             const RewardTerms& terms) {
+  if (benefit < 0 || cheat_gain <= benefit || loss < 0) {
+    return Status::InvalidArgument("require F > B >= 0 and L >= 0");
+  }
+  if (terms.frequency < 0 || terms.frequency > 1 || terms.reward < 0 ||
+      terms.penalty < 0) {
+    return Status::InvalidArgument("require f in [0,1], R >= 0, P >= 0");
+  }
+  HSIS_ASSIGN_OR_RETURN(NormalFormGame game, NormalFormGame::Create({2, 2}));
+  game.SetStrategyNames({"H", "C"});
+
+  const double f = terms.frequency;
+  const double honest = benefit + f * terms.reward;
+  const double cheat = (1 - f) * cheat_gain - f * terms.penalty;
+  const double spill = (1 - f) * loss;
+
+  game.SetPayoffs({kHonest, kHonest}, {honest, honest});
+  game.SetPayoffs({kHonest, kCheat}, {honest - spill, cheat});
+  game.SetPayoffs({kCheat, kHonest}, {cheat, honest - spill});
+  game.SetPayoffs({kCheat, kCheat}, {cheat - spill, cheat - spill});
+  return game;
+}
+
+double CriticalReward(double benefit, double cheat_gain, double frequency,
+                      double penalty) {
+  HSIS_CHECK(frequency > 0 && frequency <= 1);
+  double r = ((1 - frequency) * cheat_gain - benefit) / frequency - penalty;
+  return std::max(0.0, r);
+}
+
+DeviceEffectiveness ClassifyRewardDevice(double benefit, double cheat_gain,
+                                         const RewardTerms& terms) {
+  // Honesty dominant iff B + fR > (1-f)F - fP, i.e. the expected swing
+  // f(R + P) exceeds the net expected cheating gain.
+  double swing = terms.frequency * (terms.reward + terms.penalty);
+  double net_cheat_gain = (1 - terms.frequency) * cheat_gain - benefit;
+  if (swing > net_cheat_gain + kEps) {
+    return DeviceEffectiveness::kTransformative;
+  }
+  if (std::abs(swing - net_cheat_gain) <= kEps) {
+    return DeviceEffectiveness::kEffective;
+  }
+  return DeviceEffectiveness::kIneffective;
+}
+
+double OperatorCostAtHonestEquilibrium(int n, const RewardTerms& terms) {
+  return n * terms.frequency * terms.reward;
+}
+
+double OperatorCostAtHonestCount(int n, int honest_count,
+                                 const RewardTerms& terms) {
+  HSIS_CHECK(honest_count >= 0 && honest_count <= n);
+  double pays = honest_count * terms.frequency * terms.reward;
+  double collects = (n - honest_count) * terms.frequency * terms.penalty;
+  return pays - collects;
+}
+
+}  // namespace hsis::game

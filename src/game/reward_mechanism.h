@@ -1,0 +1,60 @@
+#ifndef HSIS_GAME_REWARD_MECHANISM_H_
+#define HSIS_GAME_REWARD_MECHANISM_H_
+
+#include "common/result.h"
+#include "game/normal_form_game.h"
+#include "game/thresholds.h"
+
+namespace hsis::game {
+
+/// The paper's Section 7 future work: "study if appropriately designed
+/// incentives (rather than penalties) can also lead to honesty."
+///
+/// This module answers it. The device still audits with frequency f,
+/// but now *pays a reward R* to a player whose audit verifies, while
+/// (optionally) still fining P on a detected cheat. Expected payoffs:
+///
+///   honest: B + f R               cheat: (1-f) F - f P
+///
+/// so honesty is the unique DSE/NE iff f (R + P) > (1-f) F - B — the
+/// Observation 3 condition with R + P in the penalty's place. Rewards
+/// and penalties are perfect substitutes for *incentives*; they differ
+/// sharply in *operator economics*: at the all-honest equilibrium a
+/// penalty regime collects (and pays) nothing, while a reward regime
+/// pays n f R every round, forever.
+
+/// Audit terms of the reward/hybrid device.
+struct RewardTerms {
+  double frequency = 0.0;  // f in [0, 1]
+  double reward = 0.0;     // R >= 0, paid on a verified-honest audit
+  double penalty = 0.0;    // P >= 0, charged on a detected cheat
+};
+
+/// Builds the symmetric two-player reward-audited game.
+Result<NormalFormGame> MakeRewardAuditedGame(double benefit, double cheat_gain,
+                                             double loss,
+                                             const RewardTerms& terms);
+
+/// The minimum reward that (with penalty P already in place) makes
+/// honesty the unique DSE/NE at frequency f > 0:
+/// R* = ((1-f)F - B)/f - P, floored at 0.
+double CriticalReward(double benefit, double cheat_gain, double frequency,
+                      double penalty);
+
+/// Section 4 taxonomy applied to the reward/hybrid device.
+DeviceEffectiveness ClassifyRewardDevice(double benefit, double cheat_gain,
+                                         const RewardTerms& terms);
+
+/// Expected per-round cost to the device operator when all n players
+/// are honest: n * f * R (penalties collect nothing at that point).
+double OperatorCostAtHonestEquilibrium(int n, const RewardTerms& terms);
+
+/// Expected per-round operator cost at an arbitrary honest count x (out
+/// of n): pays rewards to audited-honest players, collects penalties
+/// from audited cheaters. Negative = the operator profits.
+double OperatorCostAtHonestCount(int n, int honest_count,
+                                 const RewardTerms& terms);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_REWARD_MECHANISM_H_

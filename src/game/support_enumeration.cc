@@ -1,0 +1,212 @@
+#include "game/support_enumeration.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hsis::game {
+
+namespace {
+
+constexpr double kTol = 1e-9;
+
+/// Solves the square linear system `a` x = b by Gaussian elimination
+/// with partial pivoting. Returns false when (numerically) singular.
+bool SolveLinearSystem(std::vector<std::vector<double>> a,
+                       std::vector<double> b, std::vector<double>& x) {
+  const size_t n = a.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  x.assign(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (size_t k = row + 1; k < n; ++k) acc -= a[row][k] * x[k];
+    x[row] = acc / a[row][row];
+  }
+  return true;
+}
+
+/// Given the opponent support `support` and the payoffs of `player`,
+/// finds the opponent mixture over `support` that makes `player`
+/// indifferent across `own_support` (plus the normalization row).
+/// Returns false if the system is singular or the mixture infeasible.
+bool SolveIndifference(const NormalFormGame& game, int player,
+                       const std::vector<int>& own_support,
+                       const std::vector<int>& opp_support,
+                       std::vector<double>& mixture, double& value) {
+  const size_t k = own_support.size();
+  HSIS_CHECK(k == opp_support.size());
+  // Unknowns: mixture over opp_support (k of them) + the common value v.
+  // Equations: for each i in own_support: sum_j q_j u(i, j) - v = 0;
+  // plus sum_j q_j = 1.
+  std::vector<std::vector<double>> a(k + 1, std::vector<double>(k + 1, 0.0));
+  std::vector<double> b(k + 1, 0.0);
+  for (size_t row = 0; row < k; ++row) {
+    for (size_t col = 0; col < k; ++col) {
+      StrategyProfile profile(2);
+      profile[static_cast<size_t>(player)] = own_support[row];
+      profile[static_cast<size_t>(1 - player)] = opp_support[col];
+      a[row][col] = game.Payoff(profile, player);
+    }
+    a[row][k] = -1.0;  // -v
+  }
+  for (size_t col = 0; col < k; ++col) a[k][col] = 1.0;
+  b[k] = 1.0;
+
+  std::vector<double> solution;
+  if (!SolveLinearSystem(std::move(a), std::move(b), solution)) return false;
+  mixture.assign(solution.begin(), solution.begin() + static_cast<ptrdiff_t>(k));
+  value = solution[k];
+  for (double q : mixture) {
+    if (q < -kTol) return false;
+  }
+  return true;
+}
+
+/// Expands a support mixture to a full distribution.
+std::vector<double> Expand(const std::vector<int>& support,
+                           const std::vector<double>& mixture,
+                           int num_strategies) {
+  std::vector<double> out(static_cast<size_t>(num_strategies), 0.0);
+  for (size_t i = 0; i < support.size(); ++i) {
+    out[static_cast<size_t>(support[i])] = std::max(0.0, mixture[i]);
+  }
+  // Renormalize tiny numeric drift.
+  double sum = 0;
+  for (double v : out) sum += v;
+  if (sum > 0) {
+    for (double& v : out) v /= sum;
+  }
+  return out;
+}
+
+void EnumerateSupports(int num_strategies, size_t size,
+                       std::vector<std::vector<int>>& out) {
+  std::vector<int> current;
+  // Iterative subset enumeration by bitmask keeps this simple; counts
+  // are small (<= 16 strategies).
+  for (uint32_t mask = 1; mask < (1u << num_strategies); ++mask) {
+    if (static_cast<size_t>(__builtin_popcount(mask)) != size) continue;
+    current.clear();
+    for (int s = 0; s < num_strategies; ++s) {
+      if (mask & (1u << s)) current.push_back(s);
+    }
+    out.push_back(current);
+  }
+}
+
+bool SameProfile(const MixedStrategyProfile& a, const MixedStrategyProfile& b) {
+  for (size_t i = 0; i < a.p1.size(); ++i) {
+    if (std::abs(a.p1[i] - b.p1[i]) > 1e-6) return false;
+  }
+  for (size_t i = 0; i < a.p2.size(); ++i) {
+    if (std::abs(a.p2[i] - b.p2[i]) > 1e-6) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool MixedStrategyProfile::IsPure(double tol) const {
+  auto pure = [tol](const std::vector<double>& p) {
+    for (double v : p) {
+      if (v > tol && v < 1 - tol) return false;
+    }
+    return true;
+  };
+  return pure(p1) && pure(p2);
+}
+
+double ExpectedPayoff(const NormalFormGame& game, int player,
+                      const std::vector<double>& p1,
+                      const std::vector<double>& p2) {
+  double total = 0;
+  for (int i = 0; i < game.num_strategies(0); ++i) {
+    if (p1[static_cast<size_t>(i)] == 0) continue;
+    for (int j = 0; j < game.num_strategies(1); ++j) {
+      if (p2[static_cast<size_t>(j)] == 0) continue;
+      total += p1[static_cast<size_t>(i)] * p2[static_cast<size_t>(j)] *
+               game.Payoff({i, j}, player);
+    }
+  }
+  return total;
+}
+
+bool IsMixedNashEquilibrium(const NormalFormGame& game,
+                            const std::vector<double>& p1,
+                            const std::vector<double>& p2, double tol) {
+  double u1 = ExpectedPayoff(game, 0, p1, p2);
+  double u2 = ExpectedPayoff(game, 1, p1, p2);
+  for (int i = 0; i < game.num_strategies(0); ++i) {
+    std::vector<double> pure(p1.size(), 0.0);
+    pure[static_cast<size_t>(i)] = 1.0;
+    if (ExpectedPayoff(game, 0, pure, p2) > u1 + tol) return false;
+  }
+  for (int j = 0; j < game.num_strategies(1); ++j) {
+    std::vector<double> pure(p2.size(), 0.0);
+    pure[static_cast<size_t>(j)] = 1.0;
+    if (ExpectedPayoff(game, 1, p1, pure) > u2 + tol) return false;
+  }
+  return true;
+}
+
+Result<std::vector<MixedStrategyProfile>> SupportEnumerationEquilibria(
+    const NormalFormGame& game) {
+  if (game.num_players() != 2) {
+    return Status::InvalidArgument("support enumeration handles 2 players");
+  }
+  const int m = game.num_strategies(0);
+  const int n = game.num_strategies(1);
+  if (m > 16 || n > 16) {
+    return Status::OutOfRange("support enumeration limited to 16 strategies");
+  }
+
+  std::vector<MixedStrategyProfile> found;
+  size_t max_size = static_cast<size_t>(std::min(m, n));
+  for (size_t size = 1; size <= max_size; ++size) {
+    std::vector<std::vector<int>> supports1, supports2;
+    EnumerateSupports(m, size, supports1);
+    EnumerateSupports(n, size, supports2);
+    for (const auto& s1 : supports1) {
+      for (const auto& s2 : supports2) {
+        // Player 1 indifferent across s1 given player 2's mixture on s2,
+        // and symmetrically.
+        std::vector<double> q2, q1;
+        double v1 = 0, v2 = 0;
+        if (!SolveIndifference(game, 0, s1, s2, q2, v1)) continue;
+        if (!SolveIndifference(game, 1, s2, s1, q1, v2)) continue;
+
+        MixedStrategyProfile profile;
+        profile.p1 = Expand(s1, q1, m);
+        profile.p2 = Expand(s2, q2, n);
+        if (!IsMixedNashEquilibrium(game, profile.p1, profile.p2)) continue;
+        profile.payoff1 = ExpectedPayoff(game, 0, profile.p1, profile.p2);
+        profile.payoff2 = ExpectedPayoff(game, 1, profile.p1, profile.p2);
+
+        bool duplicate = false;
+        for (const MixedStrategyProfile& existing : found) {
+          if (SameProfile(existing, profile)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) found.push_back(std::move(profile));
+      }
+    }
+  }
+  return found;
+}
+
+}  // namespace hsis::game

@@ -1,0 +1,51 @@
+#ifndef HSIS_GAME_SUPPORT_ENUMERATION_H_
+#define HSIS_GAME_SUPPORT_ENUMERATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "game/normal_form_game.h"
+
+namespace hsis::game {
+
+/// A (possibly mixed) strategy profile of a two-player game.
+struct MixedStrategyProfile {
+  std::vector<double> p1;  // player 1's distribution over its strategies
+  std::vector<double> p2;  // player 2's distribution
+  double payoff1 = 0;      // expected payoffs at the profile
+  double payoff2 = 0;
+
+  /// True when both distributions are degenerate (a pure profile).
+  bool IsPure(double tol = 1e-9) const;
+};
+
+/// All Nash equilibria of a two-player game by support enumeration.
+///
+/// For every pair of equal-size supports, solves the indifference
+/// system (each player must be indifferent across its support given the
+/// other's mixture), then checks feasibility (non-negative
+/// probabilities) and optimality (no strategy outside the support does
+/// better). Complete for nondegenerate games — which all the honesty
+/// games off their threshold boundaries are; on boundaries (where a
+/// continuum of equilibria exists) it returns the vertex equilibria.
+///
+/// Exponential in the strategy counts by nature; intended for the small
+/// games this library analyzes (fails above 16 strategies per player).
+Result<std::vector<MixedStrategyProfile>> SupportEnumerationEquilibria(
+    const NormalFormGame& game);
+
+/// Expected payoff of `player` (0 or 1) at mixed profile (p1, p2).
+double ExpectedPayoff(const NormalFormGame& game, int player,
+                      const std::vector<double>& p1,
+                      const std::vector<double>& p2);
+
+/// True iff (p1, p2) is a (mixed) Nash equilibrium within tolerance:
+/// no pure deviation improves either player's expected payoff.
+bool IsMixedNashEquilibrium(const NormalFormGame& game,
+                            const std::vector<double>& p1,
+                            const std::vector<double>& p2,
+                            double tol = 1e-7);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_SUPPORT_ENUMERATION_H_

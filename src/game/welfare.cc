@@ -1,0 +1,69 @@
+#include "game/welfare.h"
+
+#include <limits>
+
+#include "game/equilibrium.h"
+
+namespace hsis::game {
+
+double SocialWelfare(const NormalFormGame& game,
+                     const StrategyProfile& profile) {
+  double total = 0;
+  for (int p = 0; p < game.num_players(); ++p) {
+    total += game.Payoff(profile, p);
+  }
+  return total;
+}
+
+Result<WelfareAnalysis> AnalyzeWelfare(const NormalFormGame& game) {
+  WelfareAnalysis out;
+  out.optimal_welfare = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < game.num_profiles(); ++i) {
+    StrategyProfile profile = game.ProfileFromIndex(i);
+    double welfare = SocialWelfare(game, profile);
+    if (welfare > out.optimal_welfare) {
+      out.optimal_welfare = welfare;
+      out.optimal_profile = profile;
+    }
+  }
+
+  std::vector<StrategyProfile> equilibria = PureNashEquilibria(game);
+  if (equilibria.empty()) {
+    out.has_pure_equilibrium = false;
+    out.equilibrium_welfare = 0;
+    out.price_of_dishonesty = std::numeric_limits<double>::quiet_NaN();
+    return out;
+  }
+  out.equilibrium_welfare = std::numeric_limits<double>::infinity();
+  for (const StrategyProfile& eq : equilibria) {
+    double welfare = SocialWelfare(game, eq);
+    if (welfare < out.equilibrium_welfare) {
+      out.equilibrium_welfare = welfare;
+      out.worst_equilibrium = eq;
+    }
+  }
+  if (out.equilibrium_welfare > 0) {
+    out.price_of_dishonesty = out.optimal_welfare / out.equilibrium_welfare;
+  } else if (out.optimal_welfare > 0) {
+    out.price_of_dishonesty = std::numeric_limits<double>::infinity();
+  } else {
+    out.price_of_dishonesty = 1.0;
+  }
+  return out;
+}
+
+double NPlayerWelfareAtHonestCount(const NPlayerHonestyGame& game, int x) {
+  const int n = game.n();
+  std::vector<bool> profile(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) profile[static_cast<size_t>(i)] = i < x;
+  double total = 0;
+  for (int i = 0; i < n; ++i) total += game.Payoff(profile, i);
+  return total;
+}
+
+double NetWelfareAllHonest(int n, double benefit, double frequency,
+                           double audit_cost) {
+  return n * benefit - n * frequency * audit_cost;
+}
+
+}  // namespace hsis::game

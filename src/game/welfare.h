@@ -1,0 +1,52 @@
+#ifndef HSIS_GAME_WELFARE_H_
+#define HSIS_GAME_WELFARE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "game/normal_form_game.h"
+#include "game/nplayer_game.h"
+
+namespace hsis::game {
+
+/// Social-welfare analysis of the honesty games: how much collective
+/// value does rational cheating destroy, and how much of it does the
+/// auditing device recover (net of its own running cost)?
+///
+/// In the no-audit game the social optimum is (H,H) with welfare 2B
+/// while the unique equilibrium (C,C) yields 2(F - L) — the "price of
+/// dishonesty". A transformative device moves the equilibrium to the
+/// optimum; its operating cost (expected audits) is the price paid.
+
+/// Sum of all players' payoffs at a pure profile.
+double SocialWelfare(const NormalFormGame& game, const StrategyProfile& profile);
+
+/// Welfare summary of a two-player game.
+struct WelfareAnalysis {
+  StrategyProfile optimal_profile;   // welfare-maximizing pure profile
+  double optimal_welfare = 0;
+  double equilibrium_welfare = 0;    // worst welfare among pure NE
+  StrategyProfile worst_equilibrium;
+  /// optimal / equilibrium welfare (the price-of-anarchy convention;
+  /// +inf when the equilibrium welfare is <= 0 while the optimum is
+  /// positive, 1 when they coincide).
+  double price_of_dishonesty = 1.0;
+  bool has_pure_equilibrium = true;
+};
+
+/// Analyzes any dense game (enumerates profiles and pure equilibria).
+Result<WelfareAnalysis> AnalyzeWelfare(const NormalFormGame& game);
+
+/// Welfare of the n-player honesty game's symmetric profile with x
+/// honest players (sum of equation-(1) payoffs; O(1) via closed form
+/// for the uniform-loss case, O(n^2) otherwise).
+double NPlayerWelfareAtHonestCount(const NPlayerHonestyGame& game, int x);
+
+/// Net social welfare of running the audited system at the all-honest
+/// equilibrium, charging the device's expected cost: n*B - n*f*audit_cost.
+double NetWelfareAllHonest(int n, double benefit, double frequency,
+                           double audit_cost);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_WELFARE_H_

@@ -1,0 +1,256 @@
+#include "sim/agent.h"
+
+#include "common/logging.h"
+
+namespace hsis::sim {
+
+namespace {
+
+class AlwaysHonestAgent final : public Agent {
+ public:
+  std::string name() const override { return "always-honest"; }
+  bool ChooseHonest(int, const std::vector<bool>&, int) override {
+    return true;
+  }
+};
+
+class AlwaysCheatAgent final : public Agent {
+ public:
+  std::string name() const override { return "always-cheat"; }
+  bool ChooseHonest(int, const std::vector<bool>&, int) override {
+    return false;
+  }
+};
+
+class BestResponseAgent final : public Agent {
+ public:
+  explicit BestResponseAgent(const game::NPlayerHonestyGame* game)
+      : game_(game) {
+    HSIS_CHECK(game != nullptr);
+  }
+
+  std::string name() const override { return "best-response"; }
+
+  bool ChooseHonest(int round, const std::vector<bool>& last_profile,
+                    int self) override {
+    if (round == 0 || last_profile.empty()) return true;
+    int honest_others = 0;
+    for (size_t j = 0; j < last_profile.size(); ++j) {
+      if (static_cast<int>(j) != self && last_profile[j]) ++honest_others;
+    }
+    return game_->CheatAdvantage(honest_others) <= 0;
+  }
+
+ private:
+  const game::NPlayerHonestyGame* game_;
+};
+
+class FictitiousPlayAgent final : public Agent {
+ public:
+  FictitiousPlayAgent(const game::NPlayerHonestyGame* game, uint64_t seed)
+      : game_(game), rng_(seed) {
+    HSIS_CHECK(game != nullptr);
+  }
+
+  std::string name() const override { return "fictitious-play"; }
+
+  bool ChooseHonest(int round, const std::vector<bool>&, int self) override {
+    if (round == 0 || observations_ == 0) return true;
+    // Monte Carlo estimate of E[CheatAdvantage(X)] where X counts honest
+    // opponents drawn from the empirical belief.
+    constexpr int kSamples = 64;
+    double total = 0;
+    for (int s = 0; s < kSamples; ++s) {
+      int honest_others = 0;
+      for (size_t j = 0; j < honest_counts_.size(); ++j) {
+        if (static_cast<int>(j) == self) continue;
+        double p = static_cast<double>(honest_counts_[j]) / observations_;
+        if (rng_.Bernoulli(p)) ++honest_others;
+      }
+      total += game_->CheatAdvantage(honest_others);
+    }
+    return total / kSamples <= 0;
+  }
+
+  void Observe(const std::vector<bool>& profile, int, double) override {
+    if (honest_counts_.size() != profile.size()) {
+      honest_counts_.assign(profile.size(), 0);
+      observations_ = 0;
+    }
+    for (size_t j = 0; j < profile.size(); ++j) {
+      honest_counts_[j] += profile[j] ? 1 : 0;
+    }
+    ++observations_;
+  }
+
+ private:
+  const game::NPlayerHonestyGame* game_;
+  Rng rng_;
+  std::vector<uint64_t> honest_counts_;
+  uint64_t observations_ = 0;
+};
+
+class EpsilonGreedyAgent final : public Agent {
+ public:
+  EpsilonGreedyAgent(uint64_t seed, double epsilon, double epsilon_decay,
+                     double learning_rate)
+      : rng_(seed),
+        epsilon_(epsilon),
+        epsilon_decay_(epsilon_decay),
+        learning_rate_(learning_rate) {}
+
+  std::string name() const override { return "epsilon-greedy-q"; }
+
+  bool ChooseHonest(int, const std::vector<bool>&, int) override {
+    bool honest;
+    if (rng_.Bernoulli(epsilon_)) {
+      honest = rng_.Bernoulli(0.5);  // explore
+    } else {
+      honest = q_[1] >= q_[0];  // exploit (ties favor honesty)
+    }
+    last_action_honest_ = honest;
+    epsilon_ *= epsilon_decay_;
+    return honest;
+  }
+
+  void Observe(const std::vector<bool>&, int, double payoff) override {
+    size_t a = last_action_honest_ ? 1 : 0;
+    q_[a] += learning_rate_ * (payoff - q_[a]);
+  }
+
+ private:
+  Rng rng_;
+  double epsilon_;
+  double epsilon_decay_;
+  double learning_rate_;
+  double q_[2] = {0.0, 0.0};  // [cheat, honest]
+  bool last_action_honest_ = true;
+};
+
+class GrimTriggerAgent final : public Agent {
+ public:
+  std::string name() const override { return "grim-trigger"; }
+
+  bool ChooseHonest(int, const std::vector<bool>&, int) override {
+    return !triggered_;
+  }
+
+  void Observe(const std::vector<bool>& profile, int self, double) override {
+    for (size_t j = 0; j < profile.size(); ++j) {
+      if (static_cast<int>(j) != self && !profile[j]) triggered_ = true;
+    }
+  }
+
+ private:
+  bool triggered_ = false;
+};
+
+class TitForTatAgent final : public Agent {
+ public:
+  std::string name() const override { return "tit-for-tat"; }
+
+  bool ChooseHonest(int round, const std::vector<bool>& last_profile,
+                    int self) override {
+    if (round == 0 || last_profile.empty()) return true;
+    for (size_t j = 0; j < last_profile.size(); ++j) {
+      if (static_cast<int>(j) != self && !last_profile[j]) return false;
+    }
+    return true;
+  }
+};
+
+class PavlovAgent final : public Agent {
+ public:
+  explicit PavlovAgent(double aspiration) : aspiration_(aspiration) {}
+
+  std::string name() const override { return "pavlov"; }
+
+  bool ChooseHonest(int, const std::vector<bool>&, int) override {
+    return next_honest_;
+  }
+
+  void Observe(const std::vector<bool>& profile, int self, double payoff) override {
+    bool played_honest = profile[static_cast<size_t>(self)];
+    next_honest_ = (payoff >= aspiration_) ? played_honest : !played_honest;
+  }
+
+ private:
+  double aspiration_;
+  bool next_honest_ = true;
+};
+
+class NoisyBestResponseAgent final : public Agent {
+ public:
+  NoisyBestResponseAgent(const game::NPlayerHonestyGame* game, uint64_t seed,
+                         double tremble)
+      : game_(game), rng_(seed), tremble_(tremble) {
+    HSIS_CHECK(game != nullptr);
+    HSIS_CHECK(tremble >= 0 && tremble <= 1);
+  }
+
+  std::string name() const override { return "noisy-best-response"; }
+
+  bool ChooseHonest(int round, const std::vector<bool>& last_profile,
+                    int self) override {
+    bool choice = true;
+    if (round > 0 && !last_profile.empty()) {
+      int honest_others = 0;
+      for (size_t j = 0; j < last_profile.size(); ++j) {
+        if (static_cast<int>(j) != self && last_profile[j]) ++honest_others;
+      }
+      choice = game_->CheatAdvantage(honest_others) <= 0;
+    }
+    if (rng_.Bernoulli(tremble_)) choice = !choice;
+    return choice;
+  }
+
+ private:
+  const game::NPlayerHonestyGame* game_;
+  Rng rng_;
+  double tremble_;
+};
+
+}  // namespace
+
+std::unique_ptr<Agent> MakeAlwaysHonest() {
+  return std::make_unique<AlwaysHonestAgent>();
+}
+
+std::unique_ptr<Agent> MakeAlwaysCheat() {
+  return std::make_unique<AlwaysCheatAgent>();
+}
+
+std::unique_ptr<Agent> MakeBestResponse(const game::NPlayerHonestyGame* game) {
+  return std::make_unique<BestResponseAgent>(game);
+}
+
+std::unique_ptr<Agent> MakeFictitiousPlay(const game::NPlayerHonestyGame* game,
+                                          uint64_t seed) {
+  return std::make_unique<FictitiousPlayAgent>(game, seed);
+}
+
+std::unique_ptr<Agent> MakeEpsilonGreedy(uint64_t seed, double epsilon,
+                                         double epsilon_decay,
+                                         double learning_rate) {
+  return std::make_unique<EpsilonGreedyAgent>(seed, epsilon, epsilon_decay,
+                                              learning_rate);
+}
+
+std::unique_ptr<Agent> MakeGrimTrigger() {
+  return std::make_unique<GrimTriggerAgent>();
+}
+
+std::unique_ptr<Agent> MakeTitForTat() {
+  return std::make_unique<TitForTatAgent>();
+}
+
+std::unique_ptr<Agent> MakePavlov(double aspiration) {
+  return std::make_unique<PavlovAgent>(aspiration);
+}
+
+std::unique_ptr<Agent> MakeNoisyBestResponse(
+    const game::NPlayerHonestyGame* game, uint64_t seed, double tremble) {
+  return std::make_unique<NoisyBestResponseAgent>(game, seed, tremble);
+}
+
+}  // namespace hsis::sim

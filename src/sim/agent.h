@@ -1,0 +1,83 @@
+#ifndef HSIS_SIM_AGENT_H_
+#define HSIS_SIM_AGENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "game/nplayer_game.h"
+
+namespace hsis::sim {
+
+/// A repeated-game player strategy. Each round the simulator asks every
+/// agent for an action (honest / cheat), realizes payoffs, and feeds the
+/// observed profile back. The convergence experiments assume observable
+/// actions, the standard setting for best-response and fictitious-play
+/// dynamics.
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Chooses this round's action. `last_profile` is the previous round's
+  /// action profile (empty on round 0); `self` is this agent's index.
+  virtual bool ChooseHonest(int round, const std::vector<bool>& last_profile,
+                            int self) = 0;
+
+  /// Post-round feedback: the realized profile and this agent's payoff.
+  virtual void Observe(const std::vector<bool>& profile, int self,
+                       double payoff) {
+    (void)profile;
+    (void)self;
+    (void)payoff;
+  }
+};
+
+/// Always reports truthfully, whatever the incentives.
+std::unique_ptr<Agent> MakeAlwaysHonest();
+
+/// Always cheats.
+std::unique_ptr<Agent> MakeAlwaysCheat();
+
+/// Myopic best response: plays the action with the higher expected
+/// payoff against the opponents' previous-round profile (honest on round
+/// 0). The rational-player model the paper's equilibrium analysis is
+/// about.
+std::unique_ptr<Agent> MakeBestResponse(const game::NPlayerHonestyGame* game);
+
+/// Fictitious play: tracks each opponent's empirical honesty frequency
+/// and best-responds to that belief (Monte Carlo over the belief
+/// distribution, since F may be nonlinear).
+std::unique_ptr<Agent> MakeFictitiousPlay(const game::NPlayerHonestyGame* game,
+                                          uint64_t seed);
+
+/// Epsilon-greedy Q-learner over the two actions: no knowledge of the
+/// game's parameters, learns purely from realized payoffs. `epsilon`
+/// decays by `epsilon_decay` per round.
+std::unique_ptr<Agent> MakeEpsilonGreedy(uint64_t seed, double epsilon = 0.2,
+                                         double epsilon_decay = 0.995,
+                                         double learning_rate = 0.1);
+
+/// Grim trigger: honest until it ever observes a cheat, then cheats
+/// forever.
+std::unique_ptr<Agent> MakeGrimTrigger();
+
+/// Tit-for-tat (defined for any n: cheats iff any opponent cheated last
+/// round; honest on round 0).
+std::unique_ptr<Agent> MakeTitForTat();
+
+/// Pavlov / win-stay-lose-shift: repeats its previous action when the
+/// last payoff reached `aspiration`, switches otherwise. Starts honest.
+std::unique_ptr<Agent> MakePavlov(double aspiration);
+
+/// Best response with a trembling hand: plays the myopic best response
+/// but flips the action with probability `tremble` — for testing that
+/// convergence in the transformative region is robust to noise.
+std::unique_ptr<Agent> MakeNoisyBestResponse(
+    const game::NPlayerHonestyGame* game, uint64_t seed, double tremble);
+
+}  // namespace hsis::sim
+
+#endif  // HSIS_SIM_AGENT_H_

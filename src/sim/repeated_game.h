@@ -1,0 +1,85 @@
+#ifndef HSIS_SIM_REPEATED_GAME_H_
+#define HSIS_SIM_REPEATED_GAME_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "game/nplayer_game.h"
+#include "sim/agent.h"
+
+namespace hsis::sim {
+
+/// What agents see of each other after a round.
+enum class ObservationMode {
+  /// Agents observe the true action profile (the standard
+  /// complete-information setting for convergence dynamics).
+  kFullProfile,
+  /// The paper's information model: actions are private; an agent's
+  /// cheat becomes visible to others only when the auditing device
+  /// catches it. Uncaught cheats are observed as "honest". Requires
+  /// PayoffMode::kSampled (catches are realized events). Each agent
+  /// still observes its own true action and payoff.
+  kDetectedCheatsOnly,
+};
+
+/// How per-round payoffs are realized.
+enum class PayoffMode {
+  /// Expected payoffs straight from equation (1) — deterministic.
+  kExpected,
+  /// Stochastic realization: each cheater is independently caught with
+  /// probability f (paying the full penalty P) and gains the full F when
+  /// uncaught; losses hit victims only for uncaught cheats. Expectation
+  /// equals the kExpected payoff.
+  kSampled,
+};
+
+/// Configuration of a repeated-game run.
+struct RepeatedGameConfig {
+  int rounds = 200;
+  PayoffMode mode = PayoffMode::kExpected;
+  uint64_t seed = 1;
+  /// A run is converged once the action profile is unchanged for this
+  /// many final consecutive rounds.
+  int convergence_window = 20;
+  ObservationMode observation = ObservationMode::kFullProfile;
+  /// Discount factor applied to `discounted_payoffs` (round t weighted
+  /// by discount^t). 1.0 = undiscounted. Agents still observe raw
+  /// per-round payoffs; discounting is an accounting lens used by the
+  /// folk-theorem experiments (game/repeated_analysis.h).
+  double discount = 1.0;
+};
+
+/// Aggregate results of a repeated-game run.
+struct RepeatedGameResult {
+  /// Last round's profile (true = honest).
+  std::vector<bool> final_profile;
+  /// Fraction of honest actions over all rounds / over the final window.
+  double honesty_rate_overall = 0;
+  double honesty_rate_final = 0;
+  /// Whether the profile was stable over the final window.
+  bool converged = false;
+  /// Round at which the final stable profile first appeared (or -1).
+  int convergence_round = -1;
+  /// Per-agent cumulative payoffs.
+  std::vector<double> cumulative_payoffs;
+  /// Per-agent discounted payoff streams (sum of discount^t * u_t).
+  std::vector<double> discounted_payoffs;
+  /// Per-round honest-player counts (the convergence trace).
+  std::vector<int> honest_counts;
+  /// Sampled mode: how many cheats occurred and how many were caught.
+  int64_t total_cheats = 0;
+  int64_t caught_cheats = 0;
+};
+
+/// Plays `game` repeatedly with the given agents and reports convergence
+/// behavior. `agents.size()` must equal the game's player count.
+Result<RepeatedGameResult> RunRepeatedGame(
+    const game::NPlayerHonestyGame& game,
+    const std::vector<std::unique_ptr<Agent>>& agents,
+    const RepeatedGameConfig& config);
+
+}  // namespace hsis::sim
+
+#endif  // HSIS_SIM_REPEATED_GAME_H_

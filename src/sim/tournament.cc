@@ -1,0 +1,73 @@
+#include "sim/tournament.h"
+
+#include <algorithm>
+
+namespace hsis::sim {
+
+Result<std::vector<TournamentStanding>> RunRoundRobinTournament(
+    const game::NPlayerHonestyGame& two_player_game,
+    const std::vector<StrategyEntry>& strategies,
+    const TournamentConfig& config) {
+  if (two_player_game.n() != 2) {
+    return Status::InvalidArgument("tournaments run on the 2-player game");
+  }
+  if (strategies.empty()) {
+    return Status::InvalidArgument("need at least one strategy");
+  }
+  for (const StrategyEntry& s : strategies) {
+    if (!s.make) return Status::InvalidArgument("strategy factory missing");
+  }
+
+  std::vector<TournamentStanding> standings(strategies.size());
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    standings[i].name = strategies[i].name;
+  }
+
+  uint64_t seed = config.seed;
+  for (size_t i = 0; i < strategies.size(); ++i) {
+    for (size_t j = i; j < strategies.size(); ++j) {
+      std::vector<std::unique_ptr<Agent>> agents;
+      agents.push_back(strategies[i].make(seed++));
+      agents.push_back(strategies[j].make(seed++));
+      RepeatedGameConfig match;
+      match.rounds = config.rounds_per_match;
+      match.mode = config.mode;
+      match.seed = seed++;
+      HSIS_ASSIGN_OR_RETURN(RepeatedGameResult result,
+                            RunRepeatedGame(two_player_game, agents, match));
+      standings[i].total_payoff += result.cumulative_payoffs[0];
+      standings[i].matches += 1;
+      standings[j].total_payoff += result.cumulative_payoffs[1];
+      standings[j].matches += 1;
+    }
+  }
+  for (TournamentStanding& s : standings) {
+    s.average_payoff_per_round =
+        s.total_payoff / (static_cast<double>(s.matches) *
+                          config.rounds_per_match);
+  }
+  std::sort(standings.begin(), standings.end(),
+            [](const TournamentStanding& a, const TournamentStanding& b) {
+              return a.total_payoff > b.total_payoff;
+            });
+  return standings;
+}
+
+std::vector<StrategyEntry> StandardLineup(
+    const game::NPlayerHonestyGame* game) {
+  return {
+      {"always-honest", [](uint64_t) { return MakeAlwaysHonest(); }},
+      {"always-cheat", [](uint64_t) { return MakeAlwaysCheat(); }},
+      {"best-response", [game](uint64_t) { return MakeBestResponse(game); }},
+      {"fictitious-play",
+       [game](uint64_t seed) { return MakeFictitiousPlay(game, seed); }},
+      {"grim-trigger", [](uint64_t) { return MakeGrimTrigger(); }},
+      {"tit-for-tat", [](uint64_t) { return MakeTitForTat(); }},
+      {"pavlov",
+       [game](uint64_t) { return MakePavlov(game->params().benefit - 0.5); }},
+      {"epsilon-greedy-q",
+       [](uint64_t seed) { return MakeEpsilonGreedy(seed, 0.4, 0.995, 0.15); }},
+  };
+}
+
+}  // namespace hsis::sim

@@ -1,0 +1,51 @@
+#ifndef HSIS_SIM_TOURNAMENT_H_
+#define HSIS_SIM_TOURNAMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/repeated_game.h"
+
+namespace hsis::sim {
+
+/// A named agent recipe for tournaments (agents are stateful, so each
+/// pairing needs fresh instances).
+struct StrategyEntry {
+  std::string name;
+  std::function<std::unique_ptr<Agent>(uint64_t seed)> make;
+};
+
+/// Standings of one strategy after a round-robin.
+struct TournamentStanding {
+  std::string name;
+  double total_payoff = 0;
+  double average_payoff_per_round = 0;
+  int matches = 0;
+};
+
+/// Axelrod-style round-robin: every strategy meets every strategy
+/// (including itself) in a repeated two-player honesty game; standings
+/// are ranked by total payoff. Used to study which behaviors thrive
+/// under a given audit regime — the population-dynamics complement to
+/// the equilibrium analysis.
+struct TournamentConfig {
+  int rounds_per_match = 200;
+  PayoffMode mode = PayoffMode::kExpected;
+  uint64_t seed = 1;
+};
+
+Result<std::vector<TournamentStanding>> RunRoundRobinTournament(
+    const game::NPlayerHonestyGame& two_player_game,
+    const std::vector<StrategyEntry>& strategies,
+    const TournamentConfig& config);
+
+/// The standard lineup used by the benches: always-honest, always-cheat,
+/// best-response, fictitious play, grim trigger, tit-for-tat, Pavlov,
+/// epsilon-greedy Q.
+std::vector<StrategyEntry> StandardLineup(const game::NPlayerHonestyGame* game);
+
+}  // namespace hsis::sim
+
+#endif  // HSIS_SIM_TOURNAMENT_H_

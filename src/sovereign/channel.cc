@@ -1,0 +1,67 @@
+#include "sovereign/channel.h"
+
+namespace hsis::sovereign {
+
+struct ChannelEndpoint::Shared {
+  Shared(crypto::AuthenticatedCipher c, Rng r)
+      : cipher(std::move(c)), rng(std::move(r)) {}
+
+  crypto::AuthenticatedCipher cipher;
+  Rng rng;
+  // queues[d]: messages travelling toward side d.
+  std::deque<Bytes> queues[2];
+};
+
+Status ChannelEndpoint::Send(const Bytes& plaintext) {
+  Bytes nonce = shared_->rng.RandomBytes(crypto::AuthenticatedCipher::kNonceSize);
+  // AAD binds direction and sequence number: replayed or reordered
+  // ciphertexts fail authentication at the receiver.
+  Bytes aad;
+  aad.push_back(static_cast<uint8_t>(side_));
+  AppendUint64BE(aad, send_seq_);
+  Result<Bytes> sealed = shared_->cipher.Seal(nonce, plaintext, aad);
+  HSIS_RETURN_IF_ERROR(sealed.status());
+  ++send_seq_;
+  bytes_sent_ += sealed->size();
+  shared_->queues[1 - side_].push_back(std::move(*sealed));
+  return Status::OK();
+}
+
+Result<Bytes> ChannelEndpoint::Receive() {
+  std::deque<Bytes>& inbox = shared_->queues[side_];
+  if (inbox.empty()) {
+    return Status::FailedPrecondition("no message pending on channel");
+  }
+  Bytes sealed = std::move(inbox.front());
+  inbox.pop_front();
+  Bytes aad;
+  aad.push_back(static_cast<uint8_t>(1 - side_));
+  AppendUint64BE(aad, recv_seq_);
+  Result<Bytes> opened = shared_->cipher.Open(sealed, aad);
+  HSIS_RETURN_IF_ERROR(opened.status());
+  ++recv_seq_;
+  return opened;
+}
+
+bool ChannelEndpoint::HasPending() const {
+  return !shared_->queues[side_].empty();
+}
+
+void ChannelEndpoint::CorruptNextInboundForTest() {
+  std::deque<Bytes>& inbox = shared_->queues[side_];
+  if (!inbox.empty() && !inbox.front().empty()) {
+    inbox.front()[inbox.front().size() / 2] ^= 0x40;
+  }
+}
+
+Result<std::pair<ChannelEndpoint, ChannelEndpoint>> SecureChannel::CreatePair(
+    const Bytes& master_key, Rng& rng) {
+  Result<crypto::AuthenticatedCipher> cipher =
+      crypto::AuthenticatedCipher::Create(master_key);
+  HSIS_RETURN_IF_ERROR(cipher.status());
+  auto shared = std::make_shared<ChannelEndpoint::Shared>(std::move(*cipher),
+                                                          rng.Fork());
+  return std::make_pair(ChannelEndpoint(shared, 0), ChannelEndpoint(shared, 1));
+}
+
+}  // namespace hsis::sovereign

@@ -1,0 +1,77 @@
+#ifndef HSIS_SOVEREIGN_DATASET_H_
+#define HSIS_SOVEREIGN_DATASET_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/random.h"
+
+namespace hsis::sovereign {
+
+/// One database tuple. The protocol layer treats tuples as opaque byte
+/// strings; the relational-operator layer adds a key/payload convention
+/// on top (see relational_ops.h).
+struct Tuple {
+  Bytes value;
+
+  Tuple() = default;
+  explicit Tuple(Bytes v) : value(std::move(v)) {}
+
+  static Tuple FromString(std::string_view s) { return Tuple(ToBytes(s)); }
+  std::string ToString() const { return BytesToString(value); }
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.value == b.value;
+  }
+  friend auto operator<=>(const Tuple& a, const Tuple& b) {
+    return a.value <=> b.value;
+  }
+};
+
+/// A multiset of tuples — one party's database D_i.
+///
+/// Stored in canonical (sorted) order so that equality, hashing and the
+/// exact set operations used as protocol ground truth are well defined.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Tuple> tuples);
+
+  static Dataset FromStrings(std::initializer_list<std::string_view> values);
+  static Dataset FromStrings(const std::vector<std::string>& values);
+
+  void Add(Tuple tuple);
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Tuples in canonical order.
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  bool Contains(const Tuple& tuple) const;
+
+  /// Number of occurrences of `tuple`.
+  size_t Count(const Tuple& tuple) const;
+
+  /// Exact multiset operations (protocol ground truth).
+  Dataset Intersect(const Dataset& other) const;
+  Dataset Union(const Dataset& other) const;
+  Dataset Difference(const Dataset& other) const;
+
+  /// Removes `n` uniformly-chosen tuples (withholding cheat). Removes
+  /// everything if n >= size.
+  void RemoveRandom(size_t n, Rng& rng);
+
+  friend bool operator==(const Dataset& a, const Dataset& b) {
+    return a.tuples_ == b.tuples_;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;  // kept sorted
+};
+
+}  // namespace hsis::sovereign
+
+#endif  // HSIS_SOVEREIGN_DATASET_H_

@@ -1,0 +1,270 @@
+#include "sovereign/intersection_protocol.h"
+
+#include <algorithm>
+#include <map>
+
+#include "crypto/commutative_cipher.h"
+#include "sovereign/channel.h"
+
+namespace hsis::sovereign {
+
+namespace {
+
+// Wire message type tags.
+constexpr uint8_t kMsgCommitment = 0x01;
+constexpr uint8_t kMsgEncryptedSet = 0x02;
+constexpr uint8_t kMsgDoubleEncryptedPairs = 0x03;
+constexpr uint8_t kMsgDoubleEncryptedSet = 0x04;
+
+Bytes SerializeElements(uint8_t tag, const std::vector<U256>& elements) {
+  Bytes out;
+  out.push_back(tag);
+  AppendUint32BE(out, static_cast<uint32_t>(elements.size()));
+  for (const U256& e : elements) Append(out, e.ToBytesBE());
+  return out;
+}
+
+Result<std::vector<U256>> ParseElements(uint8_t expected_tag,
+                                        const Bytes& msg) {
+  if (msg.size() < 5 || msg[0] != expected_tag) {
+    return Status::ProtocolViolation("unexpected message type");
+  }
+  uint32_t count = ReadUint32BE(msg, 1);
+  if (msg.size() != 5 + static_cast<size_t>(count) * 32) {
+    return Status::ProtocolViolation("malformed element list");
+  }
+  std::vector<U256> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Bytes chunk(msg.begin() + 5 + static_cast<ptrdiff_t>(i) * 32,
+                msg.begin() + 5 + static_cast<ptrdiff_t>(i + 1) * 32);
+    out.push_back(U256::FromBytesBE(chunk));
+  }
+  return out;
+}
+
+/// Per-party protocol state.
+struct Participant {
+  Participant(const Dataset& reported, ChannelEndpoint endpoint,
+              crypto::CommutativeCipher cipher)
+      : data(&reported),
+        channel(std::move(endpoint)),
+        cipher(std::move(cipher)) {}
+
+  const Dataset* data;
+  ChannelEndpoint channel;
+  crypto::CommutativeCipher cipher;
+
+  // h(t) per own tuple, aligned with data->tuples().
+  std::vector<U256> hashed;
+  // E_self(h(t)), aligned with tuples.
+  std::vector<U256> self_encrypted;
+  // The peer's set after our encryption: {E_self(E_peer(h(peer tuple)))}.
+  std::vector<U256> peer_double_encrypted;
+  // Our tuples' values under both keys, aligned with tuples (full mode).
+  std::vector<U256> own_double_encrypted;
+
+  Bytes own_commitment;
+  Bytes peer_commitment;
+};
+
+Status SendCommitment(Participant& p,
+                      const crypto::MultisetHashFamily& family) {
+  std::unique_ptr<crypto::MultisetHash> hash = family.NewHash();
+  for (const Tuple& t : p.data->tuples()) hash->Add(t.value);
+  p.own_commitment = hash->Serialize();
+  Bytes msg;
+  msg.push_back(kMsgCommitment);
+  Append(msg, p.own_commitment);
+  return p.channel.Send(msg);
+}
+
+Status ReceiveCommitment(Participant& p) {
+  Result<Bytes> msg = p.channel.Receive();
+  HSIS_RETURN_IF_ERROR(msg.status());
+  if (msg->empty() || (*msg)[0] != kMsgCommitment) {
+    return Status::ProtocolViolation("expected commitment message");
+  }
+  p.peer_commitment.assign(msg->begin() + 1, msg->end());
+  return Status::OK();
+}
+
+Status SendEncryptedSet(Participant& p, const crypto::PrimeGroup& group,
+                        Rng& rng) {
+  p.hashed.reserve(p.data->size());
+  p.self_encrypted.reserve(p.data->size());
+  for (const Tuple& t : p.data->tuples()) {
+    U256 h = group.HashToElement(t.value);
+    p.hashed.push_back(h);
+    p.self_encrypted.push_back(p.cipher.Encrypt(h));
+  }
+  // Shuffle the transmitted order; we keep our own aligned copy.
+  std::vector<U256> shuffled = p.self_encrypted;
+  rng.Shuffle(shuffled);
+  return p.channel.Send(SerializeElements(kMsgEncryptedSet, shuffled));
+}
+
+/// Receives the peer's singly-encrypted set, double-encrypts it, records
+/// the double-encrypted multiset locally, and returns it to the peer —
+/// paired (v, E(v)) in full mode, shuffled bare values in size-only mode.
+/// `faults` (robustness testing) makes this participant deviate.
+Status EncryptPeerSet(Participant& p, bool size_only, Rng& rng,
+                      const FaultInjection& faults = {}) {
+  Result<Bytes> msg = p.channel.Receive();
+  HSIS_RETURN_IF_ERROR(msg.status());
+  Result<std::vector<U256>> peer_set = ParseElements(kMsgEncryptedSet, *msg);
+  HSIS_RETURN_IF_ERROR(peer_set.status());
+
+  p.peer_double_encrypted.reserve(peer_set->size());
+  std::vector<U256> reply;
+  reply.reserve(peer_set->size() * (size_only ? 1 : 2));
+  for (const U256& v : *peer_set) {
+    U256 dd = p.cipher.Encrypt(v);
+    p.peer_double_encrypted.push_back(dd);
+    if (size_only) {
+      reply.push_back(dd);
+    } else {
+      reply.push_back(v);
+      reply.push_back(dd);
+    }
+  }
+  if (size_only) {
+    rng.Shuffle(reply);
+    return p.channel.Send(SerializeElements(kMsgDoubleEncryptedSet, reply));
+  }
+  // Fault injection (robustness tests): controlled protocol deviations.
+  if (faults.omit_one_reply_pair && reply.size() >= 2) {
+    reply.pop_back();
+    reply.pop_back();
+  }
+  if (faults.swap_reply_pairs && reply.size() >= 4) {
+    std::swap(reply[1], reply[3]);  // swap the double-encryptions only
+  }
+  uint8_t tag = faults.wrong_message_type ? kMsgEncryptedSet
+                                          : kMsgDoubleEncryptedPairs;
+  Bytes wire = SerializeElements(tag, reply);
+  if (faults.corrupt_reply_count && reply.size() >= 2) {
+    AppendUint32BE(wire, 0);  // garbage length suffix -> malformed frame
+  }
+  return p.channel.Send(wire);
+}
+
+/// Receives the peer's reply about our own set and resolves the
+/// intersection.
+Status ResolveIntersection(Participant& p, bool size_only,
+                           IntersectionOutcome& outcome) {
+  Result<Bytes> msg = p.channel.Receive();
+  HSIS_RETURN_IF_ERROR(msg.status());
+
+  // Multiset of the peer's tuples under both keys (we computed it).
+  std::map<U256, size_t> peer_counts;
+  for (const U256& v : p.peer_double_encrypted) peer_counts[v]++;
+
+  if (size_only) {
+    Result<std::vector<U256>> own_dd =
+        ParseElements(kMsgDoubleEncryptedSet, *msg);
+    HSIS_RETURN_IF_ERROR(own_dd.status());
+    if (own_dd->size() != p.data->size()) {
+      return Status::ProtocolViolation("double-encrypted set size mismatch");
+    }
+    size_t matches = 0;
+    for (const U256& v : *own_dd) {
+      auto it = peer_counts.find(v);
+      if (it != peer_counts.end() && it->second > 0) {
+        --it->second;
+        ++matches;
+      }
+    }
+    outcome.intersection_size = matches;
+    return Status::OK();
+  }
+
+  Result<std::vector<U256>> pairs =
+      ParseElements(kMsgDoubleEncryptedPairs, *msg);
+  HSIS_RETURN_IF_ERROR(pairs.status());
+  if (pairs->size() != p.data->size() * 2) {
+    return Status::ProtocolViolation("double-encrypted pair count mismatch");
+  }
+  // Map E_self(h(t)) -> E_peer(E_self(h(t))). Duplicate tuples share the
+  // same singly-encrypted value and the same double-encrypted value, so a
+  // plain map is sufficient.
+  std::map<U256, U256> mapping;
+  for (size_t i = 0; i < pairs->size(); i += 2) {
+    mapping[(*pairs)[i]] = (*pairs)[i + 1];
+  }
+  p.own_double_encrypted.reserve(p.data->size());
+  for (const U256& v : p.self_encrypted) {
+    auto it = mapping.find(v);
+    if (it == mapping.end()) {
+      return Status::ProtocolViolation(
+          "peer reply omits one of our encrypted values");
+    }
+    p.own_double_encrypted.push_back(it->second);
+  }
+
+  const std::vector<Tuple>& tuples = p.data->tuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto it = peer_counts.find(p.own_double_encrypted[i]);
+    if (it != peer_counts.end() && it->second > 0) {
+      --it->second;
+      outcome.intersection.Add(tuples[i]);
+    }
+  }
+  outcome.intersection_size = outcome.intersection.size();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::pair<IntersectionOutcome, IntersectionOutcome>>
+RunTwoPartyIntersection(const Dataset& reported_a, const Dataset& reported_b,
+                        const crypto::PrimeGroup& group,
+                        const crypto::MultisetHashFamily& commitment_family,
+                        Rng& rng, const IntersectionOptions& options) {
+  // Session key for the channel (modeled as established out of band).
+  Bytes session_key = rng.RandomBytes(32);
+  Result<std::pair<ChannelEndpoint, ChannelEndpoint>> channel =
+      SecureChannel::CreatePair(session_key, rng);
+  HSIS_RETURN_IF_ERROR(channel.status());
+
+  Result<crypto::CommutativeCipher> cipher_a =
+      crypto::CommutativeCipher::Create(group, rng);
+  HSIS_RETURN_IF_ERROR(cipher_a.status());
+  Result<crypto::CommutativeCipher> cipher_b =
+      crypto::CommutativeCipher::Create(group, rng);
+  HSIS_RETURN_IF_ERROR(cipher_b.status());
+
+  Participant a(reported_a, std::move(channel->first), std::move(*cipher_a));
+  Participant b(reported_b, std::move(channel->second), std::move(*cipher_b));
+
+  // Phase 1: commitments (Section 6 — reported alongside the data).
+  HSIS_RETURN_IF_ERROR(SendCommitment(a, commitment_family));
+  HSIS_RETURN_IF_ERROR(SendCommitment(b, commitment_family));
+  HSIS_RETURN_IF_ERROR(ReceiveCommitment(a));
+  HSIS_RETURN_IF_ERROR(ReceiveCommitment(b));
+
+  // Phase 2: singly-encrypted sets.
+  HSIS_RETURN_IF_ERROR(SendEncryptedSet(a, group, rng));
+  HSIS_RETURN_IF_ERROR(SendEncryptedSet(b, group, rng));
+
+  // Phase 3: each double-encrypts the peer's set. Fault injection (if
+  // any) applies to party B's reply about A's set.
+  HSIS_RETURN_IF_ERROR(EncryptPeerSet(a, options.size_only, rng));
+  HSIS_RETURN_IF_ERROR(
+      EncryptPeerSet(b, options.size_only, rng, options.fault_injection));
+
+  // Phase 4: resolve.
+  IntersectionOutcome out_a, out_b;
+  HSIS_RETURN_IF_ERROR(ResolveIntersection(a, options.size_only, out_a));
+  HSIS_RETURN_IF_ERROR(ResolveIntersection(b, options.size_only, out_b));
+
+  out_a.own_commitment = a.own_commitment;
+  out_a.peer_commitment = a.peer_commitment;
+  out_a.bytes_sent = a.channel.bytes_sent();
+  out_b.own_commitment = b.own_commitment;
+  out_b.peer_commitment = b.peer_commitment;
+  out_b.bytes_sent = b.channel.bytes_sent();
+  return std::make_pair(std::move(out_a), std::move(out_b));
+}
+
+}  // namespace hsis::sovereign

@@ -1,0 +1,89 @@
+#ifndef HSIS_SOVEREIGN_INTERSECTION_PROTOCOL_H_
+#define HSIS_SOVEREIGN_INTERSECTION_PROTOCOL_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "crypto/group.h"
+#include "crypto/multiset_hash.h"
+#include "sovereign/dataset.h"
+
+namespace hsis::sovereign {
+
+/// Protocol-level fault injection for robustness testing: party B is
+/// made to deviate from the protocol in controlled ways, and the tests
+/// assert that party A detects the deviation (ProtocolViolation) rather
+/// than computing a wrong result. All flags default to off.
+struct FaultInjection {
+  /// B omits one (value, double-encrypted) pair from its phase-3 reply.
+  bool omit_one_reply_pair = false;
+  /// B swaps the double-encryptions of two reply pairs (a targeted
+  /// attempt to misreport which of A's tuples matched).
+  bool swap_reply_pairs = false;
+  /// B claims a wrong element count in a list header.
+  bool corrupt_reply_count = false;
+  /// B sends a malformed (wrong-type) message in phase 3.
+  bool wrong_message_type = false;
+
+  bool AnyActive() const {
+    return omit_one_reply_pair || swap_reply_pairs || corrupt_reply_count ||
+           wrong_message_type;
+  }
+};
+
+/// Options for a sovereign set-intersection run.
+struct IntersectionOptions {
+  /// When set, run the intersection-*size* variant (the paper's footnote
+  /// 3): parties learn |D_A ∩ D_B| but not which tuples are common.
+  bool size_only = false;
+  /// Robustness-testing hooks (see FaultInjection).
+  FaultInjection fault_injection;
+};
+
+/// What one party walks away with after the protocol.
+struct IntersectionOutcome {
+  /// The common tuples, expressed as this party's own tuples (empty in
+  /// size-only mode).
+  Dataset intersection;
+
+  /// |D̂_A ∩ D̂_B| (multiset semantics) — also filled in full mode.
+  size_t intersection_size = 0;
+
+  /// Serialized incremental multiset hash of the dataset this party
+  /// reported — the commitment H_i(D̂_i) of Section 6 that the auditing
+  /// device later checks against its accumulated HV_i.
+  Bytes own_commitment;
+
+  /// The peer's commitment H_j(D̂_j), as received over the channel.
+  Bytes peer_commitment;
+
+  /// Sealed bytes this party placed on the wire.
+  size_t bytes_sent = 0;
+};
+
+/// Runs the Agrawal–Evfimievski–Srikant commutative-encryption set
+/// intersection between two parties reporting `reported_a` and
+/// `reported_b`, entirely over authenticated-encrypted channels:
+///
+///   1. Both parties exchange multiset-hash commitments of their
+///      reported datasets (the Section 6 extension of the protocol).
+///   2. Each hashes its tuples into the group and sends the singly
+///      encrypted, shuffled set {E_i(h(t))}.
+///   3. Each encrypts the peer's set under its own key and returns it —
+///      paired with the input values in full mode (so the peer can map
+///      matches back to its tuples), shuffled and unpaired in size-only
+///      mode.
+///   4. Each party intersects {E_j(E_i(h(own)))} with {E_i(E_j(h(peer)))},
+///      equal by commutativity exactly on the common tuples.
+///
+/// Neither party's cleartext tuples ever cross the channel; each learns
+/// only the result (plus the upper bound |D̂_j| inherent to the
+/// protocol). Returns the outcome for (party A, party B).
+Result<std::pair<IntersectionOutcome, IntersectionOutcome>>
+RunTwoPartyIntersection(const Dataset& reported_a, const Dataset& reported_b,
+                        const crypto::PrimeGroup& group,
+                        const crypto::MultisetHashFamily& commitment_family,
+                        Rng& rng, const IntersectionOptions& options = {});
+
+}  // namespace hsis::sovereign
+
+#endif  // HSIS_SOVEREIGN_INTERSECTION_PROTOCOL_H_

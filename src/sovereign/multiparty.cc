@@ -1,0 +1,88 @@
+#include "sovereign/multiparty.h"
+
+#include <map>
+
+#include "crypto/commutative_cipher.h"
+
+namespace hsis::sovereign {
+
+Result<std::vector<MultiPartyOutcome>> RunMultiPartyIntersection(
+    const std::vector<Dataset>& reported, const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng) {
+  const size_t n = reported.size();
+  if (n < 2) {
+    return Status::InvalidArgument("multi-party intersection needs n >= 2");
+  }
+
+  // Each party holds a commutative key.
+  std::vector<crypto::CommutativeCipher> ciphers;
+  ciphers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Result<crypto::CommutativeCipher> c =
+        crypto::CommutativeCipher::Create(group, rng);
+    HSIS_RETURN_IF_ERROR(c.status());
+    ciphers.push_back(std::move(*c));
+  }
+
+  // Ring pass: set s, starting at its owner, is encrypted by every party
+  // in ring order. We keep per-owner alignment with the owner's tuples so
+  // the owner can map matches back; in a deployment each hop would
+  // shuffle sets it does not own (the final multiset comparison is
+  // order-independent, so alignment is only a local bookkeeping aid).
+  std::vector<std::vector<U256>> fully_encrypted(n);
+  for (size_t owner = 0; owner < n; ++owner) {
+    std::vector<U256> set;
+    set.reserve(reported[owner].size());
+    for (const Tuple& t : reported[owner].tuples()) {
+      set.push_back(group.HashToElement(t.value));
+    }
+    for (size_t hop = 0; hop < n; ++hop) {
+      size_t encryptor = (owner + hop) % n;
+      for (U256& v : set) v = ciphers[encryptor].Encrypt(v);
+    }
+    fully_encrypted[owner] = std::move(set);
+  }
+
+  // Commitments (Section 6): every party publishes H_i(D̂_i).
+  std::vector<MultiPartyOutcome> outcomes(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::unique_ptr<crypto::MultisetHash> h = commitment_family.NewHash();
+    for (const Tuple& t : reported[i].tuples()) h->Add(t.value);
+    outcomes[i].own_commitment = h->Serialize();
+  }
+
+  // Global intersection under full encryption: a value survives with the
+  // minimum multiplicity across all parties.
+  std::map<U256, size_t> counts;
+  for (const U256& v : fully_encrypted[0]) counts[v]++;
+  for (size_t i = 1; i < n; ++i) {
+    std::map<U256, size_t> mine;
+    for (const U256& v : fully_encrypted[i]) mine[v]++;
+    for (auto it = counts.begin(); it != counts.end();) {
+      auto found = mine.find(it->first);
+      size_t m = (found == mine.end()) ? 0 : found->second;
+      it->second = std::min(it->second, m);
+      if (it->second == 0) {
+        it = counts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Each party maps surviving encrypted values back to its own tuples.
+  for (size_t i = 0; i < n; ++i) {
+    std::map<U256, size_t> remaining = counts;
+    const std::vector<Tuple>& tuples = reported[i].tuples();
+    for (size_t k = 0; k < tuples.size(); ++k) {
+      auto it = remaining.find(fully_encrypted[i][k]);
+      if (it != remaining.end() && it->second > 0) {
+        --it->second;
+        outcomes[i].intersection.Add(tuples[k]);
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace hsis::sovereign

@@ -1,0 +1,39 @@
+#ifndef HSIS_SOVEREIGN_MULTIPARTY_H_
+#define HSIS_SOVEREIGN_MULTIPARTY_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "crypto/group.h"
+#include "crypto/multiset_hash.h"
+#include "sovereign/dataset.h"
+
+namespace hsis::sovereign {
+
+/// Result of the n-party sovereign intersection for one party.
+struct MultiPartyOutcome {
+  /// Tuples present in every party's reported dataset, as this party's
+  /// own tuples.
+  Dataset intersection;
+  /// Commitment H_i(D̂_i) this party published (Section 6).
+  Bytes own_commitment;
+};
+
+/// N-party sovereign set intersection by commutative ring encryption:
+/// each party's hashed set is passed around the ring and encrypted under
+/// every party's key; under full encryption equal tuples collide, so each
+/// party intersects all n fully-encrypted multisets and maps matches back
+/// through its own ring position. No party sees another's cleartext
+/// tuples; everyone learns only the global intersection (and the peers'
+/// reported sizes).
+///
+/// `reported` holds each party's (claimed) dataset; parties are indexed
+/// by position. Requires n >= 2.
+Result<std::vector<MultiPartyOutcome>> RunMultiPartyIntersection(
+    const std::vector<Dataset>& reported, const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng);
+
+}  // namespace hsis::sovereign
+
+#endif  // HSIS_SOVEREIGN_MULTIPARTY_H_

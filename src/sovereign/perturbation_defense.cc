@@ -1,0 +1,73 @@
+#include "sovereign/perturbation_defense.h"
+
+#include "sovereign/intersection_protocol.h"
+
+namespace hsis::sovereign {
+
+Dataset PerturbDataset(const Dataset& data, const PerturbationPolicy& policy,
+                       Rng& rng) {
+  Dataset out;
+  for (const Tuple& t : data.tuples()) {
+    if (!rng.Bernoulli(policy.withhold_probability)) {
+      out.Add(t);
+    }
+  }
+  for (size_t i = 0; i < policy.decoy_count; ++i) {
+    out.Add(Tuple::FromString(
+        "decoy-" + std::to_string(rng.NextUint64())));
+  }
+  return out;
+}
+
+Result<PerturbationEvaluation> EvaluatePerturbationDefense(
+    const Dataset& defender_data, const Dataset& adversary_data,
+    const std::vector<std::string>& probe_values,
+    const PerturbationPolicy& policy, const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng) {
+  if (policy.withhold_probability < 0 || policy.withhold_probability > 1) {
+    return Status::InvalidArgument("withhold probability must be in [0, 1]");
+  }
+
+  Dataset defender_report = PerturbDataset(defender_data, policy, rng);
+  Dataset adversary_report = adversary_data;
+  for (const std::string& probe : probe_values) {
+    adversary_report.Add(Tuple::FromString(probe));
+  }
+
+  HSIS_ASSIGN_OR_RETURN(
+      auto outcomes,
+      RunTwoPartyIntersection(defender_report, adversary_report, group,
+                              commitment_family, rng));
+
+  PerturbationEvaluation eval;
+  Dataset truth = defender_data.Intersect(adversary_data);
+  eval.true_intersection_size = truth.size();
+
+  // The achieved legitimate result: reported intersection minus probe
+  // artifacts.
+  Dataset achieved = outcomes.first.intersection;
+  for (const std::string& probe : probe_values) {
+    achieved = achieved.Difference(Dataset::FromStrings({probe}));
+  }
+  eval.achieved_intersection_size = achieved.size();
+  size_t overlap = achieved.Intersect(truth).size();
+  eval.intersection_recall =
+      truth.empty() ? 1.0
+                    : static_cast<double>(overlap) /
+                          static_cast<double>(truth.size());
+
+  eval.probes = probe_values.size();
+  for (const std::string& probe : probe_values) {
+    if (outcomes.second.intersection.Contains(Tuple::FromString(probe))) {
+      ++eval.probe_hits;
+    }
+  }
+  eval.probe_hit_rate =
+      eval.probes == 0
+          ? 0.0
+          : static_cast<double>(eval.probe_hits) /
+                static_cast<double>(eval.probes);
+  return eval;
+}
+
+}  // namespace hsis::sovereign

@@ -1,0 +1,63 @@
+#ifndef HSIS_SOVEREIGN_PERTURBATION_DEFENSE_H_
+#define HSIS_SOVEREIGN_PERTURBATION_DEFENSE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "crypto/group.h"
+#include "crypto/multiset_hash.h"
+#include "sovereign/dataset.h"
+
+namespace hsis::sovereign {
+
+/// Input-perturbation countermeasure in the spirit of Zhang & Zhao
+/// (VLDB 2005), the related work the paper contrasts its approach with:
+/// instead of enforcing honesty, the *defender* also alters its input —
+/// withholding real tuples (to blunt probes) and adding decoys — and
+/// pays for the protection with result accuracy.
+///
+/// The paper's position: "Our approach is entirely different. We are
+/// interested in creating mechanisms so that the participants do not
+/// cheat." This module exists to make that comparison quantitative
+/// (see bench_perturbation_defense).
+struct PerturbationPolicy {
+  /// Probability of dropping each genuine tuple from the report.
+  double withhold_probability = 0.0;
+  /// Number of fabricated decoy tuples added to the report.
+  size_t decoy_count = 0;
+};
+
+/// Applies the policy to `data` (decoys are fresh synthetic values that
+/// exist in no one's database).
+Dataset PerturbDataset(const Dataset& data, const PerturbationPolicy& policy,
+                       Rng& rng);
+
+/// Outcome of one defended exchange against a probing adversary.
+struct PerturbationEvaluation {
+  /// |reported result ∩ true intersection| / |true intersection| — the
+  /// accuracy the defender sacrifices (1.0 = exact).
+  double intersection_recall = 1.0;
+  /// Fraction of the adversary's targeted probes that still hit.
+  double probe_hit_rate = 0.0;
+  /// Sizes, for reporting.
+  size_t true_intersection_size = 0;
+  size_t achieved_intersection_size = 0;
+  size_t probes = 0;
+  size_t probe_hits = 0;
+};
+
+/// Runs the sovereign intersection between a defender applying `policy`
+/// and an adversary who reports its true data *plus* `probe_values`
+/// (guesses about the defender's private tuples), then scores the
+/// trade-off. The defender is party A.
+Result<PerturbationEvaluation> EvaluatePerturbationDefense(
+    const Dataset& defender_data, const Dataset& adversary_data,
+    const std::vector<std::string>& probe_values,
+    const PerturbationPolicy& policy, const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng);
+
+}  // namespace hsis::sovereign
+
+#endif  // HSIS_SOVEREIGN_PERTURBATION_DEFENSE_H_

@@ -1,0 +1,59 @@
+#ifndef HSIS_SOVEREIGN_RELATIONAL_OPS_H_
+#define HSIS_SOVEREIGN_RELATIONAL_OPS_H_
+
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "crypto/group.h"
+#include "crypto/multiset_hash.h"
+#include "sovereign/dataset.h"
+
+namespace hsis::sovereign {
+
+/// A keyed record for the relational operators built on top of the
+/// intersection protocol: `key` drives matching, `payload` is the data a
+/// join transfers for matching keys.
+struct Record {
+  std::string key;
+  std::string payload;
+
+  friend bool operator==(const Record& a, const Record& b) {
+    return a.key == b.key && a.payload == b.payload;
+  }
+  friend auto operator<=>(const Record& a, const Record& b) = default;
+};
+
+/// A keyed relation (each key unique — join inputs are key-deduplicated).
+using Relation = std::vector<Record>;
+
+/// One joined row.
+struct JoinedRow {
+  std::string key;
+  std::string payload_a;
+  std::string payload_b;
+
+  friend bool operator==(const JoinedRow& a, const JoinedRow& b) = default;
+};
+
+/// Sovereign equi-join (Section 2.1 notes the techniques extend to join):
+/// runs the sovereign intersection over the key columns, then exchanges
+/// payloads for matching keys over the secure channel. Each party learns
+/// exactly the joined rows — keys it does not share stay private.
+/// Returns the joined rows (identical for both parties).
+Result<std::vector<JoinedRow>> RunSovereignJoin(
+    const Relation& relation_a, const Relation& relation_b,
+    const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng);
+
+/// Sovereign set difference D_A \ D_B for party A, derived from the
+/// intersection: A learns which of its own tuples the peer also holds
+/// and subtracts. (B learns the intersection, per the base protocol.)
+Result<Dataset> RunSovereignDifference(
+    const Dataset& reported_a, const Dataset& reported_b,
+    const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng);
+
+}  // namespace hsis::sovereign
+
+#endif  // HSIS_SOVEREIGN_RELATIONAL_OPS_H_

@@ -1,0 +1,60 @@
+#include "audit/judge.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::audit {
+namespace {
+
+using sovereign::Dataset;
+using sovereign::Tuple;
+
+crypto::MultisetHashFamily MuFamily() {
+  Result<crypto::MultisetHashFamily> f =
+      crypto::MultisetHashFamily::CreateMu(crypto::PrimeGroup::SmallTestGroup());
+  EXPECT_TRUE(f.ok());
+  return *f;
+}
+
+Bytes Commit(const crypto::MultisetHashFamily& family, const Dataset& data) {
+  std::unique_ptr<crypto::MultisetHash> h = family.NewHash();
+  for (const Tuple& t : data.tuples()) h->Add(t.value);
+  return h->Serialize();
+}
+
+TEST(JudgeTest, HonestCommitmentVerifies) {
+  crypto::MultisetHashFamily family = MuFamily();
+  Dataset data = Dataset::FromStrings({"a", "b", "c"});
+  EXPECT_TRUE(VerifyCommitment(data, Commit(family, data), family));
+}
+
+TEST(JudgeTest, MismatchedCommitmentRejected) {
+  // The Section 6 court scenario: reporting D_i with H_i(D_i'), D_i' != D_i.
+  crypto::MultisetHashFamily family = MuFamily();
+  Dataset actual = Dataset::FromStrings({"a", "b", "c"});
+  Dataset claimed = Dataset::FromStrings({"a", "b"});
+  EXPECT_FALSE(VerifyCommitment(actual, Commit(family, claimed), family));
+}
+
+TEST(JudgeTest, GarbageCommitmentRejected) {
+  crypto::MultisetHashFamily family = MuFamily();
+  Dataset data = Dataset::FromStrings({"a"});
+  EXPECT_FALSE(VerifyCommitment(data, Bytes{0x01, 0x02}, family));
+  EXPECT_FALSE(VerifyCommitment(data, Bytes{}, family));
+}
+
+TEST(JudgeTest, EmptyDatasetVerifies) {
+  crypto::MultisetHashFamily family = MuFamily();
+  Dataset empty;
+  EXPECT_TRUE(VerifyCommitment(empty, Commit(family, empty), family));
+}
+
+TEST(JudgeTest, MultiplicityMatters) {
+  crypto::MultisetHashFamily family = MuFamily();
+  Dataset once = Dataset::FromStrings({"x", "y"});
+  Dataset twice = Dataset::FromStrings({"x", "x", "y"});
+  EXPECT_FALSE(VerifyCommitment(once, Commit(family, twice), family));
+  EXPECT_TRUE(VerifyCommitment(twice, Commit(family, twice), family));
+}
+
+}  // namespace
+}  // namespace hsis::audit

@@ -1,0 +1,99 @@
+#include "audit/secure_coprocessor.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::audit {
+namespace {
+
+TEST(SecureCoprocessorTest, AttestationRoundTrip) {
+  Rng rng(1);
+  SecureCoprocessor device = SecureCoprocessor::Manufacture(rng);
+  Bytes code = ToBytes("auditing-device-v1.0");
+  device.InstallApplication(code);
+
+  Bytes challenge = rng.RandomBytes(16);
+  Result<SecureCoprocessor::AttestationReport> report = device.Attest(challenge);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(SecureCoprocessor::VerifyAttestation(
+      *report, SecureCoprocessor::MeasureCode(code), device.endorsement_key()));
+}
+
+TEST(SecureCoprocessorTest, AttestationFailsWithoutApplication) {
+  Rng rng(2);
+  SecureCoprocessor device = SecureCoprocessor::Manufacture(rng);
+  EXPECT_FALSE(device.HasApplication());
+  EXPECT_FALSE(device.Attest(rng.RandomBytes(16)).ok());
+}
+
+TEST(SecureCoprocessorTest, DetectsWrongCode) {
+  Rng rng(3);
+  SecureCoprocessor device = SecureCoprocessor::Manufacture(rng);
+  device.InstallApplication(ToBytes("malicious-device-v6.66"));
+  Result<SecureCoprocessor::AttestationReport> report =
+      device.Attest(rng.RandomBytes(16));
+  ASSERT_TRUE(report.ok());
+  // The verifier expects the trusted application — verification fails.
+  EXPECT_FALSE(SecureCoprocessor::VerifyAttestation(
+      *report, SecureCoprocessor::MeasureCode(ToBytes("auditing-device-v1.0")),
+      device.endorsement_key()));
+}
+
+TEST(SecureCoprocessorTest, DetectsForgedMac) {
+  Rng rng(4);
+  SecureCoprocessor device = SecureCoprocessor::Manufacture(rng);
+  Bytes code = ToBytes("auditing-device-v1.0");
+  device.InstallApplication(code);
+  Result<SecureCoprocessor::AttestationReport> report =
+      device.Attest(rng.RandomBytes(16));
+  ASSERT_TRUE(report.ok());
+  report->mac[0] ^= 0x01;
+  EXPECT_FALSE(SecureCoprocessor::VerifyAttestation(
+      *report, SecureCoprocessor::MeasureCode(code), device.endorsement_key()));
+}
+
+TEST(SecureCoprocessorTest, DetectsWrongEndorsementKey) {
+  Rng rng(5);
+  SecureCoprocessor genuine = SecureCoprocessor::Manufacture(rng);
+  SecureCoprocessor impostor = SecureCoprocessor::Manufacture(rng);
+  Bytes code = ToBytes("auditing-device-v1.0");
+  impostor.InstallApplication(code);
+  Result<SecureCoprocessor::AttestationReport> report =
+      impostor.Attest(rng.RandomBytes(16));
+  ASSERT_TRUE(report.ok());
+  // Verifier trusts `genuine`'s key, not the impostor's.
+  EXPECT_FALSE(SecureCoprocessor::VerifyAttestation(
+      *report, SecureCoprocessor::MeasureCode(code), genuine.endorsement_key()));
+}
+
+TEST(SecureCoprocessorTest, SealUnsealRoundTrip) {
+  Rng rng(6);
+  SecureCoprocessor device = SecureCoprocessor::Manufacture(rng);
+  Bytes state = ToBytes("HV_rowi=...;HV_colie=...");
+  Result<Bytes> sealed = device.Seal(state, rng);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_EQ(BytesToString(*sealed).find("HV_rowi"), std::string::npos);
+  Result<Bytes> restored = device.Unseal(*sealed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, state);
+}
+
+TEST(SecureCoprocessorTest, OtherDeviceCannotUnseal) {
+  Rng rng(7);
+  SecureCoprocessor a = SecureCoprocessor::Manufacture(rng);
+  SecureCoprocessor b = SecureCoprocessor::Manufacture(rng);
+  Result<Bytes> sealed = a.Seal(ToBytes("secret"), rng);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(b.Unseal(*sealed).ok());
+}
+
+TEST(SecureCoprocessorTest, SealedStateTamperDetected) {
+  Rng rng(8);
+  SecureCoprocessor device = SecureCoprocessor::Manufacture(rng);
+  Result<Bytes> sealed = device.Seal(ToBytes("secret"), rng);
+  ASSERT_TRUE(sealed.ok());
+  (*sealed)[sealed->size() / 2] ^= 0x01;
+  EXPECT_FALSE(device.Unseal(*sealed).ok());
+}
+
+}  // namespace
+}  // namespace hsis::audit

@@ -1,0 +1,93 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(b), "0001abff");
+  Result<Bytes> back = HexDecode("0001abff");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, b);
+}
+
+TEST(BytesTest, HexDecodeAcceptsUppercase) {
+  Result<Bytes> r = HexDecode("ABFF");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{0xab, 0xff}));
+}
+
+TEST(BytesTest, HexDecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").ok());
+}
+
+TEST(BytesTest, HexDecodeRejectsNonHex) {
+  EXPECT_FALSE(HexDecode("zz").ok());
+}
+
+TEST(BytesTest, StringConversionRoundTrip) {
+  Bytes b = ToBytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(BytesToString(b), "hello");
+}
+
+TEST(BytesTest, BigEndianRoundTrip32) {
+  Bytes b;
+  AppendUint32BE(b, 0xdeadbeef);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(ReadUint32BE(b, 0), 0xdeadbeefu);
+}
+
+TEST(BytesTest, BigEndianRoundTrip64) {
+  Bytes b;
+  AppendUint64BE(b, 0x0123456789abcdefULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(ReadUint64BE(b, 0), 0x0123456789abcdefULL);
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  Bytes buf;
+  AppendLengthPrefixed(buf, ToBytes("first"));
+  AppendLengthPrefixed(buf, ToBytes(""));
+  AppendLengthPrefixed(buf, ToBytes("second"));
+
+  size_t offset = 0;
+  Result<Bytes> a = ReadLengthPrefixed(buf, &offset);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(BytesToString(*a), "first");
+
+  Result<Bytes> b = ReadLengthPrefixed(buf, &offset);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->empty());
+
+  Result<Bytes> c = ReadLengthPrefixed(buf, &offset);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(BytesToString(*c), "second");
+  EXPECT_EQ(offset, buf.size());
+}
+
+TEST(BytesTest, LengthPrefixedDetectsTruncation) {
+  Bytes buf;
+  AppendLengthPrefixed(buf, ToBytes("payload"));
+  buf.pop_back();
+  size_t offset = 0;
+  EXPECT_FALSE(ReadLengthPrefixed(buf, &offset).ok());
+}
+
+TEST(BytesTest, LengthPrefixedDetectsMissingHeader) {
+  Bytes buf = {0x00, 0x00};
+  size_t offset = 0;
+  EXPECT_FALSE(ReadLengthPrefixed(buf, &offset).ok());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  EXPECT_TRUE(ConstantTimeEqual(ToBytes("same"), ToBytes("same")));
+  EXPECT_FALSE(ConstantTimeEqual(ToBytes("same"), ToBytes("diff")));
+  EXPECT_FALSE(ConstantTimeEqual(ToBytes("short"), ToBytes("longer")));
+  EXPECT_TRUE(ConstantTimeEqual(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace hsis

@@ -1,0 +1,45 @@
+#include "common/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace hsis {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(FileTest, WriteReadRoundTrip) {
+  std::string path = TempPath("hsis_file_test.txt");
+  ASSERT_TRUE(WriteFile(path, "line1\nline2\n").ok());
+  Result<std::string> back = ReadFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "line1\nline2\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, OverwriteTruncates) {
+  std::string path = TempPath("hsis_file_test2.txt");
+  ASSERT_TRUE(WriteFile(path, "a much longer original content").ok());
+  ASSERT_TRUE(WriteFile(path, "short").ok());
+  EXPECT_EQ(*ReadFile(path), "short");
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, BinaryContentPreserved) {
+  std::string path = TempPath("hsis_file_test3.bin");
+  std::string content("\x00\x01\xff\x00zzz", 7);
+  ASSERT_TRUE(WriteFile(path, content).ok());
+  EXPECT_EQ(*ReadFile(path), content);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MissingFileFails) {
+  EXPECT_FALSE(ReadFile("/nonexistent/dir/file.txt").ok());
+  EXPECT_FALSE(WriteFile("/nonexistent/dir/file.txt", "x").ok());
+}
+
+}  // namespace
+}  // namespace hsis

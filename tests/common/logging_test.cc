@@ -1,0 +1,82 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace hsis {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, EnabledMessageReachesStderr) {
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  HSIS_LOG_INFO << "visible message " << 42;
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("visible message 42"), std::string::npos);
+  EXPECT_NE(err.find("INFO"), std::string::npos);
+  EXPECT_NE(err.find("logging_test"), std::string::npos);  // file tag
+}
+
+TEST_F(LoggingTest, SuppressedBelowThreshold) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  HSIS_LOG_INFO << "should not appear";
+  HSIS_LOG_WARNING << "nor this";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_EQ(err.find("nor this"), std::string::npos);
+}
+
+TEST_F(LoggingTest, ErrorPassesThreshold) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  HSIS_LOG_ERROR << "error shows";
+  std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("error shows"), std::string::npos);
+}
+
+using LoggingDeathTest = LoggingTest;
+
+TEST_F(LoggingDeathTest, FatalAborts) {
+  EXPECT_DEATH({ HSIS_LOG_FATAL << "fatal condition"; }, "fatal condition");
+}
+
+TEST_F(LoggingDeathTest, CheckFailureAborts) {
+  int x = 3;
+  EXPECT_DEATH({ HSIS_CHECK(x == 4) << "x was " << x; },
+               "Check failed: x == 4");
+}
+
+TEST_F(LoggingDeathTest, CheckPassesSilently) {
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  HSIS_CHECK(1 + 1 == 2) << "never printed";
+  EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+}
+
+TEST_F(LoggingDeathTest, ResultValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("missing thing"));
+  EXPECT_DEATH({ (void)r.value(); }, "missing thing");
+}
+
+TEST_F(LoggingDeathTest, ResultFromOkStatusAborts) {
+  EXPECT_DEATH({ Result<int> r{Status::OK()}; (void)r; },
+               "constructed from OK status");
+}
+
+}  // namespace
+}  // namespace hsis

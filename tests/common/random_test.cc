@@ -1,0 +1,130 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hsis {
+namespace {
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformUint64RespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformUint64CoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformUint64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == -3);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(RngTest, BernoulliDegenerateCases) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, RandomBytesLengthAndVariety) {
+  Rng rng(29);
+  Bytes b = rng.RandomBytes(1000);
+  ASSERT_EQ(b.size(), 1000u);
+  std::set<uint8_t> values(b.begin(), b.end());
+  EXPECT_GT(values.size(), 100u);
+
+  EXPECT_TRUE(rng.RandomBytes(0).empty());
+  EXPECT_EQ(rng.RandomBytes(3).size(), 3u);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(31);
+  int low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    size_t r = rng.Zipf(100, 1.2);
+    ASSERT_LT(r, 100u);
+    if (r < 10) ++low;
+    if (r >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 5);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) counts[rng.Zipf(10, 0.0)]++;
+  for (int c : counts) EXPECT_NEAR(c, 1000, 200);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  // The child stream should not be a shifted copy of the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.NextUint64() == child.NextUint64());
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace hsis

@@ -1,0 +1,229 @@
+#include "common/u256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hsis {
+namespace {
+
+U256 RandU256(Rng& rng) { return U256::FromBytesBE(rng.RandomBytes(32)); }
+
+TEST(U256Test, DefaultIsZero) {
+  U256 z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHex(), "0");
+  EXPECT_EQ(z.ToDecimal(), "0");
+}
+
+TEST(U256Test, FromHexRoundTrip) {
+  Result<U256> v = U256::FromHex("deadbeefcafebabe0123456789abcdef");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(), "deadbeefcafebabe0123456789abcdef");
+}
+
+TEST(U256Test, FromHexRejectsBadInput) {
+  EXPECT_FALSE(U256::FromHex("").ok());
+  EXPECT_FALSE(U256::FromHex("xyz").ok());
+  EXPECT_FALSE(U256::FromHex(std::string(65, 'f')).ok());
+}
+
+TEST(U256Test, FromDecimalRoundTrip) {
+  Result<U256> v = U256::FromDecimal("123456789012345678901234567890");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToDecimal(), "123456789012345678901234567890");
+}
+
+TEST(U256Test, FromDecimalRejectsOverflow) {
+  // 2^256 = 115792089237316195423570985008687907853269984665640564039457584007913129639936
+  EXPECT_FALSE(
+      U256::FromDecimal(
+          "115792089237316195423570985008687907853269984665640564039457584007913129639936")
+          .ok());
+  Result<U256> max = U256::FromDecimal(
+      "115792089237316195423570985008687907853269984665640564039457584007913129639935");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->BitLength(), 256u);
+}
+
+TEST(U256Test, BytesBERoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    U256 v = RandU256(rng);
+    EXPECT_EQ(U256::FromBytesBE(v.ToBytesBE()), v);
+  }
+}
+
+TEST(U256Test, ComparisonOrdering) {
+  U256 a(5), b(9);
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(a, U256(5));
+  U256 high = U256(1) << 200;
+  EXPECT_GT(high, b);
+}
+
+TEST(U256Test, AdditionCarriesAcrossLimbs) {
+  U256 max_limb(~0ULL);
+  U256 sum = max_limb + U256(1);
+  EXPECT_EQ(sum, U256(0, 1, 0, 0));
+}
+
+TEST(U256Test, AdditionWrapsAt256Bits) {
+  U256 all_ones = U256(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  uint64_t carry = 0;
+  U256 sum = U256::AddWithCarry(all_ones, U256(1), &carry);
+  EXPECT_TRUE(sum.IsZero());
+  EXPECT_EQ(carry, 1u);
+}
+
+TEST(U256Test, SubtractionBorrows) {
+  U256 a(0, 1, 0, 0);
+  U256 diff = a - U256(1);
+  EXPECT_EQ(diff, U256(~0ULL));
+  uint64_t borrow = 0;
+  U256::SubWithBorrow(U256(0), U256(1), &borrow);
+  EXPECT_EQ(borrow, 1u);
+}
+
+TEST(U256Test, AddSubRoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = RandU256(rng), b = RandU256(rng);
+    EXPECT_EQ((a + b) - b, a);
+  }
+}
+
+TEST(U256Test, MulMatchesSmallIntegers) {
+  EXPECT_EQ(U256(7) * U256(6), U256(42));
+  U512 wide = U256::MulFull(U256(~0ULL), U256(~0ULL));
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  EXPECT_EQ(wide.limb[0], 1u);
+  EXPECT_EQ(wide.limb[1], ~0ULL - 1);
+  EXPECT_EQ(wide.limb[2], 0u);
+}
+
+TEST(U256Test, MulIsCommutative) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = RandU256(rng), b = RandU256(rng);
+    EXPECT_EQ(U256::MulFull(a, b), U256::MulFull(b, a));
+  }
+}
+
+TEST(U256Test, MulDistributesOverAdd) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    // Use 128-bit operands so a*(b+c) never overflows 512 bits and
+    // b+c never wraps 256 bits.
+    U256 a = RandU256(rng) >> 128;
+    U256 b = RandU256(rng) >> 129;
+    U256 c = RandU256(rng) >> 129;
+    U512 lhs = U256::MulFull(a, b + c);
+    U512 rhs = U256::MulFull(a, b) + U256::MulFull(a, c);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(U256Test, ShiftsMatchMultiplication) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    U256 a = RandU256(rng) >> 65;  // leave headroom
+    EXPECT_EQ(a << 1, a + a);
+    EXPECT_EQ((a << 64).limb[1], a.limb[0]);
+    EXPECT_EQ((a << 3) >> 3, a);
+  }
+}
+
+TEST(U256Test, ShiftBoundaries) {
+  U256 a(1);
+  EXPECT_TRUE((a << 256).IsZero());
+  EXPECT_TRUE((a >> 1).IsZero());
+  EXPECT_EQ((a << 255) >> 255, a);
+}
+
+TEST(U256Test, BitwiseOps) {
+  U256 a(0b1100), b(0b1010);
+  EXPECT_EQ(a & b, U256(0b1000));
+  EXPECT_EQ(a | b, U256(0b1110));
+  EXPECT_EQ(a ^ b, U256(0b0110));
+}
+
+TEST(U256Test, BitAccess) {
+  U256 v = U256(1) << 130;
+  EXPECT_TRUE(v.Bit(130));
+  EXPECT_FALSE(v.Bit(129));
+  EXPECT_EQ(v.BitLength(), 131u);
+}
+
+TEST(U256Test, DivModSmall) {
+  U256DivMod qr = DivMod(U256(100), U256(7));
+  EXPECT_EQ(qr.quotient, U256(14));
+  EXPECT_EQ(qr.remainder, U256(2));
+}
+
+TEST(U256Test, DivModReconstruction) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    U256 a = RandU256(rng);
+    U256 b = RandU256(rng) >> static_cast<size_t>(rng.UniformUint64(250));
+    if (b.IsZero()) b = U256(1);
+    U256DivMod qr = DivMod(a, b);
+    EXPECT_LT(qr.remainder, b);
+    // a == q*b + r (check in 512 bits)
+    U512 recon = U256::MulFull(qr.quotient, b) + U512::FromU256(qr.remainder);
+    EXPECT_EQ(recon, U512::FromU256(a));
+  }
+}
+
+TEST(U512Test, DivModReconstruction) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    U256 x = RandU256(rng), y = RandU256(rng);
+    U512 a = U256::MulFull(x, y);
+    U256 b = RandU256(rng) >> static_cast<size_t>(rng.UniformUint64(200));
+    if (b.IsZero()) b = U256(3);
+    U512DivMod qr = DivMod(a, b);
+    EXPECT_LT(qr.remainder, b);
+    // Verify a == q*b + r using shift-add multiplication of q (512-bit) by b.
+    U512 prod;
+    for (size_t bit = b.BitLength(); bit-- > 0;) {
+      prod = prod << 1;
+      if (b.Bit(bit)) prod = prod + qr.quotient;
+    }
+    EXPECT_EQ(prod + U512::FromU256(qr.remainder), a);
+  }
+}
+
+TEST(U512Test, ModMatchesDivMod) {
+  Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    U512 a = U256::MulFull(RandU256(rng), RandU256(rng));
+    U256 m = RandU256(rng);
+    if (m.IsZero()) m = U256(5);
+    EXPECT_EQ(a.Mod(m), DivMod(a, m).remainder);
+  }
+}
+
+TEST(U512Test, ShiftRoundTrip) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    U512 a = U256::MulFull(RandU256(rng), RandU256(rng));
+    EXPECT_EQ((a >> 100) << 100, (a >> 100) << 100);
+    EXPECT_EQ((a << 7) >> 7, (a << 7) >> 7);
+    U512 b = a >> 256;
+    EXPECT_EQ(b.Low(), a.High());
+  }
+}
+
+TEST(U512Test, CompareAndBitLength) {
+  U512 small(5);
+  U512 big = U512(1) << 400;
+  EXPECT_LT(small, big);
+  EXPECT_EQ(big.BitLength(), 401u);
+  EXPECT_TRUE(U512().IsZero());
+}
+
+}  // namespace
+}  // namespace hsis

@@ -1,0 +1,218 @@
+// Reference vectors for U256 arithmetic, generated offline with Python's
+// arbitrary-precision integers (seed 0xBEEF). Guards the limb-level
+// carry/borrow/division logic against an independent implementation.
+
+#include <gtest/gtest.h>
+
+#include "common/u256.h"
+
+namespace hsis {
+namespace {
+
+struct Vector {
+  const char* a;
+  const char* b;
+  const char* sum;       // (a + b) mod 2^256
+  const char* diff;      // (a - b) mod 2^256
+  const char* prod_lo;   // (a * b) mod 2^256
+  const char* quotient;  // a / b
+  const char* remainder; // a % b
+};
+
+constexpr Vector kVectors[] = {
+    {"a5c7a28d837cdbaf",
+     "4a8920a023b4363b",
+     "f050c32da73111ea",
+     "5b3e81ed5fc8a574",
+     "304481f38df3bce9e5ed038d08298b55",
+     "2",
+     "10b5614d3c146f39"},
+    {"ca74e4939fb0e421e0d55ad55464459b0ac86aadf21cd777cd",
+     "289212e66f91273f56b9bf7267e5123d4abe45e4514316d0a6fa9ebde90d6950",
+     "289212e66f912809cb9e531218c9341e20191b38b588b1db6f654cb005e4e11d",
+     "d76ded19906ed98b1e2ad42d48ff0fa38a9c8f701302843a21700f3433ca0e7d",
+     "c19b294a513f22c4a64ef7124721e1fd08748cd86892d584c77034d10de18510",
+     "0",
+     "ca74e4939fb0e421e0d55ad55464459b0ac86aadf21cd777cd"},
+    {"2b4d03d6a1dc235d",
+     "662768468f01090913877ed8ede7683665a42ae4e22d8d1921",
+     "662768468f01090913877ed8ede7683665cf77e8b8cf693c7e",
+     "ffffffffffffff99d897b970fef6f6ec788127121897c99a87221ef4744f0a3c",
+     "4759e652fecf0b48205da211a7866b1fb49efc118e1c19714710590a300da3fd",
+     "0",
+     "2b4d03d6a1dc235d"},
+    {"bd3efb4705e79ddd",
+     "792affe3aff6186",
+     "c4d1ab4540e6ff63",
+     "b5ac4b48cae83c57",
+     "59928e43d8a9fac9305802a2b305eae",
+     "18",
+     "77e7b717df6794d"},
+    {"6d6f8cb77f9597158d90fca06ab9afdf51203eac7648b266e77509ca4d9ef8a7",
+     "d81f14d2ded9ba41",
+     "6d6f8cb77f9597158d90fca06ab9afdf51203eac7648b267bf941e9d2c78b2e8",
+     "6d6f8cb77f9597158d90fca06ab9afdf51203eac7648b2660f55f4f76ec53e66",
+     "1151048f3cef1d1c5071ef7feb9c2f5ed8cfaffd33c91f0fa5ae2522cd957867",
+     "81a0f623f57941ce4a91c8ff4eae59c582ef4944198eaef3",
+     "50710fef1f4cfef4"},
+    {"52b1864464b8f071485e91a0e9bc9c31",
+     "89bcf921da84a8de2cb8ed56616630f8e2602552076e7bb027",
+     "89bcf921da84a8de2d0b9edca5cae9e953a883e3a858384c58",
+     "ffffffffffffff764306de257b5721d399c42fe2fe87f78ee8393f997b40ec0a",
+     "2bec3c0a2b7296e0159ca7c7c83881936f3e2f0c39264f61e88b204860a87b77",
+     "0",
+     "52b1864464b8f071485e91a0e9bc9c31"},
+    {"af67a207beb09e39",
+     "b74c1566d81c9ab946736f9ee78f8f4606d134645c9c23e2d7d3b30e8679a9f4",
+     "b74c1566d81c9ab946736f9ee78f8f4606d134645c9c23e3873b5516452a482d",
+     "48b3ea9927e36546b98c9061187070b9f92ecb9ba363dc1dd793eef93836f445",
+     "baa5c72d2a8bd2854d20a88be5280436fd6f3ed7dbebdbc6707ca2aef7bb6f54",
+     "0",
+     "af67a207beb09e39"},
+    {"a76689e975ee0742",
+     "3006eccaae856290049b97ccd873d2d7",
+     "3006eccaae856290ac0221b64e61da19",
+     "ffffffffffffffffffffffffffffffffcff91335517a9d70a2caf21c9d7a346b",
+     "1f67c11a11c05a54c9fceaa4aac05440708bdc743f823c6e",
+     "0",
+     "a76689e975ee0742"},
+    {"eab6fea62514db1a25d4ffd2363098dc1e98a2a1b07aa96688",
+     "440918f1957267bdbcb5253ac0bf30de6c6d5339549511b224",
+     "12ec01797ba8742d7e28a250cf6efc9ba8b05f5db050fbb18ac",
+     "a6ade5b48fa2735c691fda97757167fdb22b4f685be597b464",
+     "55b0b0a806c33515c3667926b321b60b77778f5bbf1b75831cea1ca80024fb20",
+     "3",
+     "1e9bb3d164bda3e0efb59021f3f30640d950a8f5b2bb74501c"},
+    {"bc9663f397386aa36f8c74642cf66c1f",
+     "8c555ba012dc0f3afa3b9493e8ee8e88717cc7fd8b06ffd514",
+     "8c555ba012dc0f3afaf82af7dc85c6f314ec5471ef33f64133",
+     "ffffffffffffff73aaa45fed23f0c5068101d00aa8a9e231f2c476d925f6970b",
+     "ac30d698e2b6d45cb9a11e2161779f1b80b8047dbbe46ca6df67590ff8173d6c",
+     "0",
+     "bc9663f397386aa36f8c74642cf66c1f"},
+    {"429bb84dc22d505c6c9a70293f3574633c3e06aadd164effe6",
+     "9961dccc8e3bae7f8cfad613c5c4653a3b1d1d0c2129ff3af6",
+     "dbfd951a5068fedbf995463d04f9d99d775b23b6fe404e3adc",
+     "ffffffffffffffa939db8133f1a1dcdf9f9a1579710f290120e99ebbec4fc4f0",
+     "fedfe0b00c7bab104305dd84762391a77ac1fc8d08a1cf705725ebd411fe0304",
+     "0",
+     "429bb84dc22d505c6c9a70293f3574633c3e06aadd164effe6"},
+    {"dd367f1f91ec1cc209751b57e21e79d5",
+     "73e738549c8cd1cda0854a096f5a687ed2e14abcc8dd100ef15c7313f35206d5",
+     "73e738549c8cd1cda0854a096f5a687fb017c9dc5ac92cd0fad18e6bd57080aa",
+     "8c18c7ab63732e325f7ab5f690a597820a553462c90f0cb31818a843eecc7300",
+     "df321a52305a7214b662db930fbe03f8b0775bf10fd819869166e4a30f705c39",
+     "0",
+     "dd367f1f91ec1cc209751b57e21e79d5"},
+    {"86eeda69189089fddc869eb898b1527108274f589e7aaaac8335d1ea4f80df6d",
+     "bcc799815df5481193716eb2a2ff239dcee73a921fc3437bfbe987e38a4a0174",
+     "43b673ea7685d20f6ff80d6b3bb0760ed70e89eabe3dee287f1f59cdd9cae0e1",
+     "ca2740e7ba9b41ec49153005f5b22ed3394014c67eb76730874c4a06c536ddf9",
+     "df2ba7f1c9ad31f20b3ac1e8bf31bbbb81fb33f873e63dd1551914d3dec6aa64",
+     "0",
+     "86eeda69189089fddc869eb898b1527108274f589e7aaaac8335d1ea4f80df6d"},
+    {"16bc96ed2f05f6c6df5e36efd6133272bdd1150c03421073054d0a74af743313",
+     "ec7d4171008c47025f7c3142d8e8b2684d12f8c731670cc091169d8939ed7946",
+     "339d85e2f923dc93eda6832aefbe4db0ae40dd334a91d339663a7fde961ac59",
+     "2a3f557c2e79afc47fe205acfd2a800a70be1c44d1db03b274366ceb7586b9cd",
+     "f2ae74d86f09f991a9883e2b6ecda934193cd90840bd2bd1d53d4cf36980f232",
+     "0",
+     "16bc96ed2f05f6c6df5e36efd6133272bdd1150c03421073054d0a74af743313"},
+    {"224426cadb48ea52078b4397bc46b2f4036d3935b1526855489b18b500abaf80",
+     "cd76f8e6c8bce00a4fb1df63680a4e44",
+     "224426cadb48ea52078b4397bc46b2f4d0e4321c7a0f485f984cf81868b5fdc4",
+     "224426cadb48ea52078b4397bc46b2f335f6404ee895884af8e9395198a1613c",
+     "4c7dae48414be6c456d8f02b5c41d6c677174cd42fa11150b1d6dac958139e00",
+     "2ab1b6c7c0502e1c7da1211960b716ab",
+     "ad3be833ecb9536be2a8b1022c739014"},
+    {"b5ab7936691b15cbb369a78b14a8311750ebb35a942612c233",
+     "cad3901a274e53553567447e238cc23b6ba6de1e6f1db87789",
+     "1807f095090696920e8d0ec093834f352bc9291790343cb39bc",
+     "ffffffffffffffead7e91c41ccc2767e02630cf11b6edbe544d53c25085a4aaa",
+     "c0d9ba468848d8659d8746121ffaefed26dd8939e0c28f3f9400029373f7a24b",
+     "0",
+     "b5ab7936691b15cbb369a78b14a8311750ebb35a942612c233"},
+    {"a0f3b13f8bfdfbe5d03a83561629262794d3ed46265db34e9a",
+     "a8c2e0e8d31e22750c5c9142387dc854217505f5c78a10baf69b38273b758b60",
+     "a8c2e0e8d31e2316000dd0ce3679ae245bf85c0bf0b0384fca887e4d9928d9fa",
+     "573d1f172ce1de2be754ae49c57e1d7c190e5020619c16d9dd520dff223dc33a",
+     "e1fe30ef15b513db75c8a190c45b7735b2a750306fa10ad147f2f2c9e94d17c0",
+     "0",
+     "a0f3b13f8bfdfbe5d03a83561629262794d3ed46265db34e9a"},
+    {"56a5261a71e0641717f38ea16c437b63d8de3f35396da57090",
+     "8882ac272606eb72866c2c52dce86949",
+     "56a5261a71e06417187c114d9369824f4b64ab618c4a8dd9d9",
+     "56a5261a71e06417176b0bf5451d74786657d308e690bd0747",
+     "6c981c4a4d5472243fb30fdd8fee788107142d1dfc0f3d194e371422e1d82910",
+     "a27ca107b22be4fe6b",
+     "1a09fa6057ca3ece6ec37af97807010d"},
+    {"8d118a01bd6ae74c",
+     "dd741979bc74df26",
+     "16a85a37b79dfc672",
+     "ffffffffffffffffffffffffffffffffffffffffffffffffaf9d708800f60826",
+     "7a081e1fd4ecccb26a44157adbc98948",
+     "0",
+     "8d118a01bd6ae74c"},
+    {"a98488a02c940c378a82a2a443b3ca39f2d713aaebea4d4d84a66dba99e4f0ba",
+     "40d45f76acfc9212",
+     "a98488a02c940c378a82a2a443b3ca39f2d713aaebea4d4dc57acd3146e182cc",
+     "a98488a02c940c378a82a2a443b3ca39f2d713aaebea4d4d43d20e43ece85ea8",
+     "1a41e978fca3970d96be25de1022413005235e5ad06d8b8c60416db9527b0114",
+     "29d64dde6a9922e5704f264074c7c17dbb8ab03b018c83e17",
+     "2823a6c815c3751c"},
+    {"4832b561c7fb3ad6b44f11ec8d3eb740",
+     "62fa758e63f1665518a6a24431e1ed5a308e735a7be8421607",
+     "62fa758e63f1665518eed4f993a9e8950742c26c687580cd47",
+     "ffffffffffffff9d058a719c0e99aae7a190712fe60de0a625dbb770a4fca139",
+     "6377a33c501bd5167ff990d20febfc5ae7b7b057ee05132073ff9d987ef682c0",
+     "0",
+     "4832b561c7fb3ad6b44f11ec8d3eb740"},
+    {"fdeae10c5f9c08fe",
+     "8490683e746db93fc68b34cc579440b7",
+     "8490683e746db940c47615d8b73049b5",
+     "ffffffffffffffffffffffffffffffff7b6f97c18b9246c1375fac400807c847",
+     "837c578e560d06f7fe45d7205d7614ecc2e4076adfa1ed92",
+     "0",
+     "fdeae10c5f9c08fe"},
+    {"8962272d0a9ee14cd70d6e84c3059f67c3805cb4c004c2995b",
+     "10db2a466c85f796",
+     "8962272d0a9ee14cd70d6e84c3059f67c39137df06714890f1",
+     "8962272d0a9ee14cd70d6e84c3059f67c36f818a79983ca1c5",
+     "bc01a39b36b7210c5faebd5afbb307e6d6c2d686ace6329adb39bc89c43a852",
+     "8267e0c99a27335cf40e917ac8553b95071",
+     "7e8c4bcb2db7025"},
+    {"d36d95b42ea902264a180a538a2771c9",
+     "8a2e72260fda095cf03c37d959315f81740f7862d415ef9c29",
+     "8a2e72260fda095cf10fa56f0d6008839a59906d27a0170df2",
+     "ffffffffffffff75d18dd9f025f6a3109735bc5afd4980b23a9fa77f7437d5a0",
+     "16e2296f1a4f122b60608cc711cd354c4dc84ef7151e44e0a1e8f32de14eb531",
+     "0",
+     "d36d95b42ea902264a180a538a2771c9"},
+};
+
+U256 FromHex(const char* s) {
+  Result<U256> v = U256::FromHex(s);
+  EXPECT_TRUE(v.ok()) << s;
+  return *v;
+}
+
+class U256VectorTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(U256VectorTest, MatchesPythonReference) {
+  const Vector& vec = kVectors[GetParam()];
+  U256 a = FromHex(vec.a);
+  U256 b = FromHex(vec.b);
+  EXPECT_EQ((a + b).ToHex(), vec.sum);
+  EXPECT_EQ((a - b).ToHex(), vec.diff);
+  EXPECT_EQ((a * b).ToHex(), vec.prod_lo);
+  U256DivMod qr = DivMod(a, b);
+  EXPECT_EQ(qr.quotient.ToHex(), vec.quotient);
+  EXPECT_EQ(qr.remainder.ToHex(), vec.remainder);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PythonVectors, U256VectorTest,
+    ::testing::Range<size_t>(0, sizeof(kVectors) / sizeof(kVectors[0])));
+
+}  // namespace
+}  // namespace hsis

@@ -1,0 +1,128 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::core {
+namespace {
+
+HonestSharingSession MakeSession(double frequency, double penalty) {
+  SessionConfig config;
+  config.audit_frequency = frequency;
+  config.penalty = penalty;
+  config.group = &crypto::PrimeGroup::SmallTestGroup();
+  config.seed = 5;
+  HonestSharingSession s =
+      std::move(HonestSharingSession::Create(config).value());
+  EXPECT_TRUE(s.AddParty("rowi").ok());
+  EXPECT_TRUE(s.AddParty("colie").ok());
+  EXPECT_TRUE(s.IssueTuples("rowi", {"u", "v", "r1", "r2"}).ok());
+  EXPECT_TRUE(s.IssueTuples("colie", {"u", "v", "c1", "c2", "c3"}).ok());
+  return s;
+}
+
+CampaignEconomics Econ() {
+  CampaignEconomics econ;
+  econ.honest_benefit = 10;
+  econ.gain_per_probe_hit = 5;
+  econ.loss_per_leaked_tuple = 4;
+  return econ;
+}
+
+TEST(CampaignTest, HonestCampaignEarnsBenefitOnly) {
+  HonestSharingSession s = MakeSession(1.0, 50);
+  Rng rng(1);
+  Result<CampaignResult> r = RunCampaign(s, "rowi", "colie", 20,
+                                         HonestPolicy(), HonestPolicy(),
+                                         Econ(), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->a.exchanges, 20);
+  EXPECT_EQ(r->a.times_detected, 0);
+  EXPECT_EQ(r->a.tuples_stolen, 0u);
+  EXPECT_DOUBLE_EQ(r->a.realized_payoff, 20 * 10.0);
+  EXPECT_DOUBLE_EQ(r->a.average_payoff(), 10.0);
+  EXPECT_EQ(r->a.times_audited, 20);  // f = 1
+}
+
+TEST(CampaignTest, ProberStealsAndGetsFined) {
+  HonestSharingSession s = MakeSession(1.0, 50);
+  Rng rng(2);
+  // Probe pool contains 2 of Colie's private tuples + 2 misses.
+  CheatPolicy prober =
+      PersistentProberPolicy({"c1", "c2", "miss1", "miss2"}, 4);
+  Result<CampaignResult> r = RunCampaign(s, "rowi", "colie", 10, prober,
+                                         HonestPolicy(), Econ(), rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->a.times_detected, 10);  // always caught at f = 1
+  EXPECT_DOUBLE_EQ(r->a.penalties_paid, 500.0);
+  EXPECT_EQ(r->a.tuples_stolen, 20u);  // 2 hits per round
+  EXPECT_EQ(r->b.tuples_leaked, 20u);
+  // Rowi: 10*(10 + 2*5 - 50), Colie: 10*(10 - 2*4).
+  EXPECT_DOUBLE_EQ(r->a.realized_payoff, 10 * (10 + 10 - 50));
+  EXPECT_DOUBLE_EQ(r->b.realized_payoff, 10 * (10 - 8));
+}
+
+TEST(CampaignTest, DeterrenceFlipsTheSign) {
+  // Below the threshold cheating profits; above it it does not —
+  // measured through the full stack, in expectation over many rounds.
+  Rng rng(3);
+  CampaignEconomics econ = Econ();
+  const int kRounds = 400;
+
+  auto average_cheat_payoff = [&](double frequency, double penalty) {
+    HonestSharingSession s = MakeSession(frequency, penalty);
+    CheatPolicy prober = PersistentProberPolicy({"c1", "c2", "c3"}, 3);
+    CampaignResult r =
+        std::move(RunCampaign(s, "rowi", "colie", kRounds, prober,
+                              HonestPolicy(), econ, rng)
+                      .value());
+    return r.a.average_payoff();
+  };
+  // Gain per cheat = 3 hits * 5 = 15 on top of B = 10.
+  double lax = average_cheat_payoff(0.1, 30);     // E[penalty] = 3 < 15
+  double strict = average_cheat_payoff(0.8, 30);  // E[penalty] = 24 > 15
+  EXPECT_GT(lax, 10.0);
+  EXPECT_LT(strict, 10.0);
+}
+
+TEST(CampaignTest, OpportunisticPolicyCheatsAtRate) {
+  HonestSharingSession s = MakeSession(1.0, 50);
+  Rng rng(4);
+  CheatPolicy sometimes = OpportunisticProberPolicy({"c1"}, 1, 0.3);
+  Result<CampaignResult> r = RunCampaign(s, "rowi", "colie", 300, sometimes,
+                                         HonestPolicy(), Econ(), rng);
+  ASSERT_TRUE(r.ok());
+  // Detected exactly when it cheated (f = 1): ~30% of rounds.
+  EXPECT_NEAR(static_cast<double>(r->a.times_detected) / 300, 0.3, 0.07);
+}
+
+TEST(CampaignTest, PersistentProberCyclesPool) {
+  Rng rng(5);
+  CheatPolicy prober = PersistentProberPolicy({"x", "y", "z"}, 2);
+  CheatPlan round0 = prober(0, rng);
+  CheatPlan round1 = prober(1, rng);
+  EXPECT_EQ(round0.fabricate, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(round1.fabricate, (std::vector<std::string>{"z", "x"}));
+}
+
+TEST(CampaignTest, EmptyPoolMeansHonest) {
+  Rng rng(6);
+  CheatPolicy prober = PersistentProberPolicy({}, 3);
+  EXPECT_TRUE(prober(0, rng).IsHonest());
+}
+
+TEST(CampaignTest, Validation) {
+  HonestSharingSession s = MakeSession(1.0, 50);
+  Rng rng(7);
+  EXPECT_FALSE(RunCampaign(s, "rowi", "colie", 0, HonestPolicy(),
+                           HonestPolicy(), Econ(), rng)
+                   .ok());
+  EXPECT_FALSE(RunCampaign(s, "rowi", "colie", 5, nullptr, HonestPolicy(),
+                           Econ(), rng)
+                   .ok());
+  EXPECT_FALSE(RunCampaign(s, "rowi", "ghost", 5, HonestPolicy(),
+                           HonestPolicy(), Econ(), rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace hsis::core

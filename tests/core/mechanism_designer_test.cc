@@ -1,0 +1,104 @@
+#include "core/mechanism_designer.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::core {
+namespace {
+
+MechanismDesigner Make(double b = 10, double f = 25) {
+  Result<MechanismDesigner> d = MechanismDesigner::Create(b, f);
+  EXPECT_TRUE(d.ok());
+  return *d;
+}
+
+TEST(MechanismDesignerTest, CreateValidation) {
+  EXPECT_FALSE(MechanismDesigner::Create(10, 10).ok());
+  EXPECT_FALSE(MechanismDesigner::Create(10, 5).ok());
+  EXPECT_FALSE(MechanismDesigner::Create(-1, 5).ok());
+  EXPECT_TRUE(MechanismDesigner::Create(10, 25).ok());
+}
+
+TEST(MechanismDesignerTest, MinFrequencyIsTransformative) {
+  MechanismDesigner d = Make();
+  for (double penalty : {0.0, 10.0, 50.0, 500.0}) {
+    double f = d.MinFrequency(penalty);
+    EXPECT_EQ(d.Classify(f, penalty),
+              game::DeviceEffectiveness::kTransformative)
+        << "penalty " << penalty;
+    // Just below the recommendation the device must NOT be transformative.
+    EXPECT_NE(d.Classify(f - 1e-3, penalty),
+              game::DeviceEffectiveness::kTransformative);
+  }
+}
+
+TEST(MechanismDesignerTest, MinPenaltyIsTransformative) {
+  MechanismDesigner d = Make();
+  for (double f : {0.1, 0.25, 0.5}) {
+    Result<double> p = d.MinPenalty(f);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(d.Classify(f, *p), game::DeviceEffectiveness::kTransformative);
+  }
+}
+
+TEST(MechanismDesignerTest, MinPenaltyZeroAboveZeroPenaltyFrequency) {
+  MechanismDesigner d = Make();
+  double f0 = d.ZeroPenaltyFrequency();
+  EXPECT_DOUBLE_EQ(f0, 0.6);
+  Result<double> p = d.MinPenalty(f0 + 0.05);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 0.0);
+  EXPECT_EQ(d.Classify(f0 + 0.05, 0.0),
+            game::DeviceEffectiveness::kTransformative);
+}
+
+TEST(MechanismDesignerTest, MinPenaltyRejectsZeroFrequency) {
+  MechanismDesigner d = Make();
+  EXPECT_FALSE(d.MinPenalty(0.0).ok());
+  EXPECT_FALSE(d.MinPenalty(1.5).ok());
+}
+
+TEST(MechanismDesignerTest, CheapestTransformativeUsesMaxPenalty) {
+  MechanismDesigner d = Make();
+  Result<OperatingPoint> point = d.CheapestTransformative(/*audit_cost=*/100,
+                                                          /*max_penalty=*/50);
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->penalty, 50);
+  EXPECT_NEAR(point->frequency, 15.0 / 75.0, 1e-3);
+  EXPECT_EQ(point->effectiveness, game::DeviceEffectiveness::kTransformative);
+  EXPECT_NEAR(point->expected_audit_cost, point->frequency * 100, 1e-9);
+
+  // A bigger allowed penalty lets the designer audit less often.
+  Result<OperatingPoint> richer = d.CheapestTransformative(100, 500);
+  ASSERT_TRUE(richer.ok());
+  EXPECT_LT(richer->frequency, point->frequency);
+  EXPECT_LT(richer->expected_audit_cost, point->expected_audit_cost);
+}
+
+TEST(MechanismDesignerTest, CheapestTransformativeValidation) {
+  MechanismDesigner d = Make();
+  EXPECT_FALSE(d.CheapestTransformative(-1, 10).ok());
+  EXPECT_FALSE(d.CheapestTransformative(1, -10).ok());
+}
+
+TEST(MechanismDesignerTest, NPlayerPenaltyScalesWithPopulation) {
+  MechanismDesigner d = Make();
+  game::GainFunction gain = game::LinearGain(25, 2);
+  Result<double> p5 = d.MinPenaltyNPlayer(5, gain, 0.3);
+  Result<double> p50 = d.MinPenaltyNPlayer(50, gain, 0.3);
+  ASSERT_TRUE(p5.ok() && p50.ok());
+  // More honest victims to exploit -> larger deterrent needed.
+  EXPECT_GT(*p50, *p5);
+  // And it matches Proposition 1's bound.
+  EXPECT_NEAR(*p5, game::NPlayerPenaltyBound(10, gain, 0.3, 4), 1e-3);
+}
+
+TEST(MechanismDesignerTest, NPlayerValidation) {
+  MechanismDesigner d = Make();
+  game::GainFunction gain = game::LinearGain(25, 2);
+  EXPECT_FALSE(d.MinPenaltyNPlayer(1, gain, 0.3).ok());
+  EXPECT_FALSE(d.MinPenaltyNPlayer(5, nullptr, 0.3).ok());
+  EXPECT_FALSE(d.MinPenaltyNPlayer(5, gain, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace hsis::core

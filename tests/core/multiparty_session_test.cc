@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/honest_sharing_session.h"
+
+namespace hsis::core {
+namespace {
+
+HonestSharingSession MakeConsortium(double frequency = 1.0) {
+  SessionConfig config;
+  config.audit_frequency = frequency;
+  config.penalty = 30;
+  config.group = &crypto::PrimeGroup::SmallTestGroup();
+  config.seed = 99;
+  HonestSharingSession s =
+      std::move(HonestSharingSession::Create(config).value());
+  EXPECT_TRUE(s.AddParty("p0").ok());
+  EXPECT_TRUE(s.AddParty("p1").ok());
+  EXPECT_TRUE(s.AddParty("p2").ok());
+  EXPECT_TRUE(s.IssueTuples("p0", {"a", "b", "c", "d"}).ok());
+  EXPECT_TRUE(s.IssueTuples("p1", {"b", "c", "d", "e"}).ok());
+  EXPECT_TRUE(s.IssueTuples("p2", {"c", "d", "e", "f"}).ok());
+  return s;
+}
+
+TEST(MultiPartySessionTest, HonestExchangeGlobalIntersection) {
+  HonestSharingSession s = MakeConsortium();
+  Result<MultiExchangeResult> r =
+      s.RunMultiPartyExchange({"p0", "p1", "p2"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->parties.size(), 3u);
+  sovereign::Dataset expected = sovereign::Dataset::FromStrings({"c", "d"});
+  for (const ExchangeStats& stats : r->parties) {
+    EXPECT_EQ(stats.intersection, expected);
+    EXPECT_TRUE(stats.audited);
+    EXPECT_FALSE(stats.detected);
+    EXPECT_EQ(stats.leaked_tuples, 0u);
+  }
+}
+
+TEST(MultiPartySessionTest, OneCheaterCaughtOthersPass) {
+  HonestSharingSession s = MakeConsortium();
+  std::vector<CheatPlan> cheats(3);
+  cheats[1].fabricate = {"f"};  // p1 probes for a tuple only p2 has... p0 lacks it
+  Result<MultiExchangeResult> r =
+      s.RunMultiPartyExchange({"p0", "p1", "p2"}, cheats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->parties[0].detected);
+  EXPECT_TRUE(r->parties[1].detected);
+  EXPECT_EQ(r->parties[1].penalty_paid, 30.0);
+  EXPECT_FALSE(r->parties[2].detected);
+  // "f" is not held by p0, so it cannot reach the global intersection.
+  EXPECT_EQ(r->parties[1].probe_hits, 0u);
+}
+
+TEST(MultiPartySessionTest, ProbeHitsRequireUnanimity) {
+  // In the n-party intersection a probe only "hits" when every other
+  // party holds the value — probing is much weaker than in 2-party.
+  HonestSharingSession s = MakeConsortium();
+  std::vector<CheatPlan> cheats(3);
+  cheats[0].fabricate = {"e"};  // p1 and p2 both hold "e"; p0 does not
+  Result<MultiExchangeResult> r =
+      s.RunMultiPartyExchange({"p0", "p1", "p2"}, cheats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->parties[0].probe_hits, 1u);
+  EXPECT_TRUE(r->parties[0].detected);
+  // Both victims had their tuple exposed.
+  EXPECT_EQ(r->parties[1].leaked_tuples, 1u);
+  EXPECT_EQ(r->parties[2].leaked_tuples, 1u);
+}
+
+TEST(MultiPartySessionTest, WithholdingShrinksGlobalResult) {
+  HonestSharingSession s = MakeConsortium();
+  std::vector<CheatPlan> cheats(3);
+  cheats[2].withhold = 4;  // p2 reports nothing
+  Result<MultiExchangeResult> r =
+      s.RunMultiPartyExchange({"p0", "p1", "p2"}, cheats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->parties[2].detected);
+  EXPECT_EQ(r->parties[0].intersection_size, 0u);
+}
+
+TEST(MultiPartySessionTest, Validation) {
+  HonestSharingSession s = MakeConsortium();
+  EXPECT_FALSE(s.RunMultiPartyExchange({"p0"}).ok());
+  EXPECT_FALSE(s.RunMultiPartyExchange({"p0", "ghost"}).ok());
+  EXPECT_FALSE(s.RunMultiPartyExchange({"p0", "p0"}).ok());
+  std::vector<CheatPlan> wrong_arity(2);
+  EXPECT_FALSE(
+      s.RunMultiPartyExchange({"p0", "p1", "p2"}, wrong_arity).ok());
+}
+
+TEST(MultiPartySessionTest, PairwiseAndMultiwayAgree) {
+  HonestSharingSession s = MakeConsortium();
+  Result<MultiExchangeResult> multi = s.RunMultiPartyExchange({"p0", "p1"});
+  Result<ExchangeResult> pair = s.RunExchange("p0", "p1");
+  ASSERT_TRUE(multi.ok() && pair.ok());
+  EXPECT_EQ(multi->parties[0].intersection, pair->a.intersection);
+}
+
+}  // namespace
+}  // namespace hsis::core

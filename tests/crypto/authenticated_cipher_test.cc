@@ -1,0 +1,91 @@
+#include "crypto/authenticated_cipher.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::crypto {
+namespace {
+
+AuthenticatedCipher MakeCipher() {
+  Result<AuthenticatedCipher> c = AuthenticatedCipher::Create(Bytes(32, 0x5a));
+  EXPECT_TRUE(c.ok());
+  return *c;
+}
+
+TEST(AuthenticatedCipherTest, SealOpenRoundTrip) {
+  AuthenticatedCipher c = MakeCipher();
+  Bytes nonce(12, 0x01);
+  Bytes msg = ToBytes("secret payload");
+  Bytes aad = ToBytes("header");
+
+  Result<Bytes> sealed = c.Seal(nonce, msg, aad);
+  ASSERT_TRUE(sealed.ok());
+  Result<Bytes> opened = c.Open(*sealed, aad);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(AuthenticatedCipherTest, CiphertextHidesPlaintext) {
+  AuthenticatedCipher c = MakeCipher();
+  Bytes msg = ToBytes("secret payload");
+  Result<Bytes> sealed = c.Seal(Bytes(12, 0x01), msg, {});
+  ASSERT_TRUE(sealed.ok());
+  std::string blob = BytesToString(*sealed);
+  EXPECT_EQ(blob.find("secret"), std::string::npos);
+}
+
+TEST(AuthenticatedCipherTest, DetectsCiphertextTamper) {
+  AuthenticatedCipher c = MakeCipher();
+  Result<Bytes> sealed = c.Seal(Bytes(12, 0x01), ToBytes("data"), {});
+  ASSERT_TRUE(sealed.ok());
+  for (size_t i = 0; i < sealed->size(); i += 7) {
+    Bytes corrupted = *sealed;
+    corrupted[i] ^= 0x01;
+    Result<Bytes> opened = c.Open(corrupted, {});
+    EXPECT_FALSE(opened.ok()) << "tamper at byte " << i << " not detected";
+    EXPECT_EQ(opened.status().code(), StatusCode::kIntegrityViolation);
+  }
+}
+
+TEST(AuthenticatedCipherTest, DetectsAadMismatch) {
+  AuthenticatedCipher c = MakeCipher();
+  Result<Bytes> sealed = c.Seal(Bytes(12, 0x01), ToBytes("data"), ToBytes("aad1"));
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(c.Open(*sealed, ToBytes("aad2")).ok());
+  EXPECT_TRUE(c.Open(*sealed, ToBytes("aad1")).ok());
+}
+
+TEST(AuthenticatedCipherTest, DetectsTruncation) {
+  AuthenticatedCipher c = MakeCipher();
+  Result<Bytes> sealed = c.Seal(Bytes(12, 0x01), ToBytes("data"), {});
+  ASSERT_TRUE(sealed.ok());
+  Bytes truncated(sealed->begin(), sealed->end() - 1);
+  EXPECT_FALSE(c.Open(truncated, {}).ok());
+  EXPECT_FALSE(c.Open(Bytes(10, 0x00), {}).ok());
+}
+
+TEST(AuthenticatedCipherTest, DifferentKeysCannotOpen) {
+  AuthenticatedCipher a = MakeCipher();
+  Result<AuthenticatedCipher> b = AuthenticatedCipher::Create(Bytes(32, 0x77));
+  ASSERT_TRUE(b.ok());
+  Result<Bytes> sealed = a.Seal(Bytes(12, 0x01), ToBytes("data"), {});
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(b->Open(*sealed, {}).ok());
+}
+
+TEST(AuthenticatedCipherTest, RejectsBadSizes) {
+  EXPECT_FALSE(AuthenticatedCipher::Create(Bytes(16, 0)).ok());
+  AuthenticatedCipher c = MakeCipher();
+  EXPECT_FALSE(c.Seal(Bytes(8, 0), ToBytes("x"), {}).ok());
+}
+
+TEST(AuthenticatedCipherTest, EmptyPlaintextAllowed) {
+  AuthenticatedCipher c = MakeCipher();
+  Result<Bytes> sealed = c.Seal(Bytes(12, 0x09), Bytes{}, ToBytes("aad"));
+  ASSERT_TRUE(sealed.ok());
+  Result<Bytes> opened = c.Open(*sealed, ToBytes("aad"));
+  ASSERT_TRUE(opened.ok());
+  EXPECT_TRUE(opened->empty());
+}
+
+}  // namespace
+}  // namespace hsis::crypto

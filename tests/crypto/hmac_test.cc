@@ -1,0 +1,75 @@
+#include "crypto/hmac_sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes msg = ToBytes("Hi There");
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  Bytes key = ToBytes("Jefe");
+  Bytes msg = ToBytes("what do ya want for nothing?");
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes msg(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);
+  Bytes msg = ToBytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(HexEncode(HmacSha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, KeySensitivity) {
+  Bytes msg = ToBytes("message");
+  EXPECT_NE(HmacSha256(ToBytes("key1"), msg), HmacSha256(ToBytes("key2"), msg));
+}
+
+TEST(HmacPrfTest, TagSeparatesDomains) {
+  Bytes key = ToBytes("k");
+  Bytes msg = ToBytes("m");
+  EXPECT_NE(HmacPrf(key, 0, msg), HmacPrf(key, 1, msg));
+}
+
+TEST(HmacPrfTest, MatchesManualTagging) {
+  Bytes key = ToBytes("k");
+  Bytes tagged = {0x01, 'm'};
+  EXPECT_EQ(HmacPrf(key, 1, ToBytes("m")), HmacSha256(key, tagged));
+}
+
+TEST(DeriveKeyTest, ProducesRequestedLength) {
+  Bytes master = ToBytes("master-secret");
+  EXPECT_EQ(DeriveKey(master, "label", 16).size(), 16u);
+  EXPECT_EQ(DeriveKey(master, "label", 32).size(), 32u);
+  EXPECT_EQ(DeriveKey(master, "label", 100).size(), 100u);
+}
+
+TEST(DeriveKeyTest, LabelsAreIndependent) {
+  Bytes master = ToBytes("master-secret");
+  EXPECT_NE(DeriveKey(master, "enc", 32), DeriveKey(master, "mac", 32));
+}
+
+TEST(DeriveKeyTest, PrefixConsistency) {
+  // A shorter derivation is a prefix of a longer one with the same label.
+  Bytes master = ToBytes("m");
+  Bytes long_key = DeriveKey(master, "x", 64);
+  Bytes short_key = DeriveKey(master, "x", 16);
+  EXPECT_TRUE(std::equal(short_key.begin(), short_key.end(), long_key.begin()));
+}
+
+}  // namespace
+}  // namespace hsis::crypto

@@ -1,0 +1,84 @@
+#include "crypto/prime.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::crypto {
+namespace {
+
+TEST(PrimeTest, SmallPrimesRecognized) {
+  Rng rng(1);
+  for (uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 97u, 101u, 65537u}) {
+    EXPECT_TRUE(IsProbablePrime(U256(p), 20, rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallCompositesRejected) {
+  Rng rng(2);
+  for (uint64_t c : {0u, 1u, 4u, 6u, 9u, 15u, 91u, 100u, 65535u, 1000001u}) {
+    EXPECT_FALSE(IsProbablePrime(U256(c), 20, rng)) << c;
+  }
+}
+
+TEST(PrimeTest, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes that fool a^(n-1) == 1 tests but not Miller–Rabin.
+  Rng rng(3);
+  for (uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u}) {
+    EXPECT_FALSE(IsProbablePrime(U256(c), 20, rng)) << c;
+  }
+}
+
+TEST(PrimeTest, LargeKnownPrime) {
+  Rng rng(4);
+  // 2^127 - 1 is a Mersenne prime.
+  U256 m127 = (U256(1) << 127) - U256(1);
+  EXPECT_TRUE(IsProbablePrime(m127, 20, rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(IsProbablePrime((U256(1) << 128) - U256(1), 20, rng));
+}
+
+TEST(PrimeTest, DefaultSafePrimeIsSafe) {
+  Rng rng(5);
+  const U256& p = DefaultSafePrime();
+  const U256& q = DefaultSubgroupOrder();
+  EXPECT_EQ(p, q + q + U256(1));
+  EXPECT_TRUE(IsProbablePrime(p, 20, rng));
+  EXPECT_TRUE(IsProbablePrime(q, 20, rng));
+  EXPECT_EQ(p.BitLength(), 256u);
+}
+
+TEST(PrimeTest, SmallSafePrimeIsSafe) {
+  Rng rng(6);
+  const U256& p = SmallSafePrime();
+  U256 q = (p - U256(1)) >> 1;
+  EXPECT_TRUE(IsProbablePrime(p, 20, rng));
+  EXPECT_TRUE(IsProbablePrime(q, 20, rng));
+}
+
+TEST(PrimeTest, GeneratePrimeHasRequestedBits) {
+  Rng rng(7);
+  for (size_t bits : {16u, 32u, 64u, 128u}) {
+    Result<U256> p = GeneratePrime(bits, 20, rng);
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->BitLength(), bits);
+    EXPECT_TRUE(IsProbablePrime(*p, 20, rng));
+  }
+}
+
+TEST(PrimeTest, GeneratePrimeRejectsBadSizes) {
+  Rng rng(8);
+  EXPECT_FALSE(GeneratePrime(4, 10, rng).ok());
+  EXPECT_FALSE(GeneratePrime(300, 10, rng).ok());
+}
+
+TEST(PrimeTest, GenerateSafePrimeSmall) {
+  Rng rng(9);
+  Result<U256> p = GenerateSafePrime(32, 20, rng);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->BitLength(), 32u);
+  U256 q = (*p - U256(1)) >> 1;
+  EXPECT_TRUE(IsProbablePrime(*p, 20, rng));
+  EXPECT_TRUE(IsProbablePrime(q, 20, rng));
+}
+
+}  // namespace
+}  // namespace hsis::crypto

@@ -1,0 +1,64 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace hsis::crypto {
+namespace {
+
+std::string HashHex(std::string_view msg) {
+  return HexEncode(Sha256::Hash(msg));
+}
+
+// NIST FIPS 180-4 / classic test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexEncode(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(reinterpret_cast<const uint8_t*>(msg.data()), split);
+    h.Update(reinterpret_cast<const uint8_t*>(msg.data()) + split,
+             msg.size() - split);
+    EXPECT_EQ(h.Finish(), Sha256::Hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, PaddingBoundaryLengths) {
+  // Lengths straddling the 55/56/63/64-byte padding boundaries must all
+  // produce distinct digests and not crash.
+  std::set<std::string> digests;
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    digests.insert(HexEncode(Sha256::Hash(std::string(len, 'x'))));
+  }
+  EXPECT_EQ(digests.size(), 10u);
+}
+
+TEST(Sha256Test, DigestSizeIs32) {
+  EXPECT_EQ(Sha256::Hash("x").size(), 32u);
+}
+
+}  // namespace
+}  // namespace hsis::crypto

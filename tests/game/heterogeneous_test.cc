@@ -1,0 +1,220 @@
+#include "game/heterogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include "game/equilibrium.h"
+#include "game/honesty_games.h"
+#include "game/nplayer_game.h"
+
+namespace hsis::game {
+namespace {
+
+using Spec = HeterogeneousHonestyGame::PlayerSpec;
+
+Spec MakeSpec(double b, double f_gain, double freq, double penalty) {
+  Spec s;
+  s.benefit = b;
+  s.gain = LinearGain(f_gain, 0);  // constant F_i
+  s.frequency = freq;
+  s.penalty = penalty;
+  return s;
+}
+
+TEST(HeterogeneousGameTest, Validation) {
+  EXPECT_FALSE(HeterogeneousHonestyGame::Create({MakeSpec(10, 25, 0.3, 10)})
+                   .ok());
+  std::vector<Spec> bad = {MakeSpec(10, 25, 0.3, 10),
+                           MakeSpec(10, 25, 1.5, 10)};
+  EXPECT_FALSE(HeterogeneousHonestyGame::Create(bad).ok());
+  std::vector<Spec> no_gain = {MakeSpec(10, 25, 0.3, 10), Spec{}};
+  EXPECT_FALSE(HeterogeneousHonestyGame::Create(no_gain).ok());
+  std::vector<Spec> decreasing = {MakeSpec(10, 25, 0.3, 10),
+                                  MakeSpec(10, 25, 0.3, 10)};
+  decreasing[1].gain = [](int x) { return 25.0 - x; };
+  EXPECT_FALSE(HeterogeneousHonestyGame::Create(decreasing).ok());
+}
+
+TEST(HeterogeneousGameTest, SymmetricCaseMatchesHomogeneousGame) {
+  // Identical specs must reproduce NPlayerHonestyGame's equilibria.
+  NPlayerHonestyGame::Params params;
+  params.n = 5;
+  params.benefit = 10;
+  params.gain = LinearGain(20, 2);
+  params.frequency = 0.3;
+  params.penalty = 35;
+  params.uniform_loss = 4;
+  NPlayerHonestyGame homogeneous =
+      std::move(NPlayerHonestyGame::Create(params).value());
+
+  std::vector<Spec> specs;
+  for (int i = 0; i < 5; ++i) {
+    Spec s;
+    s.benefit = 10;
+    s.gain = LinearGain(20, 2);
+    s.frequency = 0.3;
+    s.penalty = 35;
+    specs.push_back(s);
+  }
+  HeterogeneousHonestyGame heterogeneous =
+      std::move(HeterogeneousHonestyGame::Create(specs).value());
+
+  for (uint32_t mask = 0; mask < 32; ++mask) {
+    std::vector<bool> profile(5);
+    for (int i = 0; i < 5; ++i) profile[static_cast<size_t>(i)] = (mask >> i) & 1;
+    EXPECT_EQ(heterogeneous.IsEquilibrium(profile),
+              homogeneous.IsNashEquilibrium(profile))
+        << mask;
+  }
+}
+
+TEST(HeterogeneousGameTest, TwoPlayerMatchesTable3Regions) {
+  // The "poor Colie" corner: Rowi rarely audited cheats, Colie heavily
+  // audited stays honest.
+  std::vector<Spec> specs = {
+      MakeSpec(10, 25, 0.05, 20),  // Rowi: rarely audited
+      MakeSpec(10, 25, 0.9, 20),   // Colie: heavily audited
+  };
+  HeterogeneousHonestyGame g =
+      std::move(HeterogeneousHonestyGame::Create(specs).value());
+  auto equilibria = std::move(g.AllEquilibria().value());
+  ASSERT_EQ(equilibria.size(), 1u);
+  EXPECT_EQ(equilibria[0], std::vector<bool>({false, true}));  // (C, H)
+}
+
+TEST(HeterogeneousGameTest, MixedPopulationEquilibrium) {
+  // Three deterred players + two tempted ones: the unique equilibrium
+  // has exactly the tempted pair cheating.
+  std::vector<Spec> specs;
+  for (int i = 0; i < 3; ++i) specs.push_back(MakeSpec(10, 25, 0.8, 50));
+  for (int i = 0; i < 2; ++i) specs.push_back(MakeSpec(10, 25, 0.0, 0));
+  HeterogeneousHonestyGame g =
+      std::move(HeterogeneousHonestyGame::Create(specs).value());
+  auto equilibria = std::move(g.AllEquilibria().value());
+  ASSERT_EQ(equilibria.size(), 1u);
+  EXPECT_EQ(equilibria[0],
+            std::vector<bool>({true, true, true, false, false}));
+  EXPECT_FALSE(g.IsHonestDominantForAll());
+}
+
+TEST(HeterogeneousGameTest, CouplingThroughGainFunctions) {
+  // With steep gain functions, a player's rational action depends on
+  // how many others are honest: multiple equilibria appear.
+  std::vector<Spec> specs;
+  for (int i = 0; i < 4; ++i) {
+    Spec s;
+    s.benefit = 10;
+    s.gain = LinearGain(5, 10);  // F(x) = 5 + 10x: honest crowds tempt
+    s.frequency = 0.3;
+    s.penalty = 20;
+    specs.push_back(s);
+  }
+  HeterogeneousHonestyGame g =
+      std::move(HeterogeneousHonestyGame::Create(specs).value());
+  // CheatAdvantage(x) = 0.7(5 + 10x) - 6 - 10 = 7x - 12.5:
+  // negative at x <= 1, positive at x >= 2 -> both all-honest
+  // (nobody wants to cheat alone... check: honest player faces x = 3:
+  // adv(3) = 8.5 > 0 -> all-honest is NOT an equilibrium).
+  auto equilibria = std::move(g.AllEquilibria().value());
+  for (const auto& eq : equilibria) {
+    int honest = 0;
+    for (bool h : eq) honest += h;
+    // Stable mixes only: interior counts where the marginal player is
+    // indifferent-ish. Verified directly via the equilibrium check.
+    EXPECT_TRUE(g.IsEquilibrium(eq)) << honest;
+  }
+  EXPECT_FALSE(g.IsEquilibrium(std::vector<bool>(4, true)));
+}
+
+TEST(MinPenaltiesTest, PerPlayerThresholds) {
+  std::vector<Spec> specs = {
+      MakeSpec(10, 25, 0.5, 0),  // needs ((0.5*25)-10)/0.5 = 5
+      MakeSpec(5, 50, 0.5, 0),   // needs ((0.5*50)-5)/0.5 = 40
+  };
+  auto penalties = std::move(MinPenaltiesForAllHonest(specs).value());
+  EXPECT_NEAR(penalties[0], 5.0, 1e-3);
+  EXPECT_NEAR(penalties[1], 40.0, 1e-3);
+
+  // Applying them makes all-honest dominant.
+  specs[0].penalty = penalties[0];
+  specs[1].penalty = penalties[1];
+  HeterogeneousHonestyGame g =
+      std::move(HeterogeneousHonestyGame::Create(specs).value());
+  EXPECT_TRUE(g.IsHonestDominantForAll());
+}
+
+TEST(MinPenaltiesTest, RejectsUnauditedPlayer) {
+  std::vector<Spec> specs = {MakeSpec(10, 25, 0.0, 0),
+                             MakeSpec(10, 25, 0.5, 0)};
+  EXPECT_FALSE(MinPenaltiesForAllHonest(specs).ok());
+}
+
+TEST(MinCostFrequenciesTest, DecoupledOptimum) {
+  std::vector<Spec> specs = {
+      MakeSpec(10, 25, 0, 40),  // needs f = 15/65
+      MakeSpec(10, 25, 0, 5),   // needs f = 15/30
+  };
+  auto alloc = std::move(MinCostFrequencies(specs, {100, 100}).value());
+  EXPECT_NEAR(alloc.frequencies[0], 15.0 / 65, 1e-3);
+  EXPECT_NEAR(alloc.frequencies[1], 15.0 / 30, 1e-3);
+  EXPECT_NEAR(alloc.total_cost,
+              100 * (15.0 / 65 + 15.0 / 30), 0.2);
+
+  // Untempted players need no audits at all.
+  std::vector<Spec> saint = {MakeSpec(30, 25, 0, 0), MakeSpec(10, 25, 0, 40)};
+  auto alloc2 = std::move(MinCostFrequencies(saint, {100, 100}).value());
+  EXPECT_DOUBLE_EQ(alloc2.frequencies[0], 0.0);
+}
+
+TEST(MinCostFrequenciesTest, Validation) {
+  std::vector<Spec> specs = {MakeSpec(10, 25, 0, 40), MakeSpec(10, 25, 0, 5)};
+  EXPECT_FALSE(MinCostFrequencies(specs, {100}).ok());
+  EXPECT_FALSE(MinCostFrequencies(specs, {100, -1}).ok());
+}
+
+TEST(BudgetedAllocationTest, GreedyFundsCheapestFirst) {
+  std::vector<Spec> specs = {
+      MakeSpec(10, 25, 0, 200),  // needs f ~ 15/225 = 0.067
+      MakeSpec(10, 25, 0, 40),   // needs f ~ 15/65  = 0.231
+      MakeSpec(10, 25, 0, 0),    // needs f ~ 15/25  = 0.600
+  };
+  // Budget covers the first two only.
+  auto alloc = std::move(MaxDeterredUnderBudget(specs, 0.4).value());
+  EXPECT_EQ(alloc.deterred_count, 2);
+  EXPECT_TRUE(alloc.deterred[0]);
+  EXPECT_TRUE(alloc.deterred[1]);
+  EXPECT_FALSE(alloc.deterred[2]);
+  EXPECT_DOUBLE_EQ(alloc.frequencies[2], 0.0);
+  EXPECT_LE(alloc.budget_used, 0.4);
+
+  // Bigger budget covers everyone.
+  auto full = std::move(MaxDeterredUnderBudget(specs, 1.0).value());
+  EXPECT_EQ(full.deterred_count, 3);
+
+  // Zero budget covers nobody tempted.
+  auto none = std::move(MaxDeterredUnderBudget(specs, 0.0).value());
+  EXPECT_EQ(none.deterred_count, 0);
+}
+
+TEST(BudgetedAllocationTest, FundedPlayersAreActuallyDeterred) {
+  std::vector<Spec> specs = {
+      MakeSpec(10, 25, 0, 200),
+      MakeSpec(10, 25, 0, 40),
+      MakeSpec(10, 25, 0, 0),
+  };
+  auto alloc = std::move(MaxDeterredUnderBudget(specs, 0.4).value());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].frequency = alloc.frequencies[i];
+  }
+  HeterogeneousHonestyGame g =
+      std::move(HeterogeneousHonestyGame::Create(specs).value());
+  for (int i = 0; i < g.n(); ++i) {
+    if (alloc.deterred[static_cast<size_t>(i)]) {
+      EXPECT_LE(g.CheatAdvantage(i, g.n() - 1), 0.0) << i;
+    } else {
+      EXPECT_GT(g.CheatAdvantage(i, g.n() - 1), 0.0) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsis::game

@@ -1,0 +1,176 @@
+#include "game/landscape.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hsis::game {
+namespace {
+
+constexpr double kB = 10, kF = 25, kL = 8;
+
+TEST(ProfileLabelTest, Labels) {
+  EXPECT_EQ(ProfileLabel({kHonest, kCheat}), "HC");
+  EXPECT_EQ(ProfileLabel({kCheat, kCheat, kHonest}), "CCH");
+}
+
+TEST(Figure1Test, FrequencySweepMatchesObservation2) {
+  const double penalty = 50;
+  Result<std::vector<FrequencySweepRow>> rows =
+      SweepFrequency(kB, kF, kL, penalty, 101);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 101u);
+
+  double f_star = CriticalFrequency(kB, kF, penalty);
+  for (const FrequencySweepRow& row : *rows) {
+    EXPECT_TRUE(row.analytic_matches_enumeration)
+        << "mismatch at f = " << row.frequency;
+    if (row.frequency < f_star - 1e-9) {
+      EXPECT_EQ(row.analytic_region, SymmetricRegion::kAllCheatUniqueDse);
+      EXPECT_FALSE(row.honest_is_dse);
+    } else if (row.frequency > f_star + 1e-9) {
+      EXPECT_EQ(row.analytic_region, SymmetricRegion::kAllHonestUniqueDse);
+      EXPECT_TRUE(row.honest_is_dse);
+    }
+  }
+}
+
+TEST(Figure1Test, CrossoverLocatedAtClosedForm) {
+  const double penalty = 50;
+  Result<std::vector<FrequencySweepRow>> rows =
+      SweepFrequency(kB, kF, kL, penalty, 1001);
+  ASSERT_TRUE(rows.ok());
+  // First all-honest row sits within one grid step of f*.
+  double f_star = CriticalFrequency(kB, kF, penalty);
+  double first_honest = 2.0;
+  for (const FrequencySweepRow& row : *rows) {
+    if (row.analytic_region == SymmetricRegion::kAllHonestUniqueDse) {
+      first_honest = row.frequency;
+      break;
+    }
+  }
+  EXPECT_NEAR(first_honest, f_star, 1.0 / 1000 + 1e-9);
+}
+
+TEST(Figure2Test, PenaltySweepMatchesObservation3LowFrequency) {
+  const double f = 0.2;  // below (F-B)/F = 0.6: both regimes appear
+  Result<std::vector<PenaltySweepRow>> rows =
+      SweepPenalty(kB, kF, kL, f, 100, 101);
+  ASSERT_TRUE(rows.ok());
+  double p_star = CriticalPenalty(kB, kF, f);
+  bool saw_cheat = false, saw_honest = false;
+  for (const PenaltySweepRow& row : *rows) {
+    EXPECT_TRUE(row.analytic_matches_enumeration)
+        << "mismatch at P = " << row.penalty;
+    if (row.penalty < p_star - 1e-9) {
+      EXPECT_EQ(row.analytic_region, SymmetricRegion::kAllCheatUniqueDse);
+      saw_cheat = true;
+    } else if (row.penalty > p_star + 1e-9) {
+      EXPECT_EQ(row.analytic_region, SymmetricRegion::kAllHonestUniqueDse);
+      saw_honest = true;
+    }
+  }
+  EXPECT_TRUE(saw_cheat);
+  EXPECT_TRUE(saw_honest);
+}
+
+TEST(Figure2Test, HighFrequencyRegimeIsAllHonestEverywhere) {
+  // f > (F-B)/F: (H,H) unique from P = 0 on (the paper's upper diagram).
+  const double f = 0.7;
+  ASSERT_GT(f, ZeroPenaltyFrequency(kB, kF));
+  Result<std::vector<PenaltySweepRow>> rows =
+      SweepPenalty(kB, kF, kL, f, 100, 51);
+  ASSERT_TRUE(rows.ok());
+  for (const PenaltySweepRow& row : *rows) {
+    EXPECT_EQ(row.analytic_region, SymmetricRegion::kAllHonestUniqueDse);
+    EXPECT_TRUE(row.analytic_matches_enumeration);
+    EXPECT_TRUE(row.honest_is_dse);
+  }
+}
+
+TEST(Figure3Test, GridShowsAllFourRegions) {
+  TwoPlayerGameParams params;
+  params.player1 = {10, 30};
+  params.player2 = {8, 22};
+  params.loss_to_1 = 4;
+  params.loss_to_2 = 9;
+  params.audit1 = {0, 20};
+  params.audit2 = {0, 15};
+  Result<std::vector<AsymmetricGridCell>> cells =
+      SweepAsymmetricGrid(params, 21);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 21u * 21u);
+
+  int region_counts[5] = {0, 0, 0, 0, 0};
+  for (const AsymmetricGridCell& cell : *cells) {
+    EXPECT_TRUE(cell.analytic_matches_enumeration)
+        << "mismatch at (" << cell.f1 << ", " << cell.f2 << ")";
+    region_counts[static_cast<int>(cell.analytic_region)]++;
+  }
+  EXPECT_GT(region_counts[static_cast<int>(AsymmetricRegion::kBothCheat)], 0);
+  EXPECT_GT(region_counts[static_cast<int>(AsymmetricRegion::kOnlyP1Cheats)], 0);
+  EXPECT_GT(region_counts[static_cast<int>(AsymmetricRegion::kOnlyP2Cheats)], 0);
+  EXPECT_GT(region_counts[static_cast<int>(AsymmetricRegion::kBothHonest)], 0);
+}
+
+TEST(Figure4Test, NPlayerBandsMatchTheorem1) {
+  NPlayerHonestyGame::Params params;
+  params.n = 8;
+  params.benefit = 10;
+  params.gain = LinearGain(20, 2);
+  params.frequency = 0.3;
+  params.uniform_loss = 4;
+
+  double top = NPlayerPenaltyBound(params.benefit, params.gain,
+                                   params.frequency, params.n - 1);
+  Result<std::vector<NPlayerBandRow>> rows =
+      SweepNPlayerPenalty(params, top * 1.2, 201);
+  ASSERT_TRUE(rows.ok());
+
+  int prev_count = -1;
+  for (const NPlayerBandRow& row : *rows) {
+    EXPECT_TRUE(row.analytic_matches_enumeration)
+        << "mismatch at P = " << row.penalty;
+    // The honest count is monotone nondecreasing in the penalty.
+    EXPECT_GE(row.analytic_honest_count, prev_count);
+    prev_count = row.analytic_honest_count;
+  }
+  EXPECT_EQ(rows->front().analytic_honest_count, 0);
+  EXPECT_EQ(rows->back().analytic_honest_count, params.n);
+  EXPECT_TRUE(rows->back().honest_is_dominant);
+  EXPECT_TRUE(rows->front().cheat_is_dominant);
+}
+
+TEST(Figure4Test, EveryBandIsVisited) {
+  NPlayerHonestyGame::Params params;
+  params.n = 5;
+  params.benefit = 10;
+  params.gain = LinearGain(20, 3);
+  params.frequency = 0.4;
+  params.uniform_loss = 2;
+
+  double top = NPlayerPenaltyBound(params.benefit, params.gain,
+                                   params.frequency, params.n - 1);
+  Result<std::vector<NPlayerBandRow>> rows =
+      SweepNPlayerPenalty(params, top * 1.1, 400);
+  ASSERT_TRUE(rows.ok());
+  std::set<int> seen;
+  for (const NPlayerBandRow& row : *rows) seen.insert(row.analytic_honest_count);
+  for (int x = 0; x <= params.n; ++x) {
+    EXPECT_TRUE(seen.count(x)) << "band x = " << x << " never visited";
+  }
+}
+
+TEST(SweepValidationTest, RejectsBadArguments) {
+  EXPECT_FALSE(SweepFrequency(kB, kF, kL, 10, 1).ok());
+  EXPECT_FALSE(SweepPenalty(kB, kF, kL, 0.2, 10, 0).ok());
+  NPlayerHonestyGame::Params p;
+  p.n = 4;
+  p.benefit = 10;
+  p.gain = LinearGain(20, 1);
+  p.frequency = 0;  // Theorem 1 needs f > 0
+  EXPECT_FALSE(SweepNPlayerPenalty(p, 100, 10).ok());
+}
+
+}  // namespace
+}  // namespace hsis::game

@@ -1,0 +1,113 @@
+#include "game/repeated_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/thresholds.h"
+
+namespace hsis::game {
+namespace {
+
+constexpr double kB = 10, kF = 25;
+
+TEST(RepeatedAnalysisTest, PureRepetitionClosedForm) {
+  // delta* = (F - B)/L with no auditing.
+  EXPECT_DOUBLE_EQ(CriticalDiscount(kB, kF, /*loss=*/20), 15.0 / 20);
+  EXPECT_DOUBLE_EQ(CriticalDiscount(kB, kF, /*loss=*/30), 0.5);
+}
+
+TEST(RepeatedAnalysisTest, RepetitionCannotHelpWhenLossTooSmall) {
+  // L < F - B: even delta -> 1 cannot deter; and L = 0 has no bite.
+  EXPECT_TRUE(std::isinf(CriticalDiscount(kB, kF, /*loss=*/10)));
+  EXPECT_TRUE(std::isinf(CriticalDiscount(kB, kF, /*loss=*/0)));
+}
+
+TEST(RepeatedAnalysisTest, StageDeterrenceNeedsNoPatience) {
+  // With a transformative device the stage game deters: delta* = 0.
+  double p_star = CriticalPenalty(kB, kF, 0.3);
+  EXPECT_DOUBLE_EQ(CriticalDiscount(kB, kF, 8, 0.3, p_star + 1), 0.0);
+}
+
+TEST(RepeatedAnalysisTest, AuditingLowersTheRequiredPatience) {
+  // delta* decreases as f or P grows.
+  double no_audit = CriticalDiscount(kB, kF, 20);
+  double some_audit = CriticalDiscount(kB, kF, 20, 0.2, 10);
+  double more_audit = CriticalDiscount(kB, kF, 20, 0.3, 10);
+  EXPECT_LT(some_audit, no_audit);
+  EXPECT_LT(more_audit, some_audit);
+}
+
+TEST(RepeatedAnalysisTest, SustainabilityPredicate) {
+  double d_star = CriticalDiscount(kB, kF, 20);  // 0.75
+  EXPECT_FALSE(GrimTriggerSustainsHonesty(kB, kF, 20, 0, 0, d_star - 0.01));
+  EXPECT_TRUE(GrimTriggerSustainsHonesty(kB, kF, 20, 0, 0, d_star + 0.01));
+}
+
+TEST(RepeatedAnalysisTest, VerifiedAgainstDiscountedStreams) {
+  // Direct check of the incentive inequality at the threshold using the
+  // explicit value functions: honest stream vs deviate-then-punished.
+  const double loss = 20, f = 0.1, penalty = 5;
+  double deviation = (1 - f) * kF - f * penalty;
+  double punishment = deviation - (1 - f) * loss;
+  double d_star = CriticalDiscount(kB, kF, loss, f, penalty);
+  ASSERT_GT(d_star, 0);
+  ASSERT_LT(d_star, 1);
+
+  for (double delta : {d_star - 0.05, d_star + 0.05}) {
+    double honest_value = DiscountedValue(kB, delta);
+    double deviate_value = DeviationValue(deviation, punishment, delta);
+    if (delta > d_star) {
+      EXPECT_GE(honest_value, deviate_value) << delta;
+    } else {
+      EXPECT_LT(honest_value, deviate_value) << delta;
+    }
+  }
+  // At the threshold, exact indifference.
+  EXPECT_NEAR(DiscountedValue(kB, d_star),
+              DeviationValue(deviation, punishment, d_star), 1e-9);
+}
+
+TEST(RepeatedAnalysisTest, GeneralizedFrequencyReducesToObservation2) {
+  // delta = 0 recovers (F - B)/(F + P) exactly.
+  for (double p : {0.0, 10.0, 40.0}) {
+    EXPECT_DOUBLE_EQ(CriticalFrequencyWithPatience(kB, kF, 8, p, 0.0),
+                     CriticalFrequency(kB, kF, p));
+  }
+}
+
+TEST(RepeatedAnalysisTest, PatienceShrinksTheRequiredFrequency) {
+  const double loss = 12, penalty = 10;
+  double f0 = CriticalFrequencyWithPatience(kB, kF, loss, penalty, 0.0);
+  double f_half = CriticalFrequencyWithPatience(kB, kF, loss, penalty, 0.5);
+  double f_patient = CriticalFrequencyWithPatience(kB, kF, loss, penalty, 0.9);
+  EXPECT_GT(f0, f_half);
+  EXPECT_GT(f_half, f_patient);
+}
+
+TEST(RepeatedAnalysisTest, EnoughPatienceNeedsNoAuditsAtAll) {
+  // F - delta L <= B: pure repetition sustains honesty, f* = 0.
+  // With L = 20, delta >= 0.75 gives F - delta L <= 10 = B.
+  EXPECT_DOUBLE_EQ(CriticalFrequencyWithPatience(kB, kF, 20, 0, 0.8), 0.0);
+  EXPECT_GT(CriticalFrequencyWithPatience(kB, kF, 20, 0, 0.7), 0.0);
+}
+
+TEST(RepeatedAnalysisTest, FrequencyPatienceConsistency) {
+  // Operating exactly at f*(delta) makes delta exactly critical.
+  const double loss = 15, penalty = 8;
+  for (double delta : {0.2, 0.5, 0.7}) {
+    double f = CriticalFrequencyWithPatience(kB, kF, loss, penalty, delta);
+    if (f <= 0 || f >= 1) continue;
+    double d_star = CriticalDiscount(kB, kF, loss, f, penalty);
+    EXPECT_NEAR(d_star, delta, 1e-9) << "delta " << delta;
+  }
+}
+
+TEST(RepeatedAnalysisTest, DiscountedValueBasics) {
+  EXPECT_DOUBLE_EQ(DiscountedValue(10, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(DiscountedValue(10, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(DeviationValue(25, 5, 0.5), 25 + 5.0);
+}
+
+}  // namespace
+}  // namespace hsis::game

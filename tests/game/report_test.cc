@@ -1,0 +1,105 @@
+#include "game/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hsis::game {
+namespace {
+
+int CountLines(const std::string& s) {
+  int lines = 0;
+  for (char c : s) lines += (c == '\n');
+  return lines;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& csv, int line) {
+  std::istringstream stream(csv);
+  std::string row;
+  for (int i = 0; i <= line; ++i) std::getline(stream, row);
+  std::vector<std::string> fields;
+  std::istringstream row_stream(row);
+  std::string field;
+  while (std::getline(row_stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+TEST(ReportTest, FrequencySweepCsvShape) {
+  auto rows = std::move(SweepFrequency(10, 25, 8, 40, 11).value());
+  std::string csv = FrequencySweepToCsv(rows);
+  EXPECT_EQ(CountLines(csv), 12);  // header + 11 samples
+  auto header = SplitCsvLine(csv, 0);
+  ASSERT_EQ(header.size(), 5u);
+  EXPECT_EQ(header[0], "frequency");
+  EXPECT_EQ(header[4], "matches_enumeration");
+
+  auto first = SplitCsvLine(csv, 1);
+  EXPECT_EQ(first[0], "0");
+  EXPECT_EQ(first[1], "all_cheat");
+  EXPECT_EQ(first[2], "CC");
+  EXPECT_EQ(first[4], "1");
+
+  auto last = SplitCsvLine(csv, 11);
+  EXPECT_EQ(last[0], "1");
+  EXPECT_EQ(last[1], "all_honest");
+  EXPECT_EQ(last[2], "HH");
+  EXPECT_EQ(last[3], "1");
+}
+
+TEST(ReportTest, PenaltySweepCsvShape) {
+  auto rows = std::move(SweepPenalty(10, 25, 8, 0.2, 100, 5).value());
+  std::string csv = PenaltySweepToCsv(rows);
+  EXPECT_EQ(CountLines(csv), 6);
+  auto header = SplitCsvLine(csv, 0);
+  EXPECT_EQ(header[0], "penalty");
+}
+
+TEST(ReportTest, AsymmetricGridCsvShape) {
+  TwoPlayerGameParams params = TwoPlayerGameParams::Symmetric(10, 25, 8);
+  params.audit1.penalty = 20;
+  params.audit2.penalty = 20;
+  auto cells = std::move(SweepAsymmetricGrid(params, 3).value());
+  std::string csv = AsymmetricGridToCsv(cells);
+  EXPECT_EQ(CountLines(csv), 10);  // header + 9 cells
+  auto corner = SplitCsvLine(csv, 1);
+  EXPECT_EQ(corner[0], "0");
+  EXPECT_EQ(corner[1], "0");
+  EXPECT_EQ(corner[2], "CC");
+}
+
+TEST(ReportTest, NPlayerBandsCsvShape) {
+  NPlayerHonestyGame::Params params;
+  params.n = 4;
+  params.benefit = 10;
+  params.gain = LinearGain(20, 2);
+  params.frequency = 0.3;
+  params.uniform_loss = 4;
+  auto rows = std::move(SweepNPlayerPenalty(params, 60, 7).value());
+  std::string csv = NPlayerBandsToCsv(rows);
+  EXPECT_EQ(CountLines(csv), 8);
+  auto header = SplitCsvLine(csv, 0);
+  ASSERT_EQ(header.size(), 6u);
+  EXPECT_EQ(header[2], "equilibrium_honest_counts");
+  auto first = SplitCsvLine(csv, 1);
+  EXPECT_EQ(first[1], "0");  // no penalty -> nobody honest
+  EXPECT_EQ(first[4], "1");  // cheat dominant
+}
+
+TEST(ReportTest, MultiEquilibriaJoinedWithSemicolons) {
+  // Boundary frequency: both CC and HH are equilibria in one row.
+  double f_star = CriticalFrequency(10, 25, 40);
+  auto make_row = [&](double f) {
+    FrequencySweepRow row;
+    row.frequency = f;
+    row.analytic_region = ClassifySymmetricRegion(10, 25, f, 40);
+    row.nash_equilibria = {"HH", "CC"};
+    row.honest_is_dse = false;
+    row.analytic_matches_enumeration = true;
+    return row;
+  };
+  std::string csv = FrequencySweepToCsv({make_row(f_star)});
+  EXPECT_NE(csv.find("HH;CC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsis::game

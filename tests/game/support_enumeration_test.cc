@@ -1,0 +1,175 @@
+#include "game/support_enumeration.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "game/equilibrium.h"
+#include "game/honesty_games.h"
+#include "game/thresholds.h"
+
+namespace hsis::game {
+namespace {
+
+NormalFormGame Make2x2(std::initializer_list<double> payoffs) {
+  // payoffs: u1(0,0), u2(0,0), u1(0,1), u2(0,1), u1(1,0), ..., row major.
+  Result<NormalFormGame> g = NormalFormGame::Create({2, 2});
+  EXPECT_TRUE(g.ok());
+  auto it = payoffs.begin();
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      double u1 = *it++;
+      double u2 = *it++;
+      g->SetPayoffs({i, j}, {u1, u2});
+    }
+  }
+  return *g;
+}
+
+TEST(SupportEnumerationTest, MatchingPennies) {
+  NormalFormGame g = Make2x2({1, -1, -1, 1, -1, 1, 1, -1});
+  auto eq = std::move(SupportEnumerationEquilibria(g).value());
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_FALSE(eq[0].IsPure());
+  EXPECT_NEAR(eq[0].p1[0], 0.5, 1e-9);
+  EXPECT_NEAR(eq[0].p2[0], 0.5, 1e-9);
+  EXPECT_NEAR(eq[0].payoff1, 0.0, 1e-9);
+}
+
+TEST(SupportEnumerationTest, PrisonersDilemma) {
+  NormalFormGame g = Make2x2({3, 3, 0, 5, 5, 0, 1, 1});
+  auto eq = std::move(SupportEnumerationEquilibria(g).value());
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_TRUE(eq[0].IsPure());
+  EXPECT_NEAR(eq[0].p1[1], 1.0, 1e-9);  // defect
+  EXPECT_NEAR(eq[0].p2[1], 1.0, 1e-9);
+}
+
+TEST(SupportEnumerationTest, BattleOfSexesFindsAllThree) {
+  NormalFormGame g = Make2x2({2, 1, 0, 0, 0, 0, 1, 2});
+  auto eq = std::move(SupportEnumerationEquilibria(g).value());
+  ASSERT_EQ(eq.size(), 3u);
+  int pure = 0, mixed = 0;
+  for (const auto& e : eq) {
+    e.IsPure() ? ++pure : ++mixed;
+  }
+  EXPECT_EQ(pure, 2);
+  EXPECT_EQ(mixed, 1);
+}
+
+TEST(SupportEnumerationTest, AgreesWithPureEnumeration) {
+  // Every pure NE found by brute force must appear in the support
+  // enumeration output, across a grid of honesty games.
+  for (double f : {0.0, 0.1, 0.3, 0.5, 0.8}) {
+    for (double p : {0.0, 20.0, 60.0}) {
+      NormalFormGame g =
+          std::move(MakeSymmetricAuditedGame(10, 25, 8, f, p).value());
+      auto pure = PureNashEquilibria(g);
+      auto all = std::move(SupportEnumerationEquilibria(g).value());
+      for (const StrategyProfile& ne : pure) {
+        bool present = false;
+        for (const auto& mixed : all) {
+          if (mixed.IsPure() &&
+              mixed.p1[static_cast<size_t>(ne[0])] > 0.5 &&
+              mixed.p2[static_cast<size_t>(ne[1])] > 0.5) {
+            present = true;
+          }
+        }
+        EXPECT_TRUE(present) << "f=" << f << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(SupportEnumerationTest, AgreesWith2x2Solver) {
+  NormalFormGame g = Make2x2({2, 1, 0, 0, 0, 0, 1, 2});
+  auto general = std::move(SupportEnumerationEquilibria(g).value());
+  auto special = AllEquilibria2x2(g);
+  EXPECT_EQ(general.size(), special.size());
+}
+
+TEST(SupportEnumerationTest, ThreeByThreeCyclicGame) {
+  // Rock-paper-scissors: unique equilibrium, uniform (1/3, 1/3, 1/3).
+  Result<NormalFormGame> g = NormalFormGame::Create({3, 3});
+  ASSERT_TRUE(g.ok());
+  // 0 beats 2, 1 beats 0, 2 beats 1.
+  int beats[3] = {2, 0, 1};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double u1 = (beats[i] == j) ? 1 : (beats[j] == i ? -1 : 0);
+      g->SetPayoffs({i, j}, {u1, -u1});
+    }
+  }
+  auto eq = std::move(SupportEnumerationEquilibria(*g).value());
+  ASSERT_EQ(eq.size(), 1u);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_NEAR(eq[0].p1[static_cast<size_t>(s)], 1.0 / 3, 1e-9);
+    EXPECT_NEAR(eq[0].p2[static_cast<size_t>(s)], 1.0 / 3, 1e-9);
+  }
+}
+
+TEST(SupportEnumerationTest, AsymmetricSupportsGame) {
+  // 2x3 game where player 2's third strategy is strictly dominated;
+  // equilibria live on 2x2 sub-supports.
+  Result<NormalFormGame> g = NormalFormGame::Create({2, 3});
+  ASSERT_TRUE(g.ok());
+  g->SetPayoffs({0, 0}, {1, 1});
+  g->SetPayoffs({0, 1}, {0, 0});
+  g->SetPayoffs({0, 2}, {2, -1});
+  g->SetPayoffs({1, 0}, {0, 0});
+  g->SetPayoffs({1, 1}, {1, 1});
+  g->SetPayoffs({1, 2}, {0, -1});
+  auto eq = std::move(SupportEnumerationEquilibria(*g).value());
+  // Two pure coordination equilibria + one mixed.
+  ASSERT_GE(eq.size(), 2u);
+  for (const auto& e : eq) {
+    EXPECT_NEAR(e.p2[2], 0.0, 1e-9);  // dominated strategy never played
+    EXPECT_TRUE(IsMixedNashEquilibrium(*g, e.p1, e.p2));
+  }
+}
+
+TEST(SupportEnumerationTest, EveryRandomGameHasAnEquilibrium) {
+  // Nash's theorem, checked constructively on random 3x3 games.
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    Result<NormalFormGame> g = NormalFormGame::Create({3, 3});
+    ASSERT_TRUE(g.ok());
+    for (size_t idx = 0; idx < g->num_profiles(); ++idx) {
+      StrategyProfile p = g->ProfileFromIndex(idx);
+      g->SetPayoffs(p, {rng.UniformDouble() * 10, rng.UniformDouble() * 10});
+    }
+    auto eq = std::move(SupportEnumerationEquilibria(*g).value());
+    EXPECT_GE(eq.size(), 1u) << "trial " << trial;
+    for (const auto& e : eq) {
+      EXPECT_TRUE(IsMixedNashEquilibrium(*g, e.p1, e.p2)) << trial;
+    }
+  }
+}
+
+TEST(SupportEnumerationTest, BoundaryHonestyGameHasMixedVertices) {
+  // Exactly at the Observation 2 boundary the players are indifferent:
+  // both (H,H) and (C,C) are equilibria.
+  double f_star = CriticalFrequency(10, 25, 40);
+  NormalFormGame g =
+      std::move(MakeSymmetricAuditedGame(10, 25, 8, f_star, 40).value());
+  auto eq = std::move(SupportEnumerationEquilibria(g).value());
+  bool has_hh = false, has_cc = false;
+  for (const auto& e : eq) {
+    if (e.IsPure() && e.p1[kHonest] > 0.5 && e.p2[kHonest] > 0.5) has_hh = true;
+    if (e.IsPure() && e.p1[kCheat] > 0.5 && e.p2[kCheat] > 0.5) has_cc = true;
+  }
+  EXPECT_TRUE(has_hh);
+  EXPECT_TRUE(has_cc);
+}
+
+TEST(SupportEnumerationTest, Validation) {
+  Result<NormalFormGame> three = NormalFormGame::Create({2, 2, 2});
+  ASSERT_TRUE(three.ok());
+  EXPECT_FALSE(SupportEnumerationEquilibria(*three).ok());
+
+  Result<NormalFormGame> big = NormalFormGame::Create({17, 2});
+  ASSERT_TRUE(big.ok());
+  EXPECT_FALSE(SupportEnumerationEquilibria(*big).ok());
+}
+
+}  // namespace
+}  // namespace hsis::game

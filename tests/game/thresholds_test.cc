@@ -1,0 +1,208 @@
+#include "game/thresholds.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "game/equilibrium.h"
+#include "game/honesty_games.h"
+
+namespace hsis::game {
+namespace {
+
+constexpr double kB = 10, kF = 25;
+
+TEST(CriticalFrequencyTest, ClosedForm) {
+  // f* = (F - B) / (P + F)
+  EXPECT_DOUBLE_EQ(CriticalFrequency(kB, kF, 50), 15.0 / 75.0);
+  EXPECT_DOUBLE_EQ(CriticalFrequency(kB, kF, 0), 15.0 / 25.0);
+  EXPECT_GT(CriticalFrequency(kB, kF, 0), CriticalFrequency(kB, kF, 100));
+}
+
+TEST(CriticalPenaltyTest, ClosedForm) {
+  // P* = ((1 - f) F - B) / f
+  EXPECT_DOUBLE_EQ(CriticalPenalty(kB, kF, 0.2), (0.8 * kF - kB) / 0.2);
+  EXPECT_TRUE(std::isinf(CriticalPenalty(kB, kF, 0.0)));
+  // Beyond the zero-penalty frequency the critical penalty is negative.
+  double f0 = ZeroPenaltyFrequency(kB, kF);
+  EXPECT_LT(CriticalPenalty(kB, kF, f0 + 0.05), 0.0);
+  EXPECT_GT(CriticalPenalty(kB, kF, f0 - 0.05), 0.0);
+}
+
+TEST(ZeroPenaltyFrequencyTest, ClosedForm) {
+  EXPECT_DOUBLE_EQ(ZeroPenaltyFrequency(kB, kF), 15.0 / 25.0);
+}
+
+TEST(ThresholdDualityTest, FrequencyAndPenaltyFormsAgree) {
+  // f = f*(P) and P = P*(f) describe the same boundary curve.
+  for (double penalty : {0.0, 10.0, 50.0, 200.0}) {
+    double f_star = CriticalFrequency(kB, kF, penalty);
+    EXPECT_NEAR(CriticalPenalty(kB, kF, f_star), penalty, 1e-9);
+  }
+}
+
+TEST(ClassifyDeviceTest, Observation2Regimes) {
+  const double penalty = 50;
+  double f_star = CriticalFrequency(kB, kF, penalty);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f_star - 0.05, penalty),
+            DeviceEffectiveness::kIneffective);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f_star + 0.05, penalty),
+            DeviceEffectiveness::kTransformative);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f_star, penalty),
+            DeviceEffectiveness::kEffective);
+}
+
+TEST(ClassifyDeviceTest, Observation3Regimes) {
+  const double f = 0.25;
+  double p_star = CriticalPenalty(kB, kF, f);
+  ASSERT_GT(p_star, 0);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f, p_star * 0.9),
+            DeviceEffectiveness::kIneffective);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f, p_star * 1.1),
+            DeviceEffectiveness::kTransformative);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f, p_star),
+            DeviceEffectiveness::kEffective);
+}
+
+TEST(ClassifyDeviceTest, HighFrequencyNeedsNoPenalty) {
+  // Observation 3 special case: f > (F-B)/F makes even P = 0 work.
+  double f0 = ZeroPenaltyFrequency(kB, kF);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f0 + 0.01, 0.0),
+            DeviceEffectiveness::kTransformative);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f0 - 0.01, 0.0),
+            DeviceEffectiveness::kIneffective);
+}
+
+TEST(ClassifyDeviceTest, NoAuditIsAlwaysIneffective) {
+  for (double penalty : {0.0, 100.0, 1e6}) {
+    EXPECT_EQ(ClassifySymmetricDevice(kB, kF, 0.0, penalty),
+              DeviceEffectiveness::kIneffective);
+  }
+}
+
+TEST(ClassifyDeviceTest, NamesAreStable) {
+  EXPECT_STREQ(DeviceEffectivenessName(DeviceEffectiveness::kTransformative),
+               "transformative");
+  EXPECT_STREQ(DeviceEffectivenessName(DeviceEffectiveness::kIneffective),
+               "ineffective");
+}
+
+// Cross-check: the analytic classification agrees with brute-force
+// equilibrium analysis of the actual Table 2 matrix over a parameter grid.
+class ClassificationCrossCheck
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ClassificationCrossCheck, AnalyticMatchesEnumeration) {
+  auto [f, penalty] = GetParam();
+  const double loss = 8;
+  Result<NormalFormGame> g =
+      MakeSymmetricAuditedGame(kB, kF, loss, f, penalty);
+  ASSERT_TRUE(g.ok());
+  std::vector<StrategyProfile> ne = PureNashEquilibria(*g);
+  DeviceEffectiveness cls = ClassifySymmetricDevice(kB, kF, f, penalty);
+  switch (cls) {
+    case DeviceEffectiveness::kIneffective:
+      ASSERT_EQ(ne.size(), 1u);
+      EXPECT_EQ(ne[0], (StrategyProfile{kCheat, kCheat}));
+      break;
+    case DeviceEffectiveness::kTransformative: {
+      ASSERT_EQ(ne.size(), 1u);
+      EXPECT_EQ(ne[0], (StrategyProfile{kHonest, kHonest}));
+      std::optional<StrategyProfile> dse = DominantStrategyEquilibrium(*g);
+      ASSERT_TRUE(dse.has_value());
+      EXPECT_EQ(*dse, (StrategyProfile{kHonest, kHonest}));
+      break;
+    }
+    default:
+      // Boundary: (H,H) among the NE.
+      EXPECT_TRUE(IsNashEquilibrium(*g, {kHonest, kHonest}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ClassificationCrossCheck,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                         0.7, 0.8, 0.9, 1.0),
+                       ::testing::Values(0.0, 10.0, 30.0, 75.0, 200.0)));
+
+TEST(AsymmetricRegionTest, CornersOfFigure3) {
+  const double b1 = 10, cg1 = 30, p1 = 20;
+  const double b2 = 8, cg2 = 22, p2 = 15;
+  double c1 = CriticalFrequency(b1, cg1, p1);
+  double c2 = CriticalFrequency(b2, cg2, p2);
+  EXPECT_EQ(ClassifyAsymmetricRegion(b1, cg1, p1, c1 / 2, b2, cg2, p2, c2 / 2),
+            AsymmetricRegion::kBothCheat);
+  EXPECT_EQ(ClassifyAsymmetricRegion(b1, cg1, p1, c1 / 2, b2, cg2, p2,
+                                     (1 + c2) / 2),
+            AsymmetricRegion::kOnlyP1Cheats);
+  EXPECT_EQ(ClassifyAsymmetricRegion(b1, cg1, p1, (1 + c1) / 2, b2, cg2, p2,
+                                     c2 / 2),
+            AsymmetricRegion::kOnlyP2Cheats);
+  EXPECT_EQ(ClassifyAsymmetricRegion(b1, cg1, p1, (1 + c1) / 2, b2, cg2, p2,
+                                     (1 + c2) / 2),
+            AsymmetricRegion::kBothHonest);
+  EXPECT_EQ(ClassifyAsymmetricRegion(b1, cg1, p1, c1, b2, cg2, p2, 0.5),
+            AsymmetricRegion::kBoundary);
+}
+
+TEST(GainFunctionTest, LinearGain) {
+  GainFunction g = LinearGain(20, 3);
+  EXPECT_DOUBLE_EQ(g(0), 20);
+  EXPECT_DOUBLE_EQ(g(5), 35);
+}
+
+TEST(GainFunctionTest, SaturatingGainIsMonotoneBounded) {
+  GainFunction g = SaturatingGain(20, 30, 0.5);
+  EXPECT_DOUBLE_EQ(g(0), 20);
+  double prev = g(0);
+  for (int x = 1; x < 50; ++x) {
+    EXPECT_GE(g(x), prev);
+    prev = g(x);
+  }
+  EXPECT_LT(g(1000), 50.0 + 1e-9);
+}
+
+TEST(NPlayerBoundsTest, Proposition1And2AreBandEdges) {
+  GainFunction gain = LinearGain(20, 2);
+  const double f = 0.3;
+  const int n = 10;
+  double prop2 = NPlayerPenaltyBound(kB, gain, f, 0);      // (1-f)F(0)-B)/f
+  double prop1 = NPlayerPenaltyBound(kB, gain, f, n - 1);  // transformative
+  EXPECT_LT(prop2, prop1);
+  EXPECT_DOUBLE_EQ(prop2, (0.7 * 20 - kB) / 0.3);
+  EXPECT_DOUBLE_EQ(prop1, (0.7 * (20 + 2 * 9) - kB) / 0.3);
+}
+
+TEST(NPlayerBoundsTest, BandMonotoneInX) {
+  GainFunction gain = LinearGain(15, 4);
+  double prev = -1e18;
+  for (int x = 0; x < 20; ++x) {
+    double bound = NPlayerPenaltyBound(kB, gain, 0.25, x);
+    EXPECT_GT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(NPlayerEquilibriumCountTest, Theorem1BandSelection) {
+  GainFunction gain = LinearGain(20, 2);
+  const double f = 0.3;
+  const int n = 6;
+  for (int x = 0; x < n; ++x) {
+    double lo = NPlayerPenaltyBound(kB, gain, f, x == 0 ? 0 : x - 1);
+    double hi = NPlayerPenaltyBound(kB, gain, f, x);
+    if (x == 0) {
+      // Below the Proposition 2 bound: everyone cheats.
+      EXPECT_EQ(NPlayerEquilibriumHonestCount(n, kB, gain, f, hi - 1), 0);
+    } else {
+      double mid = (lo + hi) / 2;
+      EXPECT_EQ(NPlayerEquilibriumHonestCount(n, kB, gain, f, mid), x)
+          << "band " << x;
+    }
+  }
+  // Above the Proposition 1 bound: everyone honest.
+  double top = NPlayerPenaltyBound(kB, gain, f, n - 1);
+  EXPECT_EQ(NPlayerEquilibriumHonestCount(n, kB, gain, f, top + 1), n);
+}
+
+}  // namespace
+}  // namespace hsis::game

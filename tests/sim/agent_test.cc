@@ -1,0 +1,132 @@
+#include "sim/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "game/thresholds.h"
+
+namespace hsis::sim {
+namespace {
+
+game::NPlayerHonestyGame MakeGame(double penalty, double frequency = 0.3,
+                                  int n = 2) {
+  game::NPlayerHonestyGame::Params p;
+  p.n = n;
+  p.benefit = 10;
+  p.gain = game::LinearGain(25, 0);  // constant F = 25
+  p.frequency = frequency;
+  p.penalty = penalty;
+  p.uniform_loss = 8;
+  Result<game::NPlayerHonestyGame> g = game::NPlayerHonestyGame::Create(p);
+  EXPECT_TRUE(g.ok());
+  return *g;
+}
+
+TEST(AgentTest, AlwaysHonestAndAlwaysCheat) {
+  auto honest = MakeAlwaysHonest();
+  auto cheat = MakeAlwaysCheat();
+  std::vector<bool> any = {true, false};
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_TRUE(honest->ChooseHonest(round, any, 0));
+    EXPECT_FALSE(cheat->ChooseHonest(round, any, 0));
+  }
+}
+
+TEST(AgentTest, BestResponseCheatsWhenProfitable) {
+  // Low penalty: cheating dominates -> agent cheats after observing.
+  game::NPlayerHonestyGame g = MakeGame(/*penalty=*/0);
+  auto agent = MakeBestResponse(&g);
+  EXPECT_TRUE(agent->ChooseHonest(0, {}, 0));  // starts honest
+  EXPECT_FALSE(agent->ChooseHonest(1, {true, true}, 0));
+}
+
+TEST(AgentTest, BestResponseHonestWhenDeterred) {
+  // Penalty above the critical value: honesty dominates.
+  double p_star = game::CriticalPenalty(10, 25, 0.3);
+  game::NPlayerHonestyGame g = MakeGame(p_star + 1);
+  auto agent = MakeBestResponse(&g);
+  EXPECT_TRUE(agent->ChooseHonest(1, {true, true}, 0));
+  EXPECT_TRUE(agent->ChooseHonest(1, {false, false}, 0));
+}
+
+TEST(AgentTest, FictitiousPlayLearnsOpponentBehavior) {
+  game::NPlayerHonestyGame g = MakeGame(/*penalty=*/0);
+  auto agent = MakeFictitiousPlay(&g, 42);
+  // Feed many rounds of an all-honest opponent; with zero penalty the
+  // belief-based best response is to cheat.
+  for (int i = 0; i < 50; ++i) agent->Observe({true, true}, 0, 10);
+  EXPECT_FALSE(agent->ChooseHonest(51, {true, true}, 0));
+}
+
+TEST(AgentTest, FictitiousPlayHonestUnderDeterrence) {
+  double p_star = game::CriticalPenalty(10, 25, 0.3);
+  game::NPlayerHonestyGame g = MakeGame(p_star + 5);
+  auto agent = MakeFictitiousPlay(&g, 42);
+  for (int i = 0; i < 50; ++i) agent->Observe({true, true}, 0, 10);
+  EXPECT_TRUE(agent->ChooseHonest(51, {true, true}, 0));
+}
+
+TEST(AgentTest, GrimTriggerTriggersForever) {
+  auto agent = MakeGrimTrigger();
+  EXPECT_TRUE(agent->ChooseHonest(0, {}, 0));
+  agent->Observe({true, true}, 0, 10);
+  EXPECT_TRUE(agent->ChooseHonest(1, {true, true}, 0));
+  agent->Observe({true, false}, 0, 2);  // opponent cheated
+  EXPECT_FALSE(agent->ChooseHonest(2, {true, false}, 0));
+  agent->Observe({false, true}, 0, 25);  // opponent honest again...
+  EXPECT_FALSE(agent->ChooseHonest(3, {false, true}, 0));  // ...no forgiveness
+}
+
+TEST(AgentTest, GrimTriggerIgnoresOwnCheat) {
+  auto agent = MakeGrimTrigger();
+  agent->Observe({false, true}, 0, 25);  // own cheat (index 0)
+  EXPECT_TRUE(agent->ChooseHonest(1, {false, true}, 0));
+}
+
+TEST(AgentTest, TitForTatMirrors) {
+  auto agent = MakeTitForTat();
+  EXPECT_TRUE(agent->ChooseHonest(0, {}, 0));
+  EXPECT_FALSE(agent->ChooseHonest(1, {true, false}, 0));
+  EXPECT_TRUE(agent->ChooseHonest(2, {false, true}, 0));  // forgives
+}
+
+TEST(AgentTest, EpsilonGreedyLearnsFromPayoffs) {
+  // Reward honesty heavily, punish cheating: Q should converge to honest.
+  auto agent = MakeEpsilonGreedy(7, 0.3, 0.98, 0.2);
+  Rng rng(1);
+  for (int round = 0; round < 300; ++round) {
+    bool honest = agent->ChooseHonest(round, {true, true}, 0);
+    agent->Observe({honest, true}, 0, honest ? 10.0 : -50.0);
+  }
+  int honest_choices = 0;
+  for (int round = 300; round < 320; ++round) {
+    honest_choices += agent->ChooseHonest(round, {true, true}, 0);
+  }
+  EXPECT_GE(honest_choices, 18);
+}
+
+TEST(AgentTest, EpsilonGreedyLearnsToCheatWhenProfitable) {
+  auto agent = MakeEpsilonGreedy(11, 0.5, 0.995, 0.2);
+  for (int round = 0; round < 300; ++round) {
+    bool honest = agent->ChooseHonest(round, {true, true}, 0);
+    agent->Observe({honest, true}, 0, honest ? 10.0 : 25.0);
+  }
+  int cheat_choices = 0;
+  for (int round = 300; round < 320; ++round) {
+    cheat_choices += !agent->ChooseHonest(round, {true, true}, 0);
+  }
+  EXPECT_GE(cheat_choices, 18);
+}
+
+TEST(AgentTest, NamesAreStable) {
+  game::NPlayerHonestyGame g = MakeGame(0);
+  EXPECT_EQ(MakeAlwaysHonest()->name(), "always-honest");
+  EXPECT_EQ(MakeAlwaysCheat()->name(), "always-cheat");
+  EXPECT_EQ(MakeBestResponse(&g)->name(), "best-response");
+  EXPECT_EQ(MakeFictitiousPlay(&g, 1)->name(), "fictitious-play");
+  EXPECT_EQ(MakeEpsilonGreedy(1)->name(), "epsilon-greedy-q");
+  EXPECT_EQ(MakeGrimTrigger()->name(), "grim-trigger");
+  EXPECT_EQ(MakeTitForTat()->name(), "tit-for-tat");
+}
+
+}  // namespace
+}  // namespace hsis::sim

@@ -1,0 +1,131 @@
+#include "sim/evolutionary.h"
+
+#include <gtest/gtest.h>
+
+#include "game/thresholds.h"
+
+namespace hsis::sim {
+namespace {
+
+game::NPlayerHonestyGame MakeGame(double penalty, double frequency = 0.3,
+                                  double loss = 8) {
+  game::NPlayerHonestyGame::Params p;
+  p.n = 2;
+  p.benefit = 10;
+  p.gain = game::LinearGain(25, 0);
+  p.frequency = frequency;
+  p.penalty = penalty;
+  p.uniform_loss = loss;
+  return std::move(game::NPlayerHonestyGame::Create(p).value());
+}
+
+double PStar() { return game::CriticalPenalty(10, 25, 0.3); }
+
+TEST(MeanFieldTest, EndpointsMatchGameCells) {
+  game::NPlayerHonestyGame g = MakeGame(40);
+  MeanFieldPayoffs at_one = MeanFieldAt(g, 1.0);
+  EXPECT_DOUBLE_EQ(at_one.honest, g.Payoff({true, true}, 0));
+  EXPECT_DOUBLE_EQ(at_one.cheat, g.Payoff({false, true}, 0));
+  MeanFieldPayoffs at_zero = MeanFieldAt(g, 0.0);
+  EXPECT_DOUBLE_EQ(at_zero.honest, g.Payoff({true, false}, 0));
+  EXPECT_DOUBLE_EQ(at_zero.cheat, g.Payoff({false, false}, 0));
+}
+
+TEST(EvolutionaryStabilityTest, MatchesDeviceClassification) {
+  // In this constant-F game the cheat advantage is p-independent, so
+  // evolutionary stability of honesty coincides with transformativeness.
+  EXPECT_TRUE(HonestyIsEvolutionarilyStable(MakeGame(PStar() * 1.2)));
+  EXPECT_FALSE(HonestyIsEvolutionarilyStable(MakeGame(PStar() * 0.8)));
+}
+
+TEST(ReplicatorTest, HonestyFixatesAboveThreshold) {
+  game::NPlayerHonestyGame g = MakeGame(PStar() * 1.5);
+  ReplicatorResult r =
+      std::move(RunReplicatorDynamics(g, 0.5, 2000).value());
+  EXPECT_TRUE(r.fixated_honest);
+  EXPECT_FALSE(r.fixated_cheat);
+  // Trajectory is monotone toward honesty.
+  for (size_t i = 1; i < r.trajectory.size(); ++i) {
+    EXPECT_GE(r.trajectory[i], r.trajectory[i - 1] - 1e-12);
+  }
+}
+
+TEST(ReplicatorTest, CheatingFixatesBelowThreshold) {
+  game::NPlayerHonestyGame g = MakeGame(PStar() * 0.5);
+  ReplicatorResult r =
+      std::move(RunReplicatorDynamics(g, 0.9, 4000).value());
+  EXPECT_TRUE(r.fixated_cheat);
+}
+
+TEST(ReplicatorTest, BoundaryFractionsAreFixedPoints) {
+  game::NPlayerHonestyGame g = MakeGame(0);
+  ReplicatorResult all_honest =
+      std::move(RunReplicatorDynamics(g, 1.0, 50).value());
+  EXPECT_DOUBLE_EQ(all_honest.final_fraction, 1.0);  // no cheats to copy
+  ReplicatorResult all_cheat =
+      std::move(RunReplicatorDynamics(g, 0.0, 50).value());
+  EXPECT_DOUBLE_EQ(all_cheat.final_fraction, 0.0);
+}
+
+TEST(ReplicatorTest, Validation) {
+  game::NPlayerHonestyGame g = MakeGame(0);
+  EXPECT_FALSE(RunReplicatorDynamics(g, -0.1, 10).ok());
+  EXPECT_FALSE(RunReplicatorDynamics(g, 0.5, 0).ok());
+
+  game::NPlayerHonestyGame::Params p3;
+  p3.n = 3;
+  p3.benefit = 10;
+  p3.gain = game::LinearGain(25, 0);
+  p3.frequency = 0.3;
+  p3.uniform_loss = 8;
+  game::NPlayerHonestyGame three =
+      std::move(game::NPlayerHonestyGame::Create(p3).value());
+  EXPECT_FALSE(RunReplicatorDynamics(three, 0.5, 10).ok());
+}
+
+TEST(MoranTest, SelectionFavorsHonestyUnderDeterrence) {
+  game::NPlayerHonestyGame g = MakeGame(PStar() * 2);
+  Rng rng(5);
+  int honest_fixations = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    MoranResult r = std::move(
+        RunMoranProcess(g, 40, 20, 0.0, 1000000, rng).value());
+    EXPECT_TRUE(r.fixated_honest || r.fixated_cheat);
+    honest_fixations += r.fixated_honest;
+  }
+  EXPECT_GE(honest_fixations, 16);  // selection strongly favors honesty
+}
+
+TEST(MoranTest, SelectionFavorsCheatingWithoutDeterrence) {
+  game::NPlayerHonestyGame g = MakeGame(0);
+  Rng rng(6);
+  int cheat_fixations = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    MoranResult r = std::move(
+        RunMoranProcess(g, 40, 20, 0.0, 1000000, rng).value());
+    cheat_fixations += r.fixated_cheat;
+  }
+  EXPECT_GE(cheat_fixations, 16);
+}
+
+TEST(MoranTest, MutationPreventsAbsorption) {
+  game::NPlayerHonestyGame g = MakeGame(PStar() * 2);
+  Rng rng(7);
+  MoranResult r = std::move(
+      RunMoranProcess(g, 30, 15, 0.05, 20000, rng).value());
+  EXPECT_EQ(r.steps, 20000);
+  EXPECT_FALSE(r.fixated_honest && r.fixated_cheat);
+  // Mutation-selection balance keeps honesty high but not fixed.
+  EXPECT_GT(r.final_honest_fraction, 0.5);
+}
+
+TEST(MoranTest, Validation) {
+  game::NPlayerHonestyGame g = MakeGame(0);
+  Rng rng(8);
+  EXPECT_FALSE(RunMoranProcess(g, 1, 0, 0, 100, rng).ok());
+  EXPECT_FALSE(RunMoranProcess(g, 10, 11, 0, 100, rng).ok());
+  EXPECT_FALSE(RunMoranProcess(g, 10, 5, 1.5, 100, rng).ok());
+}
+
+}  // namespace
+}  // namespace hsis::sim

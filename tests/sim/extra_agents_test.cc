@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "game/thresholds.h"
+#include "sim/repeated_game.h"
+
+namespace hsis::sim {
+namespace {
+
+game::NPlayerHonestyGame MakeGame(double penalty, double frequency = 0.3) {
+  game::NPlayerHonestyGame::Params p;
+  p.n = 2;
+  p.benefit = 10;
+  p.gain = game::LinearGain(25, 0);
+  p.frequency = frequency;
+  p.penalty = penalty;
+  p.uniform_loss = 8;
+  return std::move(game::NPlayerHonestyGame::Create(p).value());
+}
+
+TEST(PavlovTest, StaysWhenSatisfied) {
+  auto agent = MakePavlov(/*aspiration=*/9.0);
+  EXPECT_TRUE(agent->ChooseHonest(0, {}, 0));
+  agent->Observe({true, true}, 0, 10.0);  // satisfied honest
+  EXPECT_TRUE(agent->ChooseHonest(1, {true, true}, 0));
+}
+
+TEST(PavlovTest, ShiftsWhenDisappointed) {
+  auto agent = MakePavlov(9.0);
+  agent->Observe({true, false}, 0, 2.0);  // exploited: below aspiration
+  EXPECT_FALSE(agent->ChooseHonest(1, {true, false}, 0));  // shift to cheat
+  agent->Observe({false, false}, 0, 1.0);  // still bad
+  EXPECT_TRUE(agent->ChooseHonest(2, {false, false}, 0));  // shift back
+}
+
+TEST(PavlovTest, WinStayOnCheat) {
+  auto agent = MakePavlov(9.0);
+  agent->Observe({false, true}, 0, 25.0);  // cheating paid well
+  EXPECT_FALSE(agent->ChooseHonest(1, {false, true}, 0));  // stay cheating
+}
+
+TEST(PavlovTest, PairConvergesToHonestyUnderDeterrence) {
+  // With honest payoffs meeting the aspiration and cheating falling
+  // short (strong audits), Pavlov pairs settle honest.
+  double p_star = game::CriticalPenalty(10, 25, 0.3);
+  game::NPlayerHonestyGame g = MakeGame(p_star * 2);
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(MakePavlov(9.0));
+  agents.push_back(MakePavlov(9.0));
+  RepeatedGameConfig config;
+  config.rounds = 100;
+  RepeatedGameResult r = std::move(RunRepeatedGame(g, agents, config).value());
+  EXPECT_DOUBLE_EQ(r.honesty_rate_final, 1.0);
+}
+
+TEST(NoisyBestResponseTest, ZeroTrembleMatchesBestResponse) {
+  game::NPlayerHonestyGame g = MakeGame(0);
+  auto noisy = MakeNoisyBestResponse(&g, 5, 0.0);
+  auto clean = MakeBestResponse(&g);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<bool> profile = {round % 2 == 0, round % 3 == 0};
+    EXPECT_EQ(noisy->ChooseHonest(round, profile, 0),
+              clean->ChooseHonest(round, profile, 0))
+        << round;
+  }
+}
+
+TEST(NoisyBestResponseTest, TrembleRateRealized) {
+  game::NPlayerHonestyGame g = MakeGame(1000, 0.9);  // honesty dominant
+  auto agent = MakeNoisyBestResponse(&g, 6, 0.2);
+  int cheats = 0;
+  const int kRounds = 5000;
+  for (int round = 1; round <= kRounds; ++round) {
+    if (!agent->ChooseHonest(round, {true, true}, 0)) ++cheats;
+  }
+  // Best response is honest; only trembles cheat.
+  EXPECT_NEAR(static_cast<double>(cheats) / kRounds, 0.2, 0.02);
+}
+
+TEST(NoisyBestResponseTest, PopulationRecoversFromTrembles) {
+  // In the transformative region, trembles cause one-off cheats but the
+  // population snaps back: overall honesty stays high.
+  double p_star = game::CriticalPenalty(10, 25, 0.3);
+  game::NPlayerHonestyGame g = MakeGame(p_star * 2);
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(MakeNoisyBestResponse(&g, 11, 0.05));
+  agents.push_back(MakeNoisyBestResponse(&g, 12, 0.05));
+  RepeatedGameConfig config;
+  config.rounds = 1000;
+  RepeatedGameResult r = std::move(RunRepeatedGame(g, agents, config).value());
+  EXPECT_GT(r.honesty_rate_overall, 0.9);
+}
+
+TEST(ExtraAgentsTest, Names) {
+  game::NPlayerHonestyGame g = MakeGame(0);
+  EXPECT_EQ(MakePavlov(5)->name(), "pavlov");
+  EXPECT_EQ(MakeNoisyBestResponse(&g, 1, 0.1)->name(), "noisy-best-response");
+}
+
+}  // namespace
+}  // namespace hsis::sim

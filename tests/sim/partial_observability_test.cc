@@ -1,0 +1,142 @@
+// The paper's information model: actions are private, so other players
+// learn about a cheat only when the auditing device catches it. These
+// tests check that (a) the masking works, (b) deterrence still holds —
+// rational behavior rests on audits, not on being watched by peers.
+
+#include <gtest/gtest.h>
+
+#include "game/thresholds.h"
+#include "sim/repeated_game.h"
+
+namespace hsis::sim {
+namespace {
+
+game::NPlayerHonestyGame MakeGame(double frequency, double penalty,
+                                  int n = 2) {
+  game::NPlayerHonestyGame::Params p;
+  p.n = n;
+  p.benefit = 10;
+  p.gain = game::LinearGain(25, 0);
+  p.frequency = frequency;
+  p.penalty = penalty;
+  p.uniform_loss = 8;
+  return std::move(game::NPlayerHonestyGame::Create(p).value());
+}
+
+/// Records everything it is shown; always honest.
+class RecordingAgent final : public Agent {
+ public:
+  std::string name() const override { return "recorder"; }
+  bool ChooseHonest(int, const std::vector<bool>&, int) override {
+    return true;
+  }
+  void Observe(const std::vector<bool>& profile, int, double) override {
+    observed_cheats += std::count(profile.begin(), profile.end(), false);
+  }
+  int64_t observed_cheats = 0;
+};
+
+TEST(PartialObservabilityTest, RequiresSampledMode) {
+  game::NPlayerHonestyGame g = MakeGame(0.5, 50);
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(MakeAlwaysHonest());
+  agents.push_back(MakeAlwaysHonest());
+  RepeatedGameConfig config;
+  config.observation = ObservationMode::kDetectedCheatsOnly;
+  config.mode = PayoffMode::kExpected;
+  EXPECT_FALSE(RunRepeatedGame(g, agents, config).ok());
+}
+
+TEST(PartialObservabilityTest, UncaughtCheatsInvisible) {
+  // f = 0: nothing is ever caught, so the recorder sees zero cheats
+  // even against an always-cheater.
+  game::NPlayerHonestyGame g = MakeGame(0.0, 50);
+  auto recorder = std::make_unique<RecordingAgent>();
+  RecordingAgent* view = recorder.get();
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(std::move(recorder));
+  agents.push_back(MakeAlwaysCheat());
+  RepeatedGameConfig config;
+  config.rounds = 200;
+  config.mode = PayoffMode::kSampled;
+  config.observation = ObservationMode::kDetectedCheatsOnly;
+  Result<RepeatedGameResult> r = RunRepeatedGame(g, agents, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(view->observed_cheats, 0);
+  EXPECT_EQ(r->total_cheats, 200);  // they really happened
+}
+
+TEST(PartialObservabilityTest, CaughtCheatsVisibleAtAuditRate) {
+  game::NPlayerHonestyGame g = MakeGame(0.4, 50);
+  auto recorder = std::make_unique<RecordingAgent>();
+  RecordingAgent* view = recorder.get();
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(std::move(recorder));
+  agents.push_back(MakeAlwaysCheat());
+  RepeatedGameConfig config;
+  config.rounds = 5000;
+  config.seed = 3;
+  config.mode = PayoffMode::kSampled;
+  config.observation = ObservationMode::kDetectedCheatsOnly;
+  Result<RepeatedGameResult> r = RunRepeatedGame(g, agents, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(static_cast<double>(view->observed_cheats) / 5000, 0.4, 0.03);
+}
+
+TEST(PartialObservabilityTest, GrimTriggerBlindToUncaughtCheats) {
+  // With f = 0, a grim trigger never fires: peer punishment cannot
+  // substitute for auditing when cheats are invisible — the structural
+  // reason the paper needs a device rather than social enforcement.
+  game::NPlayerHonestyGame g = MakeGame(0.0, 0);
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(MakeGrimTrigger());
+  agents.push_back(MakeAlwaysCheat());
+  RepeatedGameConfig config;
+  config.rounds = 100;
+  config.mode = PayoffMode::kSampled;
+  config.observation = ObservationMode::kDetectedCheatsOnly;
+  Result<RepeatedGameResult> r = RunRepeatedGame(g, agents, config);
+  ASSERT_TRUE(r.ok());
+  // The trigger agent stayed honest the whole time (never saw a cheat).
+  EXPECT_EQ(r->honest_counts.back(), 1);
+  for (int count : r->honest_counts) EXPECT_EQ(count, 1);
+}
+
+TEST(PartialObservabilityTest, QLearnersStillDeterredByAudits) {
+  // Deterrence must survive partial observability: Q-learners act on
+  // their own sampled payoffs, which do include penalties when caught.
+  double p_star = game::CriticalPenalty(10, 25, 0.5);
+  game::NPlayerHonestyGame g = MakeGame(0.5, p_star * 3);
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(MakeEpsilonGreedy(71, 0.5, 0.995, 0.15));
+  agents.push_back(MakeEpsilonGreedy(72, 0.5, 0.995, 0.15));
+  RepeatedGameConfig config;
+  config.rounds = 1500;
+  config.seed = 8;
+  config.mode = PayoffMode::kSampled;
+  config.observation = ObservationMode::kDetectedCheatsOnly;
+  Result<RepeatedGameResult> r = RunRepeatedGame(g, agents, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->honesty_rate_final, 0.8);
+}
+
+TEST(PartialObservabilityTest, SelfActionAlwaysVisibleToSelf) {
+  // An agent's own view keeps its true action even when masked for
+  // others: a grim trigger that cheats (via composition) must not
+  // trigger on itself. Use tit-for-tat vs always-cheat at f = 0:
+  // tit-for-tat sees "honest" forever and stays honest.
+  game::NPlayerHonestyGame g = MakeGame(0.0, 0);
+  std::vector<std::unique_ptr<Agent>> agents;
+  agents.push_back(MakeTitForTat());
+  agents.push_back(MakeAlwaysCheat());
+  RepeatedGameConfig config;
+  config.rounds = 50;
+  config.mode = PayoffMode::kSampled;
+  config.observation = ObservationMode::kDetectedCheatsOnly;
+  Result<RepeatedGameResult> r = RunRepeatedGame(g, agents, config);
+  ASSERT_TRUE(r.ok());
+  for (int count : r->honest_counts) EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace hsis::sim

@@ -1,0 +1,86 @@
+#include "sovereign/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::sovereign {
+namespace {
+
+std::pair<ChannelEndpoint, ChannelEndpoint> MakePair(uint64_t seed = 1) {
+  Rng rng(seed);
+  Result<std::pair<ChannelEndpoint, ChannelEndpoint>> pair =
+      SecureChannel::CreatePair(Bytes(32, 0x33), rng);
+  EXPECT_TRUE(pair.ok());
+  return std::move(*pair);
+}
+
+TEST(SecureChannelTest, SendReceiveBothDirections) {
+  auto [a, b] = MakePair();
+  ASSERT_TRUE(a.Send(ToBytes("from a")).ok());
+  ASSERT_TRUE(b.Send(ToBytes("from b")).ok());
+
+  Result<Bytes> at_b = b.Receive();
+  ASSERT_TRUE(at_b.ok());
+  EXPECT_EQ(BytesToString(*at_b), "from a");
+
+  Result<Bytes> at_a = a.Receive();
+  ASSERT_TRUE(at_a.ok());
+  EXPECT_EQ(BytesToString(*at_a), "from b");
+}
+
+TEST(SecureChannelTest, PreservesMessageOrder) {
+  auto [a, b] = MakePair();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a.Send(ToBytes("msg" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    Result<Bytes> m = b.Receive();
+    ASSERT_TRUE(m.ok());
+    EXPECT_EQ(BytesToString(*m), "msg" + std::to_string(i));
+  }
+}
+
+TEST(SecureChannelTest, ReceiveOnEmptyFails) {
+  auto [a, b] = MakePair();
+  EXPECT_EQ(b.Receive().status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(b.HasPending());
+  ASSERT_TRUE(a.Send(ToBytes("x")).ok());
+  EXPECT_TRUE(b.HasPending());
+}
+
+TEST(SecureChannelTest, DetectsTamper) {
+  auto [a, b] = MakePair();
+  ASSERT_TRUE(a.Send(ToBytes("sensitive")).ok());
+  b.CorruptNextInboundForTest();
+  Result<Bytes> m = b.Receive();
+  ASSERT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST(SecureChannelTest, MessagesAreEncryptedOnWire) {
+  Rng rng(7);
+  Result<std::pair<ChannelEndpoint, ChannelEndpoint>> pair =
+      SecureChannel::CreatePair(Bytes(32, 0x44), rng);
+  ASSERT_TRUE(pair.ok());
+  size_t before = pair->first.bytes_sent();
+  ASSERT_TRUE(pair->first.Send(ToBytes("plaintext-marker")).ok());
+  EXPECT_GT(pair->first.bytes_sent(), before);
+  // Wire cost = nonce + ciphertext + tag > plaintext size.
+  EXPECT_GE(pair->first.bytes_sent() - before,
+            std::string("plaintext-marker").size() + 44);
+}
+
+TEST(SecureChannelTest, RequiresValidKey) {
+  Rng rng(9);
+  EXPECT_FALSE(SecureChannel::CreatePair(Bytes(16, 0x01), rng).ok());
+}
+
+TEST(SecureChannelTest, EmptyMessageSupported) {
+  auto [a, b] = MakePair();
+  ASSERT_TRUE(a.Send(Bytes{}).ok());
+  Result<Bytes> m = b.Receive();
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->empty());
+}
+
+}  // namespace
+}  // namespace hsis::sovereign

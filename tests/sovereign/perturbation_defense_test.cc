@@ -1,0 +1,135 @@
+#include "sovereign/perturbation_defense.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::sovereign {
+namespace {
+
+crypto::MultisetHashFamily MuFamily() {
+  return std::move(
+      crypto::MultisetHashFamily::CreateMu(crypto::PrimeGroup::SmallTestGroup())
+          .value());
+}
+
+const crypto::PrimeGroup& Group() {
+  return crypto::PrimeGroup::SmallTestGroup();
+}
+
+Dataset Defender() {
+  std::vector<std::string> values;
+  for (int i = 0; i < 30; ++i) values.push_back("shared-" + std::to_string(i));
+  for (int i = 0; i < 30; ++i) values.push_back("private-" + std::to_string(i));
+  return Dataset::FromStrings(values);
+}
+
+Dataset Adversary() {
+  std::vector<std::string> values;
+  for (int i = 0; i < 30; ++i) values.push_back("shared-" + std::to_string(i));
+  for (int i = 0; i < 10; ++i) values.push_back("adv-" + std::to_string(i));
+  return Dataset::FromStrings(values);
+}
+
+std::vector<std::string> Probes() {
+  // The adversary guesses 10 of the defender's private tuples.
+  std::vector<std::string> probes;
+  for (int i = 0; i < 10; ++i) probes.push_back("private-" + std::to_string(i));
+  return probes;
+}
+
+TEST(PerturbationTest, PerturbDatasetBehavior) {
+  Rng rng(1);
+  Dataset data = Dataset::FromStrings({"a", "b", "c", "d", "e"});
+  PerturbationPolicy keep_all;
+  EXPECT_EQ(PerturbDataset(data, keep_all, rng), data);
+
+  PerturbationPolicy drop_all;
+  drop_all.withhold_probability = 1.0;
+  EXPECT_TRUE(PerturbDataset(data, drop_all, rng).empty());
+
+  PerturbationPolicy decoys;
+  decoys.decoy_count = 3;
+  Dataset with_decoys = PerturbDataset(data, decoys, rng);
+  EXPECT_EQ(with_decoys.size(), 8u);
+  for (const Tuple& t : data.tuples()) {
+    EXPECT_TRUE(with_decoys.Contains(t));
+  }
+}
+
+TEST(PerturbationTest, NoDefenseFullRecallFullLeak) {
+  Rng rng(2);
+  PerturbationPolicy none;
+  auto eval = EvaluatePerturbationDefense(Defender(), Adversary(), Probes(),
+                                          none, Group(), MuFamily(), rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->intersection_recall, 1.0);
+  EXPECT_DOUBLE_EQ(eval->probe_hit_rate, 1.0);
+  EXPECT_EQ(eval->true_intersection_size, 30u);
+}
+
+TEST(PerturbationTest, FullWithholdingBlocksProbesAndResult) {
+  Rng rng(3);
+  PerturbationPolicy max_defense;
+  max_defense.withhold_probability = 1.0;
+  auto eval = EvaluatePerturbationDefense(Defender(), Adversary(), Probes(),
+                                          max_defense, Group(), MuFamily(),
+                                          rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->intersection_recall, 0.0);
+  EXPECT_DOUBLE_EQ(eval->probe_hit_rate, 0.0);
+}
+
+TEST(PerturbationTest, TradeoffCouplesAccuracyAndPrivacy) {
+  // The structural weakness of perturbation: recall and probe hit rate
+  // are both ≈ (1 - q). You cannot buy privacy without paying accuracy.
+  Rng rng(4);
+  PerturbationPolicy half;
+  half.withhold_probability = 0.5;
+  double recall_sum = 0, hit_sum = 0;
+  const int kTrials = 30;
+  for (int i = 0; i < kTrials; ++i) {
+    auto eval = EvaluatePerturbationDefense(Defender(), Adversary(), Probes(),
+                                            half, Group(), MuFamily(), rng);
+    ASSERT_TRUE(eval.ok());
+    recall_sum += eval->intersection_recall;
+    hit_sum += eval->probe_hit_rate;
+  }
+  EXPECT_NEAR(recall_sum / kTrials, 0.5, 0.1);
+  EXPECT_NEAR(hit_sum / kTrials, 0.5, 0.12);
+}
+
+TEST(PerturbationTest, DecoysDoNotAffectRecallOrProbes) {
+  // Decoys pollute the *adversary's* view of sizes but cannot block
+  // probes (those target real tuples) nor reduce recall.
+  Rng rng(5);
+  PerturbationPolicy decoys;
+  decoys.decoy_count = 20;
+  auto eval = EvaluatePerturbationDefense(Defender(), Adversary(), Probes(),
+                                          decoys, Group(), MuFamily(), rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->intersection_recall, 1.0);
+  EXPECT_DOUBLE_EQ(eval->probe_hit_rate, 1.0);
+}
+
+TEST(PerturbationTest, Validation) {
+  Rng rng(6);
+  PerturbationPolicy bad;
+  bad.withhold_probability = 1.5;
+  EXPECT_FALSE(EvaluatePerturbationDefense(Defender(), Adversary(), Probes(),
+                                           bad, Group(), MuFamily(), rng)
+                   .ok());
+}
+
+TEST(PerturbationTest, EmptyTruthGivesFullRecall) {
+  Rng rng(7);
+  Dataset defender = Dataset::FromStrings({"x"});
+  Dataset adversary = Dataset::FromStrings({"y"});
+  PerturbationPolicy none;
+  auto eval = EvaluatePerturbationDefense(defender, adversary, {}, none,
+                                          Group(), MuFamily(), rng);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_DOUBLE_EQ(eval->intersection_recall, 1.0);
+  EXPECT_EQ(eval->true_intersection_size, 0u);
+}
+
+}  // namespace
+}  // namespace hsis::sovereign

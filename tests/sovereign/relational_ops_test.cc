@@ -1,0 +1,69 @@
+#include "sovereign/relational_ops.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::sovereign {
+namespace {
+
+crypto::MultisetHashFamily MuFamily() {
+  Result<crypto::MultisetHashFamily> f =
+      crypto::MultisetHashFamily::CreateMu(crypto::PrimeGroup::SmallTestGroup());
+  EXPECT_TRUE(f.ok());
+  return *f;
+}
+
+const crypto::PrimeGroup& Group() {
+  return crypto::PrimeGroup::SmallTestGroup();
+}
+
+TEST(SovereignJoinTest, JoinsOnCommonKeys) {
+  Rng rng(1);
+  Relation a = {{"alice", "gold"}, {"bob", "silver"}, {"carol", "bronze"}};
+  Relation b = {{"bob", "premium"}, {"carol", "basic"}, {"dave", "basic"}};
+  Result<std::vector<JoinedRow>> rows =
+      RunSovereignJoin(a, b, Group(), MuFamily(), rng);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (JoinedRow{"bob", "silver", "premium"}));
+  EXPECT_EQ((*rows)[1], (JoinedRow{"carol", "bronze", "basic"}));
+}
+
+TEST(SovereignJoinTest, EmptyJoin) {
+  Rng rng(2);
+  Relation a = {{"x", "1"}};
+  Relation b = {{"y", "2"}};
+  Result<std::vector<JoinedRow>> rows =
+      RunSovereignJoin(a, b, Group(), MuFamily(), rng);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(SovereignJoinTest, RejectsDuplicateKeys) {
+  Rng rng(3);
+  Relation a = {{"k", "1"}, {"k", "2"}};
+  Relation b = {{"k", "3"}};
+  EXPECT_FALSE(RunSovereignJoin(a, b, Group(), MuFamily(), rng).ok());
+}
+
+TEST(SovereignDifferenceTest, ComputesAMinusB) {
+  Rng rng(4);
+  Dataset a = Dataset::FromStrings({"p", "q", "r"});
+  Dataset b = Dataset::FromStrings({"q", "s"});
+  Result<Dataset> diff =
+      RunSovereignDifference(a, b, Group(), MuFamily(), rng);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, Dataset::FromStrings({"p", "r"}));
+}
+
+TEST(SovereignDifferenceTest, DisjointReturnsAll) {
+  Rng rng(5);
+  Dataset a = Dataset::FromStrings({"p"});
+  Dataset b = Dataset::FromStrings({"q"});
+  Result<Dataset> diff =
+      RunSovereignDifference(a, b, Group(), MuFamily(), rng);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, a);
+}
+
+}  // namespace
+}  // namespace hsis::sovereign
