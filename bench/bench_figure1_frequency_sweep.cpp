@@ -44,7 +44,7 @@ void PrintReproduction() {
   std::printf("Analytic crossover (Observation 2): f* = (F-B)/(P+F) = %.4f\n\n",
               f_star);
 
-  auto rows = SweepFrequency(kB, kF, kL, kP, 21).value();
+  auto rows = SweepFrequency(kB, kF, kL, kP, 21, bench::Threads()).value();
   std::printf("  %-6s %-34s %-10s %-8s %-10s %s\n", "f", "analytic region",
               "NE (enum)", "HH=DSE", "sim H-rate", "match");
   int mismatches = 0;
@@ -60,7 +60,7 @@ void PrintReproduction() {
   }
 
   // Locate the crossover on a fine grid.
-  auto fine = SweepFrequency(kB, kF, kL, kP, 1001).value();
+  auto fine = SweepFrequency(kB, kF, kL, kP, 1001, bench::Threads()).value();
   double measured = 1.0;
   for (const auto& row : fine) {
     if (row.analytic_region == SymmetricRegion::kAllHonestUniqueDse) {

@@ -27,7 +27,7 @@ void PrintPanel(double f, double max_penalty) {
     std::printf("Analytic crossover (Observation 3): P* = ((1-f)F-B)/f = %.2f\n",
                 p_star);
   }
-  auto rows = SweepPenalty(kB, kF, kL, f, max_penalty, 11).value();
+  auto rows = SweepPenalty(kB, kF, kL, f, max_penalty, 11, bench::Threads()).value();
   std::printf("  %-8s %-34s %-10s %-8s %s\n", "P", "analytic region",
               "NE (enum)", "HH=DSE", "match");
   int mismatches = 0;

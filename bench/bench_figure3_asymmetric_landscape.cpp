@@ -6,7 +6,10 @@
 // analytic boundaries f_i* = (F_i - B_i)/(F_i + P_i), and verifies every
 // grid cell against brute-force equilibrium enumeration.
 
+#include <chrono>
+
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "game/landscape.h"
 
 namespace {
@@ -47,7 +50,7 @@ void PrintReproduction() {
               "f2* = (F2-B2)/(F2+P2) = %.4f\n\n", crit1, crit2);
 
   const int kSteps = 26;
-  auto cells = SweepAsymmetricGrid(params, kSteps).value();
+  auto cells = SweepAsymmetricGrid(params, kSteps, bench::Threads()).value();
 
   std::printf("Legend: '.' (C,C)   'c' (C,H)   'k' (H,C)   'H' (H,H)   "
               "'+' boundary\n\n");
@@ -90,6 +93,77 @@ void BM_SweepAsymmetricGrid26(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepAsymmetricGrid26);
 
+void BM_SweepAsymmetricGrid200(benchmark::State& state) {
+  TwoPlayerGameParams params = BaseParams();
+  int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto cells = SweepAsymmetricGrid(params, 200, threads);
+    benchmark::DoNotOptimize(cells);
+  }
+}
+BENCHMARK(BM_SweepAsymmetricGrid200)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+bool CellsIdentical(const std::vector<AsymmetricGridCell>& a,
+                    const std::vector<AsymmetricGridCell>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k].f1 != b[k].f1 || a[k].f2 != b[k].f2 ||
+        a[k].analytic_region != b[k].analytic_region ||
+        a[k].nash_equilibria != b[k].nash_equilibria ||
+        a[k].analytic_matches_enumeration !=
+            b[k].analytic_matches_enumeration) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// `--speedup` mode: times the 200x200 Figure 3 grid serially and with
+/// the requested `--threads=N` (default: hardware concurrency) and
+/// verifies the outputs are bit-identical — the determinism contract of
+/// the sweep engine, demonstrated on the acceptance workload.
+void PrintSpeedup() {
+  bench::PrintRule("Figure 3 sweep engine: serial vs parallel, 200x200 grid");
+  TwoPlayerGameParams params = BaseParams();
+  const int kGrid = 200;
+  int threads = bench::Threads() == 1 ? 0 : bench::Threads();
+  int resolved = common::ResolveThreadCount(threads);
+
+  using Clock = std::chrono::steady_clock;
+  auto time_sweep = [&](int t, std::vector<AsymmetricGridCell>* out) {
+    Clock::time_point start = Clock::now();
+    *out = SweepAsymmetricGrid(params, kGrid, t).value();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  std::vector<AsymmetricGridCell> serial_cells, parallel_cells, two_cells;
+  double serial_s = time_sweep(1, &serial_cells);
+  double two_s = time_sweep(2, &two_cells);
+  double parallel_s = time_sweep(resolved, &parallel_cells);
+
+  std::printf("grid cells: %d x %d = %d (each: game build + exact NE "
+              "enumeration)\n\n", kGrid, kGrid, kGrid * kGrid);
+  std::printf("  threads=1   %8.3f s\n", serial_s);
+  std::printf("  threads=2   %8.3f s   speedup %.2fx\n", two_s,
+              serial_s / two_s);
+  std::printf("  threads=%-3d %8.3f s   speedup %.2fx\n", resolved,
+              parallel_s, serial_s / parallel_s);
+  std::printf("\nbit-identical across thread counts: %s\n",
+              CellsIdentical(serial_cells, parallel_cells) &&
+                      CellsIdentical(serial_cells, two_cells)
+                  ? "yes"
+                  : "NO — DETERMINISM VIOLATION");
+}
+
+void PrintMain() {
+  if (bench::SpeedupRequested()) {
+    PrintSpeedup();
+  } else {
+    PrintReproduction();
+  }
+}
+
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintReproduction)
+HSIS_BENCH_MAIN(PrintMain)

@@ -45,7 +45,7 @@ void PrintReproduction() {
 
   double top = NPlayerPenaltyBound(params.benefit, params.gain,
                                    params.frequency, params.n - 1);
-  auto rows = SweepNPlayerPenalty(params, top * 1.15, 24).value();
+  auto rows = SweepNPlayerPenalty(params, top * 1.15, 24, bench::Threads()).value();
   std::printf("  %-9s %-10s %-16s %-8s %-8s %s\n", "P", "analytic x",
               "equilibria (x)", "H-dom", "C-dom", "match");
   int mismatches = 0;

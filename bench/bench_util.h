@@ -4,12 +4,16 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-/// Shared main() for all reproduction benches: print the paper artifact
-/// first (tables/series exactly as DESIGN.md §4 specifies), then run the
+/// Shared main() for all reproduction benches: strip the hsis-specific
+/// flags (`--threads=N`, `--speedup`), print the paper artifact first
+/// (tables/series exactly as DESIGN.md §4 specifies), then run the
 /// google-benchmark timings registered by the binary.
 #define HSIS_BENCH_MAIN(print_fn)                                   \
   int main(int argc, char** argv) {                                 \
+    ::hsis::bench::ConsumeFlags(&argc, argv);                       \
     print_fn();                                                     \
     ::benchmark::Initialize(&argc, argv);                           \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {     \
@@ -26,6 +30,42 @@ inline void PrintRule(const char* title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title);
   std::printf("================================================================\n\n");
+}
+
+namespace internal {
+inline int& ThreadsStorage() {
+  static int threads = 1;  // serial-compatible default; 0 = hardware
+  return threads;
+}
+inline bool& SpeedupStorage() {
+  static bool speedup = false;
+  return speedup;
+}
+}  // namespace internal
+
+/// The `--threads=N` flag value (1 = serial default, 0 = hardware
+/// concurrency), forwarded by the sweep benches into the parallel
+/// engine of common/parallel.h.
+inline int Threads() { return internal::ThreadsStorage(); }
+
+/// Whether `--speedup` was passed: benches supporting it time a
+/// serial-vs-parallel comparison instead of the paper reproduction.
+inline bool SpeedupRequested() { return internal::SpeedupStorage(); }
+
+/// Removes the hsis flags from argv so google-benchmark never sees
+/// them; called by HSIS_BENCH_MAIN before anything else.
+inline void ConsumeFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      internal::ThreadsStorage() = std::atoi(argv[i] + 10);
+    } else if (std::strcmp(argv[i], "--speedup") == 0) {
+      internal::SpeedupStorage() = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
 }
 
 }  // namespace hsis::bench

@@ -1,20 +1,32 @@
 // Exports the four figure landscapes as CSV files for plotting —
 // plot-ready reproductions of Figures 1–4.
 //
-// Build & run:  ./build/examples/export_landscapes [output-dir]
-// (default output dir: current directory)
+// Build & run:  ./build/examples/export_landscapes [--threads=N] [output-dir]
+// (default output dir: current directory; --threads=0 uses hardware
+// concurrency — the CSVs are bit-identical for every thread count)
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/file.h"
+#include "common/parallel.h"
 #include "game/report.h"
 
 using namespace hsis;
 using namespace hsis::game;
 
 int main(int argc, char** argv) {
-  std::string dir = argc > 1 ? argv[1] : ".";
+  std::string dir = ".";
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    } else {
+      dir = argv[i];
+    }
+  }
   const double kB = 10, kF = 25, kL = 8;
 
   struct Artifact {
@@ -26,15 +38,15 @@ int main(int argc, char** argv) {
   // Figure 1: equilibria vs frequency at P = 40.
   artifacts.push_back(
       {"figure1_frequency_sweep.csv",
-       FrequencySweepToCsv(SweepFrequency(kB, kF, kL, 40, 201).value())});
+       FrequencySweepToCsv(SweepFrequency(kB, kF, kL, 40, 201, threads).value())});
 
   // Figure 2: both panels of equilibria vs penalty.
   artifacts.push_back(
       {"figure2_penalty_sweep_f02.csv",
-       PenaltySweepToCsv(SweepPenalty(kB, kF, kL, 0.2, 120, 201).value())});
+       PenaltySweepToCsv(SweepPenalty(kB, kF, kL, 0.2, 120, 201, threads).value())});
   artifacts.push_back(
       {"figure2_penalty_sweep_f07.csv",
-       PenaltySweepToCsv(SweepPenalty(kB, kF, kL, 0.7, 120, 201).value())});
+       PenaltySweepToCsv(SweepPenalty(kB, kF, kL, 0.7, 120, 201, threads).value())});
 
   // Figure 3: the asymmetric (f1, f2) grid.
   TwoPlayerGameParams params;
@@ -46,7 +58,7 @@ int main(int argc, char** argv) {
   params.audit2 = {0, 15};
   artifacts.push_back(
       {"figure3_asymmetric_grid.csv",
-       AsymmetricGridToCsv(SweepAsymmetricGrid(params, 41).value())});
+       AsymmetricGridToCsv(SweepAsymmetricGrid(params, 41, threads).value())});
 
   // Figure 4: the n-player penalty bands.
   NPlayerHonestyGame::Params nparams;
@@ -58,7 +70,7 @@ int main(int argc, char** argv) {
   double top = NPlayerPenaltyBound(kB, nparams.gain, 0.3, nparams.n - 1);
   artifacts.push_back(
       {"figure4_nplayer_bands.csv",
-       NPlayerBandsToCsv(SweepNPlayerPenalty(nparams, top * 1.2, 201).value())});
+       NPlayerBandsToCsv(SweepNPlayerPenalty(nparams, top * 1.2, 201, threads).value())});
 
   for (const Artifact& artifact : artifacts) {
     std::string path = dir + "/" + artifact.filename;

@@ -1,0 +1,111 @@
+#ifndef HSIS_COMMON_PARALLEL_H_
+#define HSIS_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hsis::common {
+
+/// Deterministic data-parallel engine for the sweep / simulation hot
+/// paths. The contract every user relies on:
+///
+///  1. **Ordered slots** — `ParallelFor(threads, n, body)` runs
+///     `body(i)` exactly once for each index in `[0, n)`; callers write
+///     result `i` into a pre-sized output slot `i`, so the assembled
+///     output is in input order no matter how indices were scheduled.
+///  2. **Static chunking** — indices are split into `size()` contiguous
+///     chunks up front (no work stealing), so a run never depends on
+///     scheduling races.
+///  3. **Per-index randomness** — stochastic bodies must draw from
+///     `Rng::ForIndex(base_seed, i)` (see common/random.h) instead of a
+///     shared generator, which makes every index's stream a pure
+///     function of `(base_seed, i)`.
+///
+/// Together these make results bit-identical across thread counts:
+/// `threads = 1`, `threads = 2`, and hardware concurrency all produce
+/// the same bytes.
+
+/// Number of hardware threads, never less than 1.
+int HardwareConcurrency();
+
+/// Resolves a user-facing `threads` knob: 0 selects hardware
+/// concurrency, negative values are clamped to 1.
+int ResolveThreadCount(int threads);
+
+/// A fixed-size pool of worker threads executing index-range jobs. The
+/// calling thread participates as worker 0, so `ThreadPool(1)` spawns
+/// no threads at all and degenerates to a plain loop.
+class ThreadPool {
+ public:
+  /// `threads` is resolved via `ResolveThreadCount` (0 = hardware).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `body(i)` for every `i` in `[0, n)` and returns once all
+  /// calls completed. Chunk `w` of `size()` static contiguous chunks is
+  /// executed by worker `w`; the calling thread runs chunk 0. `body`
+  /// must be safe to invoke concurrently for distinct indices. Not
+  /// reentrant: do not call `Run` from inside `body`.
+  void Run(size_t n, const std::function<void(size_t)>& body);
+
+  /// Static chunk `w` of `[0, n)` split into `k` contiguous chunks:
+  /// `[n*w/k, n*(w+1)/k)`. Exposed for callers that need to reason
+  /// about the partition (e.g. per-chunk scratch buffers).
+  static std::pair<size_t, size_t> ChunkBounds(size_t n, int k, int w);
+
+ private:
+  void WorkerLoop(int worker_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;  // bumped per job; workers watch it
+  size_t job_n_ = 0;
+  const std::function<void(size_t)>* job_body_ = nullptr;
+  int pending_workers_ = 0;
+  bool shutdown_ = false;
+};
+
+/// One-shot facade: runs `body(i)` for `i` in `[0, n)` on a transient
+/// pool of `ResolveThreadCount(threads)` workers. `threads == 1` (the
+/// serial-compatible default everywhere) executes inline with zero
+/// threading overhead.
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t)>& body);
+
+/// Like `ParallelFor` for fallible bodies: every index still runs, and
+/// the returned status is OK iff all bodies succeeded, otherwise the
+/// error with the **smallest index** — the same error a serial
+/// first-failure loop would report, independent of thread count.
+Status ParallelForWithStatus(int threads, size_t n,
+                             const std::function<Status(size_t)>& body);
+
+/// Maps `i -> fn(i)` over `[0, n)` into an order-preserving vector
+/// (slot `i` holds `fn(i)`). The element type must be default
+/// constructible.
+template <typename Fn>
+auto ParallelMap(int threads, size_t n, Fn&& fn)
+    -> std::vector<decltype(fn(size_t{0}))> {
+  std::vector<decltype(fn(size_t{0}))> out(n);
+  ParallelFor(threads, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace hsis::common
+
+#endif  // HSIS_COMMON_PARALLEL_H_

@@ -98,4 +98,14 @@ size_t Rng::Zipf(size_t n, double s) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::ForIndex(uint64_t base_seed, uint64_t index) {
+  // Two SplitMix64 rounds over (base_seed, index) decorrelate adjacent
+  // indices; Rng's constructor then expands the digest into full state.
+  uint64_t x = base_seed;
+  uint64_t digest = SplitMix64(x);
+  x = digest ^ (index + 0x9e3779b97f4a7c15ULL);
+  digest = SplitMix64(x);
+  return Rng(digest);
+}
+
 }  // namespace hsis

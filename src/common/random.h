@@ -55,6 +55,13 @@ class Rng {
   /// each simulated party its own stream.
   Rng Fork();
 
+  /// A generator for element `index` of a batch seeded with `base_seed`:
+  /// the stream is a pure function of `(base_seed, index)`, so parallel
+  /// loops that give each index its own `ForIndex` generator produce
+  /// results independent of thread count and execution order (the
+  /// determinism contract of common/parallel.h).
+  static Rng ForIndex(uint64_t base_seed, uint64_t index);
+
  private:
   uint64_t state_[4];
 };

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/parallel.h"
 #include "game/equilibrium.h"
 
 namespace hsis::game {
@@ -56,25 +57,26 @@ Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
                                                       double cheat_gain,
                                                       double loss,
                                                       double penalty,
-                                                      int steps) {
+                                                      int steps,
+                                                      int threads) {
   if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  std::vector<FrequencySweepRow> rows;
-  rows.reserve(static_cast<size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
-    double f = static_cast<double>(i) / (steps - 1);
-    HSIS_ASSIGN_OR_RETURN(
-        NormalFormGame game,
-        MakeSymmetricAuditedGame(benefit, cheat_gain, loss, f, penalty));
-    FrequencySweepRow row;
-    row.frequency = f;
-    row.analytic_region =
-        ClassifySymmetricRegion(benefit, cheat_gain, f, penalty);
-    row.nash_equilibria = EnumerateLabels(game);
-    row.honest_is_dse = HonestHonestIsDse(game);
-    row.analytic_matches_enumeration =
-        SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
-    rows.push_back(std::move(row));
-  }
+  std::vector<FrequencySweepRow> rows(static_cast<size_t>(steps));
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      threads, rows.size(), [&](size_t i) -> Status {
+        double f = static_cast<double>(i) / (steps - 1);
+        HSIS_ASSIGN_OR_RETURN(
+            NormalFormGame game,
+            MakeSymmetricAuditedGame(benefit, cheat_gain, loss, f, penalty));
+        FrequencySweepRow& row = rows[i];
+        row.frequency = f;
+        row.analytic_region =
+            ClassifySymmetricRegion(benefit, cheat_gain, f, penalty);
+        row.nash_equilibria = EnumerateLabels(game);
+        row.honest_is_dse = HonestHonestIsDse(game);
+        row.analytic_matches_enumeration =
+            SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+        return Status::OK();
+      }));
   return rows;
 }
 
@@ -83,110 +85,115 @@ Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
                                                   double loss,
                                                   double frequency,
                                                   double max_penalty,
-                                                  int steps) {
+                                                  int steps,
+                                                  int threads) {
   if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  std::vector<PenaltySweepRow> rows;
-  rows.reserve(static_cast<size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
-    double p = max_penalty * static_cast<double>(i) / (steps - 1);
-    HSIS_ASSIGN_OR_RETURN(
-        NormalFormGame game,
-        MakeSymmetricAuditedGame(benefit, cheat_gain, loss, frequency, p));
-    PenaltySweepRow row;
-    row.penalty = p;
-    row.analytic_region =
-        ClassifySymmetricRegion(benefit, cheat_gain, frequency, p);
-    row.nash_equilibria = EnumerateLabels(game);
-    row.honest_is_dse = HonestHonestIsDse(game);
-    row.analytic_matches_enumeration =
-        SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
-    rows.push_back(std::move(row));
-  }
+  std::vector<PenaltySweepRow> rows(static_cast<size_t>(steps));
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      threads, rows.size(), [&](size_t i) -> Status {
+        double p = max_penalty * static_cast<double>(i) / (steps - 1);
+        HSIS_ASSIGN_OR_RETURN(
+            NormalFormGame game,
+            MakeSymmetricAuditedGame(benefit, cheat_gain, loss, frequency, p));
+        PenaltySweepRow& row = rows[i];
+        row.penalty = p;
+        row.analytic_region =
+            ClassifySymmetricRegion(benefit, cheat_gain, frequency, p);
+        row.nash_equilibria = EnumerateLabels(game);
+        row.honest_is_dse = HonestHonestIsDse(game);
+        row.analytic_matches_enumeration =
+            SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+        return Status::OK();
+      }));
   return rows;
 }
 
 Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
-    const TwoPlayerGameParams& params, int steps) {
+    const TwoPlayerGameParams& params, int steps, int threads) {
   if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  std::vector<AsymmetricGridCell> cells;
-  cells.reserve(static_cast<size_t>(steps) * static_cast<size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
-    for (int j = 0; j < steps; ++j) {
-      TwoPlayerGameParams p = params;
-      p.audit1.frequency = static_cast<double>(i) / (steps - 1);
-      p.audit2.frequency = static_cast<double>(j) / (steps - 1);
-      HSIS_ASSIGN_OR_RETURN(NormalFormGame game, MakeTwoPlayerHonestyGame(p));
+  std::vector<AsymmetricGridCell> cells(static_cast<size_t>(steps) *
+                                        static_cast<size_t>(steps));
+  // Row-major: cell (i, j) lives in slot i * steps + j, exactly the
+  // order the serial nested loop produced.
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      threads, cells.size(), [&](size_t idx) -> Status {
+        int i = static_cast<int>(idx / static_cast<size_t>(steps));
+        int j = static_cast<int>(idx % static_cast<size_t>(steps));
+        TwoPlayerGameParams p = params;
+        p.audit1.frequency = static_cast<double>(i) / (steps - 1);
+        p.audit2.frequency = static_cast<double>(j) / (steps - 1);
+        HSIS_ASSIGN_OR_RETURN(NormalFormGame game, MakeTwoPlayerHonestyGame(p));
 
-      AsymmetricGridCell cell;
-      cell.f1 = p.audit1.frequency;
-      cell.f2 = p.audit2.frequency;
-      cell.analytic_region = ClassifyAsymmetricRegion(
-          p.player1.benefit, p.player1.cheat_gain, p.audit1.penalty, cell.f1,
-          p.player2.benefit, p.player2.cheat_gain, p.audit2.penalty, cell.f2);
-      cell.nash_equilibria = EnumerateLabels(game);
+        AsymmetricGridCell& cell = cells[idx];
+        cell.f1 = p.audit1.frequency;
+        cell.f2 = p.audit2.frequency;
+        cell.analytic_region = ClassifyAsymmetricRegion(
+            p.player1.benefit, p.player1.cheat_gain, p.audit1.penalty, cell.f1,
+            p.player2.benefit, p.player2.cheat_gain, p.audit2.penalty,
+            cell.f2);
+        cell.nash_equilibria = EnumerateLabels(game);
 
-      // Interior regions predict a unique equilibrium with the
-      // corresponding label; boundary cells are vacuously consistent.
-      switch (cell.analytic_region) {
-        case AsymmetricRegion::kBoundary:
-          cell.analytic_matches_enumeration = true;
-          break;
-        case AsymmetricRegion::kBothCheat:
-          cell.analytic_matches_enumeration =
-              cell.nash_equilibria == std::vector<std::string>{"CC"};
-          break;
-        case AsymmetricRegion::kOnlyP1Cheats:
-          cell.analytic_matches_enumeration =
-              cell.nash_equilibria == std::vector<std::string>{"CH"};
-          break;
-        case AsymmetricRegion::kOnlyP2Cheats:
-          cell.analytic_matches_enumeration =
-              cell.nash_equilibria == std::vector<std::string>{"HC"};
-          break;
-        case AsymmetricRegion::kBothHonest:
-          cell.analytic_matches_enumeration =
-              cell.nash_equilibria == std::vector<std::string>{"HH"};
-          break;
-      }
-      cells.push_back(std::move(cell));
-    }
-  }
+        // Interior regions predict a unique equilibrium with the
+        // corresponding label; boundary cells are vacuously consistent.
+        switch (cell.analytic_region) {
+          case AsymmetricRegion::kBoundary:
+            cell.analytic_matches_enumeration = true;
+            break;
+          case AsymmetricRegion::kBothCheat:
+            cell.analytic_matches_enumeration =
+                cell.nash_equilibria == std::vector<std::string>{"CC"};
+            break;
+          case AsymmetricRegion::kOnlyP1Cheats:
+            cell.analytic_matches_enumeration =
+                cell.nash_equilibria == std::vector<std::string>{"CH"};
+            break;
+          case AsymmetricRegion::kOnlyP2Cheats:
+            cell.analytic_matches_enumeration =
+                cell.nash_equilibria == std::vector<std::string>{"HC"};
+            break;
+          case AsymmetricRegion::kBothHonest:
+            cell.analytic_matches_enumeration =
+                cell.nash_equilibria == std::vector<std::string>{"HH"};
+            break;
+        }
+        return Status::OK();
+      }));
   return cells;
 }
 
 Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
     const NPlayerHonestyGame::Params& base_params, double max_penalty,
-    int steps) {
+    int steps, int threads) {
   if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
   if (base_params.frequency <= 0) {
     return Status::InvalidArgument(
         "n-player penalty sweep requires frequency > 0 (Theorem 1)");
   }
-  std::vector<NPlayerBandRow> rows;
-  rows.reserve(static_cast<size_t>(steps));
-  for (int i = 0; i < steps; ++i) {
-    NPlayerHonestyGame::Params p = base_params;
-    p.penalty = max_penalty * static_cast<double>(i) / (steps - 1);
-    HSIS_ASSIGN_OR_RETURN(NPlayerHonestyGame game,
-                          NPlayerHonestyGame::Create(p));
-    NPlayerBandRow row;
-    row.penalty = p.penalty;
-    row.analytic_honest_count = NPlayerEquilibriumHonestCount(
-        p.n, p.benefit, p.gain, p.frequency, p.penalty);
-    row.equilibrium_honest_counts = game.EquilibriumHonestCounts();
-    row.honest_is_dominant = game.IsHonestDominant();
-    row.cheat_is_dominant = game.IsCheatDominant();
-    // In band interiors there is exactly one equilibrium class and it
-    // matches Theorem 1; at band edges the enumeration may contain two
-    // adjacent classes, either of which may be the analytic pick.
-    bool match = false;
-    for (int x : row.equilibrium_honest_counts) {
-      if (x == row.analytic_honest_count) match = true;
-    }
-    row.analytic_matches_enumeration =
-        match && row.equilibrium_honest_counts.size() <= 2;
-    rows.push_back(std::move(row));
-  }
+  std::vector<NPlayerBandRow> rows(static_cast<size_t>(steps));
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      threads, rows.size(), [&](size_t i) -> Status {
+        NPlayerHonestyGame::Params p = base_params;
+        p.penalty = max_penalty * static_cast<double>(i) / (steps - 1);
+        HSIS_ASSIGN_OR_RETURN(NPlayerHonestyGame game,
+                              NPlayerHonestyGame::Create(p));
+        NPlayerBandRow& row = rows[i];
+        row.penalty = p.penalty;
+        row.analytic_honest_count = NPlayerEquilibriumHonestCount(
+            p.n, p.benefit, p.gain, p.frequency, p.penalty);
+        row.equilibrium_honest_counts = game.EquilibriumHonestCounts();
+        row.honest_is_dominant = game.IsHonestDominant();
+        row.cheat_is_dominant = game.IsCheatDominant();
+        // In band interiors there is exactly one equilibrium class and it
+        // matches Theorem 1; at band edges the enumeration may contain two
+        // adjacent classes, either of which may be the analytic pick.
+        bool match = false;
+        for (int x : row.equilibrium_honest_counts) {
+          if (x == row.analytic_honest_count) match = true;
+        }
+        row.analytic_matches_enumeration =
+            match && row.equilibrium_honest_counts.size() <= 2;
+        return Status::OK();
+      }));
   return rows;
 }
 

@@ -28,11 +28,18 @@ struct FrequencySweepRow {
 /// Sweeps f over [0, 1] in `steps` uniform samples of the symmetric
 /// audited game (Table 2) and cross-checks Observation 2 against exact
 /// equilibrium enumeration.
+///
+/// All sweeps in this header take a `threads` knob (1 = serial, the
+/// default; 0 = hardware concurrency) and honor the determinism
+/// contract of common/parallel.h: each row/cell is computed into its
+/// ordered output slot independently, so the result is bit-identical
+/// across thread counts.
 Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
                                                       double cheat_gain,
                                                       double loss,
                                                       double penalty,
-                                                      int steps);
+                                                      int steps,
+                                                      int threads = 1);
 
 /// One sample of the Figure 2 landscape (equilibria vs penalty at fixed
 /// frequency).
@@ -51,7 +58,8 @@ Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
                                                   double loss,
                                                   double frequency,
                                                   double max_penalty,
-                                                  int steps);
+                                                  int steps,
+                                                  int threads = 1);
 
 /// One cell of the Figure 3 (f1, f2) grid for the asymmetric game.
 struct AsymmetricGridCell {
@@ -65,7 +73,7 @@ struct AsymmetricGridCell {
 /// Evaluates the asymmetric audited game on a `steps` x `steps` grid
 /// over [0,1]^2 of audit frequencies (penalties fixed in `params`).
 Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
-    const TwoPlayerGameParams& params, int steps);
+    const TwoPlayerGameParams& params, int steps, int threads = 1);
 
 /// One sample of the Figure 4 landscape (n-player equilibria vs P).
 struct NPlayerBandRow {
@@ -81,7 +89,7 @@ struct NPlayerBandRow {
 /// Theorem 1's band structure.
 Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
     const NPlayerHonestyGame::Params& base_params, double max_penalty,
-    int steps);
+    int steps, int threads = 1);
 
 }  // namespace hsis::game
 

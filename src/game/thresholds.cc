@@ -9,6 +9,15 @@ namespace hsis::game {
 
 namespace {
 constexpr double kEps = 1e-12;
+
+/// Magnitude-relative boundary tolerance: an absolute 1e-12 is far below
+/// one ulp once payoffs reach ~1e5, so boundary operating points with
+/// large F, P (say 1e9) would be misclassified as interior purely from
+/// rounding. Scale the epsilon by the operands (floored at 1 to keep
+/// the historical behavior for O(1) payoffs).
+double BoundaryTolerance(double a, double b) {
+  return kEps * std::max(1.0, std::max(std::abs(a), std::abs(b)));
+}
 }
 
 const char* DeviceEffectivenessName(DeviceEffectiveness e) {
@@ -48,11 +57,12 @@ DeviceEffectiveness ClassifySymmetricDevice(double benefit, double cheat_gain,
   // the net expected cheating gain (1-f) F - B.
   double expected_penalty = frequency * penalty;
   double net_cheat_gain = (1 - frequency) * cheat_gain - benefit;
-  if (expected_penalty > net_cheat_gain + kEps) {
+  double tolerance = BoundaryTolerance(expected_penalty, net_cheat_gain);
+  if (expected_penalty > net_cheat_gain + tolerance) {
     // (H,H) unique DSE and NE: transformative (and highly effective).
     return DeviceEffectiveness::kTransformative;
   }
-  if (std::abs(expected_penalty - net_cheat_gain) <= kEps) {
+  if (std::abs(expected_penalty - net_cheat_gain) <= tolerance) {
     return DeviceEffectiveness::kEffective;
   }
   return DeviceEffectiveness::kIneffective;

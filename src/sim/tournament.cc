@@ -2,7 +2,24 @@
 
 #include <algorithm>
 
+#include "common/parallel.h"
+
 namespace hsis::sim {
+
+namespace {
+
+/// One round-robin pairing with the seeds the historical serial loop
+/// would have handed it (three consecutive draws per pairing, in
+/// enumeration order), precomputed so pairings can run concurrently.
+struct Pairing {
+  size_t i = 0;
+  size_t j = 0;
+  uint64_t seed_i = 0;
+  uint64_t seed_j = 0;
+  uint64_t match_seed = 0;
+};
+
+}  // namespace
 
 Result<std::vector<TournamentStanding>> RunRoundRobinTournament(
     const game::NPlayerHonestyGame& two_player_game,
@@ -24,22 +41,40 @@ Result<std::vector<TournamentStanding>> RunRoundRobinTournament(
   }
 
   uint64_t seed = config.seed;
+  std::vector<Pairing> pairings;
+  pairings.reserve(strategies.size() * (strategies.size() + 1) / 2);
   for (size_t i = 0; i < strategies.size(); ++i) {
     for (size_t j = i; j < strategies.size(); ++j) {
-      std::vector<std::unique_ptr<Agent>> agents;
-      agents.push_back(strategies[i].make(seed++));
-      agents.push_back(strategies[j].make(seed++));
-      RepeatedGameConfig match;
-      match.rounds = config.rounds_per_match;
-      match.mode = config.mode;
-      match.seed = seed++;
-      HSIS_ASSIGN_OR_RETURN(RepeatedGameResult result,
-                            RunRepeatedGame(two_player_game, agents, match));
-      standings[i].total_payoff += result.cumulative_payoffs[0];
-      standings[i].matches += 1;
-      standings[j].total_payoff += result.cumulative_payoffs[1];
-      standings[j].matches += 1;
+      pairings.push_back({i, j, seed, seed + 1, seed + 2});
+      seed += 3;
     }
+  }
+
+  std::vector<RepeatedGameResult> results(pairings.size());
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      config.threads, pairings.size(), [&](size_t k) -> Status {
+        const Pairing& pairing = pairings[k];
+        std::vector<std::unique_ptr<Agent>> agents;
+        agents.push_back(strategies[pairing.i].make(pairing.seed_i));
+        agents.push_back(strategies[pairing.j].make(pairing.seed_j));
+        RepeatedGameConfig match;
+        match.rounds = config.rounds_per_match;
+        match.mode = config.mode;
+        match.seed = pairing.match_seed;
+        HSIS_ASSIGN_OR_RETURN(
+            results[k], RunRepeatedGame(two_player_game, agents, match));
+        return Status::OK();
+      }));
+
+  // Accumulate in enumeration order — the same floating-point addition
+  // order as the serial loop, hence bit-identical standings.
+  for (size_t k = 0; k < pairings.size(); ++k) {
+    const Pairing& pairing = pairings[k];
+    const RepeatedGameResult& result = results[k];
+    standings[pairing.i].total_payoff += result.cumulative_payoffs[0];
+    standings[pairing.i].matches += 1;
+    standings[pairing.j].total_payoff += result.cumulative_payoffs[1];
+    standings[pairing.j].matches += 1;
   }
   for (TournamentStanding& s : standings) {
     s.average_payoff_per_round =

@@ -34,6 +34,13 @@ struct TournamentConfig {
   int rounds_per_match = 200;
   PayoffMode mode = PayoffMode::kExpected;
   uint64_t seed = 1;
+  /// Parallelism over pairings (common/parallel.h): 1 = serial (the
+  /// default), 0 = hardware concurrency. Each pairing's seeds are a
+  /// pure function of its position in the round-robin enumeration and
+  /// standings are accumulated in enumeration order afterwards, so the
+  /// standings are bit-identical for every thread count (and to the
+  /// historical serial implementation).
+  int threads = 1;
 };
 
 Result<std::vector<TournamentStanding>> RunRoundRobinTournament(

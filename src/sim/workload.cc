@@ -1,6 +1,7 @@
 #include "sim/workload.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/logging.h"
 
@@ -36,6 +37,8 @@ TwoFirmWorkload MakeTwoFirmWorkload(size_t a_private, size_t b_private,
 std::vector<std::vector<std::string>> MakeSupplyChainWorkload(
     int parties, size_t catalog_size, double hold_probability, Rng& rng) {
   HSIS_CHECK(parties >= 1);
+  HSIS_CHECK(hold_probability >= 0.0 && hold_probability <= 1.0)
+      << "hold_probability must be in [0, 1], got " << hold_probability;
   std::vector<std::vector<std::string>> out(static_cast<size_t>(parties));
   for (size_t part = 0; part < catalog_size; ++part) {
     std::string id = "part-" + std::to_string(part);
@@ -69,10 +72,21 @@ std::vector<std::string> MakeProbeList(
                                 static_cast<double>(count) * hit_rate + 0.5));
   std::vector<std::string> out(hits.begin(),
                                hits.begin() + static_cast<ptrdiff_t>(n_hits));
+  // Filler misses must be unique — among themselves (duplicates would
+  // silently shrink the effective probe count below `count`) and
+  // against the whole peer set (a peer may hold probe-shaped names, and
+  // a colliding "miss" would really be an extra hit). The counter
+  // guarantees termination and uniqueness; the random tag keeps the
+  // misses unguessable-looking.
+  std::unordered_set<std::string> used(peer_private.begin(),
+                                       peer_private.end());
+  used.insert(out.begin(), out.end());
   size_t miss = 0;
   while (out.size() < count) {
-    out.push_back("guess-" + std::to_string(miss++) + "-" +
-                  std::to_string(rng.NextUint64() % 100000));
+    std::string id = "guess-" + std::to_string(miss++) + "-" +
+                     std::to_string(rng.NextUint64() % 100000);
+    if (!used.insert(id).second) continue;
+    out.push_back(std::move(id));
   }
   rng.Shuffle(out);
   return out;

@@ -1,0 +1,195 @@
+// Determinism suite for the parallel sweep engine: every parallelized
+// sweep must produce bit-identical results at threads = 1, 2, and
+// hardware concurrency. The threads = 1 path executes the exact
+// arithmetic of the historical serial implementation, so equality with
+// it is equality with the pre-parallelism output.
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/mechanism_designer.h"
+#include "game/landscape.h"
+
+namespace hsis::game {
+namespace {
+
+const int kThreadCounts[] = {2, 0};  // compared against threads = 1
+
+template <typename Row>
+void ExpectRowsIdentical(const std::vector<Row>& a, const std::vector<Row>& b);
+
+template <>
+void ExpectRowsIdentical(const std::vector<FrequencySweepRow>& a,
+                         const std::vector<FrequencySweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].frequency, b[i].frequency) << i;
+    EXPECT_EQ(a[i].analytic_region, b[i].analytic_region) << i;
+    EXPECT_EQ(a[i].nash_equilibria, b[i].nash_equilibria) << i;
+    EXPECT_EQ(a[i].honest_is_dse, b[i].honest_is_dse) << i;
+    EXPECT_EQ(a[i].analytic_matches_enumeration,
+              b[i].analytic_matches_enumeration)
+        << i;
+  }
+}
+
+template <>
+void ExpectRowsIdentical(const std::vector<PenaltySweepRow>& a,
+                         const std::vector<PenaltySweepRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].penalty, b[i].penalty) << i;
+    EXPECT_EQ(a[i].analytic_region, b[i].analytic_region) << i;
+    EXPECT_EQ(a[i].nash_equilibria, b[i].nash_equilibria) << i;
+    EXPECT_EQ(a[i].honest_is_dse, b[i].honest_is_dse) << i;
+    EXPECT_EQ(a[i].analytic_matches_enumeration,
+              b[i].analytic_matches_enumeration)
+        << i;
+  }
+}
+
+template <>
+void ExpectRowsIdentical(const std::vector<AsymmetricGridCell>& a,
+                         const std::vector<AsymmetricGridCell>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].f1, b[i].f1) << i;
+    EXPECT_EQ(a[i].f2, b[i].f2) << i;
+    EXPECT_EQ(a[i].analytic_region, b[i].analytic_region) << i;
+    EXPECT_EQ(a[i].nash_equilibria, b[i].nash_equilibria) << i;
+    EXPECT_EQ(a[i].analytic_matches_enumeration,
+              b[i].analytic_matches_enumeration)
+        << i;
+  }
+}
+
+template <>
+void ExpectRowsIdentical(const std::vector<NPlayerBandRow>& a,
+                         const std::vector<NPlayerBandRow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].penalty, b[i].penalty) << i;
+    EXPECT_EQ(a[i].analytic_honest_count, b[i].analytic_honest_count) << i;
+    EXPECT_EQ(a[i].equilibrium_honest_counts, b[i].equilibrium_honest_counts)
+        << i;
+    EXPECT_EQ(a[i].honest_is_dominant, b[i].honest_is_dominant) << i;
+    EXPECT_EQ(a[i].cheat_is_dominant, b[i].cheat_is_dominant) << i;
+    EXPECT_EQ(a[i].analytic_matches_enumeration,
+              b[i].analytic_matches_enumeration)
+        << i;
+  }
+}
+
+TEST(ParallelSweepDeterminismTest, SweepFrequency) {
+  auto serial = SweepFrequency(10, 25, 8, 40, 101, 1);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadCounts) {
+    auto parallel = SweepFrequency(10, 25, 8, 40, 101, threads);
+    ASSERT_TRUE(parallel.ok());
+    ExpectRowsIdentical(*serial, *parallel);
+  }
+}
+
+TEST(ParallelSweepDeterminismTest, SweepPenalty) {
+  auto serial = SweepPenalty(10, 25, 8, 0.2, 120, 101, 1);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadCounts) {
+    auto parallel = SweepPenalty(10, 25, 8, 0.2, 120, 101, threads);
+    ASSERT_TRUE(parallel.ok());
+    ExpectRowsIdentical(*serial, *parallel);
+  }
+}
+
+TwoPlayerGameParams AsymmetricParams() {
+  TwoPlayerGameParams params;
+  params.player1 = {10, 30};
+  params.player2 = {6, 20};
+  params.loss_to_1 = 4;
+  params.loss_to_2 = 9;
+  params.audit1 = {0, 20};
+  params.audit2 = {0, 15};
+  return params;
+}
+
+TEST(ParallelSweepDeterminismTest, SweepAsymmetricGrid) {
+  auto serial = SweepAsymmetricGrid(AsymmetricParams(), 31, 1);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadCounts) {
+    auto parallel = SweepAsymmetricGrid(AsymmetricParams(), 31, threads);
+    ASSERT_TRUE(parallel.ok());
+    ExpectRowsIdentical(*serial, *parallel);
+  }
+}
+
+TEST(ParallelSweepDeterminismTest, SweepNPlayerPenalty) {
+  NPlayerHonestyGame::Params params;
+  params.n = 8;
+  params.benefit = 10;
+  params.gain = LinearGain(20, 2);
+  params.frequency = 0.3;
+  params.uniform_loss = 4;
+  double top = NPlayerPenaltyBound(10, params.gain, 0.3, params.n - 1);
+
+  auto serial = SweepNPlayerPenalty(params, top * 1.2, 101, 1);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadCounts) {
+    auto parallel = SweepNPlayerPenalty(params, top * 1.2, 101, threads);
+    ASSERT_TRUE(parallel.ok());
+    ExpectRowsIdentical(*serial, *parallel);
+  }
+}
+
+TEST(ParallelSweepDeterminismTest, ErrorsIndependentOfThreadCount) {
+  for (int threads : {1, 2, 0}) {
+    EXPECT_FALSE(SweepFrequency(10, 25, 8, 40, 1, threads).ok());
+    EXPECT_FALSE(SweepAsymmetricGrid(AsymmetricParams(), 0, threads).ok());
+  }
+}
+
+TEST(MechanismDesignerGridSearchTest, DeterministicAcrossThreadCounts) {
+  auto designer = core::MechanismDesigner::Create(10, 25).value();
+  core::MechanismDesigner::GridSearchConfig config;
+  config.max_penalty = 120;
+  config.audit_cost = 3.5;
+  config.cost_per_unit_penalty = 0.01;
+
+  config.threads = 1;
+  auto serial = designer.GridSearchCheapestTransformative(config);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : kThreadCounts) {
+    config.threads = threads;
+    auto parallel = designer.GridSearchCheapestTransformative(config);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->frequency, parallel->frequency);
+    EXPECT_EQ(serial->penalty, parallel->penalty);
+    EXPECT_EQ(serial->expected_audit_cost, parallel->expected_audit_cost);
+    EXPECT_EQ(serial->effectiveness, parallel->effectiveness);
+  }
+}
+
+TEST(MechanismDesignerGridSearchTest, FindsTransformativePoint) {
+  auto designer = core::MechanismDesigner::Create(10, 25).value();
+  core::MechanismDesigner::GridSearchConfig config;
+  config.max_penalty = 100;
+  config.audit_cost = 2.0;
+  auto point = designer.GridSearchCheapestTransformative(config);
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->effectiveness, DeviceEffectiveness::kTransformative);
+  // The grid optimum cannot beat the analytic minimum frequency for the
+  // largest allowed penalty.
+  EXPECT_GE(point->frequency, CriticalFrequency(10, 25, 100));
+  EXPECT_LE(point->frequency, 1.0);
+}
+
+TEST(MechanismDesignerGridSearchTest, ValidatesConfig) {
+  auto designer = core::MechanismDesigner::Create(10, 25).value();
+  core::MechanismDesigner::GridSearchConfig config;
+  config.max_penalty = -1;
+  EXPECT_FALSE(designer.GridSearchCheapestTransformative(config).ok());
+  config.max_penalty = 10;
+  config.frequency_steps = 1;
+  EXPECT_FALSE(designer.GridSearchCheapestTransformative(config).ok());
+}
+
+}  // namespace
+}  // namespace hsis::game

@@ -41,6 +41,42 @@ TEST(ThresholdDualityTest, FrequencyAndPenaltyFormsAgree) {
   }
 }
 
+TEST(ClassifyDeviceTest, BoundaryToleranceScalesWithPayoffMagnitude) {
+  // At f = f* the expected penalty f P and the net cheating gain
+  // (1-f) F - B are algebraically equal, but with payoffs ~1e9 the
+  // rounded doubles differ by ~1e-7 — far above the historical absolute
+  // epsilon of 1e-12, which misclassified these boundary points as
+  // interior. The tolerance must scale with the operand magnitude.
+  struct Case {
+    double benefit, cheat_gain, penalty;
+  };
+  // Chosen so the f* residue rounds positive for the first case and
+  // negative for the second — the old bug misread them as
+  // kTransformative and kIneffective respectively.
+  const Case kCases[] = {{1.1e9, 2.7e9, 1.3e10}, {2e9, 5.1e9, 1.7e10}};
+  for (const Case& c : kCases) {
+    double f_star = CriticalFrequency(c.benefit, c.cheat_gain, c.penalty);
+    EXPECT_EQ(ClassifySymmetricDevice(c.benefit, c.cheat_gain, f_star,
+                                      c.penalty),
+              DeviceEffectiveness::kEffective)
+        << c.benefit << " " << c.cheat_gain << " " << c.penalty;
+    // Genuinely interior points at the same magnitude stay interior.
+    EXPECT_EQ(ClassifySymmetricDevice(c.benefit, c.cheat_gain, f_star * 1.01,
+                                      c.penalty),
+              DeviceEffectiveness::kTransformative);
+    EXPECT_EQ(ClassifySymmetricDevice(c.benefit, c.cheat_gain, f_star * 0.99,
+                                      c.penalty),
+              DeviceEffectiveness::kIneffective);
+  }
+}
+
+TEST(ClassifyDeviceTest, SmallPayoffBoundaryStillDetected) {
+  // The magnitude floor keeps the historical behavior for O(1) payoffs.
+  double f_star = CriticalFrequency(kB, kF, 50);
+  EXPECT_EQ(ClassifySymmetricDevice(kB, kF, f_star, 50),
+            DeviceEffectiveness::kEffective);
+}
+
 TEST(ClassifyDeviceTest, Observation2Regimes) {
   const double penalty = 50;
   double f_star = CriticalFrequency(kB, kF, penalty);

@@ -60,6 +60,20 @@ TEST(SupplyChainWorkloadTest, PartsComeFromCatalog) {
   }
 }
 
+TEST(SupplyChainWorkloadTest, RejectsHoldProbabilityOutsideUnitInterval) {
+  Rng rng(12);
+  EXPECT_DEATH(MakeSupplyChainWorkload(2, 10, -0.1, rng), "hold_probability");
+  EXPECT_DEATH(MakeSupplyChainWorkload(2, 10, 1.5, rng), "hold_probability");
+}
+
+TEST(SupplyChainWorkloadTest, AcceptsUnitIntervalEndpoints) {
+  Rng rng(13);
+  auto none = MakeSupplyChainWorkload(2, 20, 0.0, rng);
+  for (const auto& stock : none) EXPECT_TRUE(stock.empty());
+  auto all = MakeSupplyChainWorkload(2, 20, 1.0, rng);
+  for (const auto& stock : all) EXPECT_EQ(stock.size(), 20u);
+}
+
 TEST(ZipfDrawsTest, SkewAndDomain) {
   Rng rng(6);
   std::vector<std::string> draws = MakeZipfDraws(5000, 100, 1.2, rng);
@@ -88,6 +102,40 @@ TEST(ProbeListTest, HitsCappedByPeerSize) {
   std::vector<std::string> probes = MakeProbeList(peer, 10, 1.0, rng);
   ASSERT_EQ(probes.size(), 10u);
   EXPECT_EQ(std::count(probes.begin(), probes.end(), "only-one"), 1);
+}
+
+TEST(ProbeListTest, ProbesAreUniqueAtScale) {
+  // Regression: filler misses drew a random tag from a space of only
+  // 100000, so large probe lists could repeat a tuple and silently
+  // shrink the effective probe count below `count`. Every probe —
+  // hit or miss — must be distinct.
+  Rng rng(10);
+  std::vector<std::string> peer;
+  for (int i = 0; i < 2000; ++i) peer.push_back("peer-" + std::to_string(i));
+  std::vector<std::string> probes = MakeProbeList(peer, 5000, 0.2, rng);
+  ASSERT_EQ(probes.size(), 5000u);
+  std::set<std::string> unique(probes.begin(), probes.end());
+  EXPECT_EQ(unique.size(), probes.size());
+}
+
+TEST(ProbeListTest, MissesNeverCollideWithProbeShapedPeerNames) {
+  // A peer set may itself contain probe-shaped identifiers; misses must
+  // dodge them rather than duplicate them.
+  Rng rng(11);
+  std::vector<std::string> peer;
+  for (int tag = 0; tag < 100000; ++tag) {
+    peer.push_back("guess-0-" + std::to_string(tag));
+  }
+  std::vector<std::string> probes = MakeProbeList(peer, 20, 0.5, rng);
+  ASSERT_EQ(probes.size(), 20u);
+  std::set<std::string> unique(probes.begin(), probes.end());
+  EXPECT_EQ(unique.size(), probes.size());
+  // Exactly the requested hits touch the peer set; no miss lands in it
+  // by accident.
+  std::set<std::string> peer_set(peer.begin(), peer.end());
+  int hits = 0;
+  for (const std::string& p : probes) hits += peer_set.count(p);
+  EXPECT_EQ(hits, 10);
 }
 
 TEST(ProbeListTest, ZeroHitRateAllMisses) {
