@@ -7,7 +7,11 @@
 // optimal audit plan, and the budgeted variant (who to audit when you
 // cannot afford everyone).
 
+#include <chrono>
+#include <cstring>
+
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "game/heterogeneous.h"
 
 namespace {
@@ -43,13 +47,16 @@ void PrintReproduction() {
 
   std::vector<Spec> members = Consortium();
   const int n = static_cast<int>(members.size());
+  DesignSearchOptions options;
+  options.threads = bench::Threads();
 
   std::printf("Six members, per-member economics (F_i at worst case x = %d):\n\n",
               n - 1);
   std::printf("  %-8s %-8s %-10s %-10s %s\n", "member", "B_i", "F_i(n-1)",
               "P_i cap", "req. audit f_i");
-  auto plan = std::move(MinCostFrequencies(members, std::vector<double>(6, 1.0))
-                            .value());
+  auto plan = std::move(
+      MinCostFrequencies(members, std::vector<double>(6, 1.0), 1e-6, options)
+          .value());
   for (int i = 0; i < n; ++i) {
     std::printf("  %-8d %-8.0f %-10.1f %-10.0f %.4f\n", i,
                 members[static_cast<size_t>(i)].benefit,
@@ -81,7 +88,8 @@ void PrintReproduction() {
   std::printf("Budgeted design (cannot audit everyone enough):\n\n");
   std::printf("  %-10s %-12s %s\n", "budget", "deterred", "who cheats");
   for (double budget : {0.2, 0.5, 0.9, 1.3, 2.0}) {
-    auto alloc = std::move(MaxDeterredUnderBudget(members, budget).value());
+    auto alloc = std::move(
+        MaxDeterredUnderBudget(members, budget, 1e-6, options).value());
     std::string cheaters;
     std::vector<Spec> funded = members;
     for (int i = 0; i < n; ++i) {
@@ -100,6 +108,96 @@ void PrintReproduction() {
   }
   std::printf("\n  -> the greedy funds the cheapest-to-deter members first;\n"
               "     the most tempted member (5) is the last to come clean.\n");
+}
+
+/// A consortium of `n` synthetic members with varied economics — the
+/// fine-grid workload for the parallel budget search.
+std::vector<Spec> SyntheticPopulation(size_t n) {
+  std::vector<Spec> players;
+  players.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Spec s;
+    s.benefit = 5.0 + static_cast<double>(i % 17);
+    s.gain = LinearGain(20.0 + static_cast<double>(i % 41),
+                        0.001 * static_cast<double>(i % 7));
+    s.penalty = 10.0 + static_cast<double>(i % 29);
+    s.frequency = 0.25;
+    players.push_back(std::move(s));
+  }
+  return players;
+}
+
+bool AllocationsIdentical(const BudgetedAllocation& a,
+                          const BudgetedAllocation& b) {
+  auto bits = [](double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  if (a.deterred_count != b.deterred_count ||
+      bits(a.budget_used) != bits(b.budget_used) ||
+      a.frequencies.size() != b.frequencies.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.frequencies.size(); ++i) {
+    if (bits(a.frequencies[i]) != bits(b.frequencies[i]) ||
+        a.deterred[i] != b.deterred[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// `--speedup` mode: times the budget search on a 200k-member synthetic
+/// consortium serially and with `--threads=N` (default: hardware), and
+/// verifies bit-identity across thread counts and batch sizes.
+void PrintSpeedup() {
+  bench::PrintRule(
+      "Heterogeneous budget search: serial vs parallel, 200k members");
+  int threads = bench::Threads() == 1 ? 0 : bench::Threads();
+  int resolved = common::ResolveThreadCount(threads);
+  std::vector<Spec> players = SyntheticPopulation(200000);
+  const double budget = 20000;
+
+  using Clock = std::chrono::steady_clock;
+  auto time_search = [&](int t, size_t batch, BudgetedAllocation* out) {
+    DesignSearchOptions options;
+    options.threads = t;
+    options.batch_size = batch;
+    Clock::time_point start = Clock::now();
+    *out = MaxDeterredUnderBudget(players, budget, 1e-6, options).value();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  BudgetedAllocation serial, two, parallel, batched;
+  double serial_s = time_search(1, 1, &serial);
+  double two_s = time_search(2, 64, &two);
+  double parallel_s = time_search(resolved, 64, &parallel);
+  double batched_s = time_search(resolved, 1024, &batched);
+
+  std::printf("population: %zu members, budget %.0f (deterred: %d)\n\n",
+              players.size(), budget, serial.deterred_count);
+  std::printf("  threads=1             %8.3f s\n", serial_s);
+  std::printf("  threads=2   batch=64  %8.3f s   speedup %.2fx\n", two_s,
+              serial_s / two_s);
+  std::printf("  threads=%-3d batch=64  %8.3f s   speedup %.2fx\n", resolved,
+              parallel_s, serial_s / parallel_s);
+  std::printf("  threads=%-3d batch=1k  %8.3f s   speedup %.2fx\n", resolved,
+              batched_s, serial_s / batched_s);
+  std::printf("\nbit-identical across thread counts and batch sizes: %s\n",
+              AllocationsIdentical(serial, two) &&
+                      AllocationsIdentical(serial, parallel) &&
+                      AllocationsIdentical(serial, batched)
+                  ? "yes"
+                  : "NO — DETERMINISM VIOLATION");
+}
+
+void PrintMain() {
+  if (bench::SpeedupRequested()) {
+    PrintSpeedup();
+  } else {
+    PrintReproduction();
+  }
 }
 
 void BM_AllEquilibriaHeterogeneous(benchmark::State& state) {
@@ -134,4 +232,4 @@ BENCHMARK(BM_BudgetedAllocation);
 
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintReproduction)
+HSIS_BENCH_MAIN(PrintMain)

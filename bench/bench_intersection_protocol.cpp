@@ -3,8 +3,10 @@
 // variants, 64-bit test group vs the production 256-bit group.
 
 #include <chrono>
+#include <cstring>
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "sim/workload.h"
 #include "sovereign/intersection_protocol.h"
 #include "sovereign/multiparty.h"
@@ -69,16 +71,20 @@ void PrintReproduction() {
               outcomes.first.intersection.size());
 
   std::printf("\nMulti-party ring (64-bit test group), catalog 100, "
-              "p(hold) = 0.8:\n\n");
+              "p(hold) = 0.8, threads=%d:\n\n", bench::Threads());
   const crypto::PrimeGroup& small = crypto::PrimeGroup::SmallTestGroup();
   crypto::MultisetHashFamily small_family = FamilyFor(small);
+  MultiPartyOptions mp_options;
+  mp_options.threads = bench::Threads();
   for (int parties : {2, 4, 8}) {
     auto stocks = sim::MakeSupplyChainWorkload(parties, 100, 0.8, rng);
     std::vector<Dataset> reported;
     for (const auto& s : stocks) reported.push_back(Dataset::FromStrings(s));
     auto t0 = std::chrono::steady_clock::now();
     auto result =
-        RunMultiPartyIntersection(reported, small, small_family, rng).value();
+        RunMultiPartyIntersection(reported, small, small_family, rng,
+                                  mp_options)
+            .value();
     auto t1 = std::chrono::steady_clock::now();
     Dataset truth = reported[0];
     for (size_t p = 1; p < reported.size(); ++p) {
@@ -92,6 +98,75 @@ void PrintReproduction() {
   std::printf("\nCost model: O(|D|) commutative exponentiations per party "
               "per hop\n(2 hops for two-party, n hops for the ring) — "
               "matching AES03.\n");
+}
+
+bool OutcomesIdentical(const std::vector<MultiPartyOutcome>& a,
+                       const std::vector<MultiPartyOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].intersection == b[i].intersection) ||
+        a[i].own_commitment != b[i].own_commitment) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// `--speedup` mode: times the 8-party ring (production 256-bit group,
+/// catalog 96) serially and with `--threads=N` (default: hardware) and
+/// verifies every party's intersection and commitment is bit-identical.
+void PrintSpeedup() {
+  bench::PrintRule(
+      "Multi-party ring: serial vs parallel per-party encryption");
+  int threads = bench::Threads() == 1 ? 0 : bench::Threads();
+  int resolved = common::ResolveThreadCount(threads);
+
+  Rng workload_rng(11);
+  const int kParties = 8;
+  auto stocks = sim::MakeSupplyChainWorkload(kParties, 96, 0.8, workload_rng);
+  std::vector<Dataset> reported;
+  for (const auto& s : stocks) reported.push_back(Dataset::FromStrings(s));
+  const crypto::PrimeGroup& group = crypto::PrimeGroup::Default();
+  crypto::MultisetHashFamily family = FamilyFor(group);
+
+  using Clock = std::chrono::steady_clock;
+  auto time_run = [&](int t, std::vector<MultiPartyOutcome>* out) {
+    MultiPartyOptions options;
+    options.threads = t;
+    Rng rng(23);  // fresh protocol stream per run: identical keys
+    Clock::time_point start = Clock::now();
+    *out = RunMultiPartyIntersection(reported, group, family, rng, options)
+               .value();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  std::vector<MultiPartyOutcome> serial, two, parallel;
+  double serial_s = time_run(1, &serial);
+  double two_s = time_run(2, &two);
+  double parallel_s = time_run(resolved, &parallel);
+
+  size_t tuples = 0;
+  for (const Dataset& d : reported) tuples += d.size();
+  std::printf("ring: %d parties, %zu tuples, %d hops each (256-bit group)\n\n",
+              kParties, tuples, kParties);
+  std::printf("  threads=1   %8.3f s\n", serial_s);
+  std::printf("  threads=2   %8.3f s   speedup %.2fx\n", two_s,
+              serial_s / two_s);
+  std::printf("  threads=%-3d %8.3f s   speedup %.2fx\n", resolved, parallel_s,
+              serial_s / parallel_s);
+  std::printf("\nbit-identical across thread counts: %s\n",
+              OutcomesIdentical(serial, two) &&
+                      OutcomesIdentical(serial, parallel)
+                  ? "yes"
+                  : "NO — DETERMINISM VIOLATION");
+}
+
+void PrintMain() {
+  if (bench::SpeedupRequested()) {
+    PrintSpeedup();
+  } else {
+    PrintReproduction();
+  }
 }
 
 void BM_TwoPartyIntersection(benchmark::State& state) {
@@ -145,4 +220,4 @@ BENCHMARK(BM_MultiPartyRing)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintReproduction)
+HSIS_BENCH_MAIN(PrintMain)

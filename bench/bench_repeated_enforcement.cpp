@@ -7,9 +7,13 @@
 // patience trade off along the generalized Observation 2 frontier
 // f*(delta) = (F - delta L - B)/(F - delta L + P).
 
+#include <chrono>
 #include <cmath>
+#include <cstring>
 
 #include "bench_util.h"
+#include "common/parallel.h"
+#include "core/campaign.h"
 #include "game/repeated_analysis.h"
 #include "game/thresholds.h"
 
@@ -19,6 +23,153 @@ using namespace hsis;
 using namespace hsis::game;
 
 constexpr double kB = 10, kF = 25;
+
+// --- Campaign ensembles: repeated enforcement through the full stack ---
+
+core::CampaignSessionFactory MakeSessionFactory(double frequency,
+                                                double penalty) {
+  return [frequency,
+          penalty](uint64_t seed) -> Result<core::HonestSharingSession> {
+    core::SessionConfig config;
+    config.audit_frequency = frequency;
+    config.penalty = penalty;
+    config.group = &crypto::PrimeGroup::SmallTestGroup();
+    config.seed = seed;
+    HSIS_ASSIGN_OR_RETURN(core::HonestSharingSession s,
+                          core::HonestSharingSession::Create(config));
+    HSIS_RETURN_IF_ERROR(s.AddParty("alice"));
+    HSIS_RETURN_IF_ERROR(s.AddParty("bob"));
+    HSIS_RETURN_IF_ERROR(s.IssueTuples("alice", {"u", "v", "a1", "a2"}));
+    HSIS_RETURN_IF_ERROR(s.IssueTuples("bob", {"u", "v", "b1", "b2", "b3"}));
+    return s;
+  };
+}
+
+std::vector<core::CampaignPolicyPair> PolicyGrid() {
+  using core::CheatPolicy;
+  std::vector<core::CampaignPolicyPair> policies;
+  policies.push_back({"honest/honest", core::HonestPolicy,
+                      core::HonestPolicy});
+  policies.push_back({"prober/honest",
+                      [] {
+                        return core::PersistentProberPolicy(
+                            {"b1", "b2", "miss"}, 2);
+                      },
+                      core::HonestPolicy});
+  policies.push_back({"opportunist/honest",
+                      [] {
+                        return core::OpportunisticProberPolicy(
+                            {"b1", "b2", "miss"}, 2, 0.3);
+                      },
+                      core::HonestPolicy});
+  return policies;
+}
+
+void PrintCampaignEnsemble() {
+  std::printf("(4) Campaign ensembles (policy x seed grid through the full\n"
+              "    session stack; threads=%d):\n\n", bench::Threads());
+  std::printf("  %-22s %-14s %-14s\n", "policy pair", "mean payoff A",
+              "mean payoff B");
+  core::CampaignEnsembleConfig config;
+  config.rounds = 30;
+  config.replicates = 8;
+  config.base_seed = 20260806;
+  config.economics.honest_benefit = 10;
+  config.economics.gain_per_probe_hit = 5;
+  config.economics.loss_per_leaked_tuple = 4;
+  config.threads = bench::Threads();
+  auto policies = PolicyGrid();
+  auto ensemble = core::RunCampaignEnsemble(MakeSessionFactory(0.5, 30),
+                                            "alice", "bob", policies, config);
+  if (!ensemble.ok()) {
+    std::printf("  ensemble failed: %s\n", ensemble.status().ToString().c_str());
+    return;
+  }
+  for (size_t p = 0; p < policies.size(); ++p) {
+    std::printf("  %-22s %-14.3f %-14.3f\n", policies[p].label.c_str(),
+                ensemble->mean_payoff_a[p], ensemble->mean_payoff_b[p]);
+  }
+  std::printf("\n  -> at f = 0.5, P = 30 the expected penalty exceeds the\n"
+              "     probe surplus: persistent probing earns less than\n"
+              "     honest collaboration, round after round.\n");
+}
+
+bool EnsemblesIdentical(const core::CampaignEnsembleResult& a,
+                        const core::CampaignEnsembleResult& b) {
+  auto bits = [](double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  if (a.cells.size() != b.cells.size()) return false;
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    if (bits(a.cells[i].result.a.realized_payoff) !=
+            bits(b.cells[i].result.a.realized_payoff) ||
+        bits(a.cells[i].result.b.realized_payoff) !=
+            bits(b.cells[i].result.b.realized_payoff) ||
+        a.cells[i].result.a.times_detected !=
+            b.cells[i].result.a.times_detected ||
+        a.cells[i].session_seed != b.cells[i].session_seed) {
+      return false;
+    }
+  }
+  for (size_t p = 0; p < a.mean_payoff_a.size(); ++p) {
+    if (bits(a.mean_payoff_a[p]) != bits(b.mean_payoff_a[p]) ||
+        bits(a.mean_payoff_b[p]) != bits(b.mean_payoff_b[p])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// `--speedup` mode: times the campaign-ensemble grid serially and with
+/// the requested `--threads=N` (default: hardware concurrency) and
+/// verifies bit-identity — the determinism contract, demonstrated on
+/// the repeated-enforcement workload.
+void PrintSpeedup() {
+  bench::PrintRule(
+      "Campaign ensemble engine: serial vs parallel, policy x seed grid");
+  int threads = bench::Threads() == 1 ? 0 : bench::Threads();
+  int resolved = common::ResolveThreadCount(threads);
+
+  core::CampaignEnsembleConfig config;
+  config.rounds = 60;
+  config.replicates = 32;
+  config.base_seed = 20260806;
+  config.economics.honest_benefit = 10;
+  config.economics.gain_per_probe_hit = 5;
+  config.economics.loss_per_leaked_tuple = 4;
+  auto policies = PolicyGrid();
+  auto factory = MakeSessionFactory(0.5, 30);
+
+  using Clock = std::chrono::steady_clock;
+  auto time_run = [&](int t, core::CampaignEnsembleResult* out) {
+    config.threads = t;
+    Clock::time_point start = Clock::now();
+    *out = core::RunCampaignEnsemble(factory, "alice", "bob", policies, config)
+               .value();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
+
+  core::CampaignEnsembleResult serial, two, parallel;
+  double serial_s = time_run(1, &serial);
+  double two_s = time_run(2, &two);
+  double parallel_s = time_run(resolved, &parallel);
+
+  std::printf("grid: %zu policies x %d replicates x %d rounds = %zu cells\n\n",
+              policies.size(), config.replicates, config.rounds,
+              serial.cells.size());
+  std::printf("  threads=1   %8.3f s\n", serial_s);
+  std::printf("  threads=2   %8.3f s   speedup %.2fx\n", two_s,
+              serial_s / two_s);
+  std::printf("  threads=%-3d %8.3f s   speedup %.2fx\n", resolved, parallel_s,
+              serial_s / parallel_s);
+  std::printf("\nbit-identical across thread counts: %s\n",
+              EnsemblesIdentical(serial, parallel) &&
+                      EnsemblesIdentical(serial, two)
+                  ? "yes"
+                  : "NO — DETERMINISM VIOLATION");
+}
 
 void PrintReproduction() {
   bench::PrintRule(
@@ -69,7 +220,17 @@ void PrintReproduction() {
                 hv >= dv ? "yes" : "no");
   }
   std::printf("\n  -> the incentive flips exactly at delta*, matching the\n"
-              "     closed form. REPRODUCED (extension-internal check).\n");
+              "     closed form. REPRODUCED (extension-internal check).\n\n");
+
+  PrintCampaignEnsemble();
+}
+
+void PrintMain() {
+  if (bench::SpeedupRequested()) {
+    PrintSpeedup();
+  } else {
+    PrintReproduction();
+  }
 }
 
 void BM_CriticalDiscount(benchmark::State& state) {
@@ -94,4 +255,4 @@ BENCHMARK(BM_FrontierSweep);
 
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintReproduction)
+HSIS_BENCH_MAIN(PrintMain)

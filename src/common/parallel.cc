@@ -91,7 +91,10 @@ void ThreadPool::WorkerLoop(int worker_id) {
 void ParallelFor(int threads, size_t n,
                  const std::function<void(size_t)>& body) {
   int k = ResolveThreadCount(threads);
-  if (k == 1 || n <= 1) {
+  // Serial fallback when the range cannot occupy every worker: a chunk
+  // per index is all the parallelism there is, and spawning threads
+  // that would receive empty chunks is pure overhead.
+  if (k == 1 || n < static_cast<size_t>(k) || n <= 1) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
@@ -99,12 +102,31 @@ void ParallelFor(int threads, size_t n,
   pool.Run(n, body);
 }
 
+void ParallelFor(int threads, size_t n, size_t batch_size,
+                 const std::function<void(size_t)>& body) {
+  if (batch_size <= 1) {
+    ParallelFor(threads, n, body);
+    return;
+  }
+  const size_t batches = (n + batch_size - 1) / batch_size;
+  ParallelFor(threads, batches, [&](size_t b) {
+    const size_t lo = b * batch_size;
+    const size_t hi = std::min(n, lo + batch_size);
+    for (size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
 Status ParallelForWithStatus(int threads, size_t n,
+                             const std::function<Status(size_t)>& body) {
+  return ParallelForWithStatus(threads, n, /*batch_size=*/1, body);
+}
+
+Status ParallelForWithStatus(int threads, size_t n, size_t batch_size,
                              const std::function<Status(size_t)>& body) {
   std::mutex err_mu;
   size_t first_error_index = n;
   Status first_error = Status::OK();
-  ParallelFor(threads, n, [&](size_t i) {
+  ParallelFor(threads, n, batch_size, [&](size_t i) {
     Status s = body(i);
     if (!s.ok()) {
       std::lock_guard<std::mutex> lock(err_mu);

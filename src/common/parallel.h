@@ -84,8 +84,20 @@ class ThreadPool {
 /// One-shot facade: runs `body(i)` for `i` in `[0, n)` on a transient
 /// pool of `ResolveThreadCount(threads)` workers. `threads == 1` (the
 /// serial-compatible default everywhere) executes inline with zero
-/// threading overhead.
+/// threading overhead, and a range smaller than the resolved thread
+/// count falls back to the same inline loop instead of spawning
+/// workers that would receive empty or single-index chunks.
 void ParallelFor(int threads, size_t n,
+                 const std::function<void(size_t)>& body);
+
+/// Batched variant for fine grids: `[0, n)` is split into
+/// `ceil(n / batch_size)` contiguous batches and whole batches become
+/// the scheduling unit. `body(i)` still runs exactly once per index in
+/// ascending order within each batch, so results are bit-identical to
+/// the unbatched call for every `batch_size`; only the per-index
+/// `std::function` dispatch overhead shrinks to one call per batch.
+/// `batch_size <= 1` degenerates to the unbatched `ParallelFor`.
+void ParallelFor(int threads, size_t n, size_t batch_size,
                  const std::function<void(size_t)>& body);
 
 /// Like `ParallelFor` for fallible bodies: every index still runs, and
@@ -93,6 +105,12 @@ void ParallelFor(int threads, size_t n,
 /// error with the **smallest index** — the same error a serial
 /// first-failure loop would report, independent of thread count.
 Status ParallelForWithStatus(int threads, size_t n,
+                             const std::function<Status(size_t)>& body);
+
+/// Batched `ParallelForWithStatus`: batching semantics of the batched
+/// `ParallelFor`, error semantics (smallest failing index wins) of
+/// `ParallelForWithStatus`.
+Status ParallelForWithStatus(int threads, size_t n, size_t batch_size,
                              const std::function<Status(size_t)>& body);
 
 /// Maps `i -> fn(i)` over `[0, n)` into an order-preserving vector

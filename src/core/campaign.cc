@@ -1,5 +1,7 @@
 #include "core/campaign.h"
 
+#include "common/parallel.h"
+
 namespace hsis::core {
 
 CheatPolicy HonestPolicy() {
@@ -71,6 +73,67 @@ Result<CampaignResult> RunCampaign(HonestSharingSession& session,
     account(result.b, exchange.b);
   }
   return result;
+}
+
+Result<CampaignEnsembleResult> RunCampaignEnsemble(
+    const CampaignSessionFactory& make_session, const std::string& party_a,
+    const std::string& party_b,
+    const std::vector<CampaignPolicyPair>& policies,
+    const CampaignEnsembleConfig& config) {
+  if (!make_session) {
+    return Status::InvalidArgument("a session factory is required");
+  }
+  if (policies.empty()) {
+    return Status::InvalidArgument("at least one policy pair is required");
+  }
+  for (const CampaignPolicyPair& pair : policies) {
+    if (!pair.make_a || !pair.make_b) {
+      return Status::InvalidArgument("every policy pair needs both factories");
+    }
+  }
+  if (config.rounds < 1) return Status::InvalidArgument("rounds must be >= 1");
+  if (config.replicates < 1) {
+    return Status::InvalidArgument("replicates must be >= 1");
+  }
+
+  const size_t replicates = static_cast<size_t>(config.replicates);
+  const size_t cells = policies.size() * replicates;
+  CampaignEnsembleResult out;
+  out.cells.resize(cells);
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      config.threads, cells, [&](size_t i) -> Status {
+        CampaignCellResult& cell = out.cells[i];
+        cell.policy_index = i / replicates;
+        cell.replicate = static_cast<int>(i % replicates);
+        // Everything stochastic about the cell flows from this stream,
+        // a pure function of (base_seed, i).
+        Rng rng = Rng::ForIndex(config.base_seed, i);
+        cell.session_seed = rng.NextUint64();
+        HSIS_ASSIGN_OR_RETURN(HonestSharingSession session,
+                              make_session(cell.session_seed));
+        const CampaignPolicyPair& pair = policies[cell.policy_index];
+        CheatPolicy policy_a = pair.make_a();
+        CheatPolicy policy_b = pair.make_b();
+        HSIS_ASSIGN_OR_RETURN(
+            cell.result,
+            RunCampaign(session, party_a, party_b, config.rounds, policy_a,
+                        policy_b, config.economics, rng));
+        return Status::OK();
+      }));
+
+  // Cross-cell reduction stays serial in cell order so the FP addition
+  // order never depends on scheduling.
+  out.mean_payoff_a.assign(policies.size(), 0.0);
+  out.mean_payoff_b.assign(policies.size(), 0.0);
+  for (const CampaignCellResult& cell : out.cells) {
+    out.mean_payoff_a[cell.policy_index] += cell.result.a.average_payoff();
+    out.mean_payoff_b[cell.policy_index] += cell.result.b.average_payoff();
+  }
+  for (size_t p = 0; p < policies.size(); ++p) {
+    out.mean_payoff_a[p] /= static_cast<double>(replicates);
+    out.mean_payoff_b[p] /= static_cast<double>(replicates);
+  }
+  return out;
 }
 
 }  // namespace hsis::core

@@ -74,6 +74,67 @@ Result<CampaignResult> RunCampaign(HonestSharingSession& session,
                                    const CampaignEconomics& economics,
                                    Rng& rng);
 
+/// One row of an ensemble grid: a labelled pair of policy *factories*.
+/// Policies are stateful closures (probe cursors, learned state), so
+/// every replicate builds fresh instances from the factories instead of
+/// sharing one policy across cells.
+struct CampaignPolicyPair {
+  std::string label;
+  std::function<CheatPolicy()> make_a;
+  std::function<CheatPolicy()> make_b;
+};
+
+/// Builds the session one replicate runs in, from that replicate's
+/// derived seed. Replicates never share a session, so the factory must
+/// only be safe to call concurrently (any captured state read-only).
+using CampaignSessionFactory =
+    std::function<Result<HonestSharingSession>(uint64_t session_seed)>;
+
+struct CampaignEnsembleConfig {
+  /// Exchanges per replicate campaign.
+  int rounds = 1;
+  /// Independent seeds per policy pair.
+  int replicates = 1;
+  /// Base of the per-cell seed grid; cell `i` derives everything from
+  /// `Rng::ForIndex(base_seed, i)`.
+  uint64_t base_seed = 1;
+  CampaignEconomics economics;
+  /// common/parallel.h knob: 1 = serial (default), 0 = hardware.
+  int threads = 1;
+};
+
+/// One grid cell's campaign outcome.
+struct CampaignCellResult {
+  size_t policy_index = 0;
+  int replicate = 0;
+  /// The session seed this cell derived from `(base_seed, cell index)`.
+  uint64_t session_seed = 0;
+  CampaignResult result;
+};
+
+struct CampaignEnsembleResult {
+  /// Policy-major, replicate-minor: cell `i` ran policy pair
+  /// `i / replicates` with replicate `i % replicates`.
+  std::vector<CampaignCellResult> cells;
+  /// Per-policy means of the parties' average per-round payoffs,
+  /// reduced serially in cell order (fixed FP addition order).
+  std::vector<double> mean_payoff_a;
+  std::vector<double> mean_payoff_b;
+};
+
+/// Runs the full policy × seed grid of independent `RunCampaign`
+/// replicates across `config.threads` workers with ordered output
+/// slots. Cell `i` is a pure function of `(config, i)`: its RNG is
+/// `Rng::ForIndex(base_seed, i)`, its session comes from
+/// `make_session` seeded by that stream's first draw, and its policies
+/// are fresh from the factories — so results are bit-identical for
+/// every thread count (the parallel.h determinism contract).
+Result<CampaignEnsembleResult> RunCampaignEnsemble(
+    const CampaignSessionFactory& make_session, const std::string& party_a,
+    const std::string& party_b,
+    const std::vector<CampaignPolicyPair>& policies,
+    const CampaignEnsembleConfig& config);
+
 }  // namespace hsis::core
 
 #endif  // HSIS_CORE_CAMPAIGN_H_

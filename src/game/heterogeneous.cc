@@ -1,9 +1,11 @@
 #include "game/heterogeneous.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "game/equilibrium.h"
 
 namespace hsis::game {
@@ -75,25 +77,28 @@ bool HeterogeneousHonestyGame::IsHonestDominantForAll() const {
   return true;
 }
 
-Result<std::vector<double>> MinPenaltiesForAllHonest(
+namespace {
+
+/// Rejects NaN/inf economics before they can propagate into a search:
+/// a non-finite bound would silently turn the whole landscape into NaN.
+Status ValidateSearchInputs(
     const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
     double margin) {
-  std::vector<double> out;
-  out.reserve(players.size());
-  int worst_case = static_cast<int>(players.size()) - 1;
-  for (const auto& p : players) {
-    if (p.frequency <= 0) {
-      return Status::InvalidArgument(
-          "penalties cannot deter a never-audited player (f_i = 0)");
-    }
-    double needed = ((1 - p.frequency) * p.gain(worst_case) - p.benefit) /
-                    p.frequency;
-    out.push_back(std::max(0.0, needed) + margin);
+  if (!std::isfinite(margin)) {
+    return Status::InvalidArgument("margin must be finite");
   }
-  return out;
+  for (const auto& p : players) {
+    if (!p.gain) {
+      return Status::InvalidArgument("every player needs a gain F_i");
+    }
+    if (!std::isfinite(p.frequency) || !std::isfinite(p.penalty) ||
+        !std::isfinite(p.benefit)) {
+      return Status::InvalidArgument(
+          "player frequency/penalty/benefit bounds must be finite");
+    }
+  }
+  return Status::OK();
 }
-
-namespace {
 
 /// The frequency that makes honesty dominant for one player at its
 /// given penalty: f_i >= (F_i(n-1) - B_i) / (F_i(n-1) + P_i).
@@ -101,48 +106,105 @@ Result<double> RequiredFrequency(
     const HeterogeneousHonestyGame::PlayerSpec& p, int worst_case,
     double margin) {
   double gain = p.gain(worst_case);
+  if (!std::isfinite(gain)) {
+    return Status::InvalidArgument("gain F_i(n-1) must be finite");
+  }
   if (gain <= p.benefit) return 0.0;  // no temptation at all
   double denom = gain + p.penalty;
   if (denom <= 0) return Status::Internal("non-positive threshold denominator");
   return std::min(1.0, (gain - p.benefit) / denom + margin);
 }
 
+/// Per-player required frequencies into ordered slots, fanned out over
+/// `options.threads` in `options.batch_size` batches.
+Result<std::vector<double>> RequiredFrequencies(
+    const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
+    double margin, const DesignSearchOptions& options) {
+  int worst_case = static_cast<int>(players.size()) - 1;
+  std::vector<double> out(players.size());
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      options.threads, players.size(), options.batch_size,
+      [&](size_t i) -> Status {
+        HSIS_ASSIGN_OR_RETURN(
+            out[i], RequiredFrequency(players[i], worst_case, margin));
+        return Status::OK();
+      }));
+  return out;
+}
+
 }  // namespace
+
+Result<std::vector<double>> MinPenaltiesForAllHonest(
+    const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
+    double margin, const DesignSearchOptions& options) {
+  HSIS_RETURN_IF_ERROR(ValidateSearchInputs(players, margin));
+  int worst_case = static_cast<int>(players.size()) - 1;
+  std::vector<double> out(players.size());
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      options.threads, players.size(), options.batch_size,
+      [&](size_t i) -> Status {
+        const auto& p = players[i];
+        if (p.frequency <= 0) {
+          return Status::InvalidArgument(
+              "penalties cannot deter a never-audited player (f_i = 0)");
+        }
+        double gain = p.gain(worst_case);
+        if (!std::isfinite(gain)) {
+          return Status::InvalidArgument("gain F_i(n-1) must be finite");
+        }
+        double needed = ((1 - p.frequency) * gain - p.benefit) / p.frequency;
+        out[i] = std::max(0.0, needed) + margin;
+        return Status::OK();
+      }));
+  return out;
+}
 
 Result<AuditAllocation> MinCostFrequencies(
     const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
-    const std::vector<double>& audit_costs, double margin) {
+    const std::vector<double>& audit_costs, double margin,
+    const DesignSearchOptions& options) {
+  HSIS_RETURN_IF_ERROR(ValidateSearchInputs(players, margin));
   if (audit_costs.size() != players.size()) {
     return Status::InvalidArgument("one audit cost per player required");
   }
-  AuditAllocation out;
-  out.frequencies.reserve(players.size());
-  int worst_case = static_cast<int>(players.size()) - 1;
-  for (size_t i = 0; i < players.size(); ++i) {
-    if (audit_costs[i] < 0) {
+  for (double cost : audit_costs) {
+    if (!std::isfinite(cost)) {
+      return Status::InvalidArgument("audit costs must be finite");
+    }
+    if (cost < 0) {
       return Status::InvalidArgument("audit costs must be non-negative");
     }
-    HSIS_ASSIGN_OR_RETURN(double f,
-                          RequiredFrequency(players[i], worst_case, margin));
-    out.frequencies.push_back(f);
-    out.total_cost += f * audit_costs[i];
+  }
+  AuditAllocation out;
+  HSIS_ASSIGN_OR_RETURN(out.frequencies,
+                        RequiredFrequencies(players, margin, options));
+  // The cost reduction runs serially in player order — the historical
+  // FP accumulation order, independent of thread count.
+  for (size_t i = 0; i < players.size(); ++i) {
+    out.total_cost += out.frequencies[i] * audit_costs[i];
   }
   return out;
 }
 
 Result<BudgetedAllocation> MaxDeterredUnderBudget(
     const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
-    double total_frequency_budget, double margin) {
+    double total_frequency_budget, double margin,
+    const DesignSearchOptions& options) {
+  HSIS_RETURN_IF_ERROR(ValidateSearchInputs(players, margin));
+  if (!std::isfinite(total_frequency_budget)) {
+    return Status::InvalidArgument("budget must be finite");
+  }
   if (total_frequency_budget < 0) {
     return Status::InvalidArgument("budget must be non-negative");
   }
-  int worst_case = static_cast<int>(players.size()) - 1;
+  HSIS_ASSIGN_OR_RETURN(std::vector<double> frequencies,
+                        RequiredFrequencies(players, margin, options));
   std::vector<std::pair<double, size_t>> required;  // (f_i, player index)
+  required.reserve(players.size());
   for (size_t i = 0; i < players.size(); ++i) {
-    HSIS_ASSIGN_OR_RETURN(double f,
-                          RequiredFrequency(players[i], worst_case, margin));
-    required.push_back({f, i});
+    required.push_back({frequencies[i], i});
   }
+  // Ties broken by player index — the sort is fully deterministic.
   std::sort(required.begin(), required.end());
 
   BudgetedAllocation out;

@@ -58,12 +58,25 @@ class HeterogeneousHonestyGame {
 
 /// Design helpers for the heterogeneous device.
 
+/// Execution knobs for the design searches. The per-player inner loops
+/// honor the determinism contract of common/parallel.h — each player's
+/// cell is computed into its ordered output slot and cross-player
+/// reductions stay serial — so every knob combination produces
+/// bit-identical results.
+struct DesignSearchOptions {
+  /// 1 = serial (default), 0 = hardware concurrency, N = exactly N.
+  int threads = 1;
+  /// Players per dispatch batch: on fine grids (tens of thousands of
+  /// cheap cells) batching cuts the per-index dispatch overhead.
+  size_t batch_size = 64;
+};
+
 /// Per-player minimum penalties that make all-honest the dominant
 /// profile at the players' given frequencies (each f_i must be > 0):
 /// P_i = ((1 - f_i) F_i(n-1) - B_i) / f_i + margin, floored at 0.
 Result<std::vector<double>> MinPenaltiesForAllHonest(
     const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
-    double margin = 1e-6);
+    double margin = 1e-6, const DesignSearchOptions& options = {});
 
 /// A per-player audit-frequency plan and its expected cost.
 struct AuditAllocation {
@@ -77,7 +90,8 @@ struct AuditAllocation {
 /// P_i) + margin independently.
 Result<AuditAllocation> MinCostFrequencies(
     const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
-    const std::vector<double>& audit_costs, double margin = 1e-6);
+    const std::vector<double>& audit_costs, double margin = 1e-6,
+    const DesignSearchOptions& options = {});
 
 /// With a cap on the *total* audit frequency budget (sum of f_i), keeps
 /// as many players honest as possible: sorts players by required
@@ -93,7 +107,8 @@ struct BudgetedAllocation {
 
 Result<BudgetedAllocation> MaxDeterredUnderBudget(
     const std::vector<HeterogeneousHonestyGame::PlayerSpec>& players,
-    double total_frequency_budget, double margin = 1e-6);
+    double total_frequency_budget, double margin = 1e-6,
+    const DesignSearchOptions& options = {});
 
 }  // namespace hsis::game
 

@@ -2,19 +2,28 @@
 
 #include <map>
 
+#include "common/parallel.h"
 #include "crypto/commutative_cipher.h"
 
 namespace hsis::sovereign {
 
 Result<std::vector<MultiPartyOutcome>> RunMultiPartyIntersection(
     const std::vector<Dataset>& reported, const crypto::PrimeGroup& group,
-    const crypto::MultisetHashFamily& commitment_family, Rng& rng) {
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng,
+    const MultiPartyOptions& options) {
   const size_t n = reported.size();
   if (n < 2) {
     return Status::InvalidArgument("multi-party intersection needs n >= 2");
   }
+  const int fail_party = options.fault_injection.party_fails_mid_round;
+  if (fail_party < -1 || fail_party >= static_cast<int>(n)) {
+    return Status::InvalidArgument(
+        "party_fails_mid_round must be -1 or a valid party index");
+  }
 
-  // Each party holds a commutative key.
+  // Each party holds a commutative key. Key generation draws from the
+  // caller's shared stream, so it stays serial in party order — the
+  // exact draws the pre-parallelism implementation made.
   std::vector<crypto::CommutativeCipher> ciphers;
   ciphers.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -29,27 +38,38 @@ Result<std::vector<MultiPartyOutcome>> RunMultiPartyIntersection(
   // the owner can map matches back; in a deployment each hop would
   // shuffle sets it does not own (the final multiset comparison is
   // order-independent, so alignment is only a local bookkeeping aid).
+  // The n owners' passes are independent of one another — each is pure
+  // exponentiation under already-fixed keys — so they fan out across
+  // `options.threads`; the error of the smallest owner index wins, the
+  // same abort a serial ring would report.
   std::vector<std::vector<U256>> fully_encrypted(n);
-  for (size_t owner = 0; owner < n; ++owner) {
-    std::vector<U256> set;
-    set.reserve(reported[owner].size());
-    for (const Tuple& t : reported[owner].tuples()) {
-      set.push_back(group.HashToElement(t.value));
-    }
-    for (size_t hop = 0; hop < n; ++hop) {
-      size_t encryptor = (owner + hop) % n;
-      for (U256& v : set) v = ciphers[encryptor].Encrypt(v);
-    }
-    fully_encrypted[owner] = std::move(set);
-  }
+  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
+      options.threads, n, [&](size_t owner) -> Status {
+        std::vector<U256> set;
+        set.reserve(reported[owner].size());
+        for (const Tuple& t : reported[owner].tuples()) {
+          set.push_back(group.HashToElement(t.value));
+        }
+        for (size_t hop = 0; hop < n; ++hop) {
+          size_t encryptor = (owner + hop) % n;
+          if (static_cast<int>(encryptor) == fail_party) {
+            return Status::ProtocolViolation(
+                "party dropped out mid-round during the ring pass");
+          }
+          for (U256& v : set) v = ciphers[encryptor].Encrypt(v);
+        }
+        fully_encrypted[owner] = std::move(set);
+        return Status::OK();
+      }));
 
-  // Commitments (Section 6): every party publishes H_i(D̂_i).
+  // Commitments (Section 6): every party publishes H_i(D̂_i);
+  // independent per party, ordered output slots.
   std::vector<MultiPartyOutcome> outcomes(n);
-  for (size_t i = 0; i < n; ++i) {
+  common::ParallelFor(options.threads, n, [&](size_t i) {
     std::unique_ptr<crypto::MultisetHash> h = commitment_family.NewHash();
     for (const Tuple& t : reported[i].tuples()) h->Add(t.value);
     outcomes[i].own_commitment = h->Serialize();
-  }
+  });
 
   // Global intersection under full encryption: a value survives with the
   // minimum multiplicity across all parties.
@@ -70,8 +90,10 @@ Result<std::vector<MultiPartyOutcome>> RunMultiPartyIntersection(
     }
   }
 
-  // Each party maps surviving encrypted values back to its own tuples.
-  for (size_t i = 0; i < n; ++i) {
+  // Each party maps surviving encrypted values back to its own tuples —
+  // independent per party given the (read-only) global counts, with a
+  // party-local working copy of the multiplicities.
+  common::ParallelFor(options.threads, n, [&](size_t i) {
     std::map<U256, size_t> remaining = counts;
     const std::vector<Tuple>& tuples = reported[i].tuples();
     for (size_t k = 0; k < tuples.size(); ++k) {
@@ -81,7 +103,7 @@ Result<std::vector<MultiPartyOutcome>> RunMultiPartyIntersection(
         outcomes[i].intersection.Add(tuples[k]);
       }
     }
-  }
+  });
   return outcomes;
 }
 

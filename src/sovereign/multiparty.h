@@ -28,11 +28,29 @@ struct MultiPartyOutcome {
 /// tuples; everyone learns only the global intersection (and the peers'
 /// reported sizes).
 ///
+/// Execution and fault-injection knobs for the n-party protocol.
+struct MultiPartyOptions {
+  /// common/parallel.h knob for the per-party hot paths (ring-pass
+  /// encryption, commitments, match map-back): 1 = serial (default),
+  /// 0 = hardware concurrency, N = exactly N workers. Key generation
+  /// and the global min-multiplicity reduction stay serial, so results
+  /// are bit-identical for every thread count.
+  int threads = 1;
+  struct FaultInjection {
+    /// Index of a party that drops out mid-round (its encryption hops
+    /// in the ring pass never complete), or -1 for none. The protocol
+    /// aborts with kProtocolViolation; the reported error is the one a
+    /// serial run would hit first, independent of thread count.
+    int party_fails_mid_round = -1;
+  } fault_injection;
+};
+
 /// `reported` holds each party's (claimed) dataset; parties are indexed
 /// by position. Requires n >= 2.
 Result<std::vector<MultiPartyOutcome>> RunMultiPartyIntersection(
     const std::vector<Dataset>& reported, const crypto::PrimeGroup& group,
-    const crypto::MultisetHashFamily& commitment_family, Rng& rng);
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng,
+    const MultiPartyOptions& options = {});
 
 }  // namespace hsis::sovereign
 

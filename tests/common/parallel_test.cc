@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -52,6 +54,74 @@ TEST(ParallelForTest, EmptyAndSingleton) {
   EXPECT_EQ(calls, 0);
   ParallelFor(4, 1, [&](size_t i) { calls += static_cast<int>(i) + 1; });
   EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, SmallRangeFallsBackToSerial) {
+  // A range smaller than the thread count must execute inline on the
+  // calling thread instead of spawning workers for empty chunks.
+  const std::thread::id caller = std::this_thread::get_id();
+  for (int threads : {4, 16}) {
+    const size_t n = static_cast<size_t>(threads) - 1;
+    size_t calls = 0;  // non-atomic on purpose: serial execution only
+    ParallelFor(threads, n, [&](size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      ++calls;
+    });
+    EXPECT_EQ(calls, n);
+  }
+}
+
+TEST(ParallelForBatchedTest, EveryIndexRunsExactlyOnce) {
+  const size_t n = 1003;  // prime: last batch is ragged
+  for (int threads : {1, 2, 4, 0}) {
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{64}, size_t{5000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      ParallelFor(threads, n, batch, [&](size_t i) { hits[i]++; });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(ParallelForBatchedTest, AscendingWithinEachBatch) {
+  const size_t n = 100, batch = 9;
+  std::vector<size_t> order;
+  std::mutex mu;
+  ParallelFor(2, n, batch, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), n);
+  // Indices inside one batch are contiguous ascending runs.
+  for (size_t k = 0; k + 1 < order.size(); ++k) {
+    if (order[k] % batch != batch - 1 && order[k] != n - 1) {
+      EXPECT_EQ(order[k + 1], order[k] + 1) << k;
+    }
+  }
+}
+
+TEST(ParallelForBatchedTest, ZeroBatchSizeDegeneratesToUnbatched) {
+  size_t calls = 0;
+  ParallelFor(1, 10, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 10u);
+}
+
+TEST(ParallelForWithStatusBatchedTest, ReportsSmallestIndexError) {
+  for (int threads : {1, 2, 0}) {
+    for (size_t batch : {size_t{1}, size_t{16}}) {
+      Status s = ParallelForWithStatus(
+          threads, 200, batch, [&](size_t i) -> Status {
+            if (i % 11 == 5) {
+              return Status::InvalidArgument("bad index " + std::to_string(i));
+            }
+            return Status::OK();
+          });
+      ASSERT_FALSE(s.ok());
+      EXPECT_NE(s.message().find("bad index 5"), std::string::npos)
+          << s.ToString();
+    }
+  }
 }
 
 TEST(ParallelMapTest, OrderPreservingSlots) {

@@ -1,0 +1,221 @@
+// Determinism suite for the campaign ensemble engine: bit-identical
+// cells and means at threads = 1, 2, and hardware concurrency; a golden
+// test freezing the threads = 1 output against values recorded from the
+// pre-ensemble serial `RunCampaign` loop; and a manual-loop equivalence
+// check tying the ensemble to the pre-existing serial API.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <iterator>
+
+#include "core/campaign.h"
+
+namespace hsis::core {
+namespace {
+
+uint64_t Bits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+Result<HonestSharingSession> MakeSession(uint64_t seed) {
+  SessionConfig config;
+  config.audit_frequency = 0.5;
+  config.penalty = 30;
+  config.group = &crypto::PrimeGroup::SmallTestGroup();
+  config.seed = seed;
+  HSIS_ASSIGN_OR_RETURN(HonestSharingSession s,
+                        HonestSharingSession::Create(config));
+  HSIS_RETURN_IF_ERROR(s.AddParty("alice"));
+  HSIS_RETURN_IF_ERROR(s.AddParty("bob"));
+  HSIS_RETURN_IF_ERROR(s.IssueTuples("alice", {"u", "v", "a1", "a2"}));
+  HSIS_RETURN_IF_ERROR(s.IssueTuples("bob", {"u", "v", "b1", "b2", "b3"}));
+  return s;
+}
+
+CampaignPolicyPair ProberPair() {
+  return {"prober/honest",
+          [] { return PersistentProberPolicy({"b1", "b2", "miss"}, 2); },
+          HonestPolicy};
+}
+
+CampaignEnsembleConfig BaseConfig() {
+  CampaignEnsembleConfig config;
+  config.rounds = 12;
+  config.replicates = 4;
+  config.base_seed = 20260806;
+  config.economics.honest_benefit = 10;
+  config.economics.gain_per_probe_hit = 5;
+  config.economics.loss_per_leaked_tuple = 4;
+  config.threads = 1;
+  return config;
+}
+
+TEST(CampaignEnsembleTest, MatchesPreEnsembleSerialGolden) {
+  // Party-A payoffs (value and IEEE-754 bit pattern) recorded from the
+  // pre-ensemble serial implementation: a plain loop calling
+  // `RunCampaign` with `Rng::ForIndex(20260806, cell)` and a session
+  // seeded by that stream's first draw. Any change to seed derivation,
+  // session construction, or accounting order shows up here.
+  struct Golden {
+    double payoff_a;
+    uint64_t payoff_a_bits;
+    double payoff_b;
+    int detected;
+    size_t stolen;
+  };
+  const Golden kGolden[] = {
+      {80, 0x4054000000000000ULL, 56, 4, 16},
+      {20, 0x4034000000000000ULL, 56, 6, 16},
+      {-10, 0xc024000000000000ULL, 56, 7, 16},
+      {50, 0x4049000000000000ULL, 56, 5, 16},
+  };
+
+  for (int threads : {1, 2, 0}) {
+    CampaignEnsembleConfig config = BaseConfig();
+    config.threads = threads;
+    auto ensemble = RunCampaignEnsemble(MakeSession, "alice", "bob",
+                                        {ProberPair()}, config);
+    ASSERT_TRUE(ensemble.ok());
+    ASSERT_EQ(ensemble->cells.size(), std::size(kGolden));
+    for (size_t i = 0; i < std::size(kGolden); ++i) {
+      const CampaignCellResult& cell = ensemble->cells[i];
+      EXPECT_EQ(Bits(cell.result.a.realized_payoff), kGolden[i].payoff_a_bits)
+          << "cell " << i << " expected " << kGolden[i].payoff_a << " got "
+          << cell.result.a.realized_payoff << " (threads=" << threads << ")";
+      EXPECT_DOUBLE_EQ(cell.result.b.realized_payoff, kGolden[i].payoff_b)
+          << i;
+      EXPECT_EQ(cell.result.a.times_detected, kGolden[i].detected) << i;
+      EXPECT_EQ(cell.result.a.tuples_stolen, kGolden[i].stolen) << i;
+    }
+  }
+}
+
+TEST(CampaignEnsembleTest, BitIdenticalAcrossThreadCounts) {
+  std::vector<CampaignPolicyPair> policies = {
+      {"honest/honest", HonestPolicy, HonestPolicy},
+      ProberPair(),
+      {"opportunist/honest",
+       [] { return OpportunisticProberPolicy({"b1", "b2", "miss"}, 2, 0.3); },
+       HonestPolicy},
+  };
+  CampaignEnsembleConfig config = BaseConfig();
+  config.replicates = 6;
+
+  config.threads = 1;
+  auto serial =
+      RunCampaignEnsemble(MakeSession, "alice", "bob", policies, config);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 0}) {
+    config.threads = threads;
+    auto parallel =
+        RunCampaignEnsemble(MakeSession, "alice", "bob", policies, config);
+    ASSERT_TRUE(parallel.ok());
+    ASSERT_EQ(serial->cells.size(), parallel->cells.size());
+    for (size_t i = 0; i < serial->cells.size(); ++i) {
+      const CampaignCellResult& s = serial->cells[i];
+      const CampaignCellResult& p = parallel->cells[i];
+      EXPECT_EQ(s.policy_index, p.policy_index) << i;
+      EXPECT_EQ(s.replicate, p.replicate) << i;
+      EXPECT_EQ(s.session_seed, p.session_seed) << i;
+      EXPECT_EQ(Bits(s.result.a.realized_payoff),
+                Bits(p.result.a.realized_payoff))
+          << i;
+      EXPECT_EQ(Bits(s.result.b.realized_payoff),
+                Bits(p.result.b.realized_payoff))
+          << i;
+      EXPECT_EQ(Bits(s.result.a.penalties_paid),
+                Bits(p.result.a.penalties_paid))
+          << i;
+      EXPECT_EQ(s.result.a.times_audited, p.result.a.times_audited) << i;
+      EXPECT_EQ(s.result.a.times_detected, p.result.a.times_detected) << i;
+      EXPECT_EQ(s.result.a.tuples_stolen, p.result.a.tuples_stolen) << i;
+      EXPECT_EQ(s.result.b.tuples_leaked, p.result.b.tuples_leaked) << i;
+    }
+    ASSERT_EQ(serial->mean_payoff_a.size(), parallel->mean_payoff_a.size());
+    for (size_t p = 0; p < serial->mean_payoff_a.size(); ++p) {
+      EXPECT_EQ(Bits(serial->mean_payoff_a[p]), Bits(parallel->mean_payoff_a[p]))
+          << p;
+      EXPECT_EQ(Bits(serial->mean_payoff_b[p]), Bits(parallel->mean_payoff_b[p]))
+          << p;
+    }
+  }
+}
+
+TEST(CampaignEnsembleTest, MatchesManualSerialLoop) {
+  // The ensemble at any thread count must equal the hand-rolled serial
+  // grid over the pre-existing `RunCampaign` API.
+  CampaignEnsembleConfig config = BaseConfig();
+  auto ensemble = RunCampaignEnsemble(MakeSession, "alice", "bob",
+                                      {ProberPair()}, config);
+  ASSERT_TRUE(ensemble.ok());
+  for (size_t i = 0; i < ensemble->cells.size(); ++i) {
+    Rng rng = Rng::ForIndex(config.base_seed, i);
+    uint64_t session_seed = rng.NextUint64();
+    HonestSharingSession session =
+        std::move(MakeSession(session_seed).value());
+    CheatPolicy prober = PersistentProberPolicy({"b1", "b2", "miss"}, 2);
+    CampaignResult manual =
+        std::move(RunCampaign(session, "alice", "bob", config.rounds, prober,
+                              HonestPolicy(), config.economics, rng)
+                      .value());
+    EXPECT_EQ(ensemble->cells[i].session_seed, session_seed) << i;
+    EXPECT_EQ(Bits(ensemble->cells[i].result.a.realized_payoff),
+              Bits(manual.a.realized_payoff))
+        << i;
+    EXPECT_EQ(Bits(ensemble->cells[i].result.b.realized_payoff),
+              Bits(manual.b.realized_payoff))
+        << i;
+  }
+}
+
+TEST(CampaignEnsembleTest, Validation) {
+  CampaignEnsembleConfig config = BaseConfig();
+  EXPECT_FALSE(RunCampaignEnsemble(nullptr, "alice", "bob", {ProberPair()},
+                                   config)
+                   .ok());
+  EXPECT_FALSE(RunCampaignEnsemble(MakeSession, "alice", "bob", {}, config)
+                   .ok());
+  EXPECT_FALSE(RunCampaignEnsemble(MakeSession, "alice", "bob",
+                                   {{"broken", nullptr, HonestPolicy}}, config)
+                   .ok());
+  config.rounds = 0;
+  EXPECT_FALSE(RunCampaignEnsemble(MakeSession, "alice", "bob",
+                                   {ProberPair()}, config)
+                   .ok());
+  config = BaseConfig();
+  config.replicates = 0;
+  EXPECT_FALSE(RunCampaignEnsemble(MakeSession, "alice", "bob",
+                                   {ProberPair()}, config)
+                   .ok());
+}
+
+TEST(CampaignEnsembleTest, ErrorsIndependentOfThreadCount) {
+  // A failing session factory aborts the ensemble with the same error
+  // no matter how many threads raced to report one.
+  CampaignSessionFactory flaky =
+      [](uint64_t seed) -> Result<HonestSharingSession> {
+    if (seed % 2 == 0) return Status::Internal("even seeds refused");
+    return MakeSession(seed);
+  };
+  CampaignEnsembleConfig config = BaseConfig();
+  config.replicates = 8;
+  Status first = Status::OK();
+  for (int threads : {1, 2, 0}) {
+    config.threads = threads;
+    auto ensemble =
+        RunCampaignEnsemble(flaky, "alice", "bob", {ProberPair()}, config);
+    ASSERT_FALSE(ensemble.ok());
+    if (threads == 1) {
+      first = ensemble.status();
+    } else {
+      EXPECT_EQ(ensemble.status().code(), first.code());
+      EXPECT_EQ(ensemble.status().message(), first.message());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsis::core

@@ -1,0 +1,136 @@
+// Property-based tests for `MaxDeterredUnderBudget` over randomized
+// seeded player populations: the greedy's output must always respect
+// the budget constraint, fund only players it actually deters, and be
+// monotone non-decreasing in the budget.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "game/equilibrium.h"
+#include "game/heterogeneous.h"
+#include "game/thresholds.h"
+
+namespace hsis::game {
+namespace {
+
+using Spec = HeterogeneousHonestyGame::PlayerSpec;
+
+/// A random consortium drawn from `rng`: 2..40 members with varied
+/// temptation profiles, penalties, and (ignored by the search) audit
+/// frequencies.
+std::vector<Spec> RandomPopulation(Rng& rng) {
+  int n = static_cast<int>(rng.UniformInt(2, 40));
+  std::vector<Spec> players;
+  players.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Spec s;
+    s.benefit = rng.UniformDouble() * 30;
+    s.gain = LinearGain(rng.UniformDouble() * 60,
+                        rng.UniformDouble() * 3);
+    s.penalty = rng.UniformDouble() * 80;
+    s.frequency = 0.1 + rng.UniformDouble() * 0.8;
+    players.push_back(std::move(s));
+  }
+  return players;
+}
+
+constexpr int kTrials = 120;
+constexpr double kMargin = 1e-6;
+
+TEST(MaxDeterredPropertyTest, RespectsBudgetConstraint) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(1000 + static_cast<uint64_t>(trial));
+    std::vector<Spec> players = RandomPopulation(rng);
+    double budget = rng.UniformDouble() * static_cast<double>(players.size());
+    auto alloc = MaxDeterredUnderBudget(players, budget, kMargin);
+    ASSERT_TRUE(alloc.ok()) << "trial " << trial;
+
+    double spent = 0;
+    int funded = 0;
+    for (size_t i = 0; i < players.size(); ++i) {
+      EXPECT_GE(alloc->frequencies[i], 0.0) << trial << "/" << i;
+      EXPECT_LE(alloc->frequencies[i], 1.0) << trial << "/" << i;
+      if (alloc->deterred[i]) {
+        ++funded;
+      } else {
+        EXPECT_EQ(alloc->frequencies[i], 0.0)
+            << "unfunded player got audit budget, trial " << trial;
+      }
+      spent += alloc->frequencies[i];
+    }
+    EXPECT_EQ(funded, alloc->deterred_count) << trial;
+    EXPECT_LE(alloc->budget_used, budget + 1e-12) << trial;
+    EXPECT_NEAR(alloc->budget_used, spent, 1e-9) << trial;
+  }
+}
+
+TEST(MaxDeterredPropertyTest, FundedPlayersAreActuallyDeterred) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(5000 + static_cast<uint64_t>(trial));
+    std::vector<Spec> players = RandomPopulation(rng);
+    double budget = rng.UniformDouble() * static_cast<double>(players.size());
+    auto alloc = MaxDeterredUnderBudget(players, budget, kMargin);
+    ASSERT_TRUE(alloc.ok()) << "trial " << trial;
+
+    // Deploy the plan and check the game-theoretic claim: every funded
+    // player's cheating advantage at the worst case is non-positive.
+    int worst_case = static_cast<int>(players.size()) - 1;
+    for (size_t i = 0; i < players.size(); ++i) {
+      if (!alloc->deterred[i]) continue;
+      const Spec& p = players[i];
+      double f = alloc->frequencies[i];
+      double advantage =
+          (1 - f) * p.gain(worst_case) - f * p.penalty - p.benefit;
+      EXPECT_LE(advantage, kPayoffEpsilon)
+          << "funded player " << i << " still tempted, trial " << trial;
+    }
+  }
+}
+
+TEST(MaxDeterredPropertyTest, DeterredCountMonotoneInBudget) {
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(9000 + static_cast<uint64_t>(trial));
+    std::vector<Spec> players = RandomPopulation(rng);
+    double max_budget = static_cast<double>(players.size());
+
+    int previous = -1;
+    double previous_budget = 0;
+    for (double step = 0; step <= 8; ++step) {
+      double budget = max_budget * step / 8.0;
+      auto alloc = MaxDeterredUnderBudget(players, budget, kMargin);
+      ASSERT_TRUE(alloc.ok()) << "trial " << trial;
+      EXPECT_GE(alloc->deterred_count, previous)
+          << "deterred count dropped from budget " << previous_budget
+          << " to " << budget << ", trial " << trial;
+      previous = alloc->deterred_count;
+      previous_budget = budget;
+    }
+
+    // The full-budget plan (everyone's requirement funded) deters all.
+    auto everyone = MaxDeterredUnderBudget(players, max_budget, kMargin);
+    ASSERT_TRUE(everyone.ok());
+    EXPECT_EQ(everyone->deterred_count, static_cast<int>(players.size()))
+        << trial;
+  }
+}
+
+TEST(MaxDeterredPropertyTest, ZeroBudgetFundsOnlyFreeDeterrence) {
+  // With budget 0, only players whose required frequency is exactly 0
+  // (no temptation: F_i(n-1) <= B_i) can be deterred.
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(13000 + static_cast<uint64_t>(trial));
+    std::vector<Spec> players = RandomPopulation(rng);
+    auto alloc = MaxDeterredUnderBudget(players, 0.0, kMargin);
+    ASSERT_TRUE(alloc.ok()) << trial;
+    EXPECT_EQ(alloc->budget_used, 0.0) << trial;
+    int worst_case = static_cast<int>(players.size()) - 1;
+    for (size_t i = 0; i < players.size(); ++i) {
+      EXPECT_EQ(alloc->frequencies[i], 0.0) << trial << "/" << i;
+      bool tempted = players[i].gain(worst_case) > players[i].benefit;
+      EXPECT_EQ(alloc->deterred[i], !tempted) << trial << "/" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsis::game
