@@ -10,9 +10,13 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
+#include <unistd.h>
 
 #include "bench_util.h"
+#include "common/file.h"
 #include "common/parallel.h"
+#include "common/shard.h"
 #include "core/campaign.h"
 #include "game/repeated_analysis.h"
 #include "game/thresholds.h"
@@ -225,8 +229,107 @@ void PrintReproduction() {
   PrintCampaignEnsemble();
 }
 
+/// `--shards=K` mode: runs the campaign-ensemble grid through the full
+/// multi-process shard lifecycle of common/shard.h (plan, K shard runs,
+/// validated merge) in a scratch directory and verifies the merged
+/// record stream is byte-identical to the serial single-process run.
+void PrintSharded() {
+  bench::PrintRule(
+      "Campaign ensemble engine: sharded run vs serial, policy x seed grid");
+  const int shards = bench::Shards();
+
+  core::CampaignEnsembleConfig config;
+  config.rounds = 60;
+  config.replicates = 32;
+  config.base_seed = 20260806;
+  config.economics.honest_benefit = 10;
+  config.economics.gain_per_probe_hit = 5;
+  config.economics.loss_per_leaked_tuple = 4;
+  auto policies = PolicyGrid();
+  auto factory = MakeSessionFactory(0.5, 30);
+
+  auto bits = [](double d) {
+    uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  auto cell_record = [&](const core::CampaignCellResult& cell) {
+    Bytes out;
+    AppendUint64BE(out, cell.session_seed);
+    AppendUint64BE(out, bits(cell.result.a.realized_payoff));
+    AppendUint64BE(out, bits(cell.result.b.realized_payoff));
+    AppendUint64BE(out, static_cast<uint64_t>(cell.result.a.times_detected));
+    AppendUint64BE(out, static_cast<uint64_t>(cell.result.b.times_detected));
+    return out;
+  };
+
+  common::ShardSweepSpec spec;
+  spec.name = "campaign_ensemble";
+  spec.total = policies.size() * static_cast<size_t>(config.replicates);
+  spec.seed = config.base_seed;
+  spec.record = [&](size_t i) -> Result<Bytes> {
+    HSIS_ASSIGN_OR_RETURN(core::CampaignCellResult cell,
+                          core::RunCampaignEnsembleCell(factory, "alice", "bob",
+                                                        policies, config, i));
+    return cell_record(cell);
+  };
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start = Clock::now();
+  config.threads = 1;
+  auto serial =
+      core::RunCampaignEnsemble(factory, "alice", "bob", policies, config);
+  double serial_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (!serial.ok()) {
+    std::printf("serial ensemble failed: %s\n",
+                serial.status().ToString().c_str());
+    return;
+  }
+  Bytes serial_bytes;
+  for (const core::CampaignCellResult& cell : serial->cells) {
+    Append(serial_bytes, cell_record(cell));
+  }
+
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     ("hsis_bench_shards_" + std::to_string(::getpid())))
+                        .string();
+  auto fail = [&](const Status& status) {
+    std::printf("shard lifecycle failed: %s\n", status.ToString().c_str());
+    std::filesystem::remove_all(dir);
+  };
+  if (Status s = CreateDirectories(dir); !s.ok()) return fail(s);
+  auto plan = common::ShardPlan::Create(spec.total, shards);
+  if (!plan.ok()) return fail(plan.status());
+  if (Status s = common::WriteShardPlan(spec, *plan, dir); !s.ok()) {
+    return fail(s);
+  }
+
+  start = Clock::now();
+  common::ShardRunner runner(spec, *plan);
+  for (int k = 0; k < shards; ++k) {
+    if (Status s = runner.Run(k, dir); !s.ok()) return fail(s);
+  }
+  auto merged = common::MergeShards(dir, spec.name);
+  double sharded_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (!merged.ok()) return fail(merged.status());
+  std::filesystem::remove_all(dir);
+
+  std::printf("grid: %zu policies x %d replicates x %d rounds = %zu cells, "
+              "%d shards\n\n",
+              policies.size(), config.replicates, config.rounds, spec.total,
+              shards);
+  std::printf("  serial (1 process)        %8.3f s\n", serial_s);
+  std::printf("  plan + %d shards + merge  %8.3f s\n", shards, sharded_s);
+  std::printf("\nmerged output bit-identical to serial: %s\n",
+              *merged == serial_bytes ? "yes" : "NO — SHARDING VIOLATION");
+}
+
 void PrintMain() {
-  if (bench::SpeedupRequested()) {
+  if (bench::Shards() > 1) {
+    PrintSharded();
+  } else if (bench::SpeedupRequested()) {
     PrintSpeedup();
   } else {
     PrintReproduction();

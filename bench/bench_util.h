@@ -7,10 +7,13 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/parallel.h"
+#include "common/shard.h"
+
 /// Shared main() for all reproduction benches: strip the hsis-specific
-/// flags (`--threads=N`, `--speedup`), print the paper artifact first
-/// (tables/series exactly as DESIGN.md §4 specifies), then run the
-/// google-benchmark timings registered by the binary.
+/// flags (`--threads=N`, `--speedup`, `--shards=K`), print the paper
+/// artifact first (tables/series exactly as DESIGN.md §4 specifies),
+/// then run the google-benchmark timings registered by the binary.
 #define HSIS_BENCH_MAIN(print_fn)                                   \
   int main(int argc, char** argv) {                                 \
     ::hsis::bench::ConsumeFlags(&argc, argv);                       \
@@ -34,8 +37,12 @@ inline void PrintRule(const char* title) {
 
 namespace internal {
 inline int& ThreadsStorage() {
-  static int threads = 1;  // serial-compatible default; 0 = hardware
+  static int threads = 1;  // serial-compatible default; flags resolve 0
   return threads;
+}
+inline int& ShardsStorage() {
+  static int shards = 1;  // single-shard default
+  return shards;
 }
 inline bool& SpeedupStorage() {
   static bool speedup = false;
@@ -43,22 +50,42 @@ inline bool& SpeedupStorage() {
 }
 }  // namespace internal
 
-/// The `--threads=N` flag value (1 = serial default, 0 = hardware
-/// concurrency), forwarded by the sweep benches into the parallel
-/// engine of common/parallel.h.
+/// The resolved `--threads=N` flag value (default 1 = serial;
+/// `--threads=0` resolves to hardware concurrency at parse time),
+/// forwarded by the sweep benches into the parallel engine of
+/// common/parallel.h.
 inline int Threads() { return internal::ThreadsStorage(); }
+
+/// The resolved `--shards=K` flag value (default 1; `--shards=0`
+/// resolves to 1), forwarded into the sharded sweep subsystem of
+/// common/shard.h by the benches that support shard mode.
+inline int Shards() { return internal::ShardsStorage(); }
 
 /// Whether `--speedup` was passed: benches supporting it time a
 /// serial-vs-parallel comparison instead of the paper reproduction.
 inline bool SpeedupRequested() { return internal::SpeedupStorage(); }
 
 /// Removes the hsis flags from argv so google-benchmark never sees
-/// them; called by HSIS_BENCH_MAIN before anything else.
+/// them; called by HSIS_BENCH_MAIN before anything else. Flag values
+/// go through the uniform parsers (`ParseThreadsValue` /
+/// `ParseShardsValue`): 0 resolves to hardware concurrency / 1 shard,
+/// and negatives or junk abort with the InvalidArgument message.
 inline void ConsumeFlags(int* argc, char** argv) {
+  auto resolve = [](hsis::Result<int> parsed) {
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      std::exit(1);
+    }
+    return *parsed;
+  };
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      internal::ThreadsStorage() = std::atoi(argv[i] + 10);
+      internal::ThreadsStorage() =
+          resolve(hsis::common::ParseThreadsValue(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      internal::ShardsStorage() =
+          resolve(hsis::common::ParseShardsValue(argv[i] + 9));
     } else if (std::strcmp(argv[i], "--speedup") == 0) {
       internal::SpeedupStorage() = true;
     } else {

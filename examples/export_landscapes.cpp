@@ -1,9 +1,16 @@
 // Exports the four figure landscapes as CSV files for plotting —
 // plot-ready reproductions of Figures 1–4.
 //
-// Build & run:  ./build/examples/export_landscapes [--threads=N] [output-dir]
+// Build & run:  ./build/examples/export_landscapes [--threads=N]
+//               [--shards=K] [output-dir]
 // (default output dir: current directory; --threads=0 uses hardware
 // concurrency — the CSVs are bit-identical for every thread count)
+//
+// With --shards=K each sweep runs through the full shard lifecycle of
+// common/shard.h — plan, K shard runs, validated merge — under
+// <output-dir>/shards/<sweep>/, and the merged CSVs are byte-identical
+// to the single-process run. Use examples/shard_worker to split the
+// same shards across separate processes or machines.
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,76 +19,85 @@
 
 #include "common/file.h"
 #include "common/parallel.h"
-#include "game/report.h"
+#include "common/shard.h"
+#include "game/landscape_shards.h"
 
 using namespace hsis;
 using namespace hsis::game;
 
+namespace {
+
+int ResolveFlag(Result<int> parsed) {
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+/// Computes the named sweep's CSV through a K-shard plan/run/merge
+/// cycle in `shard_dir`.
+Result<std::string> ShardedCsv(const std::string& name, int shards,
+                               int threads, const std::string& shard_dir) {
+  HSIS_ASSIGN_OR_RETURN(common::ShardSweepSpec spec, LandscapeSweepSpec(name));
+  HSIS_ASSIGN_OR_RETURN(common::ShardPlan plan,
+                        common::ShardPlan::Create(spec.total, shards));
+  HSIS_RETURN_IF_ERROR(CreateDirectories(shard_dir));
+  HSIS_RETURN_IF_ERROR(common::WriteShardPlan(spec, plan, shard_dir));
+  common::ShardRunner runner(spec, plan);
+  for (int k = 0; k < shards; ++k) {
+    HSIS_RETURN_IF_ERROR(runner.Run(k, shard_dir, threads));
+  }
+  HSIS_ASSIGN_OR_RETURN(Bytes merged, common::MergeShards(shard_dir, name));
+  HSIS_ASSIGN_OR_RETURN(std::string csv, LandscapeCsvHeader(name));
+  csv += BytesToString(merged);
+  return csv;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string dir = ".";
   int threads = 1;
+  int shards = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
+      threads = ResolveFlag(common::ParseThreadsValue(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      shards = ResolveFlag(common::ParseShardsValue(argv[i] + 9));
     } else {
       dir = argv[i];
     }
   }
-  const double kB = 10, kF = 25, kL = 8;
 
-  struct Artifact {
-    std::string filename;
-    std::string csv;
-  };
-  std::vector<Artifact> artifacts;
-
-  // Figure 1: equilibria vs frequency at P = 40.
-  artifacts.push_back(
-      {"figure1_frequency_sweep.csv",
-       FrequencySweepToCsv(SweepFrequency(kB, kF, kL, 40, 201, threads).value())});
-
-  // Figure 2: both panels of equilibria vs penalty.
-  artifacts.push_back(
-      {"figure2_penalty_sweep_f02.csv",
-       PenaltySweepToCsv(SweepPenalty(kB, kF, kL, 0.2, 120, 201, threads).value())});
-  artifacts.push_back(
-      {"figure2_penalty_sweep_f07.csv",
-       PenaltySweepToCsv(SweepPenalty(kB, kF, kL, 0.7, 120, 201, threads).value())});
-
-  // Figure 3: the asymmetric (f1, f2) grid.
-  TwoPlayerGameParams params;
-  params.player1 = {10, 30};
-  params.player2 = {6, 20};
-  params.loss_to_1 = 4;
-  params.loss_to_2 = 9;
-  params.audit1 = {0, 20};
-  params.audit2 = {0, 15};
-  artifacts.push_back(
-      {"figure3_asymmetric_grid.csv",
-       AsymmetricGridToCsv(SweepAsymmetricGrid(params, 41, threads).value())});
-
-  // Figure 4: the n-player penalty bands.
-  NPlayerHonestyGame::Params nparams;
-  nparams.n = 8;
-  nparams.benefit = kB;
-  nparams.gain = LinearGain(20, 2);
-  nparams.frequency = 0.3;
-  nparams.uniform_loss = 4;
-  double top = NPlayerPenaltyBound(kB, nparams.gain, 0.3, nparams.n - 1);
-  artifacts.push_back(
-      {"figure4_nplayer_bands.csv",
-       NPlayerBandsToCsv(SweepNPlayerPenalty(nparams, top * 1.2, 201, threads).value())});
-
-  for (const Artifact& artifact : artifacts) {
-    std::string path = dir + "/" + artifact.filename;
-    Status status = WriteFile(path, artifact.csv);
+  if (Status status = CreateDirectories(dir); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  for (const std::string& name : LandscapeSweepNames()) {
+    Result<std::string> csv =
+        shards > 1 ? ShardedCsv(name, shards, threads,
+                                dir + "/shards/" + name)
+                   : LandscapeCsv(name, threads);
+    if (!csv.ok()) {
+      std::printf("FAILED %s: %s\n", name.c_str(),
+                  csv.status().ToString().c_str());
+      return 1;
+    }
+    std::string path = dir + "/" + LandscapeCsvFilename(name).value();
+    Status status = WriteFile(path, *csv);
     if (!status.ok()) {
       std::printf("FAILED %s: %s\n", path.c_str(), status.ToString().c_str());
       return 1;
     }
     int rows = 0;
-    for (char c : artifact.csv) rows += (c == '\n');
+    for (char c : *csv) rows += (c == '\n');
     std::printf("wrote %-38s (%d rows)\n", path.c_str(), rows - 1);
+  }
+  if (shards > 1) {
+    std::printf("\nEach CSV was merged from %d shards (plan + payloads under "
+                "%s/shards/<sweep>/)\nand is byte-identical to the "
+                "single-process run.\n", shards, dir.c_str());
   }
   std::printf("\nEach CSV carries the analytic region, the enumerated\n"
               "equilibria, and the cross-check flag per sample point.\n");

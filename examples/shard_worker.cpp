@@ -1,0 +1,165 @@
+// Multi-process worker for sharded landscape sweeps (common/shard.h).
+//
+// A sweep is split across processes — or machines sharing a results
+// directory — in three steps:
+//
+//   1. Plan (once):
+//        shard_worker --plan --sweep=figure1 --shards=4 --out=results
+//   2. Run each shard, in any order, concurrently, anywhere:
+//        shard_worker --shard=0 --out=results [--threads=N]
+//        ... (one invocation per shard; re-run only the failed ones)
+//   3. Merge and emit the CSV:
+//        shard_worker --merge --out=results [--csv=figure1.csv]
+//
+// The merge validates every shard manifest (SHA-256, ranges, plan
+// membership) and the assembled CSV is byte-identical to the serial
+// single-process `export_landscapes` output. `--list` prints the sweep
+// names.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/file.h"
+#include "common/parallel.h"
+#include "common/shard.h"
+#include "game/landscape_shards.h"
+
+using namespace hsis;
+using namespace hsis::game;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  shard_worker --plan --sweep=NAME --shards=K --out=DIR\n"
+      "  shard_worker --shard=K --out=DIR [--threads=N]\n"
+      "  shard_worker --merge --out=DIR [--csv=FILE]\n"
+      "  shard_worker --list\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+int ResolveFlag(Result<int> parsed) {
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *parsed;
+}
+
+int DoPlan(const std::string& sweep, int shards, const std::string& out) {
+  auto spec = LandscapeSweepSpec(sweep);
+  if (!spec.ok()) return Fail(spec.status());
+  auto plan = common::ShardPlan::Create(spec->total, shards);
+  if (!plan.ok()) return Fail(plan.status());
+  if (Status s = CreateDirectories(out); !s.ok()) return Fail(s);
+  if (Status s = common::WriteShardPlan(*spec, *plan, out); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("planned sweep '%s': %zu indices in %d shards -> %s\n",
+              sweep.c_str(), spec->total, shards,
+              common::ShardPlanPath(out).c_str());
+  for (int k = 0; k < plan->shards(); ++k) {
+    common::ShardRange range = plan->Range(k);
+    std::printf("  shard %-3d [%zu, %zu)  %zu records\n", k, range.begin,
+                range.end, range.size());
+  }
+  return 0;
+}
+
+int DoShard(int shard, const std::string& out, int threads) {
+  auto info = common::ReadShardPlan(out);
+  if (!info.ok()) return Fail(info.status());
+  auto spec = LandscapeSweepSpec(info->sweep);
+  if (!spec.ok()) return Fail(spec.status());
+  auto plan = common::ShardPlan::Create(info->total, info->shards);
+  if (!plan.ok()) return Fail(plan.status());
+  common::ShardRunner runner(*spec, *plan);
+  if (Status s = runner.Run(shard, out, threads); !s.ok()) return Fail(s);
+  common::ShardRange range = plan->Range(shard);
+  std::printf("shard %d of '%s' done: %zu records [%zu, %zu) -> %s\n", shard,
+              info->sweep.c_str(), range.size(), range.begin, range.end,
+              common::ShardPayloadPath(out, shard).c_str());
+  return 0;
+}
+
+int DoMerge(const std::string& out, std::string csv_path) {
+  auto info = common::ReadShardPlan(out);
+  if (!info.ok()) return Fail(info.status());
+  auto merged = common::MergeShards(out, info->sweep);
+  if (!merged.ok()) return Fail(merged.status());
+  auto header = LandscapeCsvHeader(info->sweep);
+  if (!header.ok()) return Fail(header.status());
+  if (csv_path.empty()) {
+    csv_path = out + "/" + LandscapeCsvFilename(info->sweep).value();
+  }
+  std::string csv = *header + BytesToString(*merged);
+  if (Status s = WriteFile(csv_path, csv); !s.ok()) return Fail(s);
+  int rows = 0;
+  for (char c : csv) rows += (c == '\n');
+  std::printf("merged %d shards of '%s': %d rows -> %s\n", info->shards,
+              info->sweep.c_str(), rows - 1, csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool plan = false, merge = false, list = false;
+  int shard = -1, shards = 1, threads = 1;
+  std::string sweep, out, csv;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--plan") == 0) {
+      plan = true;
+    } else if (std::strcmp(arg, "--merge") == 0) {
+      merge = true;
+    } else if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
+      sweep = arg + 8;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      csv = arg + 6;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = ResolveFlag(common::ParseShardsValue(arg + 9));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = ResolveFlag(common::ParseThreadsValue(arg + 10));
+    } else if (std::strncmp(arg, "--shard=", 8) == 0) {
+      char* end = nullptr;
+      shard = static_cast<int>(std::strtol(arg + 8, &end, 10));
+      if (end == arg + 8 || *end != '\0') return Usage();
+    } else {
+      return Usage();
+    }
+  }
+
+  if (list) {
+    for (const std::string& name : LandscapeSweepNames()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (plan) {
+    if (sweep.empty() || out.empty() || merge || shard >= 0) return Usage();
+    return DoPlan(sweep, shards, out);
+  }
+  if (shard >= 0) {
+    if (out.empty() || merge) return Usage();
+    return DoShard(shard, out, threads);
+  }
+  if (merge) {
+    if (out.empty()) return Usage();
+    return DoMerge(out, csv);
+  }
+  return Usage();
+}

@@ -1,5 +1,6 @@
 #include "common/file.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -28,6 +29,25 @@ Result<std::string> ReadFile(const std::string& path) {
     return Status::Internal("read failed: " + path);
   }
   return buffer.str();
+}
+
+Status CreateDirectories(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) {
+    return Status::Internal("cannot create directory " + path + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  if (ec) {
+    return Status::Internal("cannot remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
 }
 
 }  // namespace hsis

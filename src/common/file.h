@@ -14,6 +14,13 @@ Status WriteFile(const std::string& path, std::string_view content);
 /// Reads the whole file at `path`.
 Result<std::string> ReadFile(const std::string& path);
 
+/// Creates `path` and any missing parents (no-op when it already
+/// exists), like `mkdir -p`.
+Status CreateDirectories(const std::string& path);
+
+/// Deletes the file at `path` if it exists; missing files are OK.
+Status RemoveFileIfExists(const std::string& path);
+
 }  // namespace hsis
 
 #endif  // HSIS_COMMON_FILE_H_

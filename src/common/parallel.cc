@@ -1,6 +1,7 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <charconv>
 
 #include "common/logging.h"
 
@@ -14,6 +15,19 @@ int HardwareConcurrency() {
 int ResolveThreadCount(int threads) {
   if (threads == 0) return HardwareConcurrency();
   return std::max(1, threads);
+}
+
+Result<int> ParseThreadsValue(std::string_view value) {
+  int threads = 0;
+  auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(),
+                                   threads);
+  if (value.empty() || ec != std::errc() ||
+      ptr != value.data() + value.size() || threads < 0) {
+    return Status::InvalidArgument("--threads expects a non-negative integer, "
+                                   "got '" +
+                                   std::string(value) + "'");
+  }
+  return threads == 0 ? HardwareConcurrency() : threads;
 }
 
 std::pair<size_t, size_t> ThreadPool::ChunkBounds(size_t n, int k, int w) {

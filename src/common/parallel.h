@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace hsis::common {
@@ -39,6 +41,14 @@ int HardwareConcurrency();
 /// Resolves a user-facing `threads` knob: 0 selects hardware
 /// concurrency, negative values are clamped to 1.
 int ResolveThreadCount(int threads);
+
+/// Resolves the value of a user-facing `--threads=` flag: "0" selects
+/// hardware concurrency, positive values pass through, and anything
+/// else (negative, empty, non-numeric, trailing junk) is
+/// InvalidArgument. All bench and example CLIs share this parser — and
+/// `ParseShardsValue` (common/shard.h), its `--shards=` twin — so flag
+/// handling is uniform across binaries.
+Result<int> ParseThreadsValue(std::string_view value);
 
 /// A fixed-size pool of worker threads executing index-range jobs. The
 /// calling thread participates as worker 0, so `ThreadPool(1)` spawns

@@ -1,0 +1,197 @@
+#ifndef HSIS_COMMON_SHARD_H_
+#define HSIS_COMMON_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace hsis::common {
+
+/// Multi-process sharding for `ParallelFor`-shaped sweeps. A sweep is a
+/// pure function from a global index `i` in `[0, total)` to a record of
+/// bytes; a `ShardPlan` partitions the range into K contiguous shards,
+/// a `ShardRunner` executes one shard (in any process, on any machine)
+/// and serializes its records plus a manifest into a results directory,
+/// and `MergeShards` validates the manifests and reassembles the
+/// concatenated records **bit-identical** to a single-process serial
+/// run. Failed shards are recovered by re-running only that shard; the
+/// merge detects missing, overlapping, duplicated, and corrupt shard
+/// files with typed `Status` errors (see each function's contract).
+
+/// Contiguous half-open slice of a global index range.
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+
+  friend bool operator==(const ShardRange& a, const ShardRange& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// Partition of `[0, total)` into `shards` contiguous slices that are
+/// pairwise disjoint and cover the range exactly (the `ChunkBounds`
+/// formula of common/parallel.h). When `shards <= total` every slice is
+/// non-empty; surplus shards beyond `total` are empty.
+class ShardPlan {
+ public:
+  /// `shards` must be >= 1 (map a user-facing `--shards=0` to 1 via
+  /// `ParseShardsValue` first); anything else is InvalidArgument.
+  static Result<ShardPlan> Create(size_t total, int shards);
+
+  size_t total() const { return total_; }
+  int shards() const { return shards_; }
+
+  /// Slice of shard `shard` (0-based): `[total*k/K, total*(k+1)/K)`.
+  /// Requires `0 <= shard < shards()`.
+  ShardRange Range(int shard) const;
+
+ private:
+  ShardPlan(size_t total, int shards) : total_(total), shards_(shards) {}
+
+  size_t total_ = 0;
+  int shards_ = 1;
+};
+
+/// Resolves the value of a user-facing `--shards=` flag: "0" selects a
+/// single shard, positive values pass through, and anything else
+/// (negative, empty, non-numeric, trailing junk) is InvalidArgument.
+/// The uniform CLI contract shared with `ParseThreadsValue`
+/// (common/parallel.h).
+Result<int> ParseShardsValue(std::string_view value);
+
+/// A sweep in sharded form: `record(i)` serializes the result of global
+/// index `i` and must be a pure function of `i` (stochastic sweeps
+/// derive their stream from `Rng::ForIndex(seed, i)`), so any partition
+/// of the range reassembles to the same bytes.
+struct ShardSweepSpec {
+  /// Identifies the sweep; recorded in every manifest and validated at
+  /// merge time so shards of different sweeps can never be mixed.
+  std::string name;
+  /// Global index count.
+  size_t total = 0;
+  /// Base seed recorded in the manifest (0 for deterministic sweeps).
+  uint64_t seed = 0;
+  /// Serialized record for global index `i`.
+  std::function<Result<Bytes>(size_t)> record;
+};
+
+/// The plan manifest (`plan.manifest`) written once per results
+/// directory before any shard runs; workers and the merge read it as
+/// the authoritative description of the sharded sweep.
+struct ShardPlanInfo {
+  std::string sweep;
+  size_t total = 0;
+  int shards = 1;
+  uint64_t seed = 0;
+
+  friend bool operator==(const ShardPlanInfo& a, const ShardPlanInfo& b) {
+    return a.sweep == b.sweep && a.total == b.total && a.shards == b.shards &&
+           a.seed == b.seed;
+  }
+};
+
+/// Per-shard manifest (`shard-<k>.manifest`) committed after the
+/// payload file: a shard without a valid manifest is treated as never
+/// having run.
+struct ShardManifest {
+  std::string sweep;
+  int shard = 0;
+  int shards = 1;
+  size_t total = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  uint64_t seed = 0;
+  size_t records = 0;
+  /// Lowercase hex SHA-256 of the payload file bytes.
+  std::string payload_sha256;
+
+  friend bool operator==(const ShardManifest& a, const ShardManifest& b) {
+    return a.sweep == b.sweep && a.shard == b.shard && a.shards == b.shards &&
+           a.total == b.total && a.begin == b.begin && a.end == b.end &&
+           a.seed == b.seed && a.records == b.records &&
+           a.payload_sha256 == b.payload_sha256;
+  }
+};
+
+/// Canonical file locations inside a results directory.
+std::string ShardPlanPath(const std::string& dir);
+std::string ShardManifestPath(const std::string& dir, int shard);
+std::string ShardPayloadPath(const std::string& dir, int shard);
+
+/// Text round-trip for the plan manifest. Parsing is strict: the
+/// version line must match, every field must appear exactly once, and
+/// numbers must parse exactly; violations are IntegrityViolation.
+std::string SerializeShardPlanInfo(const ShardPlanInfo& info);
+Result<ShardPlanInfo> ParseShardPlanInfo(std::string_view text);
+
+/// Text round-trip for a shard manifest, same strictness contract.
+std::string SerializeShardManifest(const ShardManifest& manifest);
+Result<ShardManifest> ParseShardManifest(std::string_view text);
+
+/// Binary round-trip for a shard payload: magic + version + record
+/// count + length-prefixed records. Parsing fails with
+/// IntegrityViolation on a bad magic, truncation, or trailing bytes.
+Bytes SerializeShardPayload(const std::vector<Bytes>& records);
+Result<std::vector<Bytes>> ParseShardPayload(const Bytes& payload);
+
+/// Writes `plan.manifest` for `spec` partitioned by `plan` into `dir`
+/// (which must exist). Fails with InvalidArgument if `spec.total !=
+/// plan.total()`.
+Status WriteShardPlan(const ShardSweepSpec& spec, const ShardPlan& plan,
+                      const std::string& dir);
+
+/// Reads and parses `dir`'s plan manifest: NotFound when absent,
+/// IntegrityViolation when corrupt.
+Result<ShardPlanInfo> ReadShardPlan(const std::string& dir);
+
+/// Executes single shards of a sweep. Stateless between calls: one
+/// process can run one shard and exit, or loop over several.
+class ShardRunner {
+ public:
+  ShardRunner(ShardSweepSpec spec, ShardPlan plan);
+
+  /// Computes every record in shard `shard`'s range with `threads`
+  /// workers (common/parallel.h knob: 1 = serial, 0 = hardware) and
+  /// writes `shard-<k>.bin` then `shard-<k>.manifest` into `dir`. The
+  /// manifest is written last so an interrupted run never leaves a
+  /// shard that looks complete. Record computation is deterministic per
+  /// index, so every thread count yields the same bytes.
+  Status Run(int shard, const std::string& dir, int threads = 1) const;
+
+ private:
+  ShardSweepSpec spec_;
+  ShardPlan plan_;
+};
+
+/// Validates the plan and every shard in `dir` and returns the record
+/// payloads concatenated in global index order — byte-identical to a
+/// serial single-process run emitting the same records. Typed errors:
+///
+///  * NotFound            — plan, manifest, or payload file missing
+///                          (the message names the shard to re-run);
+///  * IntegrityViolation  — corrupt manifest text, payload SHA-256
+///                          mismatch (truncation / bit flips), bad
+///                          payload framing, or record-count mismatch;
+///  * InvalidArgument     — a manifest that parses but contradicts the
+///                          plan: wrong sweep name, shard count, total,
+///                          seed, a duplicated shard file standing in
+///                          for another shard, or a range that overlaps
+///                          or leaves a gap.
+///
+/// `expected_sweep`, when non-empty, must match the plan's sweep name
+/// (InvalidArgument otherwise) — callers use it to refuse merging a
+/// directory that holds some other sweep's shards.
+Result<Bytes> MergeShards(const std::string& dir,
+                          const std::string& expected_sweep = "");
+
+}  // namespace hsis::common
+
+#endif  // HSIS_COMMON_SHARD_H_

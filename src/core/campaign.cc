@@ -75,11 +75,11 @@ Result<CampaignResult> RunCampaign(HonestSharingSession& session,
   return result;
 }
 
-Result<CampaignEnsembleResult> RunCampaignEnsemble(
-    const CampaignSessionFactory& make_session, const std::string& party_a,
-    const std::string& party_b,
-    const std::vector<CampaignPolicyPair>& policies,
-    const CampaignEnsembleConfig& config) {
+namespace {
+
+Status ValidateEnsembleArgs(const CampaignSessionFactory& make_session,
+                            const std::vector<CampaignPolicyPair>& policies,
+                            const CampaignEnsembleConfig& config) {
   if (!make_session) {
     return Status::InvalidArgument("a session factory is required");
   }
@@ -95,6 +95,46 @@ Result<CampaignEnsembleResult> RunCampaignEnsemble(
   if (config.replicates < 1) {
     return Status::InvalidArgument("replicates must be >= 1");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CampaignCellResult> RunCampaignEnsembleCell(
+    const CampaignSessionFactory& make_session, const std::string& party_a,
+    const std::string& party_b,
+    const std::vector<CampaignPolicyPair>& policies,
+    const CampaignEnsembleConfig& config, size_t cell_index) {
+  HSIS_RETURN_IF_ERROR(ValidateEnsembleArgs(make_session, policies, config));
+  const size_t replicates = static_cast<size_t>(config.replicates);
+  if (cell_index >= policies.size() * replicates) {
+    return Status::InvalidArgument("cell index out of range");
+  }
+  CampaignCellResult cell;
+  cell.policy_index = cell_index / replicates;
+  cell.replicate = static_cast<int>(cell_index % replicates);
+  // Everything stochastic about the cell flows from this stream,
+  // a pure function of (base_seed, cell_index).
+  Rng rng = Rng::ForIndex(config.base_seed, cell_index);
+  cell.session_seed = rng.NextUint64();
+  HSIS_ASSIGN_OR_RETURN(HonestSharingSession session,
+                        make_session(cell.session_seed));
+  const CampaignPolicyPair& pair = policies[cell.policy_index];
+  CheatPolicy policy_a = pair.make_a();
+  CheatPolicy policy_b = pair.make_b();
+  HSIS_ASSIGN_OR_RETURN(
+      cell.result,
+      RunCampaign(session, party_a, party_b, config.rounds, policy_a, policy_b,
+                  config.economics, rng));
+  return cell;
+}
+
+Result<CampaignEnsembleResult> RunCampaignEnsemble(
+    const CampaignSessionFactory& make_session, const std::string& party_a,
+    const std::string& party_b,
+    const std::vector<CampaignPolicyPair>& policies,
+    const CampaignEnsembleConfig& config) {
+  HSIS_RETURN_IF_ERROR(ValidateEnsembleArgs(make_session, policies, config));
 
   const size_t replicates = static_cast<size_t>(config.replicates);
   const size_t cells = policies.size() * replicates;
@@ -102,22 +142,10 @@ Result<CampaignEnsembleResult> RunCampaignEnsemble(
   out.cells.resize(cells);
   HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
       config.threads, cells, [&](size_t i) -> Status {
-        CampaignCellResult& cell = out.cells[i];
-        cell.policy_index = i / replicates;
-        cell.replicate = static_cast<int>(i % replicates);
-        // Everything stochastic about the cell flows from this stream,
-        // a pure function of (base_seed, i).
-        Rng rng = Rng::ForIndex(config.base_seed, i);
-        cell.session_seed = rng.NextUint64();
-        HSIS_ASSIGN_OR_RETURN(HonestSharingSession session,
-                              make_session(cell.session_seed));
-        const CampaignPolicyPair& pair = policies[cell.policy_index];
-        CheatPolicy policy_a = pair.make_a();
-        CheatPolicy policy_b = pair.make_b();
         HSIS_ASSIGN_OR_RETURN(
-            cell.result,
-            RunCampaign(session, party_a, party_b, config.rounds, policy_a,
-                        policy_b, config.economics, rng));
+            out.cells[i], RunCampaignEnsembleCell(make_session, party_a,
+                                                  party_b, policies, config,
+                                                  i));
         return Status::OK();
       }));
 

@@ -122,6 +122,17 @@ struct CampaignEnsembleResult {
   std::vector<double> mean_payoff_b;
 };
 
+/// Runs grid cell `cell` of the policy × replicate grid — the exact
+/// per-cell arithmetic of `RunCampaignEnsemble`, exposed so sharded
+/// runs (common/shard.h) can execute any subset of the grid in any
+/// process. `cell` indexes policy-major, replicate-minor and must be
+/// `< policies.size() * config.replicates`.
+Result<CampaignCellResult> RunCampaignEnsembleCell(
+    const CampaignSessionFactory& make_session, const std::string& party_a,
+    const std::string& party_b,
+    const std::vector<CampaignPolicyPair>& policies,
+    const CampaignEnsembleConfig& config, size_t cell);
+
 /// Runs the full policy × seed grid of independent `RunCampaign`
 /// replicates across `config.threads` workers with ordered output
 /// slots. Cell `i` is a pure function of `(config, i)`: its RNG is

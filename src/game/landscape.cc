@@ -53,6 +53,29 @@ std::string ProfileLabel(const StrategyProfile& profile) {
   return out;
 }
 
+Result<FrequencySweepRow> EvalFrequencySweepRow(double benefit,
+                                                double cheat_gain, double loss,
+                                                double penalty, int steps,
+                                                size_t index) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  if (index >= static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  double f = static_cast<double>(index) / (steps - 1);
+  HSIS_ASSIGN_OR_RETURN(
+      NormalFormGame game,
+      MakeSymmetricAuditedGame(benefit, cheat_gain, loss, f, penalty));
+  FrequencySweepRow row;
+  row.frequency = f;
+  row.analytic_region =
+      ClassifySymmetricRegion(benefit, cheat_gain, f, penalty);
+  row.nash_equilibria = EnumerateLabels(game);
+  row.honest_is_dse = HonestHonestIsDse(game);
+  row.analytic_matches_enumeration =
+      SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+  return row;
+}
+
 Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
                                                       double cheat_gain,
                                                       double loss,
@@ -63,21 +86,36 @@ Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
   std::vector<FrequencySweepRow> rows(static_cast<size_t>(steps));
   HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
       threads, rows.size(), [&](size_t i) -> Status {
-        double f = static_cast<double>(i) / (steps - 1);
-        HSIS_ASSIGN_OR_RETURN(
-            NormalFormGame game,
-            MakeSymmetricAuditedGame(benefit, cheat_gain, loss, f, penalty));
-        FrequencySweepRow& row = rows[i];
-        row.frequency = f;
-        row.analytic_region =
-            ClassifySymmetricRegion(benefit, cheat_gain, f, penalty);
-        row.nash_equilibria = EnumerateLabels(game);
-        row.honest_is_dse = HonestHonestIsDse(game);
-        row.analytic_matches_enumeration =
-            SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+        HSIS_ASSIGN_OR_RETURN(rows[i], EvalFrequencySweepRow(benefit,
+                                                             cheat_gain, loss,
+                                                             penalty, steps,
+                                                             i));
         return Status::OK();
       }));
   return rows;
+}
+
+Result<PenaltySweepRow> EvalPenaltySweepRow(double benefit, double cheat_gain,
+                                            double loss, double frequency,
+                                            double max_penalty, int steps,
+                                            size_t index) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  if (index >= static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  double p = max_penalty * static_cast<double>(index) / (steps - 1);
+  HSIS_ASSIGN_OR_RETURN(
+      NormalFormGame game,
+      MakeSymmetricAuditedGame(benefit, cheat_gain, loss, frequency, p));
+  PenaltySweepRow row;
+  row.penalty = p;
+  row.analytic_region =
+      ClassifySymmetricRegion(benefit, cheat_gain, frequency, p);
+  row.nash_equilibria = EnumerateLabels(game);
+  row.honest_is_dse = HonestHonestIsDse(game);
+  row.analytic_matches_enumeration =
+      SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+  return row;
 }
 
 Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
@@ -91,21 +129,59 @@ Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
   std::vector<PenaltySweepRow> rows(static_cast<size_t>(steps));
   HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
       threads, rows.size(), [&](size_t i) -> Status {
-        double p = max_penalty * static_cast<double>(i) / (steps - 1);
         HSIS_ASSIGN_OR_RETURN(
-            NormalFormGame game,
-            MakeSymmetricAuditedGame(benefit, cheat_gain, loss, frequency, p));
-        PenaltySweepRow& row = rows[i];
-        row.penalty = p;
-        row.analytic_region =
-            ClassifySymmetricRegion(benefit, cheat_gain, frequency, p);
-        row.nash_equilibria = EnumerateLabels(game);
-        row.honest_is_dse = HonestHonestIsDse(game);
-        row.analytic_matches_enumeration =
-            SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+            rows[i], EvalPenaltySweepRow(benefit, cheat_gain, loss, frequency,
+                                         max_penalty, steps, i));
         return Status::OK();
       }));
   return rows;
+}
+
+Result<AsymmetricGridCell> EvalAsymmetricGridCell(
+    const TwoPlayerGameParams& params, int steps, size_t index) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  if (index >= static_cast<size_t>(steps) * static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("cell index out of range");
+  }
+  int i = static_cast<int>(index / static_cast<size_t>(steps));
+  int j = static_cast<int>(index % static_cast<size_t>(steps));
+  TwoPlayerGameParams p = params;
+  p.audit1.frequency = static_cast<double>(i) / (steps - 1);
+  p.audit2.frequency = static_cast<double>(j) / (steps - 1);
+  HSIS_ASSIGN_OR_RETURN(NormalFormGame game, MakeTwoPlayerHonestyGame(p));
+
+  AsymmetricGridCell cell;
+  cell.f1 = p.audit1.frequency;
+  cell.f2 = p.audit2.frequency;
+  cell.analytic_region = ClassifyAsymmetricRegion(
+      p.player1.benefit, p.player1.cheat_gain, p.audit1.penalty, cell.f1,
+      p.player2.benefit, p.player2.cheat_gain, p.audit2.penalty, cell.f2);
+  cell.nash_equilibria = EnumerateLabels(game);
+
+  // Interior regions predict a unique equilibrium with the
+  // corresponding label; boundary cells are vacuously consistent.
+  switch (cell.analytic_region) {
+    case AsymmetricRegion::kBoundary:
+      cell.analytic_matches_enumeration = true;
+      break;
+    case AsymmetricRegion::kBothCheat:
+      cell.analytic_matches_enumeration =
+          cell.nash_equilibria == std::vector<std::string>{"CC"};
+      break;
+    case AsymmetricRegion::kOnlyP1Cheats:
+      cell.analytic_matches_enumeration =
+          cell.nash_equilibria == std::vector<std::string>{"CH"};
+      break;
+    case AsymmetricRegion::kOnlyP2Cheats:
+      cell.analytic_matches_enumeration =
+          cell.nash_equilibria == std::vector<std::string>{"HC"};
+      break;
+    case AsymmetricRegion::kBothHonest:
+      cell.analytic_matches_enumeration =
+          cell.nash_equilibria == std::vector<std::string>{"HH"};
+      break;
+  }
+  return cell;
 }
 
 Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
@@ -117,48 +193,44 @@ Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
   // order the serial nested loop produced.
   HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
       threads, cells.size(), [&](size_t idx) -> Status {
-        int i = static_cast<int>(idx / static_cast<size_t>(steps));
-        int j = static_cast<int>(idx % static_cast<size_t>(steps));
-        TwoPlayerGameParams p = params;
-        p.audit1.frequency = static_cast<double>(i) / (steps - 1);
-        p.audit2.frequency = static_cast<double>(j) / (steps - 1);
-        HSIS_ASSIGN_OR_RETURN(NormalFormGame game, MakeTwoPlayerHonestyGame(p));
-
-        AsymmetricGridCell& cell = cells[idx];
-        cell.f1 = p.audit1.frequency;
-        cell.f2 = p.audit2.frequency;
-        cell.analytic_region = ClassifyAsymmetricRegion(
-            p.player1.benefit, p.player1.cheat_gain, p.audit1.penalty, cell.f1,
-            p.player2.benefit, p.player2.cheat_gain, p.audit2.penalty,
-            cell.f2);
-        cell.nash_equilibria = EnumerateLabels(game);
-
-        // Interior regions predict a unique equilibrium with the
-        // corresponding label; boundary cells are vacuously consistent.
-        switch (cell.analytic_region) {
-          case AsymmetricRegion::kBoundary:
-            cell.analytic_matches_enumeration = true;
-            break;
-          case AsymmetricRegion::kBothCheat:
-            cell.analytic_matches_enumeration =
-                cell.nash_equilibria == std::vector<std::string>{"CC"};
-            break;
-          case AsymmetricRegion::kOnlyP1Cheats:
-            cell.analytic_matches_enumeration =
-                cell.nash_equilibria == std::vector<std::string>{"CH"};
-            break;
-          case AsymmetricRegion::kOnlyP2Cheats:
-            cell.analytic_matches_enumeration =
-                cell.nash_equilibria == std::vector<std::string>{"HC"};
-            break;
-          case AsymmetricRegion::kBothHonest:
-            cell.analytic_matches_enumeration =
-                cell.nash_equilibria == std::vector<std::string>{"HH"};
-            break;
-        }
+        HSIS_ASSIGN_OR_RETURN(cells[idx],
+                              EvalAsymmetricGridCell(params, steps, idx));
         return Status::OK();
       }));
   return cells;
+}
+
+Result<NPlayerBandRow> EvalNPlayerBandRow(
+    const NPlayerHonestyGame::Params& base_params, double max_penalty,
+    int steps, size_t index) {
+  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+  if (base_params.frequency <= 0) {
+    return Status::InvalidArgument(
+        "n-player penalty sweep requires frequency > 0 (Theorem 1)");
+  }
+  if (index >= static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  NPlayerHonestyGame::Params p = base_params;
+  p.penalty = max_penalty * static_cast<double>(index) / (steps - 1);
+  HSIS_ASSIGN_OR_RETURN(NPlayerHonestyGame game, NPlayerHonestyGame::Create(p));
+  NPlayerBandRow row;
+  row.penalty = p.penalty;
+  row.analytic_honest_count = NPlayerEquilibriumHonestCount(
+      p.n, p.benefit, p.gain, p.frequency, p.penalty);
+  row.equilibrium_honest_counts = game.EquilibriumHonestCounts();
+  row.honest_is_dominant = game.IsHonestDominant();
+  row.cheat_is_dominant = game.IsCheatDominant();
+  // In band interiors there is exactly one equilibrium class and it
+  // matches Theorem 1; at band edges the enumeration may contain two
+  // adjacent classes, either of which may be the analytic pick.
+  bool match = false;
+  for (int x : row.equilibrium_honest_counts) {
+    if (x == row.analytic_honest_count) match = true;
+  }
+  row.analytic_matches_enumeration =
+      match && row.equilibrium_honest_counts.size() <= 2;
+  return row;
 }
 
 Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
@@ -172,26 +244,8 @@ Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
   std::vector<NPlayerBandRow> rows(static_cast<size_t>(steps));
   HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
       threads, rows.size(), [&](size_t i) -> Status {
-        NPlayerHonestyGame::Params p = base_params;
-        p.penalty = max_penalty * static_cast<double>(i) / (steps - 1);
-        HSIS_ASSIGN_OR_RETURN(NPlayerHonestyGame game,
-                              NPlayerHonestyGame::Create(p));
-        NPlayerBandRow& row = rows[i];
-        row.penalty = p.penalty;
-        row.analytic_honest_count = NPlayerEquilibriumHonestCount(
-            p.n, p.benefit, p.gain, p.frequency, p.penalty);
-        row.equilibrium_honest_counts = game.EquilibriumHonestCounts();
-        row.honest_is_dominant = game.IsHonestDominant();
-        row.cheat_is_dominant = game.IsCheatDominant();
-        // In band interiors there is exactly one equilibrium class and it
-        // matches Theorem 1; at band edges the enumeration may contain two
-        // adjacent classes, either of which may be the analytic pick.
-        bool match = false;
-        for (int x : row.equilibrium_honest_counts) {
-          if (x == row.analytic_honest_count) match = true;
-        }
-        row.analytic_matches_enumeration =
-            match && row.equilibrium_honest_counts.size() <= 2;
+        HSIS_ASSIGN_OR_RETURN(
+            rows[i], EvalNPlayerBandRow(base_params, max_penalty, steps, i));
         return Status::OK();
       }));
   return rows;

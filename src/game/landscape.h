@@ -67,7 +67,7 @@ struct AsymmetricGridCell {
   double f2;
   AsymmetricRegion analytic_region;
   std::vector<std::string> nash_equilibria;
-  bool analytic_matches_enumeration;
+  bool analytic_matches_enumeration = false;
 };
 
 /// Evaluates the asymmetric audited game on a `steps` x `steps` grid
@@ -90,6 +90,26 @@ struct NPlayerBandRow {
 Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
     const NPlayerHonestyGame::Params& base_params, double max_penalty,
     int steps, int threads = 1);
+
+/// Single-row evaluators: the exact per-index arithmetic of the
+/// corresponding sweeps, exposed so sharded runs (common/shard.h) can
+/// compute any subset of a sweep in any process. `Sweep*` is equivalent
+/// to evaluating every index of `[0, steps)` (or `[0, steps*steps)` for
+/// the grid) in order; a shard evaluates its contiguous slice and the
+/// merged output is bit-identical to the full sweep.
+Result<FrequencySweepRow> EvalFrequencySweepRow(double benefit,
+                                                double cheat_gain, double loss,
+                                                double penalty, int steps,
+                                                size_t index);
+Result<PenaltySweepRow> EvalPenaltySweepRow(double benefit, double cheat_gain,
+                                            double loss, double frequency,
+                                            double max_penalty, int steps,
+                                            size_t index);
+Result<AsymmetricGridCell> EvalAsymmetricGridCell(
+    const TwoPlayerGameParams& params, int steps, size_t index);
+Result<NPlayerBandRow> EvalNPlayerBandRow(
+    const NPlayerHonestyGame::Params& base_params, double max_penalty,
+    int steps, size_t index);
 
 }  // namespace hsis::game
 

@@ -1,0 +1,160 @@
+#include "game/landscape_shards.h"
+
+#include "game/report.h"
+
+namespace hsis::game {
+
+namespace {
+
+// The canonical export_landscapes economics.
+constexpr double kB = 10, kF = 25, kL = 8;
+constexpr int kLineSteps = 201;   // Figures 1, 2, 4
+constexpr int kGridSteps = 41;    // Figure 3
+constexpr double kFigure1Penalty = 40;
+constexpr double kFigure2MaxPenalty = 120;
+
+TwoPlayerGameParams Figure3Params() {
+  TwoPlayerGameParams params;
+  params.player1 = {10, 30};
+  params.player2 = {6, 20};
+  params.loss_to_1 = 4;
+  params.loss_to_2 = 9;
+  params.audit1 = {0, 20};
+  params.audit2 = {0, 15};
+  return params;
+}
+
+NPlayerHonestyGame::Params Figure4Params() {
+  NPlayerHonestyGame::Params params;
+  params.n = 8;
+  params.benefit = kB;
+  params.gain = LinearGain(20, 2);
+  params.frequency = 0.3;
+  params.uniform_loss = 4;
+  return params;
+}
+
+double Figure4MaxPenalty() {
+  NPlayerHonestyGame::Params params = Figure4Params();
+  return NPlayerPenaltyBound(kB, params.gain, params.frequency, params.n - 1) *
+         1.2;
+}
+
+Status UnknownSweep(const std::string& name) {
+  std::string known;
+  for (const std::string& n : LandscapeSweepNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  return Status::NotFound("unknown landscape sweep '" + name + "' (known: " +
+                          known + ")");
+}
+
+}  // namespace
+
+const std::vector<std::string>& LandscapeSweepNames() {
+  static const std::vector<std::string> kNames = {
+      "figure1", "figure2_f02", "figure2_f07", "figure3", "figure4"};
+  return kNames;
+}
+
+Result<common::ShardSweepSpec> LandscapeSweepSpec(const std::string& name) {
+  common::ShardSweepSpec spec;
+  spec.name = name;
+  spec.seed = 0;  // analytic sweeps draw no randomness
+  if (name == "figure1") {
+    spec.total = kLineSteps;
+    spec.record = [](size_t i) -> Result<Bytes> {
+      HSIS_ASSIGN_OR_RETURN(
+          FrequencySweepRow row,
+          EvalFrequencySweepRow(kB, kF, kL, kFigure1Penalty, kLineSteps, i));
+      return ToBytes(FrequencySweepRowToCsv(row));
+    };
+  } else if (name == "figure2_f02" || name == "figure2_f07") {
+    double frequency = name == "figure2_f02" ? 0.2 : 0.7;
+    spec.total = kLineSteps;
+    spec.record = [frequency](size_t i) -> Result<Bytes> {
+      HSIS_ASSIGN_OR_RETURN(
+          PenaltySweepRow row,
+          EvalPenaltySweepRow(kB, kF, kL, frequency, kFigure2MaxPenalty,
+                              kLineSteps, i));
+      return ToBytes(PenaltySweepRowToCsv(row));
+    };
+  } else if (name == "figure3") {
+    spec.total = static_cast<size_t>(kGridSteps) * kGridSteps;
+    spec.record = [](size_t i) -> Result<Bytes> {
+      HSIS_ASSIGN_OR_RETURN(AsymmetricGridCell cell,
+                            EvalAsymmetricGridCell(Figure3Params(), kGridSteps,
+                                                   i));
+      return ToBytes(AsymmetricGridCellToCsv(cell));
+    };
+  } else if (name == "figure4") {
+    spec.total = kLineSteps;
+    spec.record = [](size_t i) -> Result<Bytes> {
+      HSIS_ASSIGN_OR_RETURN(
+          NPlayerBandRow row,
+          EvalNPlayerBandRow(Figure4Params(), Figure4MaxPenalty(), kLineSteps,
+                             i));
+      return ToBytes(NPlayerBandRowToCsv(row));
+    };
+  } else {
+    return UnknownSweep(name);
+  }
+  return spec;
+}
+
+Result<std::string> LandscapeCsvHeader(const std::string& name) {
+  if (name == "figure1") return FrequencySweepCsvHeader();
+  if (name == "figure2_f02" || name == "figure2_f07") {
+    return PenaltySweepCsvHeader();
+  }
+  if (name == "figure3") return AsymmetricGridCsvHeader();
+  if (name == "figure4") return NPlayerBandsCsvHeader();
+  return UnknownSweep(name);
+}
+
+Result<std::string> LandscapeCsvFilename(const std::string& name) {
+  if (name == "figure1") return std::string("figure1_frequency_sweep.csv");
+  if (name == "figure2_f02") {
+    return std::string("figure2_penalty_sweep_f02.csv");
+  }
+  if (name == "figure2_f07") {
+    return std::string("figure2_penalty_sweep_f07.csv");
+  }
+  if (name == "figure3") return std::string("figure3_asymmetric_grid.csv");
+  if (name == "figure4") return std::string("figure4_nplayer_bands.csv");
+  return UnknownSweep(name);
+}
+
+Result<std::string> LandscapeCsv(const std::string& name, int threads) {
+  if (name == "figure1") {
+    HSIS_ASSIGN_OR_RETURN(
+        std::vector<FrequencySweepRow> rows,
+        SweepFrequency(kB, kF, kL, kFigure1Penalty, kLineSteps, threads));
+    return FrequencySweepToCsv(rows);
+  }
+  if (name == "figure2_f02" || name == "figure2_f07") {
+    double frequency = name == "figure2_f02" ? 0.2 : 0.7;
+    HSIS_ASSIGN_OR_RETURN(
+        std::vector<PenaltySweepRow> rows,
+        SweepPenalty(kB, kF, kL, frequency, kFigure2MaxPenalty, kLineSteps,
+                     threads));
+    return PenaltySweepToCsv(rows);
+  }
+  if (name == "figure3") {
+    HSIS_ASSIGN_OR_RETURN(
+        std::vector<AsymmetricGridCell> cells,
+        SweepAsymmetricGrid(Figure3Params(), kGridSteps, threads));
+    return AsymmetricGridToCsv(cells);
+  }
+  if (name == "figure4") {
+    HSIS_ASSIGN_OR_RETURN(
+        std::vector<NPlayerBandRow> rows,
+        SweepNPlayerPenalty(Figure4Params(), Figure4MaxPenalty(), kLineSteps,
+                            threads));
+    return NPlayerBandsToCsv(rows);
+  }
+  return UnknownSweep(name);
+}
+
+}  // namespace hsis::game

@@ -1,0 +1,43 @@
+#ifndef HSIS_GAME_LANDSCAPE_SHARDS_H_
+#define HSIS_GAME_LANDSCAPE_SHARDS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/shard.h"
+
+namespace hsis::game {
+
+/// Sharded forms of the figure landscape sweeps, under the canonical
+/// `export_landscapes` parameterization (B = 10, F = 25, L = 8, the
+/// asymmetric Figure 3 economics, the 8-player Figure 4 band sweep).
+/// Each named sweep maps global index `i` to one CSV row, so merging a
+/// K-shard run and prepending the header reproduces the serial CSV
+/// byte-for-byte.
+///
+/// Names, in export order: "figure1", "figure2_f02", "figure2_f07",
+/// "figure3", "figure4".
+
+/// All canonical sweep names.
+const std::vector<std::string>& LandscapeSweepNames();
+
+/// Shardable spec for the named sweep: `record(i)` is CSV row `i`
+/// (with trailing newline) as bytes. NotFound for unknown names.
+Result<common::ShardSweepSpec> LandscapeSweepSpec(const std::string& name);
+
+/// The named sweep's CSV header line (with trailing newline).
+Result<std::string> LandscapeCsvHeader(const std::string& name);
+
+/// The filename `export_landscapes` writes the named sweep to, e.g.
+/// "figure1_frequency_sweep.csv".
+Result<std::string> LandscapeCsvFilename(const std::string& name);
+
+/// Full serial-equivalent CSV (header + all rows) computed in-process
+/// with `threads` workers — the single-process reference a sharded run
+/// must reproduce byte-for-byte.
+Result<std::string> LandscapeCsv(const std::string& name, int threads = 1);
+
+}  // namespace hsis::game
+
+#endif  // HSIS_GAME_LANDSCAPE_SHARDS_H_

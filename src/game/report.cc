@@ -60,77 +60,105 @@ const char* RegionSlug(SymmetricRegion region) {
 
 }  // namespace
 
+std::string FrequencySweepCsvHeader() {
+  return "frequency,region,nash_equilibria,honest_is_dse,"
+         "matches_enumeration\n";
+}
+
+std::string FrequencySweepRowToCsv(const FrequencySweepRow& row) {
+  std::string out = FormatDouble(row.frequency);
+  out += ',';
+  out += RegionSlug(row.analytic_region);
+  out += ',';
+  out += Join(row.nash_equilibria);
+  out += ',';
+  out += row.honest_is_dse ? "1" : "0";
+  out += ',';
+  out += row.analytic_matches_enumeration ? "1" : "0";
+  out += '\n';
+  return out;
+}
+
 std::string FrequencySweepToCsv(const std::vector<FrequencySweepRow>& rows) {
-  std::string out =
-      "frequency,region,nash_equilibria,honest_is_dse,matches_enumeration\n";
-  for (const FrequencySweepRow& row : rows) {
-    out += FormatDouble(row.frequency);
-    out += ',';
-    out += RegionSlug(row.analytic_region);
-    out += ',';
-    out += Join(row.nash_equilibria);
-    out += ',';
-    out += row.honest_is_dse ? "1" : "0";
-    out += ',';
-    out += row.analytic_matches_enumeration ? "1" : "0";
-    out += '\n';
-  }
+  std::string out = FrequencySweepCsvHeader();
+  for (const FrequencySweepRow& row : rows) out += FrequencySweepRowToCsv(row);
+  return out;
+}
+
+std::string PenaltySweepCsvHeader() {
+  return "penalty,region,nash_equilibria,honest_is_dse,matches_enumeration\n";
+}
+
+std::string PenaltySweepRowToCsv(const PenaltySweepRow& row) {
+  std::string out = FormatDouble(row.penalty);
+  out += ',';
+  out += RegionSlug(row.analytic_region);
+  out += ',';
+  out += Join(row.nash_equilibria);
+  out += ',';
+  out += row.honest_is_dse ? "1" : "0";
+  out += ',';
+  out += row.analytic_matches_enumeration ? "1" : "0";
+  out += '\n';
   return out;
 }
 
 std::string PenaltySweepToCsv(const std::vector<PenaltySweepRow>& rows) {
-  std::string out =
-      "penalty,region,nash_equilibria,honest_is_dse,matches_enumeration\n";
-  for (const PenaltySweepRow& row : rows) {
-    out += FormatDouble(row.penalty);
-    out += ',';
-    out += RegionSlug(row.analytic_region);
-    out += ',';
-    out += Join(row.nash_equilibria);
-    out += ',';
-    out += row.honest_is_dse ? "1" : "0";
-    out += ',';
-    out += row.analytic_matches_enumeration ? "1" : "0";
-    out += '\n';
-  }
+  std::string out = PenaltySweepCsvHeader();
+  for (const PenaltySweepRow& row : rows) out += PenaltySweepRowToCsv(row);
+  return out;
+}
+
+std::string AsymmetricGridCsvHeader() {
+  return "f1,f2,region,nash_equilibria,matches_enumeration\n";
+}
+
+std::string AsymmetricGridCellToCsv(const AsymmetricGridCell& cell) {
+  std::string out = FormatDouble(cell.f1);
+  out += ',';
+  out += FormatDouble(cell.f2);
+  out += ',';
+  out += AsymmetricRegionSlug(cell.analytic_region);
+  out += ',';
+  out += Join(cell.nash_equilibria);
+  out += ',';
+  out += cell.analytic_matches_enumeration ? "1" : "0";
+  out += '\n';
   return out;
 }
 
 std::string AsymmetricGridToCsv(const std::vector<AsymmetricGridCell>& cells) {
-  std::string out = "f1,f2,region,nash_equilibria,matches_enumeration\n";
+  std::string out = AsymmetricGridCsvHeader();
   for (const AsymmetricGridCell& cell : cells) {
-    out += FormatDouble(cell.f1);
-    out += ',';
-    out += FormatDouble(cell.f2);
-    out += ',';
-    out += AsymmetricRegionSlug(cell.analytic_region);
-    out += ',';
-    out += Join(cell.nash_equilibria);
-    out += ',';
-    out += cell.analytic_matches_enumeration ? "1" : "0";
-    out += '\n';
+    out += AsymmetricGridCellToCsv(cell);
   }
   return out;
 }
 
+std::string NPlayerBandsCsvHeader() {
+  return "penalty,analytic_honest_count,equilibrium_honest_counts,"
+         "honest_dominant,cheat_dominant,matches_enumeration\n";
+}
+
+std::string NPlayerBandRowToCsv(const NPlayerBandRow& row) {
+  std::string out = FormatDouble(row.penalty);
+  out += ',';
+  out += std::to_string(row.analytic_honest_count);
+  out += ',';
+  out += JoinInts(row.equilibrium_honest_counts);
+  out += ',';
+  out += row.honest_is_dominant ? "1" : "0";
+  out += ',';
+  out += row.cheat_is_dominant ? "1" : "0";
+  out += ',';
+  out += row.analytic_matches_enumeration ? "1" : "0";
+  out += '\n';
+  return out;
+}
+
 std::string NPlayerBandsToCsv(const std::vector<NPlayerBandRow>& rows) {
-  std::string out =
-      "penalty,analytic_honest_count,equilibrium_honest_counts,"
-      "honest_dominant,cheat_dominant,matches_enumeration\n";
-  for (const NPlayerBandRow& row : rows) {
-    out += FormatDouble(row.penalty);
-    out += ',';
-    out += std::to_string(row.analytic_honest_count);
-    out += ',';
-    out += JoinInts(row.equilibrium_honest_counts);
-    out += ',';
-    out += row.honest_is_dominant ? "1" : "0";
-    out += ',';
-    out += row.cheat_is_dominant ? "1" : "0";
-    out += ',';
-    out += row.analytic_matches_enumeration ? "1" : "0";
-    out += '\n';
-  }
+  std::string out = NPlayerBandsCsvHeader();
+  for (const NPlayerBandRow& row : rows) out += NPlayerBandRowToCsv(row);
   return out;
 }
 

@@ -13,19 +13,31 @@ namespace hsis::game {
 /// per sample; fields containing commas are not produced by these
 /// sweeps so no quoting is needed.
 
+/// Each `*ToCsv(rows)` is exactly `*CsvHeader() + concat(*RowToCsv(row))`;
+/// the per-row forms exist so sharded runs (common/shard.h) can emit one
+/// row per record and reassemble the byte-identical CSV.
+
 /// Columns: frequency, region, nash_equilibria (';'-joined), honest_is_dse,
 /// matches_enumeration.
+std::string FrequencySweepCsvHeader();
+std::string FrequencySweepRowToCsv(const FrequencySweepRow& row);
 std::string FrequencySweepToCsv(const std::vector<FrequencySweepRow>& rows);
 
 /// Columns: penalty, region, nash_equilibria, honest_is_dse,
 /// matches_enumeration.
+std::string PenaltySweepCsvHeader();
+std::string PenaltySweepRowToCsv(const PenaltySweepRow& row);
 std::string PenaltySweepToCsv(const std::vector<PenaltySweepRow>& rows);
 
 /// Columns: f1, f2, region, nash_equilibria, matches_enumeration.
+std::string AsymmetricGridCsvHeader();
+std::string AsymmetricGridCellToCsv(const AsymmetricGridCell& cell);
 std::string AsymmetricGridToCsv(const std::vector<AsymmetricGridCell>& cells);
 
 /// Columns: penalty, analytic_honest_count, equilibrium_honest_counts
 /// (';'-joined), honest_dominant, cheat_dominant, matches_enumeration.
+std::string NPlayerBandsCsvHeader();
+std::string NPlayerBandRowToCsv(const NPlayerBandRow& row);
 std::string NPlayerBandsToCsv(const std::vector<NPlayerBandRow>& rows);
 
 }  // namespace hsis::game

@@ -1,0 +1,206 @@
+// Fuzz-style robustness of the shard merge: a corpus of mutated shard
+// directories — truncated payloads, bit flips, mangled manifest text,
+// duplicated files, mutated plans — must always yield a clean typed
+// Status or a merge byte-identical to the pristine one. A crash or a
+// silent wrong merge is the only failure mode these tests forbid.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/file.h"
+#include "common/random.h"
+#include "common/shard.h"
+
+namespace hsis::common {
+namespace {
+
+constexpr int kShards = 3;
+
+ShardSweepSpec FuzzSpec() {
+  ShardSweepSpec spec;
+  spec.name = "fuzz";
+  spec.total = 41;
+  spec.seed = 99;
+  spec.record = [](size_t i) -> Result<Bytes> {
+    return ToBytes("row" + std::to_string(i * 31 % 97) +
+                   std::string(i % 7, '#') + "\n");
+  };
+  return spec;
+}
+
+/// Builds a pristine 3-shard run of the fuzz sweep in a fresh dir.
+std::string BuildPristine(const std::string& label) {
+  std::string dir = std::string(::testing::TempDir()) + "/shard_fuzz_" + label;
+  EXPECT_TRUE(CreateDirectories(dir).ok());
+  ShardSweepSpec spec = FuzzSpec();
+  ShardPlan plan = ShardPlan::Create(spec.total, kShards).value();
+  EXPECT_TRUE(WriteShardPlan(spec, plan, dir).ok());
+  ShardRunner runner(spec, plan);
+  for (int k = 0; k < kShards; ++k) {
+    EXPECT_TRUE(runner.Run(k, dir).ok());
+  }
+  return dir;
+}
+
+/// The invariant every mutation must preserve: merge either fails with
+/// a typed non-OK Status (and a non-empty message) or produces bytes
+/// equal to the pristine merge. Nothing may crash.
+void ExpectCleanErrorOrIdentical(const std::string& dir,
+                                 const Bytes& pristine,
+                                 const std::string& what) {
+  Result<Bytes> merged = MergeShards(dir, "fuzz");
+  if (merged.ok()) {
+    EXPECT_EQ(*merged, pristine) << "silent wrong merge after: " << what;
+  } else {
+    EXPECT_NE(merged.status().code(), StatusCode::kOk);
+    EXPECT_FALSE(merged.status().ToString().empty()) << what;
+  }
+}
+
+TEST(ShardFuzzTest, PayloadTruncations) {
+  Bytes pristine = MergeShards(BuildPristine("ref_trunc"), "fuzz").value();
+  std::string dir = BuildPristine("trunc");
+  std::string path = ShardPayloadPath(dir, 1);
+  std::string original = *ReadFile(path);
+  // Every prefix length across the file, subsampled for speed plus the
+  // boundary-heavy first and last 32 bytes at full resolution.
+  for (size_t len = 0; len < original.size(); ++len) {
+    bool boundary = len < 32 || len + 32 >= original.size();
+    if (!boundary && len % 17 != 0) continue;
+    ASSERT_TRUE(WriteFile(path, original.substr(0, len)).ok());
+    ExpectCleanErrorOrIdentical(dir, pristine,
+                                "truncate payload to " + std::to_string(len));
+  }
+  ASSERT_TRUE(WriteFile(path, original).ok());
+  EXPECT_EQ(MergeShards(dir, "fuzz").value(), pristine);
+}
+
+TEST(ShardFuzzTest, PayloadBitFlips) {
+  Bytes pristine = MergeShards(BuildPristine("ref_flip"), "fuzz").value();
+  std::string dir = BuildPristine("flip");
+  Rng rng(424242);
+  for (int k = 0; k < kShards; ++k) {
+    std::string path = ShardPayloadPath(dir, k);
+    std::string original = *ReadFile(path);
+    for (int trial = 0; trial < 40; ++trial) {
+      std::string mutated = original;
+      size_t pos = rng.NextUint64() % mutated.size();
+      mutated[pos] ^= static_cast<char>(1u << (rng.NextUint64() % 8));
+      ASSERT_TRUE(WriteFile(path, mutated).ok());
+      ExpectCleanErrorOrIdentical(
+          dir, pristine,
+          "flip byte " + std::to_string(pos) + " of shard " +
+              std::to_string(k));
+    }
+    ASSERT_TRUE(WriteFile(path, original).ok());
+  }
+}
+
+TEST(ShardFuzzTest, ManifestTextMutations) {
+  Bytes pristine = MergeShards(BuildPristine("ref_manifest"), "fuzz").value();
+  std::string dir = BuildPristine("manifest");
+  std::string path = ShardManifestPath(dir, 0);
+  std::string original = *ReadFile(path);
+  Rng rng(31337);
+
+  // Character flips anywhere in the manifest text.
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = original;
+    size_t pos = rng.NextUint64() % mutated.size();
+    mutated[pos] ^= static_cast<char>(1u << (rng.NextUint64() % 7));
+    ASSERT_TRUE(WriteFile(path, mutated).ok());
+    ExpectCleanErrorOrIdentical(dir, pristine,
+                                "flip manifest char " + std::to_string(pos));
+  }
+
+  // Whole-line deletions and duplications.
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < original.size()) {
+    size_t nl = original.find('\n', start);
+    lines.push_back(original.substr(start, nl - start + 1));
+    start = nl + 1;
+  }
+  for (size_t drop = 0; drop < lines.size(); ++drop) {
+    std::string mutated;
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (i != drop) mutated += lines[i];
+    }
+    ASSERT_TRUE(WriteFile(path, mutated).ok());
+    ExpectCleanErrorOrIdentical(dir, pristine,
+                                "drop manifest line " + std::to_string(drop));
+  }
+  for (size_t dup = 0; dup < lines.size(); ++dup) {
+    std::string mutated = original + lines[dup];
+    ASSERT_TRUE(WriteFile(path, mutated).ok());
+    ExpectCleanErrorOrIdentical(
+        dir, pristine, "duplicate manifest line " + std::to_string(dup));
+  }
+
+  // Empty and oversized manifests.
+  ASSERT_TRUE(WriteFile(path, "").ok());
+  ExpectCleanErrorOrIdentical(dir, pristine, "empty manifest");
+  ASSERT_TRUE(WriteFile(path, std::string(1 << 16, 'A')).ok());
+  ExpectCleanErrorOrIdentical(dir, pristine, "giant garbage manifest");
+  ASSERT_TRUE(WriteFile(path, original).ok());
+  EXPECT_EQ(MergeShards(dir, "fuzz").value(), pristine);
+}
+
+TEST(ShardFuzzTest, PlanMutations) {
+  Bytes pristine = MergeShards(BuildPristine("ref_plan"), "fuzz").value();
+  std::string dir = BuildPristine("plan");
+  std::string path = ShardPlanPath(dir);
+  std::string original = *ReadFile(path);
+  Rng rng(271828);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = original;
+    size_t pos = rng.NextUint64() % mutated.size();
+    mutated[pos] ^= static_cast<char>(1u << (rng.NextUint64() % 7));
+    ASSERT_TRUE(WriteFile(path, mutated).ok());
+    ExpectCleanErrorOrIdentical(dir, pristine,
+                                "flip plan char " + std::to_string(pos));
+  }
+  // A plan claiming a different shard count than the files on disk.
+  ShardPlanInfo info = ParseShardPlanInfo(original).value();
+  info.shards = kShards + 1;
+  ASSERT_TRUE(WriteFile(path, SerializeShardPlanInfo(info)).ok());
+  ExpectCleanErrorOrIdentical(dir, pristine, "plan with extra shard");
+  ASSERT_TRUE(WriteFile(path, original).ok());
+  EXPECT_EQ(MergeShards(dir, "fuzz").value(), pristine);
+}
+
+TEST(ShardFuzzTest, CrossShardFileSwaps) {
+  Bytes pristine = MergeShards(BuildPristine("ref_swap"), "fuzz").value();
+  std::string dir = BuildPristine("swap");
+  std::vector<std::string> manifests, payloads;
+  for (int k = 0; k < kShards; ++k) {
+    manifests.push_back(*ReadFile(ShardManifestPath(dir, k)));
+    payloads.push_back(*ReadFile(ShardPayloadPath(dir, k)));
+  }
+  // Every way of planting one shard's files under another's name.
+  for (int src = 0; src < kShards; ++src) {
+    for (int dst = 0; dst < kShards; ++dst) {
+      if (src == dst) continue;
+      ASSERT_TRUE(
+          WriteFile(ShardManifestPath(dir, dst), manifests[src]).ok());
+      ASSERT_TRUE(WriteFile(ShardPayloadPath(dir, dst), payloads[src]).ok());
+      ExpectCleanErrorOrIdentical(dir, pristine,
+                                  "shard " + std::to_string(src) +
+                                      " files posing as shard " +
+                                      std::to_string(dst));
+      ASSERT_TRUE(
+          WriteFile(ShardManifestPath(dir, dst), manifests[dst]).ok());
+      ASSERT_TRUE(WriteFile(ShardPayloadPath(dir, dst), payloads[dst]).ok());
+    }
+  }
+  // Payload swapped without its manifest: SHA-256 must catch it.
+  ASSERT_TRUE(WriteFile(ShardPayloadPath(dir, 0), payloads[1]).ok());
+  Result<Bytes> merged = MergeShards(dir, "fuzz");
+  ASSERT_FALSE(merged.ok());
+  EXPECT_EQ(merged.status().code(), StatusCode::kIntegrityViolation);
+}
+
+}  // namespace
+}  // namespace hsis::common
