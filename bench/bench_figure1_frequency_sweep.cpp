@@ -6,8 +6,13 @@
 //   2. brute-force equilibrium enumeration of the actual payoff matrix;
 //   3. populations of learning agents playing the repeated game.
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_util.h"
+#include "game/kernel.h"
 #include "game/landscape.h"
+#include "landscape_baseline.h"
 #include "sim/repeated_game.h"
 
 namespace {
@@ -76,6 +81,63 @@ void PrintReproduction() {
               mismatches == 0 ? "REPRODUCED" : "MISMATCH");
 }
 
+/// Times the frozen pre-kernel per-row path (landscape_baseline.h)
+/// against the kernel batch evaluator on a fine frequency sweep and
+/// reports cells/sec; the kernel number is the headline `--json`
+/// record of this bench.
+void PrintKernelThroughput() {
+  bench::PrintRule(
+      "Figure 1 kernel throughput: pre-kernel per-row path vs batch kernel");
+  const int kSteps = 20001;
+  int threads = bench::Threads();
+  using Clock = std::chrono::steady_clock;
+  auto best_of = [&](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Clock::time_point start = Clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - start).count());
+    }
+    return best;
+  };
+
+  double baseline_s = best_of([&] {
+    common::ParallelFor(threads, static_cast<size_t>(kSteps), [&](size_t i) {
+      FrequencySweepRow row =
+          bench::baseline::FrequencyCell(kB, kF, kL, kP, kSteps, i);
+      benchmark::DoNotOptimize(row);
+    });
+  });
+  kernel::FrequencyRowsSoA rows;
+  double kernel_s = best_of([&] {
+    Status s = kernel::EvalFrequencyRows(kB, kF, kL, kP, kSteps, 0,
+                                         static_cast<size_t>(kSteps), rows,
+                                         threads);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    benchmark::DoNotOptimize(rows.nash_mask.data());
+  });
+
+  double baseline_cps = kSteps / baseline_s;
+  double kernel_cps = kSteps / kernel_s;
+  std::printf("rows: %d, threads=%d (best of 3)\n\n", kSteps, threads);
+  std::printf("  pre-kernel path  %8.2f ms   %12.0f cells/sec\n",
+              baseline_s * 1e3, baseline_cps);
+  std::printf("  batch kernel     %8.2f ms   %12.0f cells/sec\n",
+              kernel_s * 1e3, kernel_cps);
+  std::printf("\nkernel speedup: %.2fx\n", kernel_cps / baseline_cps);
+  bench::WriteJsonRecord("figure1_frequency_sweep_kernel", threads, kernel_cps,
+                         kernel_s * 1e3);
+}
+
+void PrintMain() {
+  PrintReproduction();
+  PrintKernelThroughput();
+}
+
 void BM_SweepFrequency101(benchmark::State& state) {
   for (auto _ : state) {
     auto rows = SweepFrequency(kB, kF, kL, kP, 101);
@@ -83,6 +145,27 @@ void BM_SweepFrequency101(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepFrequency101);
+
+void BM_BaselineFrequency101(benchmark::State& state) {
+  for (auto _ : state) {
+    for (size_t i = 0; i < 101; ++i) {
+      FrequencySweepRow row =
+          bench::baseline::FrequencyCell(kB, kF, kL, kP, 101, i);
+      benchmark::DoNotOptimize(row);
+    }
+  }
+}
+BENCHMARK(BM_BaselineFrequency101);
+
+void BM_KernelFrequencyRows101(benchmark::State& state) {
+  kernel::FrequencyRowsSoA rows;
+  for (auto _ : state) {
+    Status s = kernel::EvalFrequencyRows(kB, kF, kL, kP, 101, 0, 101, rows, 1);
+    benchmark::DoNotOptimize(s);
+    benchmark::DoNotOptimize(rows.nash_mask.data());
+  }
+}
+BENCHMARK(BM_KernelFrequencyRows101);
 
 void BM_SimulateOnePoint(benchmark::State& state) {
   for (auto _ : state) {
@@ -94,4 +177,4 @@ BENCHMARK(BM_SimulateOnePoint);
 
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintReproduction)
+HSIS_BENCH_MAIN(PrintMain)

@@ -6,11 +6,14 @@
 // analytic boundaries f_i* = (F_i - B_i)/(F_i + P_i), and verifies every
 // grid cell against brute-force equilibrium enumeration.
 
+#include <algorithm>
 #include <chrono>
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "game/kernel.h"
 #include "game/landscape.h"
+#include "landscape_baseline.h"
 
 namespace {
 
@@ -156,11 +159,65 @@ void PrintSpeedup() {
                   : "NO — DETERMINISM VIOLATION");
 }
 
+/// Times the frozen pre-kernel per-cell path (landscape_baseline.h)
+/// against the kernel batch evaluator on the 200x200 acceptance grid
+/// and reports cells/sec; the kernel number is the headline `--json`
+/// record of this bench.
+void PrintKernelThroughput() {
+  bench::PrintRule(
+      "Figure 3 kernel throughput: pre-kernel per-cell path vs batch kernel");
+  TwoPlayerGameParams params = BaseParams();
+  const int kGrid = 200;
+  const size_t kCells = static_cast<size_t>(kGrid) * kGrid;
+  int threads = bench::Threads();
+  using Clock = std::chrono::steady_clock;
+  auto best_of = [&](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Clock::time_point start = Clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - start).count());
+    }
+    return best;
+  };
+
+  double baseline_s = best_of([&] {
+    common::ParallelFor(threads, kCells, [&](size_t idx) {
+      AsymmetricGridCell cell =
+          bench::baseline::AsymmetricCell(params, kGrid, idx);
+      benchmark::DoNotOptimize(cell);
+    });
+  });
+  kernel::AsymmetricCellsSoA cells;
+  double kernel_s = best_of([&] {
+    Status s =
+        kernel::EvalAsymmetricCells(params, kGrid, 0, kCells, cells, threads);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+    benchmark::DoNotOptimize(cells.nash_mask.data());
+  });
+
+  double baseline_cps = static_cast<double>(kCells) / baseline_s;
+  double kernel_cps = static_cast<double>(kCells) / kernel_s;
+  std::printf("cells: %zu, threads=%d (best of 3)\n\n", kCells, threads);
+  std::printf("  pre-kernel path  %8.2f ms   %12.0f cells/sec\n",
+              baseline_s * 1e3, baseline_cps);
+  std::printf("  batch kernel     %8.2f ms   %12.0f cells/sec\n",
+              kernel_s * 1e3, kernel_cps);
+  std::printf("\nkernel speedup: %.2fx\n", kernel_cps / baseline_cps);
+  bench::WriteJsonRecord("figure3_asymmetric_grid_kernel", threads, kernel_cps,
+                         kernel_s * 1e3);
+}
+
 void PrintMain() {
   if (bench::SpeedupRequested()) {
     PrintSpeedup();
   } else {
     PrintReproduction();
+    PrintKernelThroughput();
   }
 }
 

@@ -6,14 +6,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "common/file.h"
 #include "common/parallel.h"
+#include "common/perf_record.h"
 #include "common/shard.h"
 
 /// Shared main() for all reproduction benches: strip the hsis-specific
-/// flags (`--threads=N`, `--speedup`, `--shards=K`), print the paper
-/// artifact first (tables/series exactly as DESIGN.md §4 specifies),
-/// then run the google-benchmark timings registered by the binary.
+/// flags (`--threads=N`, `--speedup`, `--shards=K`, `--json=PATH`),
+/// print the paper artifact first (tables/series exactly as DESIGN.md
+/// §4 specifies), then run the google-benchmark timings registered by
+/// the binary.
 #define HSIS_BENCH_MAIN(print_fn)                                   \
   int main(int argc, char** argv) {                                 \
     ::hsis::bench::ConsumeFlags(&argc, argv);                       \
@@ -48,6 +52,10 @@ inline bool& SpeedupStorage() {
   static bool speedup = false;
   return speedup;
 }
+inline std::string& JsonPathStorage() {
+  static std::string path;  // empty = no machine-readable output requested
+  return path;
+}
 }  // namespace internal
 
 /// The resolved `--threads=N` flag value (default 1 = serial;
@@ -64,6 +72,48 @@ inline int Shards() { return internal::ShardsStorage(); }
 /// Whether `--speedup` was passed: benches supporting it time a
 /// serial-vs-parallel comparison instead of the paper reproduction.
 inline bool SpeedupRequested() { return internal::SpeedupStorage(); }
+
+/// The `--json=PATH` flag value, or "" when absent. Benches that
+/// measure a headline throughput write one `common::PerfRecord` there
+/// via `WriteJsonRecord` so CI and EXPERIMENTS.md tooling can track
+/// cells/sec across commits without scraping stdout.
+inline const std::string& JsonPath() { return internal::JsonPathStorage(); }
+
+/// `git describe --always --dirty` of the built tree, stamped in by the
+/// build (bench/CMakeLists.txt); "unknown" when built outside git.
+inline const char* GitDescribe() {
+#ifdef HSIS_GIT_DESCRIBE
+  return HSIS_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+/// Writes the headline measurement of this bench run to `JsonPath()` as
+/// a one-line hsis-bench-v1 JSON record; no-op when `--json` was not
+/// passed. Aborts on an invalid record or unwritable path so CI smoke
+/// runs fail loudly instead of silently producing no artifact.
+inline void WriteJsonRecord(const char* bench, int threads,
+                            double cells_per_sec, double wall_ms) {
+  if (internal::JsonPathStorage().empty()) return;
+  common::PerfRecord record;
+  record.bench = bench;
+  record.threads = threads;
+  record.cells_per_sec = cells_per_sec;
+  record.wall_ms = wall_ms;
+  record.git_describe = GitDescribe();
+  auto fail = [](const Status& status) {
+    std::fprintf(stderr, "--json: %s\n", status.ToString().c_str());
+    std::exit(1);
+  };
+  if (Status s = record.Validate(); !s.ok()) fail(s);
+  if (Status s = hsis::WriteFile(internal::JsonPathStorage(),
+                                 common::PerfRecordToJson(record));
+      !s.ok()) {
+    fail(s);
+  }
+  std::printf("wrote perf record -> %s\n", internal::JsonPathStorage().c_str());
+}
 
 /// Removes the hsis flags from argv so google-benchmark never sees
 /// them; called by HSIS_BENCH_MAIN before anything else. Flag values
@@ -88,6 +138,8 @@ inline void ConsumeFlags(int* argc, char** argv) {
           resolve(hsis::common::ParseShardsValue(argv[i] + 9));
     } else if (std::strcmp(argv[i], "--speedup") == 0) {
       internal::SpeedupStorage() = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      internal::JsonPathStorage() = argv[i] + 7;
     } else {
       argv[out++] = argv[i];
     }

@@ -1,0 +1,70 @@
+// Validates a machine-readable bench record (`--json=PATH` output of
+// the benches): reads the file, parses it against the strict
+// hsis-bench-v1 schema (common/perf_record.h), and prints the decoded
+// fields. Exit code 0 means the record is well-formed and sensible;
+// CI's bench smoke step pipes a fresh record through this checker so a
+// schema regression fails the build rather than silently producing
+// garbage artifacts.
+//
+//   check_bench_json FILE.json [--min-cells-per-sec=X]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/file.h"
+#include "common/perf_record.h"
+
+using namespace hsis;
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  double min_cells_per_sec = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--min-cells-per-sec=", 20) == 0) {
+      char* end = nullptr;
+      min_cells_per_sec = std::strtod(argv[i] + 20, &end);
+      if (end == argv[i] + 20 || *end != '\0') {
+        std::fprintf(stderr, "bad --min-cells-per-sec value\n");
+        return 2;
+      }
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: check_bench_json FILE.json "
+                   "[--min-cells-per-sec=X]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: check_bench_json FILE.json [--min-cells-per-sec=X]\n");
+    return 2;
+  }
+
+  auto content = ReadFile(path);
+  if (!content.ok()) {
+    std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
+    return 1;
+  }
+  auto record = common::ParsePerfRecord(*content);
+  if (!record.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path,
+                 record.status().ToString().c_str());
+    return 1;
+  }
+  if (record->cells_per_sec < min_cells_per_sec) {
+    std::fprintf(stderr,
+                 "%s: cells_per_sec %.0f below required minimum %.0f\n", path,
+                 record->cells_per_sec, min_cells_per_sec);
+    return 1;
+  }
+  std::printf("%s: ok\n", path);
+  std::printf("  bench         %s\n", record->bench.c_str());
+  std::printf("  threads       %d\n", record->threads);
+  std::printf("  cells_per_sec %.0f\n", record->cells_per_sec);
+  std::printf("  wall_ms       %.3f\n", record->wall_ms);
+  std::printf("  git_describe  %s\n", record->git_describe.c_str());
+  return 0;
+}

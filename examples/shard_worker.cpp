@@ -14,7 +14,9 @@
 // The merge validates every shard manifest (SHA-256, ranges, plan
 // membership) and the assembled CSV is byte-identical to the serial
 // single-process `export_landscapes` output. `--list` prints the sweep
-// names.
+// names: the builtin figure landscapes plus the registered sweeps this
+// driver opts into at startup (heterogeneous design searches and the
+// campaign ensemble).
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +26,7 @@
 #include "common/file.h"
 #include "common/parallel.h"
 #include "common/shard.h"
+#include "core/campaign_shards.h"
 #include "game/landscape_shards.h"
 
 using namespace hsis;
@@ -113,6 +116,11 @@ int DoMerge(const std::string& out, std::string csv_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Opt into the registered (non-figure) sweeps so this driver can plan,
+  // run, and merge them by name alongside the builtin figure landscapes.
+  if (Status s = RegisterHeterogeneousDesignSweeps(); !s.ok()) return Fail(s);
+  if (Status s = core::RegisterCampaignEnsembleSweep(); !s.ok()) return Fail(s);
+
   bool plan = false, merge = false, list = false;
   int shard = -1, shards = 1, threads = 1;
   std::string sweep, out, csv;

@@ -1,0 +1,246 @@
+#include "common/perf_record.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hsis::common {
+
+namespace {
+
+void AppendJsonString(std::string& out, std::string_view value) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonNumber(std::string& out, double value) {
+  char buf[40];
+  int len = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out.append(buf, static_cast<size_t>(len));
+}
+
+/// Minimal strict scanner over the flat record object. Tracks a cursor
+/// into the input; every helper fails with InvalidArgument on the first
+/// byte that does not fit the expected token.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           (input_[pos_] == ' ' || input_[pos_] == '\t' ||
+            input_[pos_] == '\n' || input_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ == input_.size();
+  }
+
+  Result<std::string> String() {
+    SkipSpace();
+    if (pos_ >= input_.size() || input_[pos_] != '"') {
+      return Status::InvalidArgument("perf record: expected string");
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < input_.size() && input_[pos_] != '"') {
+      char c = input_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= input_.size()) break;
+        char esc = input_[pos_++];
+        if (esc == 'n') {
+          out += '\n';
+        } else if (esc == '"' || esc == '\\') {
+          out += esc;
+        } else {
+          return Status::InvalidArgument(
+              "perf record: unsupported escape sequence");
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("perf record: unterminated string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Result<double> Number() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '-' || input_[pos_] == '+' ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("perf record: expected number");
+    }
+    std::string token(input_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument("perf record: malformed number");
+    }
+    return value;
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status PerfRecord::Validate() const {
+  if (bench.empty()) {
+    return Status::InvalidArgument("perf record: bench name is empty");
+  }
+  if (git_describe.empty()) {
+    return Status::InvalidArgument("perf record: git_describe is empty");
+  }
+  if (threads < 1) {
+    return Status::InvalidArgument("perf record: threads must be >= 1");
+  }
+  if (!std::isfinite(cells_per_sec) || cells_per_sec <= 0) {
+    return Status::InvalidArgument(
+        "perf record: cells_per_sec must be finite and > 0");
+  }
+  if (!std::isfinite(wall_ms) || wall_ms < 0) {
+    return Status::InvalidArgument(
+        "perf record: wall_ms must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+std::string PerfRecordToJson(const PerfRecord& record) {
+  std::string out = "{\"schema\":";
+  AppendJsonString(out, kPerfRecordSchema);
+  out += ",\"bench\":";
+  AppendJsonString(out, record.bench);
+  out += ",\"threads\":";
+  out += std::to_string(record.threads);
+  out += ",\"cells_per_sec\":";
+  AppendJsonNumber(out, record.cells_per_sec);
+  out += ",\"wall_ms\":";
+  AppendJsonNumber(out, record.wall_ms);
+  out += ",\"git_describe\":";
+  AppendJsonString(out, record.git_describe);
+  out += "}\n";
+  return out;
+}
+
+Result<PerfRecord> ParsePerfRecord(std::string_view json) {
+  Scanner scanner(json);
+  if (!scanner.Consume('{')) {
+    return Status::InvalidArgument("perf record: expected '{'");
+  }
+  PerfRecord record;
+  bool seen_schema = false, seen_bench = false, seen_threads = false,
+       seen_cells = false, seen_wall = false, seen_git = false;
+  bool first = true;
+  while (!scanner.Consume('}')) {
+    if (!first && !scanner.Consume(',')) {
+      return Status::InvalidArgument("perf record: expected ',' or '}'");
+    }
+    first = false;
+    HSIS_ASSIGN_OR_RETURN(std::string key, scanner.String());
+    if (!scanner.Consume(':')) {
+      return Status::InvalidArgument("perf record: expected ':' after key");
+    }
+    if (key == "schema") {
+      if (seen_schema) {
+        return Status::InvalidArgument("perf record: duplicate key 'schema'");
+      }
+      seen_schema = true;
+      HSIS_ASSIGN_OR_RETURN(std::string schema, scanner.String());
+      if (schema != kPerfRecordSchema) {
+        return Status::InvalidArgument("perf record: unknown schema '" +
+                                       schema + "'");
+      }
+    } else if (key == "bench") {
+      if (seen_bench) {
+        return Status::InvalidArgument("perf record: duplicate key 'bench'");
+      }
+      seen_bench = true;
+      HSIS_ASSIGN_OR_RETURN(record.bench, scanner.String());
+    } else if (key == "threads") {
+      if (seen_threads) {
+        return Status::InvalidArgument("perf record: duplicate key 'threads'");
+      }
+      seen_threads = true;
+      HSIS_ASSIGN_OR_RETURN(double threads, scanner.Number());
+      if (threads != static_cast<int>(threads)) {
+        return Status::InvalidArgument(
+            "perf record: threads must be an integer");
+      }
+      record.threads = static_cast<int>(threads);
+    } else if (key == "cells_per_sec") {
+      if (seen_cells) {
+        return Status::InvalidArgument(
+            "perf record: duplicate key 'cells_per_sec'");
+      }
+      seen_cells = true;
+      HSIS_ASSIGN_OR_RETURN(record.cells_per_sec, scanner.Number());
+    } else if (key == "wall_ms") {
+      if (seen_wall) {
+        return Status::InvalidArgument("perf record: duplicate key 'wall_ms'");
+      }
+      seen_wall = true;
+      HSIS_ASSIGN_OR_RETURN(record.wall_ms, scanner.Number());
+    } else if (key == "git_describe") {
+      if (seen_git) {
+        return Status::InvalidArgument(
+            "perf record: duplicate key 'git_describe'");
+      }
+      seen_git = true;
+      HSIS_ASSIGN_OR_RETURN(record.git_describe, scanner.String());
+    } else {
+      return Status::InvalidArgument("perf record: unknown key '" + key + "'");
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument(
+        "perf record: trailing bytes after record object");
+  }
+  if (!seen_schema || !seen_bench || !seen_threads || !seen_cells ||
+      !seen_wall || !seen_git) {
+    return Status::InvalidArgument("perf record: missing required key");
+  }
+  HSIS_RETURN_IF_ERROR(record.Validate());
+  return record;
+}
+
+}  // namespace hsis::common

@@ -1,0 +1,49 @@
+#ifndef HSIS_COMMON_PERF_RECORD_H_
+#define HSIS_COMMON_PERF_RECORD_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace hsis::common {
+
+/// Schema tag stamped into every serialized record; bump when fields
+/// change so downstream tooling can reject records it does not
+/// understand.
+inline constexpr const char* kPerfRecordSchema = "hsis-bench-v1";
+
+/// A machine-readable benchmark measurement: one throughput sample of
+/// one bench at one thread count, with enough provenance (git describe)
+/// to compare runs across commits. Serialized as a single flat JSON
+/// object so shell tooling and CI checkers can parse it without a JSON
+/// library.
+struct PerfRecord {
+  std::string bench;        // bench identifier, e.g. "figure1_frequency_sweep"
+  int threads = 1;          // worker threads used for the measurement
+  double cells_per_sec = 0; // sweep cells evaluated per second
+  double wall_ms = 0;       // wall-clock time of the measured run
+  std::string git_describe; // `git describe --always --dirty` at build time
+
+  /// Checks the record is complete and physically sensible: non-empty
+  /// bench and git_describe, threads >= 1, cells_per_sec > 0 and
+  /// wall_ms >= 0 (both finite).
+  Status Validate() const;
+};
+
+/// Serializes to one line of JSON (trailing newline included):
+///   {"schema":"hsis-bench-v1","bench":...,"threads":...,
+///    "cells_per_sec":...,"wall_ms":...,"git_describe":...}
+/// Numbers use %.17g so a parse round-trips bit-exactly.
+std::string PerfRecordToJson(const PerfRecord& record);
+
+/// Strict inverse of `PerfRecordToJson`: accepts exactly one flat JSON
+/// object with the five fields in any order (whitespace tolerated),
+/// requires `"schema": "hsis-bench-v1"`, and rejects duplicate,
+/// missing, or unknown keys. The returned record additionally passes
+/// `Validate()`.
+Result<PerfRecord> ParsePerfRecord(std::string_view json);
+
+}  // namespace hsis::common
+
+#endif  // HSIS_COMMON_PERF_RECORD_H_

@@ -1,0 +1,113 @@
+#include "core/campaign_shards.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/shard.h"
+#include "core/campaign.h"
+#include "crypto/group.h"
+#include "game/landscape_shards.h"
+
+namespace hsis::core {
+
+namespace {
+
+constexpr int kRounds = 40;
+constexpr int kReplicates = 16;
+constexpr uint64_t kBaseSeed = 20260806;
+
+CampaignSessionFactory MakeCanonicalSessionFactory() {
+  return [](uint64_t seed) -> Result<HonestSharingSession> {
+    SessionConfig config;
+    config.audit_frequency = 0.5;
+    config.penalty = 30;
+    config.group = &crypto::PrimeGroup::SmallTestGroup();
+    config.seed = seed;
+    HSIS_ASSIGN_OR_RETURN(HonestSharingSession s,
+                          HonestSharingSession::Create(config));
+    HSIS_RETURN_IF_ERROR(s.AddParty("alice"));
+    HSIS_RETURN_IF_ERROR(s.AddParty("bob"));
+    HSIS_RETURN_IF_ERROR(s.IssueTuples("alice", {"u", "v", "a1", "a2"}));
+    HSIS_RETURN_IF_ERROR(s.IssueTuples("bob", {"u", "v", "b1", "b2", "b3"}));
+    return s;
+  };
+}
+
+std::vector<CampaignPolicyPair> CanonicalPolicyGrid() {
+  std::vector<CampaignPolicyPair> policies;
+  policies.push_back({"honest/honest", HonestPolicy, HonestPolicy});
+  policies.push_back({"prober/honest",
+                      [] {
+                        return PersistentProberPolicy({"b1", "b2", "miss"}, 2);
+                      },
+                      HonestPolicy});
+  policies.push_back(
+      {"opportunist/honest",
+       [] { return OpportunisticProberPolicy({"b1", "b2", "miss"}, 2, 0.3); },
+       HonestPolicy});
+  return policies;
+}
+
+CampaignEnsembleConfig CanonicalConfig() {
+  CampaignEnsembleConfig config;
+  config.rounds = kRounds;
+  config.replicates = kReplicates;
+  config.base_seed = kBaseSeed;
+  config.economics.honest_benefit = 10;
+  config.economics.gain_per_probe_hit = 5;
+  config.economics.loss_per_leaked_tuple = 4;
+  return config;
+}
+
+void AppendCsvDouble(std::string& out, double v) {
+  char buf[32];
+  int len = std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out.append(buf, static_cast<size_t>(len));
+}
+
+Result<Bytes> CampaignCellRecord(size_t cell) {
+  const auto policies = CanonicalPolicyGrid();
+  const auto config = CanonicalConfig();
+  HSIS_ASSIGN_OR_RETURN(
+      CampaignCellResult result,
+      RunCampaignEnsembleCell(MakeCanonicalSessionFactory(), "alice", "bob",
+                              policies, config, cell));
+  std::string row = policies[result.policy_index].label;
+  row += ',';
+  row += std::to_string(result.replicate);
+  row += ',';
+  row += std::to_string(result.session_seed);
+  row += ',';
+  AppendCsvDouble(row, result.result.a.realized_payoff);
+  row += ',';
+  AppendCsvDouble(row, result.result.b.realized_payoff);
+  row += ',';
+  row += std::to_string(result.result.a.times_detected);
+  row += ',';
+  row += std::to_string(result.result.b.times_detected);
+  row += '\n';
+  return ToBytes(row);
+}
+
+}  // namespace
+
+Status RegisterCampaignEnsembleSweep() {
+  game::NamedSweep sweep;
+  sweep.make_spec = []() -> Result<common::ShardSweepSpec> {
+    common::ShardSweepSpec spec;
+    spec.name = "campaign_ensemble";
+    spec.total = CanonicalPolicyGrid().size() * kReplicates;
+    spec.seed = kBaseSeed;
+    spec.record = CampaignCellRecord;
+    return spec;
+  };
+  sweep.header =
+      "policy,replicate,session_seed,payoff_a,payoff_b,"
+      "detections_a,detections_b\n";
+  sweep.filename = "campaign_ensemble.csv";
+  Status status = game::RegisterNamedSweep("campaign_ensemble", std::move(sweep));
+  if (status.code() == StatusCode::kAlreadyExists) return Status::OK();
+  return status;
+}
+
+}  // namespace hsis::core

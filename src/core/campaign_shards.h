@@ -1,0 +1,29 @@
+#ifndef HSIS_CORE_CAMPAIGN_SHARDS_H_
+#define HSIS_CORE_CAMPAIGN_SHARDS_H_
+
+#include "common/status.h"
+
+namespace hsis::core {
+
+/// Registers the canonical campaign-ensemble sweep ("campaign_ensemble")
+/// in the named-sweep registry (game/landscape_shards.h), making the
+/// full-session policy × replicate grid drivable from `shard_worker`
+/// like a figure landscape: one CSV row per grid cell, produced by
+/// `RunCampaignEnsembleCell`, so a merged K-shard run is byte-identical
+/// to the serial CSV.
+///
+/// Canonical parameterization: the bench_repeated_enforcement economics
+/// (B = 10 honest benefit, 5 per probe hit, 4 per leaked tuple) at
+/// audit frequency 0.5 and penalty 30, three policy pairs
+/// (honest/honest, prober/honest, opportunist/honest), 40 rounds and
+/// 16 replicates per pair, base seed 20260806.
+///
+/// Lives in hsis_core (the registry itself is in hsis_game, which cannot
+/// depend on core), so drivers that want the sweep call this explicitly
+/// at startup — `shard_worker` does. Idempotent: re-registration is a
+/// no-op.
+Status RegisterCampaignEnsembleSweep();
+
+}  // namespace hsis::core
+
+#endif  // HSIS_CORE_CAMPAIGN_SHARDS_H_

@@ -37,8 +37,9 @@ bool IsNashEquilibrium(const NormalFormGame& game,
 
 std::vector<StrategyProfile> PureNashEquilibria(const NormalFormGame& game) {
   std::vector<StrategyProfile> out;
+  StrategyProfile profile;
   for (size_t i = 0; i < game.num_profiles(); ++i) {
-    StrategyProfile profile = game.ProfileFromIndex(i);
+    game.ProfileFromIndex(i, profile);
     if (IsNashEquilibrium(game, profile)) out.push_back(profile);
   }
   return out;
@@ -48,17 +49,16 @@ bool IsDominantStrategy(const NormalFormGame& game, int player, int s,
                         bool strict) {
   // `s` must beat every alternative s' against every full profile of the
   // other players. Iterate all profiles and compare the two slices.
+  StrategyProfile profile;
   for (size_t i = 0; i < game.num_profiles(); ++i) {
-    StrategyProfile profile = game.ProfileFromIndex(i);
+    game.ProfileFromIndex(i, profile);
     if (profile[static_cast<size_t>(player)] != 0) continue;  // canonicalize others' loop
-    StrategyProfile with_s = profile;
-    with_s[static_cast<size_t>(player)] = s;
-    double payoff_s = game.Payoff(with_s, player);
+    profile[static_cast<size_t>(player)] = s;
+    double payoff_s = game.Payoff(profile, player);
     for (int alt = 0; alt < game.num_strategies(player); ++alt) {
       if (alt == s) continue;
-      StrategyProfile with_alt = profile;
-      with_alt[static_cast<size_t>(player)] = alt;
-      double payoff_alt = game.Payoff(with_alt, player);
+      profile[static_cast<size_t>(player)] = alt;
+      double payoff_alt = game.Payoff(profile, player);
       if (strict) {
         if (payoff_s <= payoff_alt + kPayoffEpsilon) return false;
       } else {

@@ -1,0 +1,521 @@
+#include "game/kernel.h"
+
+#include "common/parallel.h"
+#include "game/equilibrium.h"
+
+namespace hsis::game::kernel {
+
+namespace {
+
+/// Scheduling unit of the batch evaluators: rows are microseconds each,
+/// so whole batches amortize the per-index std::function dispatch of
+/// the parallel engine (one dispatch per 256 rows instead of per row).
+constexpr size_t kBatchSize = 256;
+
+/// File-local twin of the private boundary epsilon in thresholds.cc —
+/// the n-player band loop must reproduce `NPlayerEquilibriumHonestCount`
+/// bit-for-bit, `- kEps` included.
+constexpr double kBandEps = 1e-12;
+
+Status ValidateSteps(int steps) {
+  if (steps < 1) return Status::InvalidArgument("steps must be >= 1");
+  return Status::OK();
+}
+
+Status ValidateRange(int steps, size_t span, size_t begin, size_t count) {
+  if (begin > span || count > span - begin) {
+    return Status::InvalidArgument("row range exceeds sweep index space");
+  }
+  (void)steps;
+  return Status::OK();
+}
+
+}  // namespace
+
+Game2x2 MakeAudited2x2(const TwoPlayerGameParams& params) {
+  // Exactly the payoff arithmetic of MakeTwoPlayerHonestyGame — same
+  // expressions in the same order, so every double is bit-identical to
+  // the generic path (which the golden CSV pins rely on).
+  const double b1 = params.player1.benefit;
+  const double b2 = params.player2.benefit;
+  const double f1 = params.audit1.frequency;
+  const double f2 = params.audit2.frequency;
+  const double cheat1 =
+      (1 - f1) * params.player1.cheat_gain - f1 * params.audit1.penalty;
+  const double cheat2 =
+      (1 - f2) * params.player2.cheat_gain - f2 * params.audit2.penalty;
+  const double spill_on_1 = (1 - f2) * params.loss_to_1;  // (1-f2) L21
+  const double spill_on_2 = (1 - f1) * params.loss_to_2;  // (1-f1) L12
+
+  Game2x2 game;
+  game.SetPayoffs(kHonest, kHonest, b1, b2);
+  game.SetPayoffs(kHonest, kCheat, b1 - spill_on_1, cheat2);
+  game.SetPayoffs(kCheat, kHonest, cheat1, b2 - spill_on_2);
+  game.SetPayoffs(kCheat, kCheat, cheat1 - spill_on_1, cheat2 - spill_on_2);
+  return game;
+}
+
+ProfileMask2x2 PureNashMask(const Game2x2& game) {
+  // The IsNashEquilibrium deviation test of game/equilibrium.cc: reject
+  // a profile iff some unilateral alternative pays strictly more than
+  // current + kPayoffEpsilon. With two strategies the only alternative
+  // is the flipped one.
+  ProfileMask2x2 mask = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      if (game.Payoff(1 - r, c, 0) > game.Payoff(r, c, 0) + kPayoffEpsilon) {
+        continue;
+      }
+      if (game.Payoff(r, 1 - c, 1) > game.Payoff(r, c, 1) + kPayoffEpsilon) {
+        continue;
+      }
+      mask |= static_cast<ProfileMask2x2>(1u << (r * 2 + c));
+    }
+  }
+  return mask;
+}
+
+bool HonestIsDse2x2(const Game2x2& game) {
+  // H has the lowest strategy index, so DominantStrategyEquilibrium
+  // returns (H, H) exactly when H is weakly dominant for both players —
+  // the IsDominantStrategy test: fail iff payoff_s < payoff_alt - eps
+  // against some opponent choice.
+  for (int c = 0; c < 2; ++c) {
+    if (game.Payoff(kHonest, c, 0) <
+        game.Payoff(kCheat, c, 0) - kPayoffEpsilon) {
+      return false;
+    }
+  }
+  for (int r = 0; r < 2; ++r) {
+    if (game.Payoff(r, kHonest, 1) <
+        game.Payoff(r, kCheat, 1) - kPayoffEpsilon) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int MaskCount(ProfileMask2x2 mask) {
+  int count = 0;
+  for (ProfileMask2x2 m = mask; m != 0; m &= static_cast<ProfileMask2x2>(m - 1)) {
+    ++count;
+  }
+  return count;
+}
+
+const std::string& NashMaskJoined(ProfileMask2x2 mask) {
+  // All 16 possible ';'-joined label sets in profile order, materialized
+  // once: serialization reads a static string, never builds one.
+  static const std::array<std::string, 16> kJoined = [] {
+    const char* labels[4] = {"HH", "HC", "CH", "CC"};
+    std::array<std::string, 16> out;
+    for (unsigned m = 0; m < 16; ++m) {
+      for (int bit = 0; bit < 4; ++bit) {
+        if ((m & (1u << bit)) == 0) continue;
+        if (!out[m].empty()) out[m] += ';';
+        out[m] += labels[bit];
+      }
+    }
+    return out;
+  }();
+  return kJoined[mask & 0xF];
+}
+
+void AppendNashLabels(ProfileMask2x2 mask, std::vector<std::string>& out) {
+  static const char* kLabels[4] = {"HH", "HC", "CH", "CC"};
+  for (int bit = 0; bit < 4; ++bit) {
+    if (mask & (1u << bit)) out.emplace_back(kLabels[bit]);
+  }
+}
+
+bool SymmetricMaskMatches(SymmetricRegion region, ProfileMask2x2 mask) {
+  // SymmetricPredictionHolds on bitmasks: interior regions predict a
+  // unique equilibrium, the boundary only requires (H,H) among the NE.
+  switch (region) {
+    case SymmetricRegion::kAllCheatUniqueDse:
+      return mask == kMaskCC;
+    case SymmetricRegion::kAllHonestUniqueDse:
+      return mask == kMaskHH;
+    case SymmetricRegion::kBoundary:
+      return (mask & kMaskHH) != 0;
+  }
+  return false;
+}
+
+bool AsymmetricMaskMatches(AsymmetricRegion region, ProfileMask2x2 mask) {
+  switch (region) {
+    case AsymmetricRegion::kBoundary:
+      return true;  // boundary cells are vacuously consistent
+    case AsymmetricRegion::kBothCheat:
+      return mask == kMaskCC;
+    case AsymmetricRegion::kOnlyP1Cheats:
+      return mask == kMaskCH;
+    case AsymmetricRegion::kOnlyP2Cheats:
+      return mask == kMaskHC;
+    case AsymmetricRegion::kBothHonest:
+      return mask == kMaskHH;
+  }
+  return false;
+}
+
+FrequencyRowKernel FrequencyRowAt(double benefit, double cheat_gain,
+                                  double loss, double penalty, int steps,
+                                  size_t index) {
+  FrequencyRowKernel row;
+  row.frequency = GridPoint(steps, index);
+  const Game2x2 game = MakeAudited2x2(TwoPlayerGameParams::Symmetric(
+      benefit, cheat_gain, loss, row.frequency, penalty));
+  row.region =
+      ClassifySymmetricRegion(benefit, cheat_gain, row.frequency, penalty);
+  row.nash_mask = PureNashMask(game);
+  row.honest_is_dse = HonestIsDse2x2(game);
+  row.matches = SymmetricMaskMatches(row.region, row.nash_mask);
+  return row;
+}
+
+PenaltyRowKernel PenaltyRowAt(double benefit, double cheat_gain, double loss,
+                              double frequency, double max_penalty, int steps,
+                              size_t index) {
+  PenaltyRowKernel row;
+  row.penalty = steps == 1
+                    ? 0.0
+                    : max_penalty * static_cast<double>(index) / (steps - 1);
+  const Game2x2 game = MakeAudited2x2(TwoPlayerGameParams::Symmetric(
+      benefit, cheat_gain, loss, frequency, row.penalty));
+  row.region =
+      ClassifySymmetricRegion(benefit, cheat_gain, frequency, row.penalty);
+  row.nash_mask = PureNashMask(game);
+  row.honest_is_dse = HonestIsDse2x2(game);
+  row.matches = SymmetricMaskMatches(row.region, row.nash_mask);
+  return row;
+}
+
+AsymmetricCellKernel AsymmetricCellAt(const TwoPlayerGameParams& params,
+                                      int steps, size_t index) {
+  const size_t i = index / static_cast<size_t>(steps);
+  const size_t j = index % static_cast<size_t>(steps);
+  TwoPlayerGameParams p = params;
+  p.audit1.frequency = GridPoint(steps, i);
+  p.audit2.frequency = GridPoint(steps, j);
+
+  AsymmetricCellKernel cell;
+  cell.f1 = p.audit1.frequency;
+  cell.f2 = p.audit2.frequency;
+  const Game2x2 game = MakeAudited2x2(p);
+  cell.region = ClassifyAsymmetricRegion(
+      p.player1.benefit, p.player1.cheat_gain, p.audit1.penalty, cell.f1,
+      p.player2.benefit, p.player2.cheat_gain, p.audit2.penalty, cell.f2);
+  cell.nash_mask = PureNashMask(game);
+  cell.matches = AsymmetricMaskMatches(cell.region, cell.nash_mask);
+  return cell;
+}
+
+Result<FrequencyRowKernel> EvalFrequencyRow(double benefit, double cheat_gain,
+                                            double loss, double penalty,
+                                            int steps, size_t index) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  if (index >= static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  HSIS_RETURN_IF_ERROR(
+      TwoPlayerGameParams::Symmetric(benefit, cheat_gain, loss,
+                                     GridPoint(steps, index), penalty)
+          .Validate());
+  return FrequencyRowAt(benefit, cheat_gain, loss, penalty, steps, index);
+}
+
+Result<PenaltyRowKernel> EvalPenaltyRow(double benefit, double cheat_gain,
+                                        double loss, double frequency,
+                                        double max_penalty, int steps,
+                                        size_t index) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  if (index >= static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  const double p = steps == 1
+                       ? 0.0
+                       : max_penalty * static_cast<double>(index) / (steps - 1);
+  HSIS_RETURN_IF_ERROR(TwoPlayerGameParams::Symmetric(benefit, cheat_gain,
+                                                      loss, frequency, p)
+                           .Validate());
+  return PenaltyRowAt(benefit, cheat_gain, loss, frequency, max_penalty, steps,
+                      index);
+}
+
+Result<AsymmetricCellKernel> EvalAsymmetricCell(
+    const TwoPlayerGameParams& params, int steps, size_t index) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  if (index >= static_cast<size_t>(steps) * static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("cell index out of range");
+  }
+  TwoPlayerGameParams p = params;
+  p.audit1.frequency = 0;
+  p.audit2.frequency = 0;
+  HSIS_RETURN_IF_ERROR(p.Validate());
+  return AsymmetricCellAt(params, steps, index);
+}
+
+Result<NPlayerKernelParams> MakeNPlayerKernelParams(
+    const NPlayerHonestyGame::Params& params) {
+  // The validation of NPlayerHonestyGame::Create, performed once per
+  // batch instead of once per row, plus the sweep's Theorem 1
+  // requirement (frequency > 0) and the fixed-capacity bound.
+  if (params.n < 2) {
+    return Status::InvalidArgument("n-player game needs n >= 2");
+  }
+  if (params.n > kMaxKernelPlayers) {
+    return Status::OutOfRange("n-player kernel limited to n <= 63");
+  }
+  if (!params.gain) {
+    return Status::InvalidArgument("gain function F is required");
+  }
+  if (params.frequency <= 0 || params.frequency > 1) {
+    return Status::InvalidArgument(
+        "n-player penalty sweep requires frequency in (0, 1] (Theorem 1)");
+  }
+  if (params.penalty < 0 || params.uniform_loss < 0 || params.benefit < 0) {
+    return Status::InvalidArgument("B, P and L must be non-negative");
+  }
+  if (!params.loss_matrix.empty()) {
+    if (params.loss_matrix.size() != static_cast<size_t>(params.n)) {
+      return Status::InvalidArgument("loss matrix must be n x n");
+    }
+    for (const auto& row : params.loss_matrix) {
+      if (row.size() != static_cast<size_t>(params.n)) {
+        return Status::InvalidArgument("loss matrix must be n x n");
+      }
+      for (double v : row) {
+        if (v < 0) return Status::InvalidArgument("losses must be >= 0");
+      }
+    }
+  }
+  NPlayerKernelParams out;
+  out.n = params.n;
+  out.benefit = params.benefit;
+  out.frequency = params.frequency;
+  for (int x = 0; x < params.n; ++x) {
+    out.gain_table[static_cast<size_t>(x)] = params.gain(x);
+  }
+  for (int x = 0; x + 1 < params.n; ++x) {
+    if (out.gain_table[static_cast<size_t>(x + 1)] <
+        out.gain_table[static_cast<size_t>(x)] - 1e-12) {
+      return Status::InvalidArgument(
+          "gain function F must be monotone increasing in the number of "
+          "honest players");
+    }
+  }
+  return out;
+}
+
+NPlayerBandRowKernel NPlayerBandRowAt(const NPlayerKernelParams& params,
+                                      double max_penalty, int steps,
+                                      size_t index) {
+  NPlayerBandRowKernel row;
+  row.penalty = steps == 1
+                    ? 0.0
+                    : max_penalty * static_cast<double>(index) / (steps - 1);
+
+  const int n = params.n;
+  const double f = params.frequency;
+  const double b = params.benefit;
+  const double p = row.penalty;
+
+  // NPlayerEquilibriumHonestCount: largest x with
+  // P > ((1-f) F(x-1) - B)/f — the band loop of thresholds.cc with its
+  // private 1e-12 epsilon, gain table in place of the std::function.
+  int analytic = 0;
+  while (analytic < n &&
+         p > ((1 - f) * params.gain_table[static_cast<size_t>(analytic)] - b) /
+                     f -
+                 kBandEps) {
+    ++analytic;
+  }
+  row.analytic_honest_count = analytic;
+
+  // CheatAdvantage(x) = (1-f) F(x) - f P - B, exactly as in
+  // nplayer_game.cc; the symmetric-class Nash check compares against
+  // kPayoffEpsilon on both edges.
+  const auto advantage = [&](int x) {
+    return (1 - f) * params.gain_table[static_cast<size_t>(x)] - f * p - b;
+  };
+  HonestCountMask mask = 0;
+  int count_size = 0;
+  bool analytic_in_counts = false;
+  for (int x = 0; x <= n; ++x) {
+    if (x > 0 && advantage(x - 1) > kPayoffEpsilon) continue;
+    if (x < n && advantage(x) < -kPayoffEpsilon) continue;
+    mask |= HonestCountMask{1} << x;
+    ++count_size;
+    if (x == analytic) analytic_in_counts = true;
+  }
+  row.count_mask = mask;
+  row.honest_is_dominant = advantage(n - 1) <= kPayoffEpsilon;
+  row.cheat_is_dominant = advantage(0) >= -kPayoffEpsilon;
+  row.matches = analytic_in_counts && count_size <= 2;
+  return row;
+}
+
+Result<NPlayerBandRowKernel> EvalNPlayerBandRow(
+    const NPlayerKernelParams& params, double max_penalty, int steps,
+    size_t index) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  if (index >= static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  const double p = steps == 1
+                       ? 0.0
+                       : max_penalty * static_cast<double>(index) / (steps - 1);
+  if (p < 0) {
+    return Status::InvalidArgument("B, P and L must be non-negative");
+  }
+  return NPlayerBandRowAt(params, max_penalty, steps, index);
+}
+
+int CountMaskSize(HonestCountMask mask) {
+  int count = 0;
+  for (HonestCountMask m = mask; m != 0; m &= m - 1) ++count;
+  return count;
+}
+
+void AppendHonestCounts(HonestCountMask mask, std::vector<int>& out) {
+  for (int x = 0; x <= kMaxKernelPlayers; ++x) {
+    if (mask & (HonestCountMask{1} << x)) out.push_back(x);
+  }
+}
+
+void FrequencyRowsSoA::Resize(size_t n) {
+  frequency.resize(n);
+  region.resize(n);
+  nash_mask.resize(n);
+  honest_is_dse.resize(n);
+  matches.resize(n);
+}
+
+void PenaltyRowsSoA::Resize(size_t n) {
+  penalty.resize(n);
+  region.resize(n);
+  nash_mask.resize(n);
+  honest_is_dse.resize(n);
+  matches.resize(n);
+}
+
+void AsymmetricCellsSoA::Resize(size_t n) {
+  f1.resize(n);
+  f2.resize(n);
+  region.resize(n);
+  nash_mask.resize(n);
+  matches.resize(n);
+}
+
+void NPlayerBandRowsSoA::Resize(size_t n) {
+  penalty.resize(n);
+  analytic_honest_count.resize(n);
+  count_mask.resize(n);
+  honest_is_dominant.resize(n);
+  cheat_is_dominant.resize(n);
+  matches.resize(n);
+}
+
+Status EvalFrequencyRows(double benefit, double cheat_gain, double loss,
+                         double penalty, int steps, size_t begin, size_t count,
+                         FrequencyRowsSoA& out, int threads) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  HSIS_RETURN_IF_ERROR(
+      ValidateRange(steps, static_cast<size_t>(steps), begin, count));
+  // One validation covers the whole batch: only the audit frequency
+  // varies across rows and every grid point lies in [0, 1].
+  HSIS_RETURN_IF_ERROR(
+      TwoPlayerGameParams::Symmetric(benefit, cheat_gain, loss, 0.0, penalty)
+          .Validate());
+  out.Resize(count);
+  common::ParallelFor(threads, count, kBatchSize, [&](size_t k) {
+    const FrequencyRowKernel row =
+        FrequencyRowAt(benefit, cheat_gain, loss, penalty, steps, begin + k);
+    out.frequency[k] = row.frequency;
+    out.region[k] = row.region;
+    out.nash_mask[k] = row.nash_mask;
+    out.honest_is_dse[k] = row.honest_is_dse ? 1 : 0;
+    out.matches[k] = row.matches ? 1 : 0;
+  });
+  return Status::OK();
+}
+
+Status EvalPenaltyRows(double benefit, double cheat_gain, double loss,
+                       double frequency, double max_penalty, int steps,
+                       size_t begin, size_t count, PenaltyRowsSoA& out,
+                       int threads) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  HSIS_RETURN_IF_ERROR(
+      ValidateRange(steps, static_cast<size_t>(steps), begin, count));
+  // The largest sampled penalty validates the whole batch (penalties
+  // scale linearly from 0): max_penalty < 0 fails here exactly as the
+  // per-row legacy path would on its first negative sample.
+  HSIS_RETURN_IF_ERROR(TwoPlayerGameParams::Symmetric(
+                           benefit, cheat_gain, loss, frequency,
+                           steps == 1 ? 0.0 : max_penalty)
+                           .Validate());
+  out.Resize(count);
+  common::ParallelFor(threads, count, kBatchSize, [&](size_t k) {
+    const PenaltyRowKernel row = PenaltyRowAt(benefit, cheat_gain, loss,
+                                              frequency, max_penalty, steps,
+                                              begin + k);
+    out.penalty[k] = row.penalty;
+    out.region[k] = row.region;
+    out.nash_mask[k] = row.nash_mask;
+    out.honest_is_dse[k] = row.honest_is_dse ? 1 : 0;
+    out.matches[k] = row.matches ? 1 : 0;
+  });
+  return Status::OK();
+}
+
+Status EvalAsymmetricCells(const TwoPlayerGameParams& params, int steps,
+                           size_t begin, size_t count, AsymmetricCellsSoA& out,
+                           int threads) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  HSIS_RETURN_IF_ERROR(ValidateRange(
+      steps, static_cast<size_t>(steps) * static_cast<size_t>(steps), begin,
+      count));
+  TwoPlayerGameParams probe = params;
+  probe.audit1.frequency = 0;
+  probe.audit2.frequency = 0;
+  HSIS_RETURN_IF_ERROR(probe.Validate());
+  out.Resize(count);
+  common::ParallelFor(threads, count, kBatchSize, [&](size_t k) {
+    const AsymmetricCellKernel cell = AsymmetricCellAt(params, steps,
+                                                       begin + k);
+    out.f1[k] = cell.f1;
+    out.f2[k] = cell.f2;
+    out.region[k] = cell.region;
+    out.nash_mask[k] = cell.nash_mask;
+    out.matches[k] = cell.matches ? 1 : 0;
+  });
+  return Status::OK();
+}
+
+Status EvalNPlayerBandRows(const NPlayerHonestyGame::Params& base_params,
+                           double max_penalty, int steps, size_t begin,
+                           size_t count, NPlayerBandRowsSoA& out,
+                           int threads) {
+  HSIS_RETURN_IF_ERROR(ValidateSteps(steps));
+  HSIS_RETURN_IF_ERROR(
+      ValidateRange(steps, static_cast<size_t>(steps), begin, count));
+  HSIS_ASSIGN_OR_RETURN(NPlayerKernelParams params,
+                        MakeNPlayerKernelParams(base_params));
+  if (steps > 1 && max_penalty < 0) {
+    return Status::InvalidArgument("B, P and L must be non-negative");
+  }
+  out.Resize(count);
+  common::ParallelFor(threads, count, kBatchSize, [&](size_t k) {
+    const NPlayerBandRowKernel row =
+        NPlayerBandRowAt(params, max_penalty, steps, begin + k);
+    out.penalty[k] = row.penalty;
+    out.analytic_honest_count[k] = row.analytic_honest_count;
+    out.count_mask[k] = row.count_mask;
+    out.honest_is_dominant[k] = row.honest_is_dominant ? 1 : 0;
+    out.cheat_is_dominant[k] = row.cheat_is_dominant ? 1 : 0;
+    out.matches[k] = row.matches ? 1 : 0;
+  });
+  return Status::OK();
+}
+
+}  // namespace hsis::game::kernel

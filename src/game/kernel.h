@@ -1,0 +1,297 @@
+#ifndef HSIS_GAME_KERNEL_H_
+#define HSIS_GAME_KERNEL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "game/honesty_games.h"
+#include "game/nplayer_game.h"
+#include "game/thresholds.h"
+
+namespace hsis::game::kernel {
+
+/// Allocation-free fast path for the landscape sweeps. The generic
+/// solver stack (NormalFormGame -> PureNashEquilibria ->
+/// vector<string> labels) heap-allocates half a dozen times per cell;
+/// at landscape scale (10^4..10^7 cells) that dominates wall-clock. The
+/// kernel layer replaces it cell-for-cell:
+///
+///  * `Game2x2` — a stack-only 2x2 payoff matrix (flat
+///    `std::array<double, 8>`), built with exactly the arithmetic of
+///    `MakeTwoPlayerHonestyGame` so every payoff double is bit-identical
+///    to the generic path;
+///  * equilibrium and dominance sets as **bitmasks** (`ProfileMask2x2`,
+///    `HonestCountMask`) instead of `vector<string>` labels, computed
+///    with exactly the `kPayoffEpsilon` comparison semantics of
+///    game/equilibrium.h;
+///  * batch row evaluators (`EvalFrequencyRows`, `EvalPenaltyRows`,
+///    `EvalAsymmetricCells`, `EvalNPlayerBandRows`) classifying whole
+///    index ranges into caller-owned structure-of-arrays buffers with
+///    **zero heap allocations per cell** inside the loop (guarded by an
+///    operator-new counter test in tests/game/kernel_test.cc).
+///
+/// Bitmasks become label strings only at CSV-serialization time
+/// (game/report.h interns the 16 possible 2x2 label joins), so the
+/// figure CSVs stay byte-identical to the pre-kernel serial path —
+/// pinned by the SHA-256 goldens in tests/game/kernel_golden_test.cc
+/// and tests/game/shard_golden_test.cc.
+
+/// Pure-profile bitmask of a 2x2 game. Bit order is the
+/// `NormalFormGame::ProfileIndex` order of a {2, 2} game — index
+/// r * 2 + c with H = 0, C = 1 — so ascending bit position matches the
+/// label order the generic enumeration emits: HH, HC, CH, CC.
+using ProfileMask2x2 = uint8_t;
+
+inline constexpr ProfileMask2x2 kMaskHH = 1u << 0;  // (H, H)
+inline constexpr ProfileMask2x2 kMaskHC = 1u << 1;  // (H, C)
+inline constexpr ProfileMask2x2 kMaskCH = 1u << 2;  // (C, H)
+inline constexpr ProfileMask2x2 kMaskCC = 1u << 3;  // (C, C)
+
+/// A 2-player, 2-strategy game on the stack: payoffs in a flat array,
+/// no heap, no names, no validation. Index layout mirrors the dense
+/// payoff tensor of NormalFormGame: `payoffs[(r * 2 + c) * 2 + player]`.
+struct Game2x2 {
+  std::array<double, 8> payoffs;
+
+  double Payoff(int r, int c, int player) const {
+    return payoffs[static_cast<size_t>((r * 2 + c) * 2 + player)];
+  }
+  void SetPayoffs(int r, int c, double u1, double u2) {
+    payoffs[static_cast<size_t>((r * 2 + c) * 2)] = u1;
+    payoffs[static_cast<size_t>((r * 2 + c) * 2 + 1)] = u2;
+  }
+};
+
+/// Builds the Table 3 payoff matrix with exactly the arithmetic of
+/// `MakeTwoPlayerHonestyGame` (same expressions, same evaluation order,
+/// bit-identical doubles) but no validation and no allocation. The
+/// caller validates `params` once per batch, not once per cell.
+Game2x2 MakeAudited2x2(const TwoPlayerGameParams& params);
+
+/// All pure-strategy Nash equilibria of `game` as a bitmask — the exact
+/// `kPayoffEpsilon` deviation test of `IsNashEquilibrium`, profile for
+/// profile.
+ProfileMask2x2 PureNashMask(const Game2x2& game);
+
+/// True iff (H, H) is a weakly-dominant-strategy equilibrium — the
+/// `DominantStrategyEquilibrium(game) == (kHonest, kHonest)` predicate
+/// of the generic path (H has the lowest strategy index, so it is the
+/// chosen DSE component exactly when it is weakly dominant).
+bool HonestIsDse2x2(const Game2x2& game);
+
+/// Number of set profile bits.
+int MaskCount(ProfileMask2x2 mask);
+
+/// The interned ';'-joined label image of a mask in profile order
+/// ("HH;CC" for kMaskHH | kMaskCC) — one of 16 static strings, no
+/// allocation. This is the only place bitmasks meet label text; CSV
+/// serializers (game/report) call it at write time.
+const std::string& NashMaskJoined(ProfileMask2x2 mask);
+
+/// Appends the individual profile labels of `mask` in profile order —
+/// the `EnumerateLabels` image for legacy struct materialization.
+void AppendNashLabels(ProfileMask2x2 mask, std::vector<std::string>& out);
+
+/// Uniform grid sample `index` of `steps` points over [0, 1]: the
+/// `index / (steps - 1)` formula of the sweeps, with the degenerate
+/// single-sample sweep (`steps == 1`) pinned to the range start so
+/// kernel and legacy entry points agree on the same single row.
+inline double GridPoint(int steps, size_t index) {
+  return steps == 1 ? 0.0 : static_cast<double>(index) / (steps - 1);
+}
+
+/// Replicates the region/enumeration cross-checks of the legacy sweeps
+/// on bitmasks (SymmetricPredictionHolds and the AsymmetricGridCell
+/// switch, respectively).
+bool SymmetricMaskMatches(SymmetricRegion region, ProfileMask2x2 mask);
+bool AsymmetricMaskMatches(AsymmetricRegion region, ProfileMask2x2 mask);
+
+// ---------------------------------------------------------------------------
+// Per-row kernels: pure functions of the sweep parameters and the global
+// index. No validation, no allocation — callers check preconditions
+// (steps >= 1, index < steps resp. steps * steps, validated economics)
+// once per batch via the `Eval*` wrappers below.
+// ---------------------------------------------------------------------------
+
+struct FrequencyRowKernel {
+  double frequency = 0;
+  SymmetricRegion region = SymmetricRegion::kAllCheatUniqueDse;
+  ProfileMask2x2 nash_mask = 0;
+  bool honest_is_dse = false;
+  bool matches = false;
+};
+
+struct PenaltyRowKernel {
+  double penalty = 0;
+  SymmetricRegion region = SymmetricRegion::kAllCheatUniqueDse;
+  ProfileMask2x2 nash_mask = 0;
+  bool honest_is_dse = false;
+  bool matches = false;
+};
+
+struct AsymmetricCellKernel {
+  double f1 = 0;
+  double f2 = 0;
+  AsymmetricRegion region = AsymmetricRegion::kBoundary;
+  ProfileMask2x2 nash_mask = 0;
+  bool matches = false;
+};
+
+FrequencyRowKernel FrequencyRowAt(double benefit, double cheat_gain,
+                                  double loss, double penalty, int steps,
+                                  size_t index);
+PenaltyRowKernel PenaltyRowAt(double benefit, double cheat_gain, double loss,
+                              double frequency, double max_penalty, int steps,
+                              size_t index);
+AsymmetricCellKernel AsymmetricCellAt(const TwoPlayerGameParams& params,
+                                      int steps, size_t index);
+
+/// Validated single-row forms — the shard `record(i)` entry points.
+Result<FrequencyRowKernel> EvalFrequencyRow(double benefit, double cheat_gain,
+                                            double loss, double penalty,
+                                            int steps, size_t index);
+Result<PenaltyRowKernel> EvalPenaltyRow(double benefit, double cheat_gain,
+                                        double loss, double frequency,
+                                        double max_penalty, int steps,
+                                        size_t index);
+Result<AsymmetricCellKernel> EvalAsymmetricCell(
+    const TwoPlayerGameParams& params, int steps, size_t index);
+
+// ---------------------------------------------------------------------------
+// n-player band kernel
+// ---------------------------------------------------------------------------
+
+/// Capacity of the fixed-size n-player kernel: the honest-count mask
+/// needs n + 1 bits of a uint64_t. Larger games take the legacy
+/// NPlayerHonestyGame path (game/landscape.h falls back automatically).
+inline constexpr int kMaxKernelPlayers = 63;
+
+/// Bit x (0 <= x <= n) set iff the symmetric class "exactly x players
+/// honest" is a Nash equilibrium.
+using HonestCountMask = uint64_t;
+
+/// Fixed-capacity n-player parameterization: the gain function sampled
+/// once into a flat table (`gain_table[x] = F(x)` for x in [0, n - 1]),
+/// so band rows never touch the `std::function` per cell. Build once
+/// per batch with `MakeNPlayerKernelParams`.
+struct NPlayerKernelParams {
+  int n = 0;
+  double benefit = 0;
+  double frequency = 0;
+  std::array<double, kMaxKernelPlayers> gain_table{};
+};
+
+/// Validates `params` with the checks of `NPlayerHonestyGame::Create`
+/// plus the sweep's `frequency > 0` requirement (Theorem 1) and samples
+/// the gain table. OutOfRange when n > kMaxKernelPlayers — callers fall
+/// back to the legacy path.
+Result<NPlayerKernelParams> MakeNPlayerKernelParams(
+    const NPlayerHonestyGame::Params& params);
+
+struct NPlayerBandRowKernel {
+  double penalty = 0;
+  int analytic_honest_count = 0;
+  HonestCountMask count_mask = 0;
+  bool honest_is_dominant = false;
+  bool cheat_is_dominant = false;
+  bool matches = false;
+};
+
+NPlayerBandRowKernel NPlayerBandRowAt(const NPlayerKernelParams& params,
+                                      double max_penalty, int steps,
+                                      size_t index);
+
+Result<NPlayerBandRowKernel> EvalNPlayerBandRow(
+    const NPlayerKernelParams& params, double max_penalty, int steps,
+    size_t index);
+
+/// Number of set count bits.
+int CountMaskSize(HonestCountMask mask);
+
+/// Appends the honest counts of `mask` in ascending order — the
+/// `EquilibriumHonestCounts` image.
+void AppendHonestCounts(HonestCountMask mask, std::vector<int>& out);
+
+// ---------------------------------------------------------------------------
+// Structure-of-arrays row buffers + batch evaluators
+// ---------------------------------------------------------------------------
+
+/// Caller-owned SoA buffers. `Resize` happens before the batch loop;
+/// inside the loop every slot write is a plain store. Flags are uint8_t
+/// (not vector<bool>) so slots stay independently addressable across
+/// threads.
+
+struct FrequencyRowsSoA {
+  std::vector<double> frequency;
+  std::vector<SymmetricRegion> region;
+  std::vector<ProfileMask2x2> nash_mask;
+  std::vector<uint8_t> honest_is_dse;
+  std::vector<uint8_t> matches;
+
+  void Resize(size_t n);
+  size_t size() const { return frequency.size(); }
+};
+
+struct PenaltyRowsSoA {
+  std::vector<double> penalty;
+  std::vector<SymmetricRegion> region;
+  std::vector<ProfileMask2x2> nash_mask;
+  std::vector<uint8_t> honest_is_dse;
+  std::vector<uint8_t> matches;
+
+  void Resize(size_t n);
+  size_t size() const { return penalty.size(); }
+};
+
+struct AsymmetricCellsSoA {
+  std::vector<double> f1;
+  std::vector<double> f2;
+  std::vector<AsymmetricRegion> region;
+  std::vector<ProfileMask2x2> nash_mask;
+  std::vector<uint8_t> matches;
+
+  void Resize(size_t n);
+  size_t size() const { return f1.size(); }
+};
+
+struct NPlayerBandRowsSoA {
+  std::vector<double> penalty;
+  std::vector<int> analytic_honest_count;
+  std::vector<HonestCountMask> count_mask;
+  std::vector<uint8_t> honest_is_dominant;
+  std::vector<uint8_t> cheat_is_dominant;
+  std::vector<uint8_t> matches;
+
+  void Resize(size_t n);
+  size_t size() const { return penalty.size(); }
+};
+
+/// Batch evaluators: validate once, resize `out` to `count`, then
+/// classify global rows [begin, begin + count) into the SoA slots with
+/// `threads` workers (common/parallel.h determinism contract: slot k
+/// holds row begin + k, bit-identical for every thread count) and zero
+/// heap allocations per cell inside the loop. `begin + count` must not
+/// exceed the sweep's index space (`steps`, or `steps * steps` for the
+/// grid).
+Status EvalFrequencyRows(double benefit, double cheat_gain, double loss,
+                         double penalty, int steps, size_t begin, size_t count,
+                         FrequencyRowsSoA& out, int threads = 1);
+Status EvalPenaltyRows(double benefit, double cheat_gain, double loss,
+                       double frequency, double max_penalty, int steps,
+                       size_t begin, size_t count, PenaltyRowsSoA& out,
+                       int threads = 1);
+Status EvalAsymmetricCells(const TwoPlayerGameParams& params, int steps,
+                           size_t begin, size_t count, AsymmetricCellsSoA& out,
+                           int threads = 1);
+Status EvalNPlayerBandRows(const NPlayerHonestyGame::Params& base_params,
+                           double max_penalty, int steps, size_t begin,
+                           size_t count, NPlayerBandRowsSoA& out,
+                           int threads = 1);
+
+}  // namespace hsis::game::kernel
+
+#endif  // HSIS_GAME_KERNEL_H_

@@ -1,218 +1,80 @@
 #include "game/landscape.h"
 
-#include <cmath>
-
 #include "common/parallel.h"
-#include "game/equilibrium.h"
+#include "game/kernel.h"
 
 namespace hsis::game {
 
+// The sweeps and per-row evaluators run on the allocation-free kernel
+// layer (game/kernel.h) and materialize the legacy label-carrying
+// structs only at the API boundary; the label bytes are the interned
+// bitmask images, so output is bit-identical to the historical
+// NormalFormGame + PureNashEquilibria path (pinned by the golden CSV
+// suites). Sweeps accept the degenerate `steps == 1` (a single row at
+// the range start) through both the batch and per-row entry points.
+
 namespace {
 
-std::vector<std::string> EnumerateLabels(const NormalFormGame& game) {
-  std::vector<std::string> out;
-  for (const StrategyProfile& p : PureNashEquilibria(game)) {
-    out.push_back(ProfileLabel(p));
-  }
-  return out;
-}
-
-bool HonestHonestIsDse(const NormalFormGame& game) {
-  std::optional<StrategyProfile> dse = DominantStrategyEquilibrium(game);
-  return dse.has_value() && (*dse)[0] == kHonest && (*dse)[1] == kHonest;
-}
-
-/// Checks that the enumerated equilibria agree with the symmetric-region
-/// prediction. On the boundary both (H,H) and (C,C) (and possibly the
-/// off-diagonal profiles) can be equilibria; interior regions must be a
-/// single profile.
-bool SymmetricPredictionHolds(SymmetricRegion region,
-                              const std::vector<std::string>& equilibria) {
-  auto contains = [&](const char* label) {
-    for (const std::string& e : equilibria) {
-      if (e == label) return true;
-    }
-    return false;
-  };
-  switch (region) {
-    case SymmetricRegion::kAllCheatUniqueDse:
-      return equilibria.size() == 1 && contains("CC");
-    case SymmetricRegion::kAllHonestUniqueDse:
-      return equilibria.size() == 1 && contains("HH");
-    case SymmetricRegion::kBoundary:
-      return contains("HH");
-  }
-  return false;
-}
-
-}  // namespace
-
-std::string ProfileLabel(const StrategyProfile& profile) {
-  std::string out;
-  for (int s : profile) out += ActionName(s);
-  return out;
-}
-
-Result<FrequencySweepRow> EvalFrequencySweepRow(double benefit,
-                                                double cheat_gain, double loss,
-                                                double penalty, int steps,
-                                                size_t index) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  if (index >= static_cast<size_t>(steps)) {
-    return Status::InvalidArgument("row index out of range");
-  }
-  double f = static_cast<double>(index) / (steps - 1);
-  HSIS_ASSIGN_OR_RETURN(
-      NormalFormGame game,
-      MakeSymmetricAuditedGame(benefit, cheat_gain, loss, f, penalty));
+FrequencySweepRow MaterializeFrequencyRow(const kernel::FrequencyRowKernel& k) {
   FrequencySweepRow row;
-  row.frequency = f;
-  row.analytic_region =
-      ClassifySymmetricRegion(benefit, cheat_gain, f, penalty);
-  row.nash_equilibria = EnumerateLabels(game);
-  row.honest_is_dse = HonestHonestIsDse(game);
-  row.analytic_matches_enumeration =
-      SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+  row.frequency = k.frequency;
+  row.analytic_region = k.region;
+  row.nash_equilibria.reserve(
+      static_cast<size_t>(kernel::MaskCount(k.nash_mask)));
+  kernel::AppendNashLabels(k.nash_mask, row.nash_equilibria);
+  row.honest_is_dse = k.honest_is_dse;
+  row.analytic_matches_enumeration = k.matches;
   return row;
 }
 
-Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
-                                                      double cheat_gain,
-                                                      double loss,
-                                                      double penalty,
-                                                      int steps,
-                                                      int threads) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  std::vector<FrequencySweepRow> rows(static_cast<size_t>(steps));
-  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
-      threads, rows.size(), [&](size_t i) -> Status {
-        HSIS_ASSIGN_OR_RETURN(rows[i], EvalFrequencySweepRow(benefit,
-                                                             cheat_gain, loss,
-                                                             penalty, steps,
-                                                             i));
-        return Status::OK();
-      }));
-  return rows;
-}
-
-Result<PenaltySweepRow> EvalPenaltySweepRow(double benefit, double cheat_gain,
-                                            double loss, double frequency,
-                                            double max_penalty, int steps,
-                                            size_t index) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  if (index >= static_cast<size_t>(steps)) {
-    return Status::InvalidArgument("row index out of range");
-  }
-  double p = max_penalty * static_cast<double>(index) / (steps - 1);
-  HSIS_ASSIGN_OR_RETURN(
-      NormalFormGame game,
-      MakeSymmetricAuditedGame(benefit, cheat_gain, loss, frequency, p));
+PenaltySweepRow MaterializePenaltyRow(const kernel::PenaltyRowKernel& k) {
   PenaltySweepRow row;
-  row.penalty = p;
-  row.analytic_region =
-      ClassifySymmetricRegion(benefit, cheat_gain, frequency, p);
-  row.nash_equilibria = EnumerateLabels(game);
-  row.honest_is_dse = HonestHonestIsDse(game);
-  row.analytic_matches_enumeration =
-      SymmetricPredictionHolds(row.analytic_region, row.nash_equilibria);
+  row.penalty = k.penalty;
+  row.analytic_region = k.region;
+  row.nash_equilibria.reserve(
+      static_cast<size_t>(kernel::MaskCount(k.nash_mask)));
+  kernel::AppendNashLabels(k.nash_mask, row.nash_equilibria);
+  row.honest_is_dse = k.honest_is_dse;
+  row.analytic_matches_enumeration = k.matches;
   return row;
 }
 
-Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
-                                                  double cheat_gain,
-                                                  double loss,
-                                                  double frequency,
-                                                  double max_penalty,
-                                                  int steps,
-                                                  int threads) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  std::vector<PenaltySweepRow> rows(static_cast<size_t>(steps));
-  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
-      threads, rows.size(), [&](size_t i) -> Status {
-        HSIS_ASSIGN_OR_RETURN(
-            rows[i], EvalPenaltySweepRow(benefit, cheat_gain, loss, frequency,
-                                         max_penalty, steps, i));
-        return Status::OK();
-      }));
-  return rows;
-}
-
-Result<AsymmetricGridCell> EvalAsymmetricGridCell(
-    const TwoPlayerGameParams& params, int steps, size_t index) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  if (index >= static_cast<size_t>(steps) * static_cast<size_t>(steps)) {
-    return Status::InvalidArgument("cell index out of range");
-  }
-  int i = static_cast<int>(index / static_cast<size_t>(steps));
-  int j = static_cast<int>(index % static_cast<size_t>(steps));
-  TwoPlayerGameParams p = params;
-  p.audit1.frequency = static_cast<double>(i) / (steps - 1);
-  p.audit2.frequency = static_cast<double>(j) / (steps - 1);
-  HSIS_ASSIGN_OR_RETURN(NormalFormGame game, MakeTwoPlayerHonestyGame(p));
-
+AsymmetricGridCell MaterializeAsymmetricCell(
+    const kernel::AsymmetricCellKernel& k) {
   AsymmetricGridCell cell;
-  cell.f1 = p.audit1.frequency;
-  cell.f2 = p.audit2.frequency;
-  cell.analytic_region = ClassifyAsymmetricRegion(
-      p.player1.benefit, p.player1.cheat_gain, p.audit1.penalty, cell.f1,
-      p.player2.benefit, p.player2.cheat_gain, p.audit2.penalty, cell.f2);
-  cell.nash_equilibria = EnumerateLabels(game);
-
-  // Interior regions predict a unique equilibrium with the
-  // corresponding label; boundary cells are vacuously consistent.
-  switch (cell.analytic_region) {
-    case AsymmetricRegion::kBoundary:
-      cell.analytic_matches_enumeration = true;
-      break;
-    case AsymmetricRegion::kBothCheat:
-      cell.analytic_matches_enumeration =
-          cell.nash_equilibria == std::vector<std::string>{"CC"};
-      break;
-    case AsymmetricRegion::kOnlyP1Cheats:
-      cell.analytic_matches_enumeration =
-          cell.nash_equilibria == std::vector<std::string>{"CH"};
-      break;
-    case AsymmetricRegion::kOnlyP2Cheats:
-      cell.analytic_matches_enumeration =
-          cell.nash_equilibria == std::vector<std::string>{"HC"};
-      break;
-    case AsymmetricRegion::kBothHonest:
-      cell.analytic_matches_enumeration =
-          cell.nash_equilibria == std::vector<std::string>{"HH"};
-      break;
-  }
+  cell.f1 = k.f1;
+  cell.f2 = k.f2;
+  cell.analytic_region = k.region;
+  cell.nash_equilibria.reserve(
+      static_cast<size_t>(kernel::MaskCount(k.nash_mask)));
+  kernel::AppendNashLabels(k.nash_mask, cell.nash_equilibria);
+  cell.analytic_matches_enumeration = k.matches;
   return cell;
 }
 
-Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
-    const TwoPlayerGameParams& params, int steps, int threads) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  std::vector<AsymmetricGridCell> cells(static_cast<size_t>(steps) *
-                                        static_cast<size_t>(steps));
-  // Row-major: cell (i, j) lives in slot i * steps + j, exactly the
-  // order the serial nested loop produced.
-  HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
-      threads, cells.size(), [&](size_t idx) -> Status {
-        HSIS_ASSIGN_OR_RETURN(cells[idx],
-                              EvalAsymmetricGridCell(params, steps, idx));
-        return Status::OK();
-      }));
-  return cells;
+NPlayerBandRow MaterializeNPlayerRow(const kernel::NPlayerBandRowKernel& k) {
+  NPlayerBandRow row;
+  row.penalty = k.penalty;
+  row.analytic_honest_count = k.analytic_honest_count;
+  row.equilibrium_honest_counts.reserve(
+      static_cast<size_t>(kernel::CountMaskSize(k.count_mask)));
+  kernel::AppendHonestCounts(k.count_mask, row.equilibrium_honest_counts);
+  row.honest_is_dominant = k.honest_is_dominant;
+  row.cheat_is_dominant = k.cheat_is_dominant;
+  row.analytic_matches_enumeration = k.matches;
+  return row;
 }
 
-Result<NPlayerBandRow> EvalNPlayerBandRow(
+/// The pre-kernel n-player row (NPlayerHonestyGame enumeration) —
+/// retained as the fallback for games beyond the kernel's fixed
+/// capacity (n > kernel::kMaxKernelPlayers).
+Result<NPlayerBandRow> LegacyEvalNPlayerBandRow(
     const NPlayerHonestyGame::Params& base_params, double max_penalty,
     int steps, size_t index) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
-  if (base_params.frequency <= 0) {
-    return Status::InvalidArgument(
-        "n-player penalty sweep requires frequency > 0 (Theorem 1)");
-  }
-  if (index >= static_cast<size_t>(steps)) {
-    return Status::InvalidArgument("row index out of range");
-  }
   NPlayerHonestyGame::Params p = base_params;
-  p.penalty = max_penalty * static_cast<double>(index) / (steps - 1);
+  p.penalty = steps == 1
+                  ? 0.0
+                  : max_penalty * static_cast<double>(index) / (steps - 1);
   HSIS_ASSIGN_OR_RETURN(NPlayerHonestyGame game, NPlayerHonestyGame::Create(p));
   NPlayerBandRow row;
   row.penalty = p.penalty;
@@ -233,19 +95,178 @@ Result<NPlayerBandRow> EvalNPlayerBandRow(
   return row;
 }
 
-Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
-    const NPlayerHonestyGame::Params& base_params, double max_penalty,
-    int steps, int threads) {
-  if (steps < 2) return Status::InvalidArgument("steps must be >= 2");
+Status ValidateNPlayerSweep(const NPlayerHonestyGame::Params& base_params,
+                            int steps) {
+  if (steps < 1) return Status::InvalidArgument("steps must be >= 1");
   if (base_params.frequency <= 0) {
     return Status::InvalidArgument(
         "n-player penalty sweep requires frequency > 0 (Theorem 1)");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ProfileLabel(const StrategyProfile& profile) {
+  std::string out;
+  out.reserve(profile.size());
+  for (int s : profile) out.push_back(ActionName(s)[0]);
+  return out;
+}
+
+Result<FrequencySweepRow> EvalFrequencySweepRow(double benefit,
+                                                double cheat_gain, double loss,
+                                                double penalty, int steps,
+                                                size_t index) {
+  HSIS_ASSIGN_OR_RETURN(
+      kernel::FrequencyRowKernel row,
+      kernel::EvalFrequencyRow(benefit, cheat_gain, loss, penalty, steps,
+                               index));
+  return MaterializeFrequencyRow(row);
+}
+
+Result<std::vector<FrequencySweepRow>> SweepFrequency(double benefit,
+                                                      double cheat_gain,
+                                                      double loss,
+                                                      double penalty,
+                                                      int steps,
+                                                      int threads) {
+  kernel::FrequencyRowsSoA soa;
+  HSIS_RETURN_IF_ERROR(kernel::EvalFrequencyRows(
+      benefit, cheat_gain, loss, penalty, steps, 0,
+      static_cast<size_t>(steps), soa, threads));
+  std::vector<FrequencySweepRow> rows(soa.size());
+  for (size_t i = 0; i < soa.size(); ++i) {
+    kernel::FrequencyRowKernel k;
+    k.frequency = soa.frequency[i];
+    k.region = soa.region[i];
+    k.nash_mask = soa.nash_mask[i];
+    k.honest_is_dse = soa.honest_is_dse[i] != 0;
+    k.matches = soa.matches[i] != 0;
+    rows[i] = MaterializeFrequencyRow(k);
+  }
+  return rows;
+}
+
+Result<PenaltySweepRow> EvalPenaltySweepRow(double benefit, double cheat_gain,
+                                            double loss, double frequency,
+                                            double max_penalty, int steps,
+                                            size_t index) {
+  HSIS_ASSIGN_OR_RETURN(
+      kernel::PenaltyRowKernel row,
+      kernel::EvalPenaltyRow(benefit, cheat_gain, loss, frequency, max_penalty,
+                             steps, index));
+  return MaterializePenaltyRow(row);
+}
+
+Result<std::vector<PenaltySweepRow>> SweepPenalty(double benefit,
+                                                  double cheat_gain,
+                                                  double loss,
+                                                  double frequency,
+                                                  double max_penalty,
+                                                  int steps,
+                                                  int threads) {
+  kernel::PenaltyRowsSoA soa;
+  HSIS_RETURN_IF_ERROR(kernel::EvalPenaltyRows(
+      benefit, cheat_gain, loss, frequency, max_penalty, steps, 0,
+      static_cast<size_t>(steps), soa, threads));
+  std::vector<PenaltySweepRow> rows(soa.size());
+  for (size_t i = 0; i < soa.size(); ++i) {
+    kernel::PenaltyRowKernel k;
+    k.penalty = soa.penalty[i];
+    k.region = soa.region[i];
+    k.nash_mask = soa.nash_mask[i];
+    k.honest_is_dse = soa.honest_is_dse[i] != 0;
+    k.matches = soa.matches[i] != 0;
+    rows[i] = MaterializePenaltyRow(k);
+  }
+  return rows;
+}
+
+Result<AsymmetricGridCell> EvalAsymmetricGridCell(
+    const TwoPlayerGameParams& params, int steps, size_t index) {
+  HSIS_ASSIGN_OR_RETURN(kernel::AsymmetricCellKernel cell,
+                        kernel::EvalAsymmetricCell(params, steps, index));
+  return MaterializeAsymmetricCell(cell);
+}
+
+Result<std::vector<AsymmetricGridCell>> SweepAsymmetricGrid(
+    const TwoPlayerGameParams& params, int steps, int threads) {
+  kernel::AsymmetricCellsSoA soa;
+  const size_t total = steps < 1 ? 0
+                                 : static_cast<size_t>(steps) *
+                                       static_cast<size_t>(steps);
+  HSIS_RETURN_IF_ERROR(
+      kernel::EvalAsymmetricCells(params, steps, 0, total, soa, threads));
+  std::vector<AsymmetricGridCell> cells(soa.size());
+  for (size_t i = 0; i < soa.size(); ++i) {
+    kernel::AsymmetricCellKernel k;
+    k.f1 = soa.f1[i];
+    k.f2 = soa.f2[i];
+    k.region = soa.region[i];
+    k.nash_mask = soa.nash_mask[i];
+    k.matches = soa.matches[i] != 0;
+    cells[i] = MaterializeAsymmetricCell(k);
+  }
+  return cells;
+}
+
+Result<NPlayerBandRow> EvalNPlayerBandRow(
+    const NPlayerHonestyGame::Params& base_params, double max_penalty,
+    int steps, size_t index) {
+  HSIS_RETURN_IF_ERROR(ValidateNPlayerSweep(base_params, steps));
+  if (index >= static_cast<size_t>(steps)) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  Result<kernel::NPlayerKernelParams> params =
+      kernel::MakeNPlayerKernelParams(base_params);
+  if (!params.ok()) {
+    if (params.status().code() == StatusCode::kOutOfRange) {
+      return LegacyEvalNPlayerBandRow(base_params, max_penalty, steps, index);
+    }
+    return params.status();
+  }
+  HSIS_ASSIGN_OR_RETURN(
+      kernel::NPlayerBandRowKernel row,
+      kernel::EvalNPlayerBandRow(*params, max_penalty, steps, index));
+  return MaterializeNPlayerRow(row);
+}
+
+Result<std::vector<NPlayerBandRow>> SweepNPlayerPenalty(
+    const NPlayerHonestyGame::Params& base_params, double max_penalty,
+    int steps, int threads) {
+  HSIS_RETURN_IF_ERROR(ValidateNPlayerSweep(base_params, steps));
+  Result<kernel::NPlayerKernelParams> params =
+      kernel::MakeNPlayerKernelParams(base_params);
+  if (params.ok()) {
+    kernel::NPlayerBandRowsSoA soa;
+    HSIS_RETURN_IF_ERROR(kernel::EvalNPlayerBandRows(
+        base_params, max_penalty, steps, 0, static_cast<size_t>(steps), soa,
+        threads));
+    std::vector<NPlayerBandRow> rows(soa.size());
+    for (size_t i = 0; i < soa.size(); ++i) {
+      kernel::NPlayerBandRowKernel k;
+      k.penalty = soa.penalty[i];
+      k.analytic_honest_count = soa.analytic_honest_count[i];
+      k.count_mask = soa.count_mask[i];
+      k.honest_is_dominant = soa.honest_is_dominant[i] != 0;
+      k.cheat_is_dominant = soa.cheat_is_dominant[i] != 0;
+      k.matches = soa.matches[i] != 0;
+      rows[i] = MaterializeNPlayerRow(k);
+    }
+    return rows;
+  }
+  if (params.status().code() != StatusCode::kOutOfRange) {
+    return params.status();
+  }
+  // Beyond the kernel's fixed capacity: the legacy per-row path, still
+  // parallel with ordered slots.
   std::vector<NPlayerBandRow> rows(static_cast<size_t>(steps));
   HSIS_RETURN_IF_ERROR(common::ParallelForWithStatus(
       threads, rows.size(), [&](size_t i) -> Status {
         HSIS_ASSIGN_OR_RETURN(
-            rows[i], EvalNPlayerBandRow(base_params, max_penalty, steps, i));
+            rows[i],
+            LegacyEvalNPlayerBandRow(base_params, max_penalty, steps, i));
         return Status::OK();
       }));
   return rows;

@@ -1,6 +1,7 @@
 #ifndef HSIS_GAME_LANDSCAPE_SHARDS_H_
 #define HSIS_GAME_LANDSCAPE_SHARDS_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -16,10 +17,14 @@ namespace hsis::game {
 /// K-shard run and prepending the header reproduces the serial CSV
 /// byte-for-byte.
 ///
-/// Names, in export order: "figure1", "figure2_f02", "figure2_f07",
-/// "figure3", "figure4".
+/// Builtin names, in export order: "figure1", "figure2_f02",
+/// "figure2_f07", "figure3", "figure4". Additional sweeps join the
+/// registry through `RegisterNamedSweep` (e.g. the design-search sweeps
+/// below, or the campaign ensemble from core/campaign_shards.h) and are
+/// then drivable from `shard_worker` exactly like a figure.
 
-/// All canonical sweep names.
+/// All currently known sweep names: builtins first, then registered
+/// sweeps in registration order.
 const std::vector<std::string>& LandscapeSweepNames();
 
 /// Shardable spec for the named sweep: `record(i)` is CSV row `i`
@@ -35,8 +40,38 @@ Result<std::string> LandscapeCsvFilename(const std::string& name);
 
 /// Full serial-equivalent CSV (header + all rows) computed in-process
 /// with `threads` workers — the single-process reference a sharded run
-/// must reproduce byte-for-byte.
+/// must reproduce byte-for-byte. Figure sweeps render through the
+/// allocation-free kernel layer (game/kernel.h) into structure-of-arrays
+/// buffers; registered sweeps run their per-row records with ordered
+/// output slots.
 Result<std::string> LandscapeCsv(const std::string& name, int threads = 1);
+
+/// An externally-registered named sweep.
+struct NamedSweep {
+  /// Builds the shardable spec; `record(i)` must be CSV row `i` with a
+  /// trailing newline so merged shards + `header` reproduce the CSV.
+  std::function<Result<common::ShardSweepSpec>()> make_spec;
+  /// CSV header line with trailing newline.
+  std::string header;
+  /// Filename export-style drivers write the sweep to.
+  std::string filename;
+};
+
+/// Registers `sweep` under `name`, extending the name list, spec,
+/// header, filename, and CSV lookups uniformly. InvalidArgument on
+/// empty name/fields, AlreadyExists for duplicates (builtin or
+/// registered). Registration is not synchronized against concurrent
+/// lookups — register during startup, before sweeps run.
+Status RegisterNamedSweep(const std::string& name, NamedSweep sweep);
+
+/// Registers the heterogeneous design-search sweeps over the canonical
+/// 48-player mixed population: "design_min_penalties" (per-player
+/// minimum penalty making all-honest dominant, game/heterogeneous.h
+/// MinPenaltiesForAllHonest), "design_min_cost_frequencies" (cheapest
+/// per-player audit frequencies, MinCostFrequencies), and
+/// "design_budget_deterrence" (greedy budgeted allocation,
+/// MaxDeterredUnderBudget). Idempotent: re-registration is a no-op.
+Status RegisterHeterogeneousDesignSweeps();
 
 }  // namespace hsis::game
 

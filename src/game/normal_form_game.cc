@@ -47,14 +47,19 @@ size_t NormalFormGame::ProfileIndex(const StrategyProfile& profile) const {
 }
 
 StrategyProfile NormalFormGame::ProfileFromIndex(size_t index) const {
+  StrategyProfile profile;
+  ProfileFromIndex(index, profile);
+  return profile;
+}
+
+void NormalFormGame::ProfileFromIndex(size_t index, StrategyProfile& out) const {
   HSIS_CHECK(index < num_profiles_);
-  StrategyProfile profile(strategy_counts_.size());
+  out.resize(strategy_counts_.size());
   for (size_t i = strategy_counts_.size(); i-- > 0;) {
     size_t c = static_cast<size_t>(strategy_counts_[i]);
-    profile[i] = static_cast<int>(index % c);
+    out[i] = static_cast<int>(index % c);
     index /= c;
   }
-  return profile;
 }
 
 void NormalFormGame::SetPayoff(const StrategyProfile& profile, int player,

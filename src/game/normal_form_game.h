@@ -43,6 +43,11 @@ class NormalFormGame {
   /// Inverse of `ProfileIndex`.
   StrategyProfile ProfileFromIndex(size_t index) const;
 
+  /// In-place form for enumeration loops: decodes into `out` (resized
+  /// as needed) so a scan over all profiles reuses one buffer instead
+  /// of allocating per index.
+  void ProfileFromIndex(size_t index, StrategyProfile& out) const;
+
   /// Names used in reports and table printers; default "s0", "s1", ...
   void SetStrategyNames(std::vector<std::string> names);
   const std::string& StrategyName(int strategy) const;

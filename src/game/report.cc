@@ -6,28 +6,45 @@ namespace hsis::game {
 
 namespace {
 
-std::string FormatDouble(double v) {
+/// All serializers append into one growing string through these
+/// helpers — a stack snprintf buffer for doubles and interned label
+/// lookups for equilibrium sets — so a row costs at most the final
+/// string growth, never intermediate temporaries.
+
+void AppendDouble(std::string& out, double v) {
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
+  int len = std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out.append(buf, static_cast<size_t>(len));
 }
 
-std::string Join(const std::vector<std::string>& parts) {
-  std::string out;
+void AppendInt(std::string& out, long long v) {
+  char buf[24];
+  int len = std::snprintf(buf, sizeof(buf), "%lld", v);
+  out.append(buf, static_cast<size_t>(len));
+}
+
+void AppendJoined(std::string& out, const std::vector<std::string>& parts) {
   for (size_t i = 0; i < parts.size(); ++i) {
     if (i > 0) out += ';';
     out += parts[i];
   }
-  return out;
 }
 
-std::string JoinInts(const std::vector<int>& parts) {
-  std::string out;
+void AppendJoinedInts(std::string& out, const std::vector<int>& parts) {
   for (size_t i = 0; i < parts.size(); ++i) {
     if (i > 0) out += ';';
-    out += std::to_string(parts[i]);
+    AppendInt(out, parts[i]);
   }
-  return out;
+}
+
+void AppendJoinedCounts(std::string& out, kernel::HonestCountMask mask) {
+  bool first = true;
+  for (int x = 0; x <= kernel::kMaxKernelPlayers; ++x) {
+    if ((mask & (kernel::HonestCountMask{1} << x)) == 0) continue;
+    if (!first) out += ';';
+    first = false;
+    AppendInt(out, x);
+  }
 }
 
 const char* AsymmetricRegionSlug(AsymmetricRegion region) {
@@ -58,6 +75,54 @@ const char* RegionSlug(SymmetricRegion region) {
   return "?";
 }
 
+void AppendSymmetricRowCsv(std::string& out, double lead,
+                           SymmetricRegion region, kernel::ProfileMask2x2 mask,
+                           bool honest_is_dse, bool matches) {
+  AppendDouble(out, lead);
+  out += ',';
+  out += RegionSlug(region);
+  out += ',';
+  out += kernel::NashMaskJoined(mask);
+  out += ',';
+  out += honest_is_dse ? "1" : "0";
+  out += ',';
+  out += matches ? "1" : "0";
+  out += '\n';
+}
+
+void AppendAsymmetricCellCsv(std::string& out,
+                             const kernel::AsymmetricCellKernel& cell) {
+  AppendDouble(out, cell.f1);
+  out += ',';
+  AppendDouble(out, cell.f2);
+  out += ',';
+  out += AsymmetricRegionSlug(cell.region);
+  out += ',';
+  out += kernel::NashMaskJoined(cell.nash_mask);
+  out += ',';
+  out += cell.matches ? "1" : "0";
+  out += '\n';
+}
+
+void AppendNPlayerRowCsv(std::string& out,
+                         const kernel::NPlayerBandRowKernel& row) {
+  AppendDouble(out, row.penalty);
+  out += ',';
+  AppendInt(out, row.analytic_honest_count);
+  out += ',';
+  AppendJoinedCounts(out, row.count_mask);
+  out += ',';
+  out += row.honest_is_dominant ? "1" : "0";
+  out += ',';
+  out += row.cheat_is_dominant ? "1" : "0";
+  out += ',';
+  out += row.matches ? "1" : "0";
+  out += '\n';
+}
+
+/// Rough per-row byte budget for the whole-sweep reserves.
+constexpr size_t kRowReserve = 48;
+
 }  // namespace
 
 std::string FrequencySweepCsvHeader() {
@@ -66,11 +131,12 @@ std::string FrequencySweepCsvHeader() {
 }
 
 std::string FrequencySweepRowToCsv(const FrequencySweepRow& row) {
-  std::string out = FormatDouble(row.frequency);
+  std::string out;
+  AppendDouble(out, row.frequency);
   out += ',';
   out += RegionSlug(row.analytic_region);
   out += ',';
-  out += Join(row.nash_equilibria);
+  AppendJoined(out, row.nash_equilibria);
   out += ',';
   out += row.honest_is_dse ? "1" : "0";
   out += ',';
@@ -81,6 +147,7 @@ std::string FrequencySweepRowToCsv(const FrequencySweepRow& row) {
 
 std::string FrequencySweepToCsv(const std::vector<FrequencySweepRow>& rows) {
   std::string out = FrequencySweepCsvHeader();
+  out.reserve(out.size() + rows.size() * kRowReserve);
   for (const FrequencySweepRow& row : rows) out += FrequencySweepRowToCsv(row);
   return out;
 }
@@ -90,11 +157,12 @@ std::string PenaltySweepCsvHeader() {
 }
 
 std::string PenaltySweepRowToCsv(const PenaltySweepRow& row) {
-  std::string out = FormatDouble(row.penalty);
+  std::string out;
+  AppendDouble(out, row.penalty);
   out += ',';
   out += RegionSlug(row.analytic_region);
   out += ',';
-  out += Join(row.nash_equilibria);
+  AppendJoined(out, row.nash_equilibria);
   out += ',';
   out += row.honest_is_dse ? "1" : "0";
   out += ',';
@@ -105,6 +173,7 @@ std::string PenaltySweepRowToCsv(const PenaltySweepRow& row) {
 
 std::string PenaltySweepToCsv(const std::vector<PenaltySweepRow>& rows) {
   std::string out = PenaltySweepCsvHeader();
+  out.reserve(out.size() + rows.size() * kRowReserve);
   for (const PenaltySweepRow& row : rows) out += PenaltySweepRowToCsv(row);
   return out;
 }
@@ -114,13 +183,14 @@ std::string AsymmetricGridCsvHeader() {
 }
 
 std::string AsymmetricGridCellToCsv(const AsymmetricGridCell& cell) {
-  std::string out = FormatDouble(cell.f1);
+  std::string out;
+  AppendDouble(out, cell.f1);
   out += ',';
-  out += FormatDouble(cell.f2);
+  AppendDouble(out, cell.f2);
   out += ',';
   out += AsymmetricRegionSlug(cell.analytic_region);
   out += ',';
-  out += Join(cell.nash_equilibria);
+  AppendJoined(out, cell.nash_equilibria);
   out += ',';
   out += cell.analytic_matches_enumeration ? "1" : "0";
   out += '\n';
@@ -129,6 +199,7 @@ std::string AsymmetricGridCellToCsv(const AsymmetricGridCell& cell) {
 
 std::string AsymmetricGridToCsv(const std::vector<AsymmetricGridCell>& cells) {
   std::string out = AsymmetricGridCsvHeader();
+  out.reserve(out.size() + cells.size() * kRowReserve);
   for (const AsymmetricGridCell& cell : cells) {
     out += AsymmetricGridCellToCsv(cell);
   }
@@ -141,11 +212,12 @@ std::string NPlayerBandsCsvHeader() {
 }
 
 std::string NPlayerBandRowToCsv(const NPlayerBandRow& row) {
-  std::string out = FormatDouble(row.penalty);
+  std::string out;
+  AppendDouble(out, row.penalty);
   out += ',';
-  out += std::to_string(row.analytic_honest_count);
+  AppendInt(out, row.analytic_honest_count);
   out += ',';
-  out += JoinInts(row.equilibrium_honest_counts);
+  AppendJoinedInts(out, row.equilibrium_honest_counts);
   out += ',';
   out += row.honest_is_dominant ? "1" : "0";
   out += ',';
@@ -158,7 +230,88 @@ std::string NPlayerBandRowToCsv(const NPlayerBandRow& row) {
 
 std::string NPlayerBandsToCsv(const std::vector<NPlayerBandRow>& rows) {
   std::string out = NPlayerBandsCsvHeader();
+  out.reserve(out.size() + rows.size() * kRowReserve);
   for (const NPlayerBandRow& row : rows) out += NPlayerBandRowToCsv(row);
+  return out;
+}
+
+std::string FrequencyKernelRowToCsv(const kernel::FrequencyRowKernel& row) {
+  std::string out;
+  AppendSymmetricRowCsv(out, row.frequency, row.region, row.nash_mask,
+                        row.honest_is_dse, row.matches);
+  return out;
+}
+
+std::string PenaltyKernelRowToCsv(const kernel::PenaltyRowKernel& row) {
+  std::string out;
+  AppendSymmetricRowCsv(out, row.penalty, row.region, row.nash_mask,
+                        row.honest_is_dse, row.matches);
+  return out;
+}
+
+std::string AsymmetricKernelCellToCsv(
+    const kernel::AsymmetricCellKernel& cell) {
+  std::string out;
+  AppendAsymmetricCellCsv(out, cell);
+  return out;
+}
+
+std::string NPlayerKernelRowToCsv(const kernel::NPlayerBandRowKernel& row) {
+  std::string out;
+  AppendNPlayerRowCsv(out, row);
+  return out;
+}
+
+std::string FrequencySweepToCsv(const kernel::FrequencyRowsSoA& rows) {
+  std::string out = FrequencySweepCsvHeader();
+  out.reserve(out.size() + rows.size() * kRowReserve);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    AppendSymmetricRowCsv(out, rows.frequency[i], rows.region[i],
+                          rows.nash_mask[i], rows.honest_is_dse[i] != 0,
+                          rows.matches[i] != 0);
+  }
+  return out;
+}
+
+std::string PenaltySweepToCsv(const kernel::PenaltyRowsSoA& rows) {
+  std::string out = PenaltySweepCsvHeader();
+  out.reserve(out.size() + rows.size() * kRowReserve);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    AppendSymmetricRowCsv(out, rows.penalty[i], rows.region[i],
+                          rows.nash_mask[i], rows.honest_is_dse[i] != 0,
+                          rows.matches[i] != 0);
+  }
+  return out;
+}
+
+std::string AsymmetricGridToCsv(const kernel::AsymmetricCellsSoA& cells) {
+  std::string out = AsymmetricGridCsvHeader();
+  out.reserve(out.size() + cells.size() * kRowReserve);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    kernel::AsymmetricCellKernel cell;
+    cell.f1 = cells.f1[i];
+    cell.f2 = cells.f2[i];
+    cell.region = cells.region[i];
+    cell.nash_mask = cells.nash_mask[i];
+    cell.matches = cells.matches[i] != 0;
+    AppendAsymmetricCellCsv(out, cell);
+  }
+  return out;
+}
+
+std::string NPlayerBandsToCsv(const kernel::NPlayerBandRowsSoA& rows) {
+  std::string out = NPlayerBandsCsvHeader();
+  out.reserve(out.size() + rows.size() * kRowReserve);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    kernel::NPlayerBandRowKernel row;
+    row.penalty = rows.penalty[i];
+    row.analytic_honest_count = rows.analytic_honest_count[i];
+    row.count_mask = rows.count_mask[i];
+    row.honest_is_dominant = rows.honest_is_dominant[i] != 0;
+    row.cheat_is_dominant = rows.cheat_is_dominant[i] != 0;
+    row.matches = rows.matches[i] != 0;
+    AppendNPlayerRowCsv(out, row);
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "game/kernel.h"
 #include "game/landscape.h"
 
 namespace hsis::game {
@@ -39,6 +40,24 @@ std::string AsymmetricGridToCsv(const std::vector<AsymmetricGridCell>& cells);
 std::string NPlayerBandsCsvHeader();
 std::string NPlayerBandRowToCsv(const NPlayerBandRow& row);
 std::string NPlayerBandsToCsv(const std::vector<NPlayerBandRow>& rows);
+
+/// Kernel-row serializers — the exact bytes of the legacy per-row forms,
+/// with equilibrium labels read from the interned bitmask table
+/// (kernel::NashMaskJoined) instead of joining a vector<string>. This is
+/// the label-interning boundary: bitmasks stay bitmasks until here.
+std::string FrequencyKernelRowToCsv(const kernel::FrequencyRowKernel& row);
+std::string PenaltyKernelRowToCsv(const kernel::PenaltyRowKernel& row);
+std::string AsymmetricKernelCellToCsv(const kernel::AsymmetricCellKernel& cell);
+std::string NPlayerKernelRowToCsv(const kernel::NPlayerBandRowKernel& row);
+
+/// Structure-of-arrays serializers: header + every slot of the buffer,
+/// byte-identical to the legacy `*ToCsv(rows)` over the same sweep. The
+/// kernel fast path (`LandscapeCsv`) renders whole figures through these
+/// without materializing per-row structs.
+std::string FrequencySweepToCsv(const kernel::FrequencyRowsSoA& rows);
+std::string PenaltySweepToCsv(const kernel::PenaltyRowsSoA& rows);
+std::string AsymmetricGridToCsv(const kernel::AsymmetricCellsSoA& cells);
+std::string NPlayerBandsToCsv(const kernel::NPlayerBandRowsSoA& rows);
 
 }  // namespace hsis::game
 

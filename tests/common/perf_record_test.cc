@@ -1,0 +1,107 @@
+#include "common/perf_record.h"
+
+#include <gtest/gtest.h>
+
+namespace hsis::common {
+namespace {
+
+PerfRecord SampleRecord() {
+  PerfRecord record;
+  record.bench = "figure1_frequency_sweep_kernel";
+  record.threads = 4;
+  record.cells_per_sec = 46188699.114145041;
+  record.wall_ms = 0.433028;
+  record.git_describe = "ce4340e-dirty";
+  return record;
+}
+
+TEST(PerfRecordTest, RoundTripsThroughJson) {
+  PerfRecord record = SampleRecord();
+  std::string json = PerfRecordToJson(record);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"schema\":\"hsis-bench-v1\""), std::string::npos);
+
+  PerfRecord parsed = ParsePerfRecord(json).value();
+  EXPECT_EQ(parsed.bench, record.bench);
+  EXPECT_EQ(parsed.threads, record.threads);
+  // %.17g serialization round-trips doubles bit-exactly.
+  EXPECT_EQ(parsed.cells_per_sec, record.cells_per_sec);
+  EXPECT_EQ(parsed.wall_ms, record.wall_ms);
+  EXPECT_EQ(parsed.git_describe, record.git_describe);
+}
+
+TEST(PerfRecordTest, AcceptsWhitespaceAndAnyKeyOrder) {
+  auto parsed = ParsePerfRecord(
+      "{ \"wall_ms\": 1.5, \"bench\": \"b\", \"git_describe\": \"g\",\n"
+      "  \"threads\": 2, \"cells_per_sec\": 1e6,\n"
+      "  \"schema\": \"hsis-bench-v1\" }\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->threads, 2);
+  EXPECT_EQ(parsed->cells_per_sec, 1e6);
+}
+
+TEST(PerfRecordTest, RejectsMalformedRecords) {
+  std::string valid = PerfRecordToJson(SampleRecord());
+
+  // Wrong schema tag.
+  std::string wrong_schema = valid;
+  wrong_schema.replace(wrong_schema.find("hsis-bench-v1"), 13, "hsis-bench-v9");
+  EXPECT_FALSE(ParsePerfRecord(wrong_schema).ok());
+
+  // Missing key.
+  EXPECT_FALSE(ParsePerfRecord("{\"schema\":\"hsis-bench-v1\"}").ok());
+
+  // Unknown key.
+  std::string extra = valid;
+  extra.insert(extra.find('}'), ",\"surprise\":1");
+  EXPECT_FALSE(ParsePerfRecord(extra).ok());
+
+  // Duplicate key.
+  std::string dup = valid;
+  dup.insert(dup.find('}'), ",\"threads\":4");
+  EXPECT_FALSE(ParsePerfRecord(dup).ok());
+
+  // Trailing bytes.
+  EXPECT_FALSE(ParsePerfRecord(valid + "{}").ok());
+
+  // Not even JSON.
+  EXPECT_FALSE(ParsePerfRecord("cells/sec: lots").ok());
+  EXPECT_FALSE(ParsePerfRecord("").ok());
+}
+
+TEST(PerfRecordTest, ValidatesFieldRanges) {
+  EXPECT_TRUE(SampleRecord().Validate().ok());
+
+  PerfRecord record = SampleRecord();
+  record.bench = "";
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleRecord();
+  record.threads = 0;
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleRecord();
+  record.cells_per_sec = 0;
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleRecord();
+  record.cells_per_sec = -5;
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleRecord();
+  record.wall_ms = -1;
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleRecord();
+  record.git_describe = "";
+  EXPECT_FALSE(record.Validate().ok());
+
+  // Non-integer threads value is rejected at parse time.
+  std::string json = PerfRecordToJson(SampleRecord());
+  std::string frac = json;
+  frac.replace(frac.find("\"threads\":4"), 11, "\"threads\":4.5");
+  EXPECT_FALSE(ParsePerfRecord(frac).ok());
+}
+
+}  // namespace
+}  // namespace hsis::common

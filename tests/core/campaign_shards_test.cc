@@ -1,0 +1,67 @@
+// The campaign-ensemble named sweep (core/campaign_shards.h): a full
+// policy x replicate session grid drivable through the same registry,
+// plan, and merge machinery as the figure landscapes — so its CSV must
+// be byte-identical across thread counts and across shard partitions.
+
+#include "core/campaign_shards.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/shard.h"
+#include "game/landscape_shards.h"
+
+namespace hsis::core {
+namespace {
+
+TEST(CampaignShardsTest, RegistrationIsIdempotentAndListed) {
+  ASSERT_TRUE(RegisterCampaignEnsembleSweep().ok());
+  ASSERT_TRUE(RegisterCampaignEnsembleSweep().ok());
+
+  bool listed = false;
+  for (const std::string& name : game::LandscapeSweepNames()) {
+    listed |= (name == "campaign_ensemble");
+  }
+  EXPECT_TRUE(listed);
+
+  common::ShardSweepSpec spec =
+      game::LandscapeSweepSpec("campaign_ensemble").value();
+  EXPECT_EQ(spec.name, "campaign_ensemble");
+  EXPECT_EQ(spec.total, 48u);  // 3 policy pairs x 16 replicates
+  EXPECT_EQ(game::LandscapeCsvFilename("campaign_ensemble").value(),
+            "campaign_ensemble.csv");
+  EXPECT_EQ(game::LandscapeCsvHeader("campaign_ensemble").value(),
+            "policy,replicate,session_seed,payoff_a,payoff_b,"
+            "detections_a,detections_b\n");
+}
+
+TEST(CampaignShardsTest, CsvIsDeterministicAcrossThreadCounts) {
+  ASSERT_TRUE(RegisterCampaignEnsembleSweep().ok());
+  Result<std::string> serial = game::LandscapeCsv("campaign_ensemble", 1);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  int rows = 0;
+  for (char c : *serial) rows += (c == '\n');
+  EXPECT_EQ(rows, 49);  // header + 48 grid cells
+  EXPECT_EQ(serial->find("policy,replicate"), 0u);
+  EXPECT_NE(serial->find("honest/honest,0,"), std::string::npos);
+  EXPECT_NE(serial->find("opportunist/honest,15,"), std::string::npos);
+
+  Result<std::string> threaded = game::LandscapeCsv("campaign_ensemble", 4);
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(*serial, *threaded)
+      << "campaign ensemble must be bit-identical across thread counts";
+}
+
+TEST(CampaignShardsTest, RecordIndexOutOfRangeFails) {
+  ASSERT_TRUE(RegisterCampaignEnsembleSweep().ok());
+  common::ShardSweepSpec spec =
+      game::LandscapeSweepSpec("campaign_ensemble").value();
+  EXPECT_TRUE(spec.record(0).ok());
+  EXPECT_TRUE(spec.record(47).ok());
+  EXPECT_FALSE(spec.record(48).ok());
+}
+
+}  // namespace
+}  // namespace hsis::core

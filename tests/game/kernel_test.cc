@@ -1,0 +1,516 @@
+// The kernel layer's contract (game/kernel.h): bit-identical to the
+// generic NormalFormGame/PureNashEquilibria path cell-for-cell, the
+// same degenerate-sweep semantics as the legacy entry points, a legacy
+// fallback above the fixed n-player capacity, a consistent named-sweep
+// registry, and — the whole point — zero heap allocations per cell,
+// enforced here with a global operator-new counter.
+
+#include "game/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "game/equilibrium.h"
+#include "game/honesty_games.h"
+#include "game/landscape.h"
+#include "game/landscape_shards.h"
+#include "game/thresholds.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Every operator-new in the binary funnels
+// through here; tests snapshot the counter around kernel calls to prove
+// the per-cell paths never touch the heap.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<size_t> g_allocations{0};
+}  // namespace
+
+// GCC pairs inlined `new T` call sites against these malloc-backed
+// replacements and warns about the free() inside; the pairing is
+// correct by construction (new is replaced for the whole binary).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace hsis::game {
+namespace {
+
+constexpr double kB = 10, kF = 25, kL = 8, kP = 40;
+
+TwoPlayerGameParams AsymmetricParams() {
+  TwoPlayerGameParams params;
+  params.player1 = {10, 30};
+  params.player2 = {6, 20};
+  params.loss_to_1 = 4;
+  params.loss_to_2 = 9;
+  params.audit1 = {0, 20};
+  params.audit2 = {0, 15};
+  return params;
+}
+
+NPlayerHonestyGame::Params BandParams(int n) {
+  NPlayerHonestyGame::Params params;
+  params.n = n;
+  params.benefit = 10;
+  params.gain = LinearGain(20, 1.5);
+  params.frequency = 0.3;
+  params.uniform_loss = 4;
+  return params;
+}
+
+// -------------------------------------------------------------------------
+// Bit-identity of the 2x2 kernel against the generic solver stack.
+// -------------------------------------------------------------------------
+
+TEST(KernelGameTest, PayoffsBitIdenticalToNormalFormGame) {
+  for (double f1 : {0.0, 0.13, 0.5, 0.97, 1.0}) {
+    for (double f2 : {0.0, 0.31, 0.85, 1.0}) {
+      TwoPlayerGameParams params = AsymmetricParams();
+      params.audit1.frequency = f1;
+      params.audit2.frequency = f2;
+      NormalFormGame generic = MakeTwoPlayerHonestyGame(params).value();
+      kernel::Game2x2 fast = kernel::MakeAudited2x2(params);
+      for (int r = 0; r < 2; ++r) {
+        for (int c = 0; c < 2; ++c) {
+          for (int player = 0; player < 2; ++player) {
+            EXPECT_EQ(generic.Payoff({r, c}, player),
+                      fast.Payoff(r, c, player))
+                << "profile (" << r << "," << c << ") player " << player
+                << " at f1=" << f1 << " f2=" << f2;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGameTest, NashMaskMatchesGenericEnumeration) {
+  for (double f : {0.0, 0.2, 0.4, 0.42857142857142855, 0.6, 0.8, 1.0}) {
+    NormalFormGame generic =
+        MakeSymmetricAuditedGame(kB, kF, kL, f, kP).value();
+    TwoPlayerGameParams params =
+        TwoPlayerGameParams::Symmetric(kB, kF, kL, f, kP);
+    kernel::ProfileMask2x2 mask =
+        kernel::PureNashMask(kernel::MakeAudited2x2(params));
+
+    std::vector<std::string> expected;
+    for (const StrategyProfile& p : PureNashEquilibria(generic)) {
+      expected.push_back(ProfileLabel(p));
+    }
+    std::vector<std::string> actual;
+    kernel::AppendNashLabels(mask, actual);
+    EXPECT_EQ(actual, expected) << "f = " << f;
+
+    std::optional<StrategyProfile> dse = DominantStrategyEquilibrium(generic);
+    bool generic_dse =
+        dse.has_value() && (*dse)[0] == kHonest && (*dse)[1] == kHonest;
+    EXPECT_EQ(kernel::HonestIsDse2x2(kernel::MakeAudited2x2(params)),
+              generic_dse)
+        << "f = " << f;
+  }
+}
+
+TEST(KernelGameTest, NashMaskJoinedIsInternedAndProfileOrdered) {
+  EXPECT_EQ(kernel::NashMaskJoined(0), "");
+  EXPECT_EQ(kernel::NashMaskJoined(kernel::kMaskHH), "HH");
+  EXPECT_EQ(kernel::NashMaskJoined(kernel::kMaskHH | kernel::kMaskCC),
+            "HH;CC");
+  EXPECT_EQ(kernel::NashMaskJoined(kernel::kMaskHC | kernel::kMaskCH),
+            "HC;CH");
+  EXPECT_EQ(kernel::NashMaskJoined(0xF), "HH;HC;CH;CC");
+  // Interned: repeated lookups return the same object.
+  EXPECT_EQ(&kernel::NashMaskJoined(kernel::kMaskCC),
+            &kernel::NashMaskJoined(kernel::kMaskCC));
+  EXPECT_EQ(kernel::MaskCount(0xF), 4);
+  EXPECT_EQ(kernel::MaskCount(kernel::kMaskHH | kernel::kMaskCC), 2);
+  EXPECT_EQ(kernel::MaskCount(0), 0);
+}
+
+// -------------------------------------------------------------------------
+// Row-for-row equivalence with the legacy sweep structs.
+// -------------------------------------------------------------------------
+
+TEST(KernelRowTest, FrequencyRowsMatchLegacySweep) {
+  const int kSteps = 31;
+  auto legacy = SweepFrequency(kB, kF, kL, kP, kSteps).value();
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    kernel::FrequencyRowKernel row =
+        kernel::EvalFrequencyRow(kB, kF, kL, kP, kSteps, i).value();
+    EXPECT_EQ(row.frequency, legacy[i].frequency);
+    EXPECT_EQ(row.region, legacy[i].analytic_region);
+    std::vector<std::string> labels;
+    kernel::AppendNashLabels(row.nash_mask, labels);
+    EXPECT_EQ(labels, legacy[i].nash_equilibria);
+    EXPECT_EQ(row.honest_is_dse, legacy[i].honest_is_dse);
+    EXPECT_EQ(row.matches, legacy[i].analytic_matches_enumeration);
+  }
+}
+
+TEST(KernelRowTest, PenaltyRowsMatchLegacySweep) {
+  const int kSteps = 41;
+  auto legacy = SweepPenalty(kB, kF, kL, 0.2, 120, kSteps).value();
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    kernel::PenaltyRowKernel row =
+        kernel::EvalPenaltyRow(kB, kF, kL, 0.2, 120, kSteps, i).value();
+    EXPECT_EQ(row.penalty, legacy[i].penalty);
+    EXPECT_EQ(row.region, legacy[i].analytic_region);
+    std::vector<std::string> labels;
+    kernel::AppendNashLabels(row.nash_mask, labels);
+    EXPECT_EQ(labels, legacy[i].nash_equilibria);
+    EXPECT_EQ(row.honest_is_dse, legacy[i].honest_is_dse);
+    EXPECT_EQ(row.matches, legacy[i].analytic_matches_enumeration);
+  }
+}
+
+TEST(KernelRowTest, AsymmetricCellsMatchLegacySweep) {
+  const int kSteps = 13;
+  TwoPlayerGameParams params = AsymmetricParams();
+  auto legacy = SweepAsymmetricGrid(params, kSteps).value();
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    kernel::AsymmetricCellKernel cell =
+        kernel::EvalAsymmetricCell(params, kSteps, i).value();
+    EXPECT_EQ(cell.f1, legacy[i].f1);
+    EXPECT_EQ(cell.f2, legacy[i].f2);
+    EXPECT_EQ(cell.region, legacy[i].analytic_region);
+    std::vector<std::string> labels;
+    kernel::AppendNashLabels(cell.nash_mask, labels);
+    EXPECT_EQ(labels, legacy[i].nash_equilibria);
+    EXPECT_EQ(cell.matches, legacy[i].analytic_matches_enumeration);
+  }
+}
+
+TEST(KernelRowTest, NPlayerBandRowsMatchLegacySweep) {
+  const int kSteps = 64;
+  NPlayerHonestyGame::Params params = BandParams(8);
+  auto legacy = SweepNPlayerPenalty(params, 150, kSteps).value();
+  kernel::NPlayerKernelParams kp =
+      kernel::MakeNPlayerKernelParams(params).value();
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    kernel::NPlayerBandRowKernel row =
+        kernel::EvalNPlayerBandRow(kp, 150, kSteps, i).value();
+    EXPECT_EQ(row.penalty, legacy[i].penalty);
+    EXPECT_EQ(row.analytic_honest_count, legacy[i].analytic_honest_count);
+    std::vector<int> counts;
+    kernel::AppendHonestCounts(row.count_mask, counts);
+    EXPECT_EQ(counts, legacy[i].equilibrium_honest_counts);
+    EXPECT_EQ(row.honest_is_dominant, legacy[i].honest_is_dominant);
+    EXPECT_EQ(row.cheat_is_dominant, legacy[i].cheat_is_dominant);
+    EXPECT_EQ(row.matches, legacy[i].analytic_matches_enumeration);
+  }
+}
+
+// -------------------------------------------------------------------------
+// Degenerate sweeps: steps == 1 is a valid single-sample sweep, and the
+// kernel and legacy entry points agree on the one row it produces.
+// -------------------------------------------------------------------------
+
+TEST(KernelDegenerateTest, SingleStepFrequencySweepAgrees) {
+  auto legacy = SweepFrequency(kB, kF, kL, kP, 1);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  ASSERT_EQ(legacy->size(), 1u);
+  EXPECT_EQ((*legacy)[0].frequency, 0.0);
+
+  kernel::FrequencyRowKernel row =
+      kernel::EvalFrequencyRow(kB, kF, kL, kP, 1, 0).value();
+  EXPECT_EQ(row.frequency, (*legacy)[0].frequency);
+  EXPECT_EQ(row.region, (*legacy)[0].analytic_region);
+  std::vector<std::string> labels;
+  kernel::AppendNashLabels(row.nash_mask, labels);
+  EXPECT_EQ(labels, (*legacy)[0].nash_equilibria);
+
+  // The single row is exactly the steps >= 2 range start.
+  auto wide = EvalFrequencySweepRow(kB, kF, kL, kP, 21, 0).value();
+  EXPECT_EQ(row.frequency, wide.frequency);
+  EXPECT_EQ(row.region, wide.analytic_region);
+}
+
+TEST(KernelDegenerateTest, SingleStepPenaltyAndGridAndBandsAgree) {
+  auto penalty = SweepPenalty(kB, kF, kL, 0.2, 120, 1);
+  ASSERT_TRUE(penalty.ok());
+  ASSERT_EQ(penalty->size(), 1u);
+  EXPECT_EQ((*penalty)[0].penalty, 0.0);
+  EXPECT_EQ(kernel::EvalPenaltyRow(kB, kF, kL, 0.2, 120, 1, 0)->penalty, 0.0);
+
+  auto grid = SweepAsymmetricGrid(AsymmetricParams(), 1);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid->size(), 1u);
+  EXPECT_EQ((*grid)[0].f1, 0.0);
+  EXPECT_EQ((*grid)[0].f2, 0.0);
+
+  auto bands = SweepNPlayerPenalty(BandParams(8), 150, 1);
+  ASSERT_TRUE(bands.ok());
+  ASSERT_EQ(bands->size(), 1u);
+  EXPECT_EQ((*bands)[0].penalty, 0.0);
+}
+
+TEST(KernelDegenerateTest, ZeroWidthAndOutOfRangeBatches) {
+  kernel::FrequencyRowsSoA rows;
+  // Zero-width range: valid, resizes to empty.
+  EXPECT_TRUE(
+      kernel::EvalFrequencyRows(kB, kF, kL, kP, 21, 5, 0, rows).ok());
+  EXPECT_EQ(rows.size(), 0u);
+  // Range past the index space: rejected.
+  EXPECT_FALSE(
+      kernel::EvalFrequencyRows(kB, kF, kL, kP, 21, 0, 22, rows).ok());
+  EXPECT_FALSE(
+      kernel::EvalFrequencyRows(kB, kF, kL, kP, 21, 21, 1, rows).ok());
+  // steps < 1 stays invalid everywhere.
+  EXPECT_FALSE(kernel::EvalFrequencyRows(kB, kF, kL, kP, 0, 0, 0, rows).ok());
+  EXPECT_FALSE(kernel::EvalFrequencyRow(kB, kF, kL, kP, 0, 0).ok());
+  EXPECT_FALSE(SweepFrequency(kB, kF, kL, kP, 0).ok());
+}
+
+// -------------------------------------------------------------------------
+// n-player capacity: n > kMaxKernelPlayers falls back to the legacy
+// enumeration with identical rows.
+// -------------------------------------------------------------------------
+
+TEST(KernelNPlayerTest, OversizedGameFallsBackToLegacyPath) {
+  NPlayerHonestyGame::Params params = BandParams(kernel::kMaxKernelPlayers + 7);
+  EXPECT_EQ(kernel::MakeNPlayerKernelParams(params).status().code(),
+            StatusCode::kOutOfRange);
+
+  // The public sweep still works (legacy fallback) and its rows agree
+  // with a direct game enumeration.
+  const int kSteps = 9;
+  auto rows = SweepNPlayerPenalty(params, 2000, kSteps);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), static_cast<size_t>(kSteps));
+  for (size_t i = 0; i < rows->size(); ++i) {
+    NPlayerHonestyGame::Params p = params;
+    p.penalty = (*rows)[i].penalty;
+    NPlayerHonestyGame game = NPlayerHonestyGame::Create(p).value();
+    EXPECT_EQ((*rows)[i].equilibrium_honest_counts,
+              game.EquilibriumHonestCounts());
+    EXPECT_EQ((*rows)[i].honest_is_dominant, game.IsHonestDominant());
+    EXPECT_EQ((*rows)[i].analytic_honest_count,
+              NPlayerEquilibriumHonestCount(p.n, p.benefit, p.gain,
+                                            p.frequency, p.penalty));
+  }
+}
+
+TEST(KernelNPlayerTest, KernelAndLegacySingleRowAgreeAtCapacity) {
+  NPlayerHonestyGame::Params params = BandParams(kernel::kMaxKernelPlayers);
+  auto legacy = EvalNPlayerBandRow(params, 4000, 17, 11).value();
+  kernel::NPlayerKernelParams kp =
+      kernel::MakeNPlayerKernelParams(params).value();
+  kernel::NPlayerBandRowKernel row =
+      kernel::NPlayerBandRowAt(kp, 4000, 17, 11);
+  EXPECT_EQ(row.penalty, legacy.penalty);
+  EXPECT_EQ(row.analytic_honest_count, legacy.analytic_honest_count);
+  std::vector<int> counts;
+  kernel::AppendHonestCounts(row.count_mask, counts);
+  EXPECT_EQ(counts, legacy.equilibrium_honest_counts);
+}
+
+// -------------------------------------------------------------------------
+// Batch evaluators vs thread counts.
+// -------------------------------------------------------------------------
+
+TEST(KernelBatchTest, BatchesBitIdenticalAcrossThreadCounts) {
+  const int kSteps = 201;
+  kernel::FrequencyRowsSoA serial;
+  ASSERT_TRUE(kernel::EvalFrequencyRows(kB, kF, kL, kP, kSteps, 0,
+                                        kSteps, serial, 1)
+                  .ok());
+  for (int threads : {2, 3, 7}) {
+    kernel::FrequencyRowsSoA parallel;
+    ASSERT_TRUE(kernel::EvalFrequencyRows(kB, kF, kL, kP, kSteps, 0, kSteps,
+                                          parallel, threads)
+                    .ok());
+    EXPECT_EQ(parallel.frequency, serial.frequency) << threads;
+    EXPECT_EQ(parallel.nash_mask, serial.nash_mask) << threads;
+    EXPECT_EQ(parallel.honest_is_dse, serial.honest_is_dse) << threads;
+    EXPECT_EQ(parallel.matches, serial.matches) << threads;
+  }
+}
+
+TEST(KernelBatchTest, SubrangeMatchesFullSweepSlice) {
+  const int kSteps = 101;
+  kernel::AsymmetricCellsSoA full, slice;
+  TwoPlayerGameParams params = AsymmetricParams();
+  size_t total = static_cast<size_t>(kSteps) * kSteps;
+  ASSERT_TRUE(
+      kernel::EvalAsymmetricCells(params, kSteps, 0, total, full).ok());
+  ASSERT_TRUE(
+      kernel::EvalAsymmetricCells(params, kSteps, 500, 250, slice).ok());
+  for (size_t k = 0; k < slice.size(); ++k) {
+    EXPECT_EQ(slice.f1[k], full.f1[500 + k]);
+    EXPECT_EQ(slice.f2[k], full.f2[500 + k]);
+    EXPECT_EQ(slice.nash_mask[k], full.nash_mask[500 + k]);
+  }
+}
+
+// -------------------------------------------------------------------------
+// Allocation guard: zero heap allocations per cell.
+// -------------------------------------------------------------------------
+
+TEST(KernelAllocationTest, PerRowKernelsNeverAllocate) {
+  // Warm every lazy static (interned label table, gain tables).
+  TwoPlayerGameParams sym = TwoPlayerGameParams::Symmetric(kB, kF, kL, 0.3, kP);
+  TwoPlayerGameParams asym = AsymmetricParams();
+  kernel::NPlayerKernelParams np =
+      kernel::MakeNPlayerKernelParams(BandParams(8)).value();
+  for (int m = 0; m < 16; ++m) {
+    kernel::NashMaskJoined(static_cast<kernel::ProfileMask2x2>(m));
+  }
+
+  size_t before = g_allocations.load();
+  kernel::FrequencyRowKernel f = kernel::FrequencyRowAt(kB, kF, kL, kP, 64, 7);
+  kernel::PenaltyRowKernel p =
+      kernel::PenaltyRowAt(kB, kF, kL, 0.2, 120, 64, 9);
+  kernel::AsymmetricCellKernel a = kernel::AsymmetricCellAt(asym, 64, 123);
+  kernel::NPlayerBandRowKernel b = kernel::NPlayerBandRowAt(np, 150, 64, 31);
+  kernel::Game2x2 g = kernel::MakeAudited2x2(sym);
+  kernel::ProfileMask2x2 mask = kernel::PureNashMask(g);
+  bool dse = kernel::HonestIsDse2x2(g);
+  const std::string& joined = kernel::NashMaskJoined(mask);
+  size_t after = g_allocations.load();
+
+  EXPECT_EQ(after - before, 0u)
+      << "per-row kernel paths must not touch the heap";
+  // Keep every result live so the compiler cannot elide the calls.
+  EXPECT_GE(f.frequency + p.penalty + a.f1 + b.penalty, 0.0);
+  EXPECT_TRUE(dse || !dse);
+  EXPECT_GE(joined.size(), 0u);
+}
+
+TEST(KernelAllocationTest, BatchAllocationCountIndependentOfRowCount) {
+  // A fresh SoA buffer costs a fixed number of vector allocations; the
+  // per-cell loop must add none. Equal counts at 64 and 4096 rows prove
+  // the loop is allocation-free.
+  auto allocs_for = [&](int steps) {
+    kernel::FrequencyRowsSoA rows;
+    size_t before = g_allocations.load();
+    Status s = kernel::EvalFrequencyRows(kB, kF, kL, kP, steps, 0,
+                                         static_cast<size_t>(steps), rows, 1);
+    size_t after = g_allocations.load();
+    EXPECT_TRUE(s.ok());
+    return after - before;
+  };
+  size_t small = allocs_for(64);
+  size_t large = allocs_for(4096);
+  EXPECT_EQ(small, large);
+
+  // Reusing an already-sized buffer costs only the fixed per-batch
+  // std::function type-erasure of common/parallel.h — identical for
+  // every row count, i.e. still zero allocations per cell.
+  auto rerun_allocs = [&](int steps) {
+    kernel::FrequencyRowsSoA rows;
+    EXPECT_TRUE(kernel::EvalFrequencyRows(kB, kF, kL, kP, steps, 0,
+                                          static_cast<size_t>(steps), rows, 1)
+                    .ok());
+    size_t before = g_allocations.load();
+    EXPECT_TRUE(kernel::EvalFrequencyRows(kB, kF, kL, kP, steps, 0,
+                                          static_cast<size_t>(steps), rows, 1)
+                    .ok());
+    return g_allocations.load() - before;
+  };
+  size_t rerun_small = rerun_allocs(256);
+  size_t rerun_large = rerun_allocs(8192);
+  EXPECT_EQ(rerun_small, rerun_large)
+      << "per-batch overhead must not scale with row count";
+  EXPECT_LE(rerun_small, 4u) << "sized-buffer re-run should cost at most the "
+                                "fixed ParallelFor closure erasure";
+}
+
+// -------------------------------------------------------------------------
+// Named-sweep registry.
+// -------------------------------------------------------------------------
+
+TEST(NamedSweepRegistryTest, RejectsInvalidAndDuplicateRegistrations) {
+  NamedSweep valid;
+  valid.make_spec = []() -> Result<common::ShardSweepSpec> {
+    common::ShardSweepSpec spec;
+    spec.name = "kernel_test_sweep";
+    spec.total = 1;
+    spec.record = [](size_t) -> Result<Bytes> { return ToBytes("1\n"); };
+    return spec;
+  };
+  valid.header = "x\n";
+  valid.filename = "kernel_test_sweep.csv";
+
+  EXPECT_EQ(RegisterNamedSweep("", valid).code(),
+            StatusCode::kInvalidArgument);
+  NamedSweep no_spec = valid;
+  no_spec.make_spec = nullptr;
+  EXPECT_EQ(RegisterNamedSweep("x1", no_spec).code(),
+            StatusCode::kInvalidArgument);
+  NamedSweep bad_header = valid;
+  bad_header.header = "no-newline";
+  EXPECT_EQ(RegisterNamedSweep("x2", bad_header).code(),
+            StatusCode::kInvalidArgument);
+  NamedSweep no_filename = valid;
+  no_filename.filename = "";
+  EXPECT_EQ(RegisterNamedSweep("x3", no_filename).code(),
+            StatusCode::kInvalidArgument);
+
+  // Builtins and already-registered names are protected.
+  EXPECT_EQ(RegisterNamedSweep("figure1", valid).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(RegisterNamedSweep("kernel_test_sweep", valid).ok());
+  EXPECT_EQ(RegisterNamedSweep("kernel_test_sweep", valid).code(),
+            StatusCode::kAlreadyExists);
+
+  // Registered sweeps resolve through every lookup.
+  EXPECT_EQ(LandscapeCsvHeader("kernel_test_sweep").value(), "x\n");
+  EXPECT_EQ(LandscapeCsvFilename("kernel_test_sweep").value(),
+            "kernel_test_sweep.csv");
+  EXPECT_EQ(LandscapeCsv("kernel_test_sweep").value(), "x\n1\n");
+  bool listed = false;
+  for (const std::string& name : LandscapeSweepNames()) {
+    listed |= (name == "kernel_test_sweep");
+  }
+  EXPECT_TRUE(listed);
+}
+
+TEST(NamedSweepRegistryTest, DesignSweepRegistrationIsIdempotent) {
+  ASSERT_TRUE(RegisterHeterogeneousDesignSweeps().ok());
+  ASSERT_TRUE(RegisterHeterogeneousDesignSweeps().ok());
+
+  int design_names = 0;
+  for (const std::string& name : LandscapeSweepNames()) {
+    design_names += (name.rfind("design_", 0) == 0);
+  }
+  EXPECT_EQ(design_names, 3);
+
+  for (const char* name : {"design_min_penalties",
+                           "design_min_cost_frequencies",
+                           "design_budget_deterrence"}) {
+    common::ShardSweepSpec spec = LandscapeSweepSpec(name).value();
+    EXPECT_EQ(spec.name, name);
+    EXPECT_EQ(spec.total, 48u);
+    Result<std::string> csv = LandscapeCsv(name, 2);
+    ASSERT_TRUE(csv.ok()) << name << ": " << csv.status().ToString();
+    int rows = 0;
+    for (char c : *csv) rows += (c == '\n');
+    EXPECT_EQ(rows, 49) << name;  // header + one row per player
+    // Thread count must not change a byte.
+    EXPECT_EQ(*csv, LandscapeCsv(name, 1).value()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hsis::game

@@ -162,7 +162,7 @@ TEST(Figure4Test, EveryBandIsVisited) {
 }
 
 TEST(SweepValidationTest, RejectsBadArguments) {
-  EXPECT_FALSE(SweepFrequency(kB, kF, kL, 10, 1).ok());
+  EXPECT_FALSE(SweepFrequency(kB, kF, kL, 10, 0).ok());
   EXPECT_FALSE(SweepPenalty(kB, kF, kL, 0.2, 10, 0).ok());
   NPlayerHonestyGame::Params p;
   p.n = 4;

@@ -141,7 +141,7 @@ TEST(ParallelSweepDeterminismTest, SweepNPlayerPenalty) {
 
 TEST(ParallelSweepDeterminismTest, ErrorsIndependentOfThreadCount) {
   for (int threads : {1, 2, 0}) {
-    EXPECT_FALSE(SweepFrequency(10, 25, 8, 40, 1, threads).ok());
+    EXPECT_FALSE(SweepFrequency(10, 25, 8, 40, 0, threads).ok());
     EXPECT_FALSE(SweepAsymmetricGrid(AsymmetricParams(), 0, threads).ok());
   }
 }
