@@ -16,6 +16,7 @@
 #include "bench_util.h"
 #include "common/file.h"
 #include "common/parallel.h"
+#include "common/scheduler.h"
 #include "common/shard.h"
 #include "core/campaign.h"
 #include "game/repeated_analysis.h"
@@ -233,9 +234,17 @@ void PrintReproduction() {
 /// multi-process shard lifecycle of common/shard.h (plan, K shard runs,
 /// validated merge) in a scratch directory and verifies the merged
 /// record stream is byte-identical to the serial single-process run.
+/// With `--schedule` the K shard runs go through the fault-tolerant
+/// ShardScheduler (`--workers` concurrent jobs, `--max-retries`,
+/// `--shard-timeout-ms`) instead of a serial loop, and `--json=PATH`
+/// records the scheduled throughput as the headline measurement.
 void PrintSharded() {
   bench::PrintRule(
-      "Campaign ensemble engine: sharded run vs serial, policy x seed grid");
+      bench::ScheduleRequested()
+          ? "Campaign ensemble engine: scheduled shards vs serial, "
+            "policy x seed grid"
+          : "Campaign ensemble engine: sharded run vs serial, "
+            "policy x seed grid");
   const int shards = bench::Shards();
 
   core::CampaignEnsembleConfig config;
@@ -306,9 +315,25 @@ void PrintSharded() {
   }
 
   start = Clock::now();
-  common::ShardRunner runner(spec, *plan);
-  for (int k = 0; k < shards; ++k) {
-    if (Status s = runner.Run(k, dir); !s.ok()) return fail(s);
+  common::ShardScheduleSummary summary;
+  if (bench::ScheduleRequested()) {
+    auto info = common::ReadShardPlan(dir);
+    if (!info.ok()) return fail(info.status());
+    common::ShardScheduleOptions options;
+    options.workers = bench::Workers();
+    options.max_attempts = bench::MaxRetries() + 1;
+    options.shard_timeout_ms = bench::ShardTimeoutMs();
+    common::ShardScheduler scheduler(
+        *info, dir, common::MakeRunnerShardExecutor(spec, *plan, dir),
+        options);
+    auto run = scheduler.Run();
+    if (!run.ok()) return fail(run.status());
+    summary = *std::move(run);
+  } else {
+    common::ShardRunner runner(spec, *plan);
+    for (int k = 0; k < shards; ++k) {
+      if (Status s = runner.Run(k, dir); !s.ok()) return fail(s);
+    }
   }
   auto merged = common::MergeShards(dir, spec.name);
   double sharded_s =
@@ -321,9 +346,23 @@ void PrintSharded() {
               policies.size(), config.replicates, config.rounds, spec.total,
               shards);
   std::printf("  serial (1 process)        %8.3f s\n", serial_s);
-  std::printf("  plan + %d shards + merge  %8.3f s\n", shards, sharded_s);
+  if (bench::ScheduleRequested()) {
+    std::printf("  scheduled %d shards x %d workers + merge  %8.3f s\n",
+                shards, bench::Workers(), sharded_s);
+    std::printf("  (%d resumed, %d retries, %d quarantined, %d timeouts)\n",
+                summary.resumed, summary.retries, summary.quarantined,
+                summary.timeouts);
+  } else {
+    std::printf("  plan + %d shards + merge  %8.3f s\n", shards, sharded_s);
+  }
+  const bool identical = *merged == serial_bytes;
   std::printf("\nmerged output bit-identical to serial: %s\n",
-              *merged == serial_bytes ? "yes" : "NO — SHARDING VIOLATION");
+              identical ? "yes" : "NO — SHARDING VIOLATION");
+  if (identical && bench::ScheduleRequested()) {
+    bench::WriteJsonRecord("campaign_ensemble_scheduled", bench::Workers(),
+                           static_cast<double>(spec.total) / sharded_s,
+                           sharded_s * 1e3);
+  }
 }
 
 void PrintMain() {

@@ -14,10 +14,11 @@
 #include "common/shard.h"
 
 /// Shared main() for all reproduction benches: strip the hsis-specific
-/// flags (`--threads=N`, `--speedup`, `--shards=K`, `--json=PATH`),
-/// print the paper artifact first (tables/series exactly as DESIGN.md
-/// §4 specifies), then run the google-benchmark timings registered by
-/// the binary.
+/// flags (`--threads=N`, `--speedup`, `--shards=K`, `--schedule`,
+/// `--workers=N`, `--max-retries=R`, `--shard-timeout-ms=T`,
+/// `--json=PATH`), print the paper artifact first (tables/series
+/// exactly as DESIGN.md §4 specifies), then run the google-benchmark
+/// timings registered by the binary.
 #define HSIS_BENCH_MAIN(print_fn)                                   \
   int main(int argc, char** argv) {                                 \
     ::hsis::bench::ConsumeFlags(&argc, argv);                       \
@@ -56,6 +57,22 @@ inline std::string& JsonPathStorage() {
   static std::string path;  // empty = no machine-readable output requested
   return path;
 }
+inline bool& ScheduleStorage() {
+  static bool schedule = false;
+  return schedule;
+}
+inline int& WorkersStorage() {
+  static int workers = 1;
+  return workers;
+}
+inline int& MaxRetriesStorage() {
+  static int retries = 2;
+  return retries;
+}
+inline long& ShardTimeoutMsStorage() {
+  static long timeout_ms = 0;  // 0 = no per-shard timeout
+  return timeout_ms;
+}
 }  // namespace internal
 
 /// The resolved `--threads=N` flag value (default 1 = serial;
@@ -72,6 +89,23 @@ inline int Shards() { return internal::ShardsStorage(); }
 /// Whether `--speedup` was passed: benches supporting it time a
 /// serial-vs-parallel comparison instead of the paper reproduction.
 inline bool SpeedupRequested() { return internal::SpeedupStorage(); }
+
+/// Whether `--schedule` was passed: sharded benches run their shards
+/// under the fault-tolerant `ShardScheduler` (common/scheduler.h)
+/// instead of a serial in-order loop.
+inline bool ScheduleRequested() { return internal::ScheduleStorage(); }
+
+/// The resolved `--workers=N` flag (default 1; 0 resolves to hardware
+/// concurrency): concurrent shard jobs for `--schedule` runs.
+inline int Workers() { return internal::WorkersStorage(); }
+
+/// The `--max-retries=R` flag (default 2): extra attempts the scheduler
+/// grants a failing shard before giving up.
+inline int MaxRetries() { return internal::MaxRetriesStorage(); }
+
+/// The `--shard-timeout-ms=T` flag (default 0 = unlimited): wall-clock
+/// budget per shard attempt under `--schedule`.
+inline long ShardTimeoutMs() { return internal::ShardTimeoutMsStorage(); }
 
 /// The `--json=PATH` flag value, or "" when absent. Benches that
 /// measure a headline throughput write one `common::PerfRecord` there
@@ -138,6 +172,28 @@ inline void ConsumeFlags(int* argc, char** argv) {
           resolve(hsis::common::ParseShardsValue(argv[i] + 9));
     } else if (std::strcmp(argv[i], "--speedup") == 0) {
       internal::SpeedupStorage() = true;
+    } else if (std::strcmp(argv[i], "--schedule") == 0) {
+      internal::ScheduleStorage() = true;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      internal::WorkersStorage() =
+          resolve(hsis::common::ParseThreadsValue(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--max-retries=", 14) == 0) {
+      char* end = nullptr;
+      long value = std::strtol(argv[i] + 14, &end, 10);
+      if (end == argv[i] + 14 || *end != '\0' || value < 0) {
+        std::fprintf(stderr, "bad --max-retries value: %s\n", argv[i] + 14);
+        std::exit(1);
+      }
+      internal::MaxRetriesStorage() = static_cast<int>(value);
+    } else if (std::strncmp(argv[i], "--shard-timeout-ms=", 19) == 0) {
+      char* end = nullptr;
+      long value = std::strtol(argv[i] + 19, &end, 10);
+      if (end == argv[i] + 19 || *end != '\0' || value < 0) {
+        std::fprintf(stderr, "bad --shard-timeout-ms value: %s\n",
+                     argv[i] + 19);
+        std::exit(1);
+      }
+      internal::ShardTimeoutMsStorage() = value;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       internal::JsonPathStorage() = argv[i] + 7;
     } else {

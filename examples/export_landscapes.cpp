@@ -2,7 +2,8 @@
 // plot-ready reproductions of Figures 1–4.
 //
 // Build & run:  ./build/examples/export_landscapes [--threads=N]
-//               [--shards=K] [output-dir]
+//               [--shards=K] [--schedule] [--workers=N] [--max-retries=R]
+//               [--shard-timeout-ms=T] [output-dir]
 // (default output dir: current directory; --threads=0 uses hardware
 // concurrency — the CSVs are bit-identical for every thread count)
 //
@@ -11,6 +12,12 @@
 // <output-dir>/shards/<sweep>/, and the merged CSVs are byte-identical
 // to the single-process run. Use examples/shard_worker to split the
 // same shards across separate processes or machines.
+//
+// Adding --schedule hands the K shard runs to the fault-tolerant
+// ShardScheduler (common/scheduler.h) on in-process worker threads:
+// up to --workers shards run concurrently, failed shards retry up to
+// --max-retries times, and shards already committed by an earlier
+// (e.g. interrupted) run are skipped. See docs/SHARDING.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +26,7 @@
 
 #include "common/file.h"
 #include "common/parallel.h"
+#include "common/scheduler.h"
 #include "common/shard.h"
 #include "game/landscape_shards.h"
 
@@ -36,17 +44,35 @@ int ResolveFlag(Result<int> parsed) {
 }
 
 /// Computes the named sweep's CSV through a K-shard plan/run/merge
-/// cycle in `shard_dir`.
+/// cycle in `shard_dir`. With `options` set (--schedule), the shard
+/// runs go through the fault-tolerant scheduler instead of a serial
+/// loop — resuming committed shards and retrying failed ones.
 Result<std::string> ShardedCsv(const std::string& name, int shards,
-                               int threads, const std::string& shard_dir) {
+                               int threads, const std::string& shard_dir,
+                               const common::ShardScheduleOptions* options) {
   HSIS_ASSIGN_OR_RETURN(common::ShardSweepSpec spec, LandscapeSweepSpec(name));
   HSIS_ASSIGN_OR_RETURN(common::ShardPlan plan,
                         common::ShardPlan::Create(spec.total, shards));
   HSIS_RETURN_IF_ERROR(CreateDirectories(shard_dir));
   HSIS_RETURN_IF_ERROR(common::WriteShardPlan(spec, plan, shard_dir));
-  common::ShardRunner runner(spec, plan);
-  for (int k = 0; k < shards; ++k) {
-    HSIS_RETURN_IF_ERROR(runner.Run(k, shard_dir, threads));
+  if (options != nullptr) {
+    HSIS_ASSIGN_OR_RETURN(common::ShardPlanInfo info,
+                          common::ReadShardPlan(shard_dir));
+    common::ShardScheduler scheduler(
+        info, shard_dir,
+        common::MakeRunnerShardExecutor(spec, plan, shard_dir, threads),
+        *options);
+    HSIS_ASSIGN_OR_RETURN(common::ShardScheduleSummary summary,
+                          scheduler.Run());
+    if (summary.resumed > 0 || summary.retries > 0) {
+      std::printf("  [%s: %d shards, %d resumed, %d retries]\n", name.c_str(),
+                  summary.shards, summary.resumed, summary.retries);
+    }
+  } else {
+    common::ShardRunner runner(spec, plan);
+    for (int k = 0; k < shards; ++k) {
+      HSIS_RETURN_IF_ERROR(runner.Run(k, shard_dir, threads));
+    }
   }
   HSIS_ASSIGN_OR_RETURN(Bytes merged, common::MergeShards(shard_dir, name));
   HSIS_ASSIGN_OR_RETURN(std::string csv, LandscapeCsvHeader(name));
@@ -60,14 +86,41 @@ int main(int argc, char** argv) {
   std::string dir = ".";
   int threads = 1;
   int shards = 1;
+  bool schedule = false;
+  common::ShardScheduleOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = ResolveFlag(common::ParseThreadsValue(argv[i] + 10));
     } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
       shards = ResolveFlag(common::ParseShardsValue(argv[i] + 9));
+    } else if (std::strcmp(argv[i], "--schedule") == 0) {
+      schedule = true;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      options.workers = ResolveFlag(common::ParseThreadsValue(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--max-retries=", 14) == 0) {
+      char* end = nullptr;
+      long retries = std::strtol(argv[i] + 14, &end, 10);
+      if (end == argv[i] + 14 || *end != '\0' || retries < 0) {
+        std::fprintf(stderr, "bad --max-retries value: %s\n", argv[i] + 14);
+        return 2;
+      }
+      options.max_attempts = static_cast<int>(retries) + 1;
+    } else if (std::strncmp(argv[i], "--shard-timeout-ms=", 19) == 0) {
+      char* end = nullptr;
+      long timeout = std::strtol(argv[i] + 19, &end, 10);
+      if (end == argv[i] + 19 || *end != '\0' || timeout < 0) {
+        std::fprintf(stderr, "bad --shard-timeout-ms value: %s\n",
+                     argv[i] + 19);
+        return 2;
+      }
+      options.shard_timeout_ms = timeout;
     } else {
       dir = argv[i];
     }
+  }
+  if (schedule && shards <= 1) {
+    std::fprintf(stderr, "--schedule needs --shards=K with K > 1\n");
+    return 2;
   }
 
   if (Status status = CreateDirectories(dir); !status.ok()) {
@@ -77,7 +130,8 @@ int main(int argc, char** argv) {
   for (const std::string& name : LandscapeSweepNames()) {
     Result<std::string> csv =
         shards > 1 ? ShardedCsv(name, shards, threads,
-                                dir + "/shards/" + name)
+                                dir + "/shards/" + name,
+                                schedule ? &options : nullptr)
                    : LandscapeCsv(name, threads);
     if (!csv.ok()) {
       std::printf("FAILED %s: %s\n", name.c_str(),

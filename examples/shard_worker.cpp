@@ -17,6 +17,22 @@
 // names: the builtin figure landscapes plus the registered sweeps this
 // driver opts into at startup (heterogeneous design searches and the
 // campaign ensemble).
+//
+// Steps 2 and 3 can also be supervised automatically:
+//
+//        shard_worker --schedule --out=results [--sweep=NAME --shards=K]
+//                     [--workers=N] [--max-retries=R] [--shard-timeout-ms=T]
+//                     [--summary=FILE] [--csv=FILE] [--threads=N]
+//
+// which resumes an existing plan (or plans a fresh one when --sweep is
+// given), re-executes this binary once per shard attempt under the
+// fault-tolerant ShardScheduler (common/scheduler.h), retries crashed,
+// corrupt, or hung shards, then merges. Completed shards are never
+// recomputed. --summary writes the machine-readable hsis-schedule-v1
+// run record; see docs/SHARDING.md for the operator runbook.
+
+#include <signal.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +41,8 @@
 
 #include "common/file.h"
 #include "common/parallel.h"
+#include "common/perf_record.h"
+#include "common/scheduler.h"
 #include "common/shard.h"
 #include "core/campaign_shards.h"
 #include "game/landscape_shards.h"
@@ -41,6 +59,9 @@ int Usage() {
       "  shard_worker --plan --sweep=NAME --shards=K --out=DIR\n"
       "  shard_worker --shard=K --out=DIR [--threads=N]\n"
       "  shard_worker --merge --out=DIR [--csv=FILE]\n"
+      "  shard_worker --schedule --out=DIR [--sweep=NAME --shards=K]\n"
+      "               [--workers=N] [--max-retries=R] [--shard-timeout-ms=T]\n"
+      "               [--summary=FILE] [--csv=FILE] [--threads=N]\n"
       "  shard_worker --list\n");
   return 2;
 }
@@ -78,7 +99,22 @@ int DoPlan(const std::string& sweep, int shards, const std::string& out) {
   return 0;
 }
 
+// Deterministic fault injection for scheduler integration tests: when
+// the operator (or CI) touches `<out>/kill-shard-<k>`, the next attempt
+// of shard k consumes the marker, leaves a partial payload behind, and
+// dies by SIGKILL — exactly what a worker crash mid-write looks like.
+// The marker is deleted first, so the retry the scheduler launches runs
+// clean.
+void MaybeDieAtKillMarker(int shard, const std::string& out) {
+  const std::string marker = out + "/kill-shard-" + std::to_string(shard);
+  if (!FileExists(marker)) return;
+  (void)std::remove(marker.c_str());
+  (void)WriteFile(common::ShardPayloadPath(out, shard), "partial write, no ");
+  ::raise(SIGKILL);
+}
+
 int DoShard(int shard, const std::string& out, int threads) {
+  MaybeDieAtKillMarker(shard, out);
   auto info = common::ReadShardPlan(out);
   if (!info.ok()) return Fail(info.status());
   auto spec = LandscapeSweepSpec(info->sweep);
@@ -113,6 +149,75 @@ int DoMerge(const std::string& out, std::string csv_path) {
   return 0;
 }
 
+// Path of this binary for self-re-execution, one process per shard
+// attempt. /proc/self/exe survives PATH lookups and directory changes;
+// argv[0] is the fallback off Linux.
+std::string SelfBinary(const char* argv0) {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) return std::string(buf, static_cast<size_t>(n));
+  return argv0;
+}
+
+struct ScheduleFlags {
+  int workers = 1;
+  int max_retries = 2;
+  int64_t shard_timeout_ms = 0;
+  std::string summary_path;
+};
+
+int DoSchedule(const std::string& self, const std::string& sweep, int shards,
+               const std::string& out, int threads,
+               const ScheduleFlags& flags, const std::string& csv) {
+  // Resume the plan already committed in `out`; plan fresh only when
+  // there is none and --sweep names one.
+  if (!FileExists(common::ShardPlanPath(out))) {
+    if (sweep.empty()) {
+      std::fprintf(stderr,
+                   "no plan in %s and no --sweep to plan one; run --plan "
+                   "first or pass --sweep=NAME --shards=K\n",
+                   out.c_str());
+      return 2;
+    }
+    if (int rc = DoPlan(sweep, shards, out); rc != 0) return rc;
+  }
+  auto info = common::ReadShardPlan(out);
+  if (!info.ok()) return Fail(info.status());
+  if (!sweep.empty() && sweep != info->sweep) {
+    std::fprintf(stderr,
+                 "--sweep=%s contradicts the plan in %s (sweep '%s'); "
+                 "clear the directory to start over\n",
+                 sweep.c_str(), out.c_str(), info->sweep.c_str());
+    return 2;
+  }
+
+  common::ShardScheduleOptions options;
+  options.workers = flags.workers;
+  options.max_attempts = flags.max_retries + 1;
+  options.shard_timeout_ms = flags.shard_timeout_ms;
+  common::ShardScheduler scheduler(
+      *info, out, common::MakeProcessShardExecutor(self, out, threads),
+      options);
+  auto summary = scheduler.Run();
+  if (!summary.ok()) return Fail(summary.status());
+
+  std::printf(
+      "scheduled '%s': %d shards done (%d resumed, %d retries, "
+      "%d quarantined, %d timeouts) in %.0f ms\n",
+      summary->sweep.c_str(), summary->shards, summary->resumed,
+      summary->retries, summary->quarantined, summary->timeouts,
+      summary->wall_ms);
+  if (!flags.summary_path.empty()) {
+    std::string json =
+        common::ScheduleRecordToJson(common::ToScheduleRecord(*summary));
+    if (Status s = WriteFile(flags.summary_path, json); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("summary -> %s\n", flags.summary_path.c_str());
+  }
+  return DoMerge(out, csv);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,31 +226,49 @@ int main(int argc, char** argv) {
   if (Status s = RegisterHeterogeneousDesignSweeps(); !s.ok()) return Fail(s);
   if (Status s = core::RegisterCampaignEnsembleSweep(); !s.ok()) return Fail(s);
 
-  bool plan = false, merge = false, list = false;
+  bool plan = false, merge = false, list = false, schedule = false;
   int shard = -1, shards = 1, threads = 1;
   std::string sweep, out, csv;
+  ScheduleFlags sched;
+  auto parse_int = [](const char* value, int64_t* result) {
+    char* end = nullptr;
+    *result = std::strtol(value, &end, 10);
+    return end != value && *end == '\0';
+  };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    int64_t value = 0;
     if (std::strcmp(arg, "--plan") == 0) {
       plan = true;
     } else if (std::strcmp(arg, "--merge") == 0) {
       merge = true;
     } else if (std::strcmp(arg, "--list") == 0) {
       list = true;
+    } else if (std::strcmp(arg, "--schedule") == 0) {
+      schedule = true;
     } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
       sweep = arg + 8;
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out = arg + 6;
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       csv = arg + 6;
+    } else if (std::strncmp(arg, "--summary=", 10) == 0) {
+      sched.summary_path = arg + 10;
     } else if (std::strncmp(arg, "--shards=", 9) == 0) {
       shards = ResolveFlag(common::ParseShardsValue(arg + 9));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       threads = ResolveFlag(common::ParseThreadsValue(arg + 10));
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      sched.workers = ResolveFlag(common::ParseThreadsValue(arg + 10));
+    } else if (std::strncmp(arg, "--max-retries=", 14) == 0) {
+      if (!parse_int(arg + 14, &value) || value < 0) return Usage();
+      sched.max_retries = static_cast<int>(value);
+    } else if (std::strncmp(arg, "--shard-timeout-ms=", 19) == 0) {
+      if (!parse_int(arg + 19, &value) || value < 0) return Usage();
+      sched.shard_timeout_ms = value;
     } else if (std::strncmp(arg, "--shard=", 8) == 0) {
-      char* end = nullptr;
-      shard = static_cast<int>(std::strtol(arg + 8, &end, 10));
-      if (end == arg + 8 || *end != '\0') return Usage();
+      if (!parse_int(arg + 8, &value)) return Usage();
+      shard = static_cast<int>(value);
     } else {
       return Usage();
     }
@@ -156,6 +279,11 @@ int main(int argc, char** argv) {
       std::printf("%s\n", name.c_str());
     }
     return 0;
+  }
+  if (schedule) {
+    if (out.empty() || plan || merge || shard >= 0) return Usage();
+    return DoSchedule(SelfBinary(argv[0]), sweep, shards, out, threads, sched,
+                      csv);
   }
   if (plan) {
     if (sweep.empty() || out.empty() || merge || shard >= 0) return Usage();

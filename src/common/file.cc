@@ -50,4 +50,22 @@ Status RemoveFileIfExists(const std::string& path) {
   return Status::OK();
 }
 
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (!FileExists(from)) {
+    return Status::NotFound("cannot rename, no such file: " + from);
+  }
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    return Status::Internal("cannot rename " + from + " -> " + to + ": " +
+                            ec.message());
+  }
+  return Status::OK();
+}
+
 }  // namespace hsis

@@ -21,6 +21,13 @@ Status CreateDirectories(const std::string& path);
 /// Deletes the file at `path` if it exists; missing files are OK.
 Status RemoveFileIfExists(const std::string& path);
 
+/// True iff a file (or directory) exists at `path`.
+bool FileExists(const std::string& path);
+
+/// Moves the file at `from` to `to` (same filesystem), overwriting any
+/// existing file at `to`. NotFound when `from` does not exist.
+Status RenameFile(const std::string& from, const std::string& to);
+
 }  // namespace hsis
 
 #endif  // HSIS_COMMON_FILE_H_

@@ -14,10 +14,11 @@
 #include "common/result.h"
 #include "common/status.h"
 
-namespace hsis::common {
-
-/// Deterministic data-parallel engine for the sweep / simulation hot
-/// paths. The contract every user relies on:
+/// \file
+/// \brief Deterministic data-parallel engine for the sweep / simulation
+/// hot paths.
+///
+/// The contract every user relies on:
 ///
 ///  1. **Ordered slots** — `ParallelFor(threads, n, body)` runs
 ///     `body(i)` exactly once for each index in `[0, n)`; callers write
@@ -34,6 +35,28 @@ namespace hsis::common {
 /// Together these make results bit-identical across thread counts:
 /// `threads = 1`, `threads = 2`, and hardware concurrency all produce
 /// the same bytes.
+///
+/// \par Usage
+/// \code
+///   std::vector<double> out(n);
+///   common::ParallelFor(threads, n, [&](size_t i) {
+///     Rng rng = Rng::ForIndex(base_seed, i);   // per-index stream
+///     out[i] = Simulate(rng);                  // ordered slot i
+///   });
+///   // `out` is bit-identical for every `threads` value.
+/// \endcode
+
+/// \namespace hsis
+/// \brief Reproduction of "On Honesty in Sovereign Information Sharing"
+/// (Agrawal & Terzi, EDBT 2006): crypto substrate, game-theoretic core,
+/// simulation and audit layers.
+
+/// \namespace hsis::common
+/// \brief Infrastructure shared by every layer: status/result error
+/// model, deterministic parallelism, sharding, scheduling, file and
+/// record utilities.
+
+namespace hsis::common {
 
 /// Number of hardware threads, never less than 1.
 int HardwareConcurrency();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace hsis::common {
 
@@ -122,6 +123,29 @@ class Scanner {
   size_t pos_ = 0;
 };
 
+/// Parses `text` as comma-joined non-negative integers ("1,2,0"); used
+/// by `ScheduleRecord::Validate` to check the attempts field.
+Result<std::vector<int>> ParseAttemptsList(const std::string& text) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    std::string token = text.substr(pos, comma - pos);
+    if (token.empty() || token.find_first_not_of("0123456789") !=
+                             std::string::npos) {
+      return Status::InvalidArgument(
+          "schedule record: attempts must be comma-joined non-negative "
+          "integers, got '" +
+          text + "'");
+    }
+    out.push_back(std::atoi(token.c_str()));
+    pos = comma + 1;
+    if (comma == text.size()) break;
+  }
+  return out;
+}
+
 }  // namespace
 
 Status PerfRecord::Validate() const {
@@ -238,6 +262,158 @@ Result<PerfRecord> ParsePerfRecord(std::string_view json) {
   if (!seen_schema || !seen_bench || !seen_threads || !seen_cells ||
       !seen_wall || !seen_git) {
     return Status::InvalidArgument("perf record: missing required key");
+  }
+  HSIS_RETURN_IF_ERROR(record.Validate());
+  return record;
+}
+
+Status ScheduleRecord::Validate() const {
+  if (sweep.empty()) {
+    return Status::InvalidArgument("schedule record: sweep name is empty");
+  }
+  if (shards < 1) {
+    return Status::InvalidArgument("schedule record: shards must be >= 1");
+  }
+  if (resumed < 0 || retries < 0 || quarantined < 0 || timeouts < 0) {
+    return Status::InvalidArgument(
+        "schedule record: counters must be non-negative");
+  }
+  if (!std::isfinite(wall_ms) || wall_ms < 0) {
+    return Status::InvalidArgument(
+        "schedule record: wall_ms must be finite and >= 0");
+  }
+  HSIS_ASSIGN_OR_RETURN(std::vector<int> per_shard,
+                        ParseAttemptsList(attempts));
+  if (per_shard.size() != static_cast<size_t>(shards)) {
+    return Status::InvalidArgument(
+        "schedule record: attempts lists " +
+        std::to_string(per_shard.size()) + " shards, record claims " +
+        std::to_string(shards));
+  }
+  int beyond_first = 0;
+  for (int a : per_shard) beyond_first += a > 1 ? a - 1 : 0;
+  if (beyond_first != retries) {
+    return Status::InvalidArgument(
+        "schedule record: attempts imply " + std::to_string(beyond_first) +
+        " retries, record claims " + std::to_string(retries));
+  }
+  return Status::OK();
+}
+
+std::string ScheduleRecordToJson(const ScheduleRecord& record) {
+  std::string out = "{\"schema\":";
+  AppendJsonString(out, kScheduleRecordSchema);
+  out += ",\"sweep\":";
+  AppendJsonString(out, record.sweep);
+  out += ",\"shards\":";
+  out += std::to_string(record.shards);
+  out += ",\"resumed\":";
+  out += std::to_string(record.resumed);
+  out += ",\"retries\":";
+  out += std::to_string(record.retries);
+  out += ",\"quarantined\":";
+  out += std::to_string(record.quarantined);
+  out += ",\"timeouts\":";
+  out += std::to_string(record.timeouts);
+  out += ",\"attempts\":";
+  AppendJsonString(out, record.attempts);
+  out += ",\"wall_ms\":";
+  AppendJsonNumber(out, record.wall_ms);
+  out += "}\n";
+  return out;
+}
+
+Result<ScheduleRecord> ParseScheduleRecord(std::string_view json) {
+  Scanner scanner(json);
+  if (!scanner.Consume('{')) {
+    return Status::InvalidArgument("schedule record: expected '{'");
+  }
+  ScheduleRecord record;
+  bool seen_schema = false, seen_sweep = false, seen_shards = false,
+       seen_resumed = false, seen_retries = false, seen_quarantined = false,
+       seen_timeouts = false, seen_attempts = false, seen_wall = false;
+  auto take_int = [&](bool* seen, const std::string& key,
+                      int* out) -> Status {
+    if (*seen) {
+      return Status::InvalidArgument("schedule record: duplicate key '" +
+                                     key + "'");
+    }
+    *seen = true;
+    HSIS_ASSIGN_OR_RETURN(double value, scanner.Number());
+    if (value != static_cast<int>(value)) {
+      return Status::InvalidArgument("schedule record: '" + key +
+                                     "' must be an integer");
+    }
+    *out = static_cast<int>(value);
+    return Status::OK();
+  };
+  bool first = true;
+  while (!scanner.Consume('}')) {
+    if (!first && !scanner.Consume(',')) {
+      return Status::InvalidArgument("schedule record: expected ',' or '}'");
+    }
+    first = false;
+    HSIS_ASSIGN_OR_RETURN(std::string key, scanner.String());
+    if (!scanner.Consume(':')) {
+      return Status::InvalidArgument(
+          "schedule record: expected ':' after key");
+    }
+    if (key == "schema") {
+      if (seen_schema) {
+        return Status::InvalidArgument(
+            "schedule record: duplicate key 'schema'");
+      }
+      seen_schema = true;
+      HSIS_ASSIGN_OR_RETURN(std::string schema, scanner.String());
+      if (schema != kScheduleRecordSchema) {
+        return Status::InvalidArgument("schedule record: unknown schema '" +
+                                       schema + "'");
+      }
+    } else if (key == "sweep") {
+      if (seen_sweep) {
+        return Status::InvalidArgument(
+            "schedule record: duplicate key 'sweep'");
+      }
+      seen_sweep = true;
+      HSIS_ASSIGN_OR_RETURN(record.sweep, scanner.String());
+    } else if (key == "shards") {
+      HSIS_RETURN_IF_ERROR(take_int(&seen_shards, key, &record.shards));
+    } else if (key == "resumed") {
+      HSIS_RETURN_IF_ERROR(take_int(&seen_resumed, key, &record.resumed));
+    } else if (key == "retries") {
+      HSIS_RETURN_IF_ERROR(take_int(&seen_retries, key, &record.retries));
+    } else if (key == "quarantined") {
+      HSIS_RETURN_IF_ERROR(
+          take_int(&seen_quarantined, key, &record.quarantined));
+    } else if (key == "timeouts") {
+      HSIS_RETURN_IF_ERROR(take_int(&seen_timeouts, key, &record.timeouts));
+    } else if (key == "attempts") {
+      if (seen_attempts) {
+        return Status::InvalidArgument(
+            "schedule record: duplicate key 'attempts'");
+      }
+      seen_attempts = true;
+      HSIS_ASSIGN_OR_RETURN(record.attempts, scanner.String());
+    } else if (key == "wall_ms") {
+      if (seen_wall) {
+        return Status::InvalidArgument(
+            "schedule record: duplicate key 'wall_ms'");
+      }
+      seen_wall = true;
+      HSIS_ASSIGN_OR_RETURN(record.wall_ms, scanner.Number());
+    } else {
+      return Status::InvalidArgument("schedule record: unknown key '" + key +
+                                     "'");
+    }
+  }
+  if (!scanner.AtEnd()) {
+    return Status::InvalidArgument(
+        "schedule record: trailing bytes after record object");
+  }
+  if (!seen_schema || !seen_sweep || !seen_shards || !seen_resumed ||
+      !seen_retries || !seen_quarantined || !seen_timeouts || !seen_attempts ||
+      !seen_wall) {
+    return Status::InvalidArgument("schedule record: missing required key");
   }
   HSIS_RETURN_IF_ERROR(record.Validate());
   return record;

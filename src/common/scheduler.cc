@@ -1,0 +1,435 @@
+#include "common/scheduler.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/file.h"
+
+namespace hsis::common {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int64_t ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               since)
+      .count();
+}
+
+/// Runs each shard attempt as a forked child process executing
+/// `binary --shard=<k> --out=<dir> --threads=<t>`. Poll reaps with
+/// WNOHANG; Kill delivers SIGKILL (the child is reaped by a later
+/// Poll).
+class ProcessShardExecutor final : public ShardExecutor {
+ public:
+  ProcessShardExecutor(std::string binary, std::string dir, int threads)
+      : binary_(std::move(binary)), dir_(std::move(dir)), threads_(threads) {}
+
+  ~ProcessShardExecutor() override {
+    // Never leak children: kill and reap anything still running.
+    for (auto& [job, pid] : pids_) {
+      ::kill(pid, SIGKILL);
+      int wstatus = 0;
+      ::waitpid(pid, &wstatus, 0);
+    }
+  }
+
+  Result<int> Start(int shard) override {
+    std::string shard_arg = "--shard=" + std::to_string(shard);
+    std::string out_arg = "--out=" + dir_;
+    std::string threads_arg = "--threads=" + std::to_string(threads_);
+    char* argv[] = {binary_.data(), shard_arg.data(), out_arg.data(),
+                    threads_arg.data(), nullptr};
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      return Status::Internal(std::string("fork failed: ") +
+                              std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::execv(binary_.c_str(), argv);
+      // Exec failed; exit without running atexit handlers of the
+      // half-duplicated parent image.
+      std::_Exit(127);
+    }
+    int job = next_job_++;
+    pids_.emplace(job, pid);
+    return job;
+  }
+
+  bool Poll(int job, Status* status) override {
+    auto it = pids_.find(job);
+    if (it == pids_.end()) {
+      *status = Status::InvalidArgument("unknown job handle " +
+                                        std::to_string(job));
+      return true;
+    }
+    int wstatus = 0;
+    pid_t reaped = ::waitpid(it->second, &wstatus, WNOHANG);
+    if (reaped == 0) return false;
+    pids_.erase(it);
+    if (reaped < 0) {
+      *status = Status::Internal(std::string("waitpid failed: ") +
+                                 std::strerror(errno));
+    } else if (WIFEXITED(wstatus)) {
+      int code = WEXITSTATUS(wstatus);
+      *status = code == 0 ? Status::OK()
+                          : Status::Internal("worker exited with code " +
+                                             std::to_string(code));
+    } else if (WIFSIGNALED(wstatus)) {
+      *status = Status::Internal("worker killed by signal " +
+                                 std::to_string(WTERMSIG(wstatus)));
+    } else {
+      *status = Status::Internal("worker ended in unknown state");
+    }
+    return true;
+  }
+
+  void Kill(int job) override {
+    auto it = pids_.find(job);
+    if (it != pids_.end()) ::kill(it->second, SIGKILL);
+  }
+
+ private:
+  std::string binary_;
+  std::string dir_;
+  int threads_ = 1;
+  int next_job_ = 0;
+  std::map<int, pid_t> pids_;
+};
+
+/// Runs each shard attempt as `job_` on a dedicated thread. Kill raises
+/// the job's cancellation flag and joins — in-process jobs are required
+/// to honor cancellation promptly (scheduler.h contract).
+class InProcessShardExecutor final : public ShardExecutor {
+ public:
+  explicit InProcessShardExecutor(InProcessShardJob job)
+      : job_(std::move(job)) {}
+
+  ~InProcessShardExecutor() override {
+    for (auto& [id, state] : jobs_) {
+      state->cancelled.store(true, std::memory_order_relaxed);
+      if (state->thread.joinable()) state->thread.join();
+    }
+  }
+
+  Result<int> Start(int shard) override {
+    if (!job_) return Status::InvalidArgument("executor has no job function");
+    auto state = std::make_unique<JobState>();
+    JobState* raw = state.get();
+    raw->thread = std::thread([this, raw, shard] {
+      Status result = job_(shard, raw->cancelled);
+      raw->status = std::move(result);
+      raw->done.store(true, std::memory_order_release);
+    });
+    int job = next_job_++;
+    jobs_.emplace(job, std::move(state));
+    return job;
+  }
+
+  bool Poll(int job, Status* status) override {
+    auto it = jobs_.find(job);
+    if (it == jobs_.end()) {
+      *status = Status::InvalidArgument("unknown job handle " +
+                                        std::to_string(job));
+      return true;
+    }
+    if (!it->second->done.load(std::memory_order_acquire)) return false;
+    if (it->second->thread.joinable()) it->second->thread.join();
+    *status = it->second->status;
+    jobs_.erase(it);
+    return true;
+  }
+
+  void Kill(int job) override {
+    auto it = jobs_.find(job);
+    if (it == jobs_.end()) return;
+    it->second->cancelled.store(true, std::memory_order_relaxed);
+    if (it->second->thread.joinable()) it->second->thread.join();
+  }
+
+ private:
+  struct JobState {
+    std::atomic<bool> done{false};
+    std::atomic<bool> cancelled{false};
+    Status status;
+    std::thread thread;
+  };
+
+  InProcessShardJob job_;
+  int next_job_ = 0;
+  std::map<int, std::unique_ptr<JobState>> jobs_;
+};
+
+}  // namespace
+
+std::unique_ptr<ShardExecutor> MakeProcessShardExecutor(std::string binary,
+                                                        std::string dir,
+                                                        int threads) {
+  return std::make_unique<ProcessShardExecutor>(std::move(binary),
+                                                std::move(dir), threads);
+}
+
+std::unique_ptr<ShardExecutor> MakeInProcessShardExecutor(
+    InProcessShardJob job) {
+  return std::make_unique<InProcessShardExecutor>(std::move(job));
+}
+
+std::unique_ptr<ShardExecutor> MakeRunnerShardExecutor(ShardSweepSpec spec,
+                                                       ShardPlan plan,
+                                                       std::string dir,
+                                                       int threads) {
+  ShardRunner runner(std::move(spec), plan);
+  return MakeInProcessShardExecutor(
+      [runner = std::move(runner), dir = std::move(dir), threads](
+          int shard, const std::atomic<bool>&) {
+        return runner.Run(shard, dir, threads);
+      });
+}
+
+ScheduleRecord ToScheduleRecord(const ShardScheduleSummary& summary) {
+  ScheduleRecord record;
+  record.sweep = summary.sweep;
+  record.shards = summary.shards;
+  record.resumed = summary.resumed;
+  record.retries = summary.retries;
+  record.quarantined = summary.quarantined;
+  record.timeouts = summary.timeouts;
+  for (size_t k = 0; k < summary.attempts.size(); ++k) {
+    if (k > 0) record.attempts += ',';
+    record.attempts += std::to_string(summary.attempts[k]);
+  }
+  record.wall_ms = summary.wall_ms;
+  return record;
+}
+
+std::string ShardQuarantineDir(const std::string& dir) {
+  return dir + "/quarantine";
+}
+
+ShardScheduler::ShardScheduler(ShardPlanInfo info, std::string dir,
+                               std::unique_ptr<ShardExecutor> executor,
+                               ShardScheduleOptions options)
+    : info_(std::move(info)),
+      dir_(std::move(dir)),
+      executor_(std::move(executor)),
+      options_(options) {}
+
+Result<ShardScheduleSummary> ShardScheduler::Run() {
+  if (executor_ == nullptr) {
+    return Status::InvalidArgument("scheduler has no executor");
+  }
+  if (options_.workers < 1) {
+    return Status::InvalidArgument("workers must be >= 1, got " +
+                                   std::to_string(options_.workers));
+  }
+  if (options_.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1, got " +
+                                   std::to_string(options_.max_attempts));
+  }
+  if (options_.shard_timeout_ms < 0 || options_.backoff_initial_ms < 0 ||
+      options_.backoff_max_ms < 0 || options_.poll_interval_ms < 0) {
+    return Status::InvalidArgument(
+        "timeouts, backoff, and poll interval must be non-negative");
+  }
+  HSIS_ASSIGN_OR_RETURN(ShardPlan plan,
+                        ShardPlan::Create(info_.total, info_.shards));
+  const int shard_count = plan.shards();
+  const Clock::time_point run_start = Clock::now();
+
+  enum class State { kPending, kRunning, kKilling, kDone };
+  struct Shard {
+    State state = State::kPending;
+    int attempts = 0;
+    int job = -1;
+    Clock::time_point attempt_start;
+    Clock::time_point ready_at;  // backoff gate for the next attempt
+  };
+  std::vector<Shard> shards(static_cast<size_t>(shard_count));
+
+  ShardScheduleSummary summary;
+  summary.sweep = info_.sweep;
+  summary.shards = shard_count;
+  summary.attempts.assign(static_cast<size_t>(shard_count), 0);
+
+  /// Moves a shard's (possibly partial) files into the quarantine
+  /// directory, tagged with a monotonically increasing sequence number
+  /// so repeated quarantines of the same shard never collide.
+  int quarantine_seq = 0;
+  auto quarantine = [&](int k) -> Status {
+    HSIS_RETURN_IF_ERROR(CreateDirectories(ShardQuarantineDir(dir_)));
+    const std::string tag = ShardQuarantineDir(dir_) + "/shard-" +
+                            std::to_string(k) + ".q" +
+                            std::to_string(quarantine_seq++);
+    for (const auto& [from, suffix] :
+         {std::pair<std::string, const char*>{ShardPayloadPath(dir_, k),
+                                              ".bin"},
+          std::pair<std::string, const char*>{ShardManifestPath(dir_, k),
+                                              ".manifest"}}) {
+      if (!FileExists(from)) continue;
+      HSIS_RETURN_IF_ERROR(RenameFile(from, tag + suffix));
+      ++summary.quarantined;
+    }
+    return Status::OK();
+  };
+
+  auto kill_running = [&] {
+    Status ignored;
+    for (Shard& shard : shards) {
+      if (shard.state != State::kRunning && shard.state != State::kKilling) {
+        continue;
+      }
+      executor_->Kill(shard.job);
+      // Bounded reap: SIGKILL'd processes and cancelled threads finish
+      // promptly; give up after ~2s rather than hang the error path.
+      for (int i = 0; i < 2000 && !executor_->Poll(shard.job, &ignored); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+  };
+
+  // Startup scan: committed shards are done (resume), corrupt shards
+  // are quarantined, plan contradictions fail fast.
+  int done = 0;
+  for (int k = 0; k < shard_count; ++k) {
+    Status v = ValidateShard(info_, dir_, k);
+    if (v.ok()) {
+      shards[static_cast<size_t>(k)].state = State::kDone;
+      ++summary.resumed;
+      ++done;
+    } else if (v.code() == StatusCode::kInvalidArgument) {
+      return Status::InvalidArgument(
+          "results directory contradicts the plan — refusing to schedule "
+          "(fix or clear " +
+          dir_ + "): " + v.message());
+    } else if (v.code() == StatusCode::kIntegrityViolation) {
+      HSIS_RETURN_IF_ERROR(quarantine(k));
+    }  // NotFound: simply pending.
+  }
+
+  auto backoff_ms = [&](int attempts_so_far) -> int64_t {
+    if (options_.backoff_initial_ms == 0) return 0;
+    int64_t ms = options_.backoff_initial_ms;
+    for (int i = 1; i < attempts_so_far && ms < options_.backoff_max_ms; ++i) {
+      ms *= 2;
+    }
+    return ms < options_.backoff_max_ms ? ms : options_.backoff_max_ms;
+  };
+
+  int running = 0;
+  while (done < shard_count) {
+    bool progressed = false;
+
+    // Dispatch: fill free worker slots with ready pending shards, in
+    // shard order.
+    for (int k = 0; k < shard_count && running < options_.workers; ++k) {
+      Shard& shard = shards[static_cast<size_t>(k)];
+      if (shard.state != State::kPending || Clock::now() < shard.ready_at) {
+        continue;
+      }
+      ++shard.attempts;
+      ++summary.attempts[static_cast<size_t>(k)];
+      if (shard.attempts > 1) ++summary.retries;
+      Result<int> job = executor_->Start(k);
+      if (!job.ok()) {
+        // Could not even launch; treat as a failed attempt.
+        if (shard.attempts >= options_.max_attempts) {
+          kill_running();
+          return Status::Internal(
+              "shard " + std::to_string(k) + " failed after " +
+              std::to_string(shard.attempts) +
+              " attempts; last error: " + job.status().ToString());
+        }
+        shard.ready_at = Clock::now() + std::chrono::milliseconds(
+                                            backoff_ms(shard.attempts));
+        continue;
+      }
+      shard.job = *job;
+      shard.attempt_start = Clock::now();
+      shard.state = State::kRunning;
+      ++running;
+      progressed = true;
+    }
+
+    // Supervise: reap finished jobs, enforce timeouts, classify.
+    for (int k = 0; k < shard_count; ++k) {
+      Shard& shard = shards[static_cast<size_t>(k)];
+      if (shard.state != State::kRunning && shard.state != State::kKilling) {
+        continue;
+      }
+      Status job_status;
+      bool finished = executor_->Poll(shard.job, &job_status);
+      if (!finished) {
+        if (shard.state == State::kRunning && options_.shard_timeout_ms > 0 &&
+            ElapsedMs(shard.attempt_start) > options_.shard_timeout_ms) {
+          executor_->Kill(shard.job);
+          shard.state = State::kKilling;
+          ++summary.timeouts;
+        }
+        continue;
+      }
+      --running;
+      progressed = true;
+      const bool timed_out = shard.state == State::kKilling;
+
+      // The committed files are the truth: a crashed worker that
+      // committed counts as done; a clean exit without a commit does
+      // not.
+      Status v = ValidateShard(info_, dir_, k);
+      if (v.ok()) {
+        shard.state = State::kDone;
+        ++done;
+        continue;
+      }
+      if (v.code() == StatusCode::kInvalidArgument) {
+        kill_running();
+        return Status::InvalidArgument(
+            "shard " + std::to_string(k) +
+            " wrote files that contradict the plan — operator error, not "
+            "retrying: " +
+            v.message());
+      }
+      if (v.code() == StatusCode::kIntegrityViolation) {
+        if (Status q = quarantine(k); !q.ok()) {
+          kill_running();
+          return q;
+        }
+      }
+      Status last_error =
+          timed_out ? Status::Internal(
+                          "attempt exceeded --shard-timeout-ms=" +
+                          std::to_string(options_.shard_timeout_ms) +
+                          " and was killed")
+          : !job_status.ok() ? job_status
+                             : v;
+      if (shard.attempts >= options_.max_attempts) {
+        kill_running();
+        return Status::Internal(
+            "shard " + std::to_string(k) + " failed after " +
+            std::to_string(shard.attempts) +
+            " attempts; last error: " + last_error.ToString());
+      }
+      shard.state = State::kPending;
+      shard.ready_at =
+          Clock::now() + std::chrono::milliseconds(backoff_ms(shard.attempts));
+    }
+
+    if (!progressed && done < shard_count) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.poll_interval_ms));
+    }
+  }
+
+  summary.wall_ms = static_cast<double>(ElapsedMs(run_start));
+  return summary;
+}
+
+}  // namespace hsis::common

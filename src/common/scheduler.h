@@ -1,0 +1,199 @@
+#ifndef HSIS_COMMON_SCHEDULER_H_
+#define HSIS_COMMON_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/perf_record.h"
+#include "common/result.h"
+#include "common/shard.h"
+
+/// \file
+/// \brief Fault-tolerant supervision for sharded sweeps: dispatch,
+/// detect, retry, resume.
+///
+/// `common/shard.h` gives a sharded run crash-safe commit semantics
+/// (payload first, manifest last) and a merge that names exactly which
+/// shard to re-run — but acting on that signal was manual. The
+/// `ShardScheduler` closes the loop: it owns a results directory,
+/// dispatches shard jobs to a bounded pool of workers through a
+/// pluggable `ShardExecutor` (separate `shard_worker` processes, or
+/// in-process threads for tests and single-binary drivers), classifies
+/// every failure with the `ValidateShard` taxonomy, and retries with
+/// capped exponential backoff, per-shard attempt limits, and per-attempt
+/// wall-clock timeouts. Completed shards are **never recomputed**: a
+/// startup scan treats every manifest-committed shard as done, so a
+/// killed run resumes where it left off, and the final `MergeShards`
+/// output stays byte-identical to the serial run.
+///
+/// Failure policy, by `ValidateShard` status after an attempt (the
+/// job's own exit status is advisory — the committed files are the
+/// truth):
+///
+///  * OK                  — shard complete, even if the job crashed
+///                          after committing;
+///  * NotFound            — the attempt never committed: re-run;
+///  * IntegrityViolation  — corrupt payload or manifest: quarantine the
+///                          files under `quarantine/`, then re-run;
+///  * InvalidArgument     — the directory contradicts the plan: an
+///                          operator error no retry can fix — fail
+///                          fast.
+///
+/// \par Usage
+/// \code
+///   ShardPlanInfo info = ReadShardPlan(dir).value();
+///   ShardScheduleOptions options;
+///   options.workers = 4;
+///   options.max_attempts = 3;
+///   options.shard_timeout_ms = 60000;
+///   ShardScheduler scheduler(
+///       info, dir, MakeProcessShardExecutor(worker_binary, dir), options);
+///   ShardScheduleSummary summary = scheduler.Run().value();
+///   Bytes merged = MergeShards(dir, info.sweep).value();  // == serial
+/// \endcode
+
+namespace hsis::common {
+
+/// Launches and observes shard jobs on behalf of the scheduler. One
+/// executor instance serves one results directory; jobs are identified
+/// by the handle `Start` returns. Implementations decide what a "job"
+/// is — a forked `shard_worker` process, an in-process thread — but
+/// must keep `Poll` non-blocking.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+
+  /// Starts one attempt of shard `shard`; returns an opaque job handle.
+  /// Failure to even launch (e.g. fork failure) is an error here; the
+  /// scheduler counts it as a failed attempt.
+  virtual Result<int> Start(int shard) = 0;
+
+  /// Non-blocking completion check for `job`. Returns false while the
+  /// job is still running; once it has finished, returns true and
+  /// writes the job's own exit status (OK for a clean exit) to
+  /// `status`. A finished handle must not be polled again.
+  virtual bool Poll(int job, Status* status) = 0;
+
+  /// Requests termination of a running `job` (timeout enforcement).
+  /// `Poll` still reports the job's eventual completion. Process
+  /// executors SIGKILL; in-process executors raise the job's
+  /// cancellation flag and wait for it to be honored.
+  virtual void Kill(int job) = 0;
+};
+
+/// Creates an executor that runs each shard attempt as a separate
+/// process: `binary --shard=<k> --out=<dir> --threads=<threads>` (the
+/// `shard_worker` CLI contract). `Kill` delivers SIGKILL, so hung or
+/// runaway workers are reclaimed; the interrupted attempt can never
+/// look complete because the manifest is written last.
+std::unique_ptr<ShardExecutor> MakeProcessShardExecutor(std::string binary,
+                                                        std::string dir,
+                                                        int threads = 1);
+
+/// An in-process shard job: computes shard `shard` and returns its
+/// status. Must poll `cancelled` at reasonable intervals and return
+/// promptly once it is set — that is the in-process analogue of
+/// SIGKILL, used for timeout enforcement.
+using InProcessShardJob =
+    std::function<Status(int shard, const std::atomic<bool>& cancelled)>;
+
+/// Creates an executor that runs each shard attempt as `job` on a
+/// dedicated in-process thread. The fault-injection seam for tests, and
+/// the executor of choice for single-binary drivers.
+std::unique_ptr<ShardExecutor> MakeInProcessShardExecutor(
+    InProcessShardJob job);
+
+/// Creates an in-process executor whose jobs run `ShardRunner(spec,
+/// plan).Run(shard, dir, threads)` — the single-binary scheduling path
+/// used by `export_landscapes --shards=K --schedule`. The jobs ignore
+/// cancellation (shard records are finite computations); timeouts are
+/// only advisory with this executor.
+std::unique_ptr<ShardExecutor> MakeRunnerShardExecutor(ShardSweepSpec spec,
+                                                       ShardPlan plan,
+                                                       std::string dir,
+                                                       int threads = 1);
+
+/// Tuning knobs of a scheduled run. The defaults suit in-process use;
+/// multi-process drivers usually raise `workers` and set a timeout.
+struct ShardScheduleOptions {
+  /// Maximum number of concurrently running shard jobs (>= 1).
+  int workers = 1;
+  /// Per-shard attempt cap (first attempt + retries, >= 1).
+  int max_attempts = 3;
+  /// Wall-clock limit per attempt in milliseconds; a job running longer
+  /// is killed and the attempt counts as failed. 0 = no limit.
+  int64_t shard_timeout_ms = 0;
+  /// Backoff before retry attempt `a` is `backoff_initial_ms *
+  /// 2^(a-2)`, capped at `backoff_max_ms` (so the first retry waits
+  /// `backoff_initial_ms`). 0 disables backoff.
+  int64_t backoff_initial_ms = 100;
+  /// Upper bound of the exponential backoff in milliseconds.
+  int64_t backoff_max_ms = 5000;
+  /// Sleep between supervision passes in milliseconds.
+  int64_t poll_interval_ms = 2;
+};
+
+/// What a scheduled run did, shard by shard — the machine-readable
+/// counterpart is `ToScheduleRecord` + `ScheduleRecordToJson`
+/// (common/perf_record.h), which CI asserts on.
+struct ShardScheduleSummary {
+  std::string sweep;          ///< Sweep name from the plan manifest.
+  int shards = 0;             ///< Shard count of the plan.
+  int resumed = 0;            ///< Shards already committed at startup.
+  int retries = 0;            ///< Attempts beyond each shard's first.
+  int quarantined = 0;        ///< Corrupt files moved to `quarantine/`.
+  int timeouts = 0;           ///< Attempts killed for exceeding the timeout.
+  std::vector<int> attempts;  ///< Attempts per shard this run (resumed = 0).
+  double wall_ms = 0;         ///< Wall-clock time of the scheduled run.
+};
+
+/// Converts a run summary to its serializable `hsis-schedule-v1` form.
+ScheduleRecord ToScheduleRecord(const ShardScheduleSummary& summary);
+
+/// Path of the quarantine subdirectory inside results directory `dir`;
+/// corrupt shard files are moved there as
+/// `shard-<k>.q<N>.{bin,manifest}` instead of being deleted, so
+/// post-mortems keep their evidence.
+std::string ShardQuarantineDir(const std::string& dir);
+
+/// Supervises one sharded run to completion. Single-threaded control
+/// loop; all parallelism lives in the executor's jobs. Use once and
+/// discard.
+class ShardScheduler {
+ public:
+  /// Binds the scheduler to the run described by `info` (normally the
+  /// parsed `plan.manifest`) over results directory `dir`, dispatching
+  /// through `executor` under `options`.
+  ShardScheduler(ShardPlanInfo info, std::string dir,
+                 std::unique_ptr<ShardExecutor> executor,
+                 ShardScheduleOptions options);
+
+  /// Drives every shard of the plan to the committed state and returns
+  /// the run summary. Resumable and idempotent: committed shards are
+  /// detected in a startup scan and skipped; corrupt shards are
+  /// quarantined and re-run; a clean directory runs everything. Errors:
+  ///
+  ///  * InvalidArgument — bad options, a plan/`info` contradiction, or
+  ///    a shard whose committed files contradict the plan (fail fast —
+  ///    no retry can fix an operator error);
+  ///  * Internal — some shard exhausted `max_attempts`; the message
+  ///    names the shard and the last failure, so the operator can fix
+  ///    the cause and re-run the same command to resume.
+  ///
+  /// On error, running jobs are killed (and reaped) before returning.
+  Result<ShardScheduleSummary> Run();
+
+ private:
+  ShardPlanInfo info_;
+  std::string dir_;
+  std::unique_ptr<ShardExecutor> executor_;
+  ShardScheduleOptions options_;
+};
+
+}  // namespace hsis::common
+
+#endif  // HSIS_COMMON_SCHEDULER_H_

@@ -314,6 +314,68 @@ Status ShardRunner::Run(int shard, const std::string& dir, int threads) const {
                    SerializeShardManifest(manifest));
 }
 
+Result<std::vector<Bytes>> ReadShardRecords(const ShardPlanInfo& info,
+                                            const std::string& dir,
+                                            int shard) {
+  HSIS_ASSIGN_OR_RETURN(ShardPlan plan,
+                        ShardPlan::Create(info.total, info.shards));
+  if (shard < 0 || shard >= plan.shards()) {
+    return Status::InvalidArgument(
+        "shard " + std::to_string(shard) + " out of range for a " +
+        std::to_string(plan.shards()) + "-shard plan");
+  }
+  const std::string tag = "shard " + std::to_string(shard);
+  auto manifest_text = ReadFile(ShardManifestPath(dir, shard));
+  if (!manifest_text.ok()) {
+    return Status::NotFound(tag + " has no manifest — run (or re-run) " + tag +
+                            " and merge again");
+  }
+  HSIS_ASSIGN_OR_RETURN(ShardManifest m, ParseShardManifest(*manifest_text));
+  if (m.sweep != info.sweep || m.shards != info.shards ||
+      m.total != info.total || m.seed != info.seed) {
+    return Status::InvalidArgument(tag + " manifest belongs to a different "
+                                   "plan (sweep/shards/total/seed mismatch)");
+  }
+  if (m.shard != shard) {
+    return Status::InvalidArgument(
+        tag + " manifest claims to be shard " + std::to_string(m.shard) +
+        " — duplicated or misplaced shard files");
+  }
+  ShardRange expected = plan.Range(shard);
+  if (m.begin != expected.begin || m.end != expected.end) {
+    const char* how = m.begin < expected.begin ? "overlaps the previous shard"
+                                               : "leaves a gap in the range";
+    return Status::InvalidArgument(
+        tag + " covers [" + std::to_string(m.begin) + ", " +
+        std::to_string(m.end) + ") but the plan assigns [" +
+        std::to_string(expected.begin) + ", " + std::to_string(expected.end) +
+        ") — " + how);
+  }
+
+  auto payload_text = ReadFile(ShardPayloadPath(dir, shard));
+  if (!payload_text.ok()) {
+    return Status::NotFound(tag + " has no payload file — re-run " + tag +
+                            " and merge again");
+  }
+  Bytes payload = ToBytes(*payload_text);
+  if (Sha256Hex(payload) != m.payload_sha256) {
+    return Status::IntegrityViolation(tag + " payload does not match its "
+                                      "manifest SHA-256 — re-run " + tag);
+  }
+  HSIS_ASSIGN_OR_RETURN(std::vector<Bytes> records, ParseShardPayload(payload));
+  if (records.size() != m.records) {
+    return Status::IntegrityViolation(
+        tag + " holds " + std::to_string(records.size()) +
+        " records, manifest promises " + std::to_string(m.records));
+  }
+  return records;
+}
+
+Status ValidateShard(const ShardPlanInfo& info, const std::string& dir,
+                     int shard) {
+  return ReadShardRecords(info, dir, shard).status();
+}
+
 Result<Bytes> MergeShards(const std::string& dir,
                           const std::string& expected_sweep) {
   HSIS_ASSIGN_OR_RETURN(ShardPlanInfo info, ReadShardPlan(dir));
@@ -326,54 +388,9 @@ Result<Bytes> MergeShards(const std::string& dir,
                         ShardPlan::Create(info.total, info.shards));
 
   Bytes merged;
-  size_t next_begin = 0;
   for (int k = 0; k < plan.shards(); ++k) {
-    const std::string tag = "shard " + std::to_string(k);
-    auto manifest_text = ReadFile(ShardManifestPath(dir, k));
-    if (!manifest_text.ok()) {
-      return Status::NotFound(tag + " has no manifest — run (or re-run) " +
-                              tag + " and merge again");
-    }
-    HSIS_ASSIGN_OR_RETURN(ShardManifest m, ParseShardManifest(*manifest_text));
-    if (m.sweep != info.sweep || m.shards != info.shards ||
-        m.total != info.total || m.seed != info.seed) {
-      return Status::InvalidArgument(tag + " manifest belongs to a different "
-                                     "plan (sweep/shards/total/seed mismatch)");
-    }
-    if (m.shard != k) {
-      return Status::InvalidArgument(
-          tag + " manifest claims to be shard " + std::to_string(m.shard) +
-          " — duplicated or misplaced shard files");
-    }
-    ShardRange expected = plan.Range(k);
-    if (m.begin != expected.begin || m.end != expected.end) {
-      const char* how = m.begin < next_begin ? "overlaps the previous shard"
-                                             : "leaves a gap in the range";
-      return Status::InvalidArgument(
-          tag + " covers [" + std::to_string(m.begin) + ", " +
-          std::to_string(m.end) + ") but the plan assigns [" +
-          std::to_string(expected.begin) + ", " + std::to_string(expected.end) +
-          ") — " + how);
-    }
-    next_begin = m.end;
-
-    auto payload_text = ReadFile(ShardPayloadPath(dir, k));
-    if (!payload_text.ok()) {
-      return Status::NotFound(tag + " has no payload file — re-run " + tag +
-                              " and merge again");
-    }
-    Bytes payload = ToBytes(*payload_text);
-    if (Sha256Hex(payload) != m.payload_sha256) {
-      return Status::IntegrityViolation(tag + " payload does not match its "
-                                        "manifest SHA-256 — re-run " + tag);
-    }
     HSIS_ASSIGN_OR_RETURN(std::vector<Bytes> records,
-                          ParseShardPayload(payload));
-    if (records.size() != m.records) {
-      return Status::IntegrityViolation(
-          tag + " holds " + std::to_string(records.size()) +
-          " records, manifest promises " + std::to_string(m.records));
-    }
+                          ReadShardRecords(info, dir, k));
     for (const Bytes& record : records) Append(merged, record);
   }
   return merged;

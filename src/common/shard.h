@@ -11,26 +11,49 @@
 #include "common/bytes.h"
 #include "common/result.h"
 
+/// \file
+/// \brief Multi-process sharding for `ParallelFor`-shaped sweeps.
+///
+/// A sweep is a pure function from a global index `i` in `[0, total)`
+/// to a record of bytes; a `ShardPlan` partitions the range into K
+/// contiguous shards, a `ShardRunner` executes one shard (in any
+/// process, on any machine) and serializes its records plus a manifest
+/// into a results directory, and `MergeShards` validates the manifests
+/// and reassembles the concatenated records **bit-identical** to a
+/// single-process serial run. Failed shards are recovered by re-running
+/// only that shard; the merge detects missing, overlapping, duplicated,
+/// and corrupt shard files with typed `Status` errors (see each
+/// function's contract). `common/scheduler.h` automates the
+/// detect-and-re-run loop.
+///
+/// \par Usage
+/// \code
+///   ShardSweepSpec spec;
+///   spec.name = "squares";
+///   spec.total = 1000;
+///   spec.record = [](size_t i) -> Result<Bytes> {
+///     return ToBytes(std::to_string(i * i) + "\n");
+///   };
+///   ShardPlan plan = ShardPlan::Create(spec.total, /*shards=*/4).value();
+///   HSIS_RETURN_IF_ERROR(WriteShardPlan(spec, plan, dir));
+///   ShardRunner runner(spec, plan);
+///   for (int k = 0; k < plan.shards(); ++k) {     // any process, any order
+///     HSIS_RETURN_IF_ERROR(runner.Run(k, dir));
+///   }
+///   Bytes merged = MergeShards(dir, spec.name).value();  // == serial bytes
+/// \endcode
+
 namespace hsis::common {
 
-/// Multi-process sharding for `ParallelFor`-shaped sweeps. A sweep is a
-/// pure function from a global index `i` in `[0, total)` to a record of
-/// bytes; a `ShardPlan` partitions the range into K contiguous shards,
-/// a `ShardRunner` executes one shard (in any process, on any machine)
-/// and serializes its records plus a manifest into a results directory,
-/// and `MergeShards` validates the manifests and reassembles the
-/// concatenated records **bit-identical** to a single-process serial
-/// run. Failed shards are recovered by re-running only that shard; the
-/// merge detects missing, overlapping, duplicated, and corrupt shard
-/// files with typed `Status` errors (see each function's contract).
-
-/// Contiguous half-open slice of a global index range.
+/// Contiguous half-open slice `[begin, end)` of a global index range.
 struct ShardRange {
-  size_t begin = 0;
-  size_t end = 0;
+  size_t begin = 0;  ///< First index of the slice.
+  size_t end = 0;    ///< One past the last index of the slice.
 
+  /// Number of indices in the slice.
   size_t size() const { return end - begin; }
 
+  /// Field-wise equality.
   friend bool operator==(const ShardRange& a, const ShardRange& b) {
     return a.begin == b.begin && a.end == b.end;
   }
@@ -46,7 +69,9 @@ class ShardPlan {
   /// `ParseShardsValue` first); anything else is InvalidArgument.
   static Result<ShardPlan> Create(size_t total, int shards);
 
+  /// Global index count partitioned by the plan.
   size_t total() const { return total_; }
+  /// Number of shards in the partition.
   int shards() const { return shards_; }
 
   /// Slice of shard `shard` (0-based): `[total*k/K, total*(k+1)/K)`.
@@ -87,11 +112,12 @@ struct ShardSweepSpec {
 /// directory before any shard runs; workers and the merge read it as
 /// the authoritative description of the sharded sweep.
 struct ShardPlanInfo {
-  std::string sweep;
-  size_t total = 0;
-  int shards = 1;
-  uint64_t seed = 0;
+  std::string sweep;  ///< Sweep name the directory belongs to.
+  size_t total = 0;   ///< Global index count of the sweep.
+  int shards = 1;     ///< Number of shards the range is split into.
+  uint64_t seed = 0;  ///< Base seed (0 for deterministic sweeps).
 
+  /// Field-wise equality.
   friend bool operator==(const ShardPlanInfo& a, const ShardPlanInfo& b) {
     return a.sweep == b.sweep && a.total == b.total && a.shards == b.shards &&
            a.seed == b.seed;
@@ -102,17 +128,18 @@ struct ShardPlanInfo {
 /// payload file: a shard without a valid manifest is treated as never
 /// having run.
 struct ShardManifest {
-  std::string sweep;
-  int shard = 0;
-  int shards = 1;
-  size_t total = 0;
-  size_t begin = 0;
-  size_t end = 0;
-  uint64_t seed = 0;
-  size_t records = 0;
+  std::string sweep;  ///< Sweep name, must match the plan's.
+  int shard = 0;      ///< 0-based shard index this manifest commits.
+  int shards = 1;     ///< Shard count of the plan the shard belongs to.
+  size_t total = 0;   ///< Global index count of the plan.
+  size_t begin = 0;   ///< First global index of the shard's range.
+  size_t end = 0;     ///< One past the last global index of the range.
+  uint64_t seed = 0;  ///< Base seed, must match the plan's.
+  size_t records = 0; ///< Record count, must equal `end - begin`.
   /// Lowercase hex SHA-256 of the payload file bytes.
   std::string payload_sha256;
 
+  /// Field-wise equality.
   friend bool operator==(const ShardManifest& a, const ShardManifest& b) {
     return a.sweep == b.sweep && a.shard == b.shard && a.shards == b.shards &&
            a.total == b.total && a.begin == b.begin && a.end == b.end &&
@@ -121,25 +148,39 @@ struct ShardManifest {
   }
 };
 
-/// Canonical file locations inside a results directory.
+/// Canonical location of the plan manifest inside results directory
+/// `dir` (`dir/plan.manifest`).
 std::string ShardPlanPath(const std::string& dir);
+
+/// Canonical location of shard `shard`'s manifest inside `dir`
+/// (`dir/shard-<k>.manifest`).
 std::string ShardManifestPath(const std::string& dir, int shard);
+
+/// Canonical location of shard `shard`'s payload inside `dir`
+/// (`dir/shard-<k>.bin`).
 std::string ShardPayloadPath(const std::string& dir, int shard);
 
-/// Text round-trip for the plan manifest. Parsing is strict: the
-/// version line must match, every field must appear exactly once, and
-/// numbers must parse exactly; violations are IntegrityViolation.
+/// Serializes the plan manifest as strict `key=value` text.
 std::string SerializeShardPlanInfo(const ShardPlanInfo& info);
+
+/// Strict inverse of `SerializeShardPlanInfo`: the version line must
+/// match, every field must appear exactly once, and numbers must parse
+/// exactly; violations are IntegrityViolation.
 Result<ShardPlanInfo> ParseShardPlanInfo(std::string_view text);
 
-/// Text round-trip for a shard manifest, same strictness contract.
+/// Serializes a shard manifest as strict `key=value` text.
 std::string SerializeShardManifest(const ShardManifest& manifest);
+
+/// Strict inverse of `SerializeShardManifest`, same strictness contract
+/// as `ParseShardPlanInfo`.
 Result<ShardManifest> ParseShardManifest(std::string_view text);
 
-/// Binary round-trip for a shard payload: magic + version + record
-/// count + length-prefixed records. Parsing fails with
-/// IntegrityViolation on a bad magic, truncation, or trailing bytes.
+/// Serializes a shard payload: magic + version + record count +
+/// length-prefixed records.
 Bytes SerializeShardPayload(const std::vector<Bytes>& records);
+
+/// Strict inverse of `SerializeShardPayload`; fails with
+/// IntegrityViolation on a bad magic, truncation, or trailing bytes.
 Result<std::vector<Bytes>> ParseShardPayload(const Bytes& payload);
 
 /// Writes `plan.manifest` for `spec` partitioned by `plan` into `dir`
@@ -156,6 +197,8 @@ Result<ShardPlanInfo> ReadShardPlan(const std::string& dir);
 /// process can run one shard and exit, or loop over several.
 class ShardRunner {
  public:
+  /// Binds the runner to `spec` partitioned by `plan`; `spec.total`
+  /// must equal `plan.total()` (checked at `Run` time).
   ShardRunner(ShardSweepSpec spec, ShardPlan plan);
 
   /// Computes every record in shard `shard`'s range with `threads`
@@ -171,20 +214,41 @@ class ShardRunner {
   ShardPlan plan_;
 };
 
-/// Validates the plan and every shard in `dir` and returns the record
-/// payloads concatenated in global index order — byte-identical to a
-/// serial single-process run emitting the same records. Typed errors:
+/// Reads and fully validates shard `shard` of the plan described by
+/// `info` inside `dir`, returning its records in index order. This is
+/// the per-shard half of `MergeShards`, exposed so supervisors
+/// (`common/scheduler.h`) can classify a shard's state without merging
+/// the whole directory. Typed errors:
 ///
-///  * NotFound            — plan, manifest, or payload file missing
-///                          (the message names the shard to re-run);
+///  * NotFound            — manifest or payload file missing: the shard
+///                          never ran (or never committed) — re-run it;
 ///  * IntegrityViolation  — corrupt manifest text, payload SHA-256
 ///                          mismatch (truncation / bit flips), bad
-///                          payload framing, or record-count mismatch;
+///                          payload framing, or record-count mismatch:
+///                          quarantine the files and re-run;
 ///  * InvalidArgument     — a manifest that parses but contradicts the
 ///                          plan: wrong sweep name, shard count, total,
 ///                          seed, a duplicated shard file standing in
 ///                          for another shard, or a range that overlaps
-///                          or leaves a gap.
+///                          or leaves a gap — an operator error, not a
+///                          transient fault; re-running cannot fix it.
+Result<std::vector<Bytes>> ReadShardRecords(const ShardPlanInfo& info,
+                                            const std::string& dir, int shard);
+
+/// Validation-only form of `ReadShardRecords`: OK iff shard `shard` is
+/// committed in `dir` and consistent with `info`, otherwise the same
+/// typed error taxonomy. A shard that passes here contributes exactly
+/// its committed bytes to the merge and never needs re-running.
+Status ValidateShard(const ShardPlanInfo& info, const std::string& dir,
+                     int shard);
+
+/// Validates the plan and every shard in `dir` and returns the record
+/// payloads concatenated in global index order — byte-identical to a
+/// serial single-process run emitting the same records. Per-shard
+/// failures carry the `ReadShardRecords` taxonomy (NotFound /
+/// IntegrityViolation / InvalidArgument), each message naming the shard
+/// to re-run; a missing or corrupt plan manifest is NotFound /
+/// IntegrityViolation respectively.
 ///
 /// `expected_sweep`, when non-empty, must match the plan's sweep name
 /// (InvalidArgument otherwise) — callers use it to refuse merging a

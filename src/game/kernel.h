@@ -12,10 +12,10 @@
 #include "game/nplayer_game.h"
 #include "game/thresholds.h"
 
-namespace hsis::game::kernel {
-
-/// Allocation-free fast path for the landscape sweeps. The generic
-/// solver stack (NormalFormGame -> PureNashEquilibria ->
+/// \file
+/// \brief Allocation-free fast path for the landscape sweeps.
+///
+/// The generic solver stack (NormalFormGame -> PureNashEquilibria ->
 /// vector<string> labels) heap-allocates half a dozen times per cell;
 /// at landscape scale (10^4..10^7 cells) that dominates wall-clock. The
 /// kernel layer replaces it cell-for-cell:
@@ -39,6 +39,25 @@ namespace hsis::game::kernel {
 /// figure CSVs stay byte-identical to the pre-kernel serial path —
 /// pinned by the SHA-256 goldens in tests/game/kernel_golden_test.cc
 /// and tests/game/shard_golden_test.cc.
+///
+/// \par Usage
+/// \code
+///   FrequencyRowsSoA rows;
+///   // Classify rows [begin, begin + count) of a `steps`-point sweep.
+///   HSIS_RETURN_IF_ERROR(EvalFrequencyRows(
+///       /*benefit=*/10, /*cheat_gain=*/15, /*loss=*/12, /*penalty=*/10,
+///       steps, begin, count, rows, threads));
+///   for (size_t k = 0; k < rows.size(); ++k) {
+///     csv += FormatRow(rows.frequency[k],
+///                      kernel::NashMaskJoined(rows.nash_mask[k]));
+///   }
+/// \endcode
+
+/// \namespace hsis::game::kernel
+/// \brief Allocation-free batch evaluators and bitmask equilibrium
+/// representations behind the landscape sweeps.
+
+namespace hsis::game::kernel {
 
 /// Pure-profile bitmask of a 2x2 game. Bit order is the
 /// `NormalFormGame::ProfileIndex` order of a {2, 2} game — index
@@ -46,20 +65,23 @@ namespace hsis::game::kernel {
 /// label order the generic enumeration emits: HH, HC, CH, CC.
 using ProfileMask2x2 = uint8_t;
 
-inline constexpr ProfileMask2x2 kMaskHH = 1u << 0;  // (H, H)
-inline constexpr ProfileMask2x2 kMaskHC = 1u << 1;  // (H, C)
-inline constexpr ProfileMask2x2 kMaskCH = 1u << 2;  // (C, H)
-inline constexpr ProfileMask2x2 kMaskCC = 1u << 3;  // (C, C)
+inline constexpr ProfileMask2x2 kMaskHH = 1u << 0;  ///< Profile (H, H).
+inline constexpr ProfileMask2x2 kMaskHC = 1u << 1;  ///< Profile (H, C).
+inline constexpr ProfileMask2x2 kMaskCH = 1u << 2;  ///< Profile (C, H).
+inline constexpr ProfileMask2x2 kMaskCC = 1u << 3;  ///< Profile (C, C).
 
 /// A 2-player, 2-strategy game on the stack: payoffs in a flat array,
 /// no heap, no names, no validation. Index layout mirrors the dense
 /// payoff tensor of NormalFormGame: `payoffs[(r * 2 + c) * 2 + player]`.
 struct Game2x2 {
+  /// Dense payoff tensor, `(r * 2 + c) * 2 + player` layout.
   std::array<double, 8> payoffs;
 
+  /// Payoff of `player` (0 or 1) at profile (row `r`, column `c`).
   double Payoff(int r, int c, int player) const {
     return payoffs[static_cast<size_t>((r * 2 + c) * 2 + player)];
   }
+  /// Sets both players' payoffs at profile (row `r`, column `c`).
   void SetPayoffs(int r, int c, double u1, double u2) {
     payoffs[static_cast<size_t>((r * 2 + c) * 2)] = u1;
     payoffs[static_cast<size_t>((r * 2 + c) * 2 + 1)] = u2;
@@ -104,10 +126,11 @@ inline double GridPoint(int steps, size_t index) {
   return steps == 1 ? 0.0 : static_cast<double>(index) / (steps - 1);
 }
 
-/// Replicates the region/enumeration cross-checks of the legacy sweeps
-/// on bitmasks (SymmetricPredictionHolds and the AsymmetricGridCell
-/// switch, respectively).
+/// True iff the equilibrium bitmask agrees with the analytic symmetric
+/// region — `SymmetricPredictionHolds` on bitmasks.
 bool SymmetricMaskMatches(SymmetricRegion region, ProfileMask2x2 mask);
+/// True iff the equilibrium bitmask agrees with the analytic asymmetric
+/// region — the `AsymmetricGridCell` cross-check switch on bitmasks.
 bool AsymmetricMaskMatches(AsymmetricRegion region, ProfileMask2x2 mask);
 
 // ---------------------------------------------------------------------------
@@ -117,47 +140,62 @@ bool AsymmetricMaskMatches(AsymmetricRegion region, ProfileMask2x2 mask);
 // once per batch via the `Eval*` wrappers below.
 // ---------------------------------------------------------------------------
 
+/// One classified row of the Figure 1 frequency sweep.
 struct FrequencyRowKernel {
-  double frequency = 0;
+  double frequency = 0;  ///< Sampled audit frequency of this row.
+  /// Analytic region of the (frequency, penalty) point.
   SymmetricRegion region = SymmetricRegion::kAllCheatUniqueDse;
-  ProfileMask2x2 nash_mask = 0;
-  bool honest_is_dse = false;
-  bool matches = false;
+  ProfileMask2x2 nash_mask = 0;  ///< Enumerated pure Nash profiles.
+  bool honest_is_dse = false;    ///< (H, H) weakly dominant?
+  bool matches = false;          ///< Enumeration agrees with the region?
 };
 
+/// One classified row of the Figure 2 penalty sweep.
 struct PenaltyRowKernel {
-  double penalty = 0;
+  double penalty = 0;  ///< Sampled penalty of this row.
+  /// Analytic region of the (frequency, penalty) point.
   SymmetricRegion region = SymmetricRegion::kAllCheatUniqueDse;
-  ProfileMask2x2 nash_mask = 0;
-  bool honest_is_dse = false;
-  bool matches = false;
+  ProfileMask2x2 nash_mask = 0;  ///< Enumerated pure Nash profiles.
+  bool honest_is_dse = false;    ///< (H, H) weakly dominant?
+  bool matches = false;          ///< Enumeration agrees with the region?
 };
 
+/// One classified cell of the Figure 3 asymmetric (f1, f2) grid.
 struct AsymmetricCellKernel {
-  double f1 = 0;
-  double f2 = 0;
+  double f1 = 0;  ///< Player 1's sampled audit frequency.
+  double f2 = 0;  ///< Player 2's sampled audit frequency.
+  /// Analytic region of the (f1, f2) point.
   AsymmetricRegion region = AsymmetricRegion::kBoundary;
-  ProfileMask2x2 nash_mask = 0;
-  bool matches = false;
+  ProfileMask2x2 nash_mask = 0;  ///< Enumerated pure Nash profiles.
+  bool matches = false;          ///< Enumeration agrees with the region?
 };
 
+/// Unvalidated frequency-sweep row `index` of `steps` — precondition
+/// checks live in `EvalFrequencyRow` / `EvalFrequencyRows`.
 FrequencyRowKernel FrequencyRowAt(double benefit, double cheat_gain,
                                   double loss, double penalty, int steps,
                                   size_t index);
+/// Unvalidated penalty-sweep row `index` of `steps`.
 PenaltyRowKernel PenaltyRowAt(double benefit, double cheat_gain, double loss,
                               double frequency, double max_penalty, int steps,
                               size_t index);
+/// Unvalidated asymmetric-grid cell `index` of `steps * steps`.
 AsymmetricCellKernel AsymmetricCellAt(const TwoPlayerGameParams& params,
                                       int steps, size_t index);
 
-/// Validated single-row forms — the shard `record(i)` entry points.
+/// Validated single-row frequency-sweep form — the shard `record(i)`
+/// entry point.
 Result<FrequencyRowKernel> EvalFrequencyRow(double benefit, double cheat_gain,
                                             double loss, double penalty,
                                             int steps, size_t index);
+/// Validated single-row penalty-sweep form — the shard `record(i)`
+/// entry point.
 Result<PenaltyRowKernel> EvalPenaltyRow(double benefit, double cheat_gain,
                                         double loss, double frequency,
                                         double max_penalty, int steps,
                                         size_t index);
+/// Validated single-cell asymmetric-grid form — the shard `record(i)`
+/// entry point.
 Result<AsymmetricCellKernel> EvalAsymmetricCell(
     const TwoPlayerGameParams& params, int steps, size_t index);
 
@@ -179,9 +217,10 @@ using HonestCountMask = uint64_t;
 /// so band rows never touch the `std::function` per cell. Build once
 /// per batch with `MakeNPlayerKernelParams`.
 struct NPlayerKernelParams {
-  int n = 0;
-  double benefit = 0;
-  double frequency = 0;
+  int n = 0;             ///< Number of players (<= kMaxKernelPlayers).
+  double benefit = 0;    ///< Honest-participation benefit B.
+  double frequency = 0;  ///< Audit frequency f (> 0 per Theorem 1).
+  /// Sampled gain function: `gain_table[x] = F(x)`, x in [0, n - 1].
   std::array<double, kMaxKernelPlayers> gain_table{};
 };
 
@@ -192,19 +231,24 @@ struct NPlayerKernelParams {
 Result<NPlayerKernelParams> MakeNPlayerKernelParams(
     const NPlayerHonestyGame::Params& params);
 
+/// One classified row of the Figure 4 n-player penalty band sweep.
 struct NPlayerBandRowKernel {
-  double penalty = 0;
+  double penalty = 0;  ///< Sampled penalty of this row.
+  /// Analytic equilibrium honest count at this penalty.
   int analytic_honest_count = 0;
-  HonestCountMask count_mask = 0;
-  bool honest_is_dominant = false;
-  bool cheat_is_dominant = false;
-  bool matches = false;
+  HonestCountMask count_mask = 0;   ///< Enumerated equilibrium counts.
+  bool honest_is_dominant = false;  ///< Honesty weakly dominant for all?
+  bool cheat_is_dominant = false;   ///< Cheating weakly dominant for all?
+  bool matches = false;             ///< Enumeration agrees with analytic count?
 };
 
+/// Unvalidated band row `index` of `steps` — precondition checks live
+/// in `EvalNPlayerBandRow` / `EvalNPlayerBandRows`.
 NPlayerBandRowKernel NPlayerBandRowAt(const NPlayerKernelParams& params,
                                       double max_penalty, int steps,
                                       size_t index);
 
+/// Validated single-row band form — the shard `record(i)` entry point.
 Result<NPlayerBandRowKernel> EvalNPlayerBandRow(
     const NPlayerKernelParams& params, double max_penalty, int steps,
     size_t index);
@@ -219,74 +263,90 @@ void AppendHonestCounts(HonestCountMask mask, std::vector<int>& out);
 // ---------------------------------------------------------------------------
 // Structure-of-arrays row buffers + batch evaluators
 // ---------------------------------------------------------------------------
+//
+// Caller-owned SoA buffers. `Resize` happens before the batch loop;
+// inside the loop every slot write is a plain store. Flags are uint8_t
+// (not vector<bool>) so slots stay independently addressable across
+// threads.
 
-/// Caller-owned SoA buffers. `Resize` happens before the batch loop;
-/// inside the loop every slot write is a plain store. Flags are uint8_t
-/// (not vector<bool>) so slots stay independently addressable across
-/// threads.
-
+/// SoA buffer of classified frequency-sweep rows (`FrequencyRowKernel`
+/// split field-by-field; slot k of every vector belongs to row k).
 struct FrequencyRowsSoA {
-  std::vector<double> frequency;
-  std::vector<SymmetricRegion> region;
-  std::vector<ProfileMask2x2> nash_mask;
-  std::vector<uint8_t> honest_is_dse;
-  std::vector<uint8_t> matches;
+  std::vector<double> frequency;          ///< Sampled audit frequencies.
+  std::vector<SymmetricRegion> region;    ///< Analytic regions.
+  std::vector<ProfileMask2x2> nash_mask;  ///< Enumerated Nash profiles.
+  std::vector<uint8_t> honest_is_dse;     ///< (H, H) weakly dominant flags.
+  std::vector<uint8_t> matches;           ///< Cross-check flags.
 
+  /// Resizes every column to `n` slots.
   void Resize(size_t n);
+  /// Number of rows currently held.
   size_t size() const { return frequency.size(); }
 };
 
+/// SoA buffer of classified penalty-sweep rows.
 struct PenaltyRowsSoA {
-  std::vector<double> penalty;
-  std::vector<SymmetricRegion> region;
-  std::vector<ProfileMask2x2> nash_mask;
-  std::vector<uint8_t> honest_is_dse;
-  std::vector<uint8_t> matches;
+  std::vector<double> penalty;            ///< Sampled penalties.
+  std::vector<SymmetricRegion> region;    ///< Analytic regions.
+  std::vector<ProfileMask2x2> nash_mask;  ///< Enumerated Nash profiles.
+  std::vector<uint8_t> honest_is_dse;     ///< (H, H) weakly dominant flags.
+  std::vector<uint8_t> matches;           ///< Cross-check flags.
 
+  /// Resizes every column to `n` slots.
   void Resize(size_t n);
+  /// Number of rows currently held.
   size_t size() const { return penalty.size(); }
 };
 
+/// SoA buffer of classified asymmetric-grid cells.
 struct AsymmetricCellsSoA {
-  std::vector<double> f1;
-  std::vector<double> f2;
-  std::vector<AsymmetricRegion> region;
-  std::vector<ProfileMask2x2> nash_mask;
-  std::vector<uint8_t> matches;
+  std::vector<double> f1;                 ///< Player 1 frequencies.
+  std::vector<double> f2;                 ///< Player 2 frequencies.
+  std::vector<AsymmetricRegion> region;   ///< Analytic regions.
+  std::vector<ProfileMask2x2> nash_mask;  ///< Enumerated Nash profiles.
+  std::vector<uint8_t> matches;           ///< Cross-check flags.
 
+  /// Resizes every column to `n` slots.
   void Resize(size_t n);
+  /// Number of cells currently held.
   size_t size() const { return f1.size(); }
 };
 
+/// SoA buffer of classified n-player band rows.
 struct NPlayerBandRowsSoA {
-  std::vector<double> penalty;
-  std::vector<int> analytic_honest_count;
-  std::vector<HonestCountMask> count_mask;
-  std::vector<uint8_t> honest_is_dominant;
-  std::vector<uint8_t> cheat_is_dominant;
-  std::vector<uint8_t> matches;
+  std::vector<double> penalty;             ///< Sampled penalties.
+  std::vector<int> analytic_honest_count;  ///< Analytic honest counts.
+  std::vector<HonestCountMask> count_mask; ///< Enumerated count masks.
+  std::vector<uint8_t> honest_is_dominant; ///< All-honest dominance flags.
+  std::vector<uint8_t> cheat_is_dominant;  ///< All-cheat dominance flags.
+  std::vector<uint8_t> matches;            ///< Cross-check flags.
 
+  /// Resizes every column to `n` slots.
   void Resize(size_t n);
+  /// Number of rows currently held.
   size_t size() const { return penalty.size(); }
 };
 
-/// Batch evaluators: validate once, resize `out` to `count`, then
-/// classify global rows [begin, begin + count) into the SoA slots with
-/// `threads` workers (common/parallel.h determinism contract: slot k
-/// holds row begin + k, bit-identical for every thread count) and zero
-/// heap allocations per cell inside the loop. `begin + count` must not
-/// exceed the sweep's index space (`steps`, or `steps * steps` for the
-/// grid).
+/// Batch frequency-sweep evaluator: validates once, resizes `out` to
+/// `count`, then classifies global rows [begin, begin + count) into the
+/// SoA slots with `threads` workers (common/parallel.h determinism
+/// contract: slot k holds row begin + k, bit-identical for every thread
+/// count) and zero heap allocations per cell inside the loop.
+/// `begin + count` must not exceed the sweep's index space (`steps`, or
+/// `steps * steps` for the grid).
 Status EvalFrequencyRows(double benefit, double cheat_gain, double loss,
                          double penalty, int steps, size_t begin, size_t count,
                          FrequencyRowsSoA& out, int threads = 1);
+/// Batch penalty-sweep evaluator; `EvalFrequencyRows` contract.
 Status EvalPenaltyRows(double benefit, double cheat_gain, double loss,
                        double frequency, double max_penalty, int steps,
                        size_t begin, size_t count, PenaltyRowsSoA& out,
                        int threads = 1);
+/// Batch asymmetric-grid evaluator; `EvalFrequencyRows` contract.
 Status EvalAsymmetricCells(const TwoPlayerGameParams& params, int steps,
                            size_t begin, size_t count, AsymmetricCellsSoA& out,
                            int threads = 1);
+/// Batch n-player band evaluator; `EvalFrequencyRows` contract.
 Status EvalNPlayerBandRows(const NPlayerHonestyGame::Params& base_params,
                            double max_penalty, int steps, size_t begin,
                            size_t count, NPlayerBandRowsSoA& out,

@@ -8,20 +8,39 @@
 #include "common/result.h"
 #include "common/shard.h"
 
-namespace hsis::game {
-
-/// Sharded forms of the figure landscape sweeps, under the canonical
-/// `export_landscapes` parameterization (B = 10, F = 25, L = 8, the
-/// asymmetric Figure 3 economics, the 8-player Figure 4 band sweep).
-/// Each named sweep maps global index `i` to one CSV row, so merging a
-/// K-shard run and prepending the header reproduces the serial CSV
-/// byte-for-byte.
+/// \file
+/// \brief Sharded forms of the figure landscape sweeps and the named
+/// sweep registry.
+///
+/// Every sweep here runs under the canonical `export_landscapes`
+/// parameterization (B = 10, F = 25, L = 8, the asymmetric Figure 3
+/// economics, the 8-player Figure 4 band sweep). Each named sweep maps
+/// global index `i` to one CSV row, so merging a K-shard run and
+/// prepending the header reproduces the serial CSV byte-for-byte.
 ///
 /// Builtin names, in export order: "figure1", "figure2_f02",
 /// "figure2_f07", "figure3", "figure4". Additional sweeps join the
 /// registry through `RegisterNamedSweep` (e.g. the design-search sweeps
 /// below, or the campaign ensemble from core/campaign_shards.h) and are
 /// then drivable from `shard_worker` exactly like a figure.
+///
+/// \par Usage
+/// \code
+///   HSIS_ASSIGN_OR_RETURN(common::ShardSweepSpec spec,
+///                         LandscapeSweepSpec("figure1"));
+///   HSIS_ASSIGN_OR_RETURN(common::ShardPlan plan,
+///                         common::ShardPlan::Create(spec.total, shards));
+///   // ... run shards (common/shard.h), then:
+///   HSIS_ASSIGN_OR_RETURN(Bytes rows, common::MergeShards(dir, "figure1"));
+///   HSIS_ASSIGN_OR_RETURN(std::string header, LandscapeCsvHeader("figure1"));
+///   std::string csv = header + BytesToString(rows);  // == LandscapeCsv()
+/// \endcode
+
+/// \namespace hsis::game
+/// \brief The paper's game-theoretic layer: honesty games, equilibrium
+/// analysis, figure landscapes, and mechanism design searches.
+
+namespace hsis::game {
 
 /// All currently known sweep names: builtins first, then registered
 /// sweeps in registration order.

@@ -41,5 +41,33 @@ TEST(FileTest, MissingFileFails) {
   EXPECT_FALSE(WriteFile("/nonexistent/dir/file.txt", "x").ok());
 }
 
+TEST(FileTest, FileExistsReflectsTheFilesystem) {
+  std::string path = TempPath("hsis_file_exists.txt");
+  std::remove(path.c_str());
+  EXPECT_FALSE(FileExists(path));
+  ASSERT_TRUE(WriteFile(path, "x").ok());
+  EXPECT_TRUE(FileExists(path));
+  std::remove(path.c_str());
+  EXPECT_FALSE(FileExists(path));
+}
+
+TEST(FileTest, RenameFileMovesContent) {
+  std::string from = TempPath("hsis_rename_from.txt");
+  std::string to = TempPath("hsis_rename_to.txt");
+  std::remove(to.c_str());
+  ASSERT_TRUE(WriteFile(from, "payload").ok());
+  ASSERT_TRUE(RenameFile(from, to).ok());
+  EXPECT_FALSE(FileExists(from));
+  EXPECT_EQ(*ReadFile(to), "payload");
+  std::remove(to.c_str());
+}
+
+TEST(FileTest, RenameMissingSourceIsNotFound) {
+  Status status =
+      RenameFile(TempPath("hsis_rename_missing.txt"), TempPath("x.txt"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace hsis

@@ -103,5 +103,96 @@ TEST(PerfRecordTest, ValidatesFieldRanges) {
   EXPECT_FALSE(ParsePerfRecord(frac).ok());
 }
 
+ScheduleRecord SampleScheduleRecord() {
+  ScheduleRecord record;
+  record.sweep = "figure1";
+  record.shards = 4;
+  record.resumed = 1;
+  record.retries = 2;
+  record.quarantined = 1;
+  record.timeouts = 1;
+  record.attempts = "0,2,1,2";
+  record.wall_ms = 118.25;
+  return record;
+}
+
+TEST(ScheduleRecordTest, RoundTripsThroughJson) {
+  ScheduleRecord record = SampleScheduleRecord();
+  std::string json = ScheduleRecordToJson(record);
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"schema\":\"hsis-schedule-v1\""), std::string::npos);
+
+  ScheduleRecord parsed = ParseScheduleRecord(json).value();
+  EXPECT_EQ(parsed.sweep, record.sweep);
+  EXPECT_EQ(parsed.shards, record.shards);
+  EXPECT_EQ(parsed.resumed, record.resumed);
+  EXPECT_EQ(parsed.retries, record.retries);
+  EXPECT_EQ(parsed.quarantined, record.quarantined);
+  EXPECT_EQ(parsed.timeouts, record.timeouts);
+  EXPECT_EQ(parsed.attempts, record.attempts);
+  EXPECT_EQ(parsed.wall_ms, record.wall_ms);
+}
+
+TEST(ScheduleRecordTest, RejectsMalformedRecords) {
+  std::string valid = ScheduleRecordToJson(SampleScheduleRecord());
+
+  std::string wrong_schema = valid;
+  wrong_schema.replace(wrong_schema.find("hsis-schedule-v1"), 16,
+                       "hsis-schedule-v9");
+  EXPECT_FALSE(ParseScheduleRecord(wrong_schema).ok());
+
+  EXPECT_FALSE(ParseScheduleRecord("{\"schema\":\"hsis-schedule-v1\"}").ok());
+
+  std::string extra = valid;
+  extra.insert(extra.find('}'), ",\"surprise\":1");
+  EXPECT_FALSE(ParseScheduleRecord(extra).ok());
+
+  std::string dup = valid;
+  dup.insert(dup.find('}'), ",\"shards\":4");
+  EXPECT_FALSE(ParseScheduleRecord(dup).ok());
+
+  EXPECT_FALSE(ParseScheduleRecord(valid + "{}").ok());
+  EXPECT_FALSE(ParseScheduleRecord("").ok());
+}
+
+TEST(ScheduleRecordTest, ValidatesInternalConsistency) {
+  EXPECT_TRUE(SampleScheduleRecord().Validate().ok());
+
+  // Attempts list must have exactly `shards` entries...
+  ScheduleRecord record = SampleScheduleRecord();
+  record.attempts = "1,1";
+  EXPECT_FALSE(record.Validate().ok());
+
+  // ...of non-negative integers...
+  record = SampleScheduleRecord();
+  record.attempts = "0,2,x,2";
+  EXPECT_FALSE(record.Validate().ok());
+  record.attempts = "0,2,-1,2";
+  EXPECT_FALSE(record.Validate().ok());
+  record.attempts = "";
+  EXPECT_FALSE(record.Validate().ok());
+
+  // ...whose beyond-first total matches `retries`.
+  record = SampleScheduleRecord();
+  record.retries = 5;
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleScheduleRecord();
+  record.sweep = "";
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleScheduleRecord();
+  record.shards = 0;
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleScheduleRecord();
+  record.quarantined = -1;
+  EXPECT_FALSE(record.Validate().ok());
+
+  record = SampleScheduleRecord();
+  record.wall_ms = -0.5;
+  EXPECT_FALSE(record.Validate().ok());
+}
+
 }  // namespace
 }  // namespace hsis::common

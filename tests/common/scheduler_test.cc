@@ -1,0 +1,439 @@
+#include "common/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file.h"
+#include "common/random.h"
+#include "common/shard.h"
+
+namespace hsis::common {
+namespace {
+
+std::string FreshDir(const char* name) {
+  std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);  // committed shards would resume
+  EXPECT_TRUE(CreateDirectories(dir).ok());
+  return dir;
+}
+
+/// Same irregular-record toy sweep as shard_test.cc, so the scheduler
+/// suites exercise the exact codec the merge validates.
+ShardSweepSpec ToySpec(size_t total) {
+  ShardSweepSpec spec;
+  spec.name = "toy";
+  spec.total = total;
+  spec.seed = 7;
+  spec.record = [](size_t i) -> Result<Bytes> {
+    return ToBytes("r" + std::to_string(i) + std::string(i % 5, 'x') + "\n");
+  };
+  return spec;
+}
+
+Bytes SerialReference(const ShardSweepSpec& spec) {
+  Bytes all;
+  for (size_t i = 0; i < spec.total; ++i) {
+    Bytes record = spec.record(i).value();
+    all.insert(all.end(), record.begin(), record.end());
+  }
+  return all;
+}
+
+struct Fixture {
+  ShardSweepSpec spec;
+  ShardPlan plan;
+  ShardPlanInfo info;
+  std::string dir;
+};
+
+Fixture MakeFixture(const char* name, size_t total, int shards) {
+  Fixture f{ToySpec(total), ShardPlan::Create(total, shards).value(), {},
+            FreshDir(name)};
+  EXPECT_TRUE(WriteShardPlan(f.spec, f.plan, f.dir).ok());
+  f.info = ReadShardPlan(f.dir).value();
+  return f;
+}
+
+/// An in-process job that computes the shard correctly but can be
+/// programmed, per shard, to fail (without committing) on the first N
+/// attempts — the deterministic fault-injection seam.
+class FlakyJob {
+ public:
+  FlakyJob(ShardSweepSpec spec, ShardPlan plan, std::string dir)
+      : spec_(std::move(spec)), plan_(plan), dir_(std::move(dir)) {}
+
+  /// The next `failures` attempts of `shard` exit with an error before
+  /// writing anything.
+  void FailNext(int shard, int failures) { failures_[shard] = failures; }
+
+  InProcessShardJob AsJob() {
+    return [this](int shard, const std::atomic<bool>&) -> Status {
+      if (auto it = failures_.find(shard);
+          it != failures_.end() && it->second > 0) {
+        --it->second;
+        return Status::Internal("injected failure for shard " +
+                                std::to_string(shard));
+      }
+      return ShardRunner(spec_, plan_).Run(shard, dir_, 1);
+    };
+  }
+
+ private:
+  ShardSweepSpec spec_;
+  ShardPlan plan_;
+  std::string dir_;
+  std::map<int, int> failures_;  // shard -> remaining injected failures
+};
+
+ShardScheduleOptions FastOptions() {
+  ShardScheduleOptions options;
+  options.workers = 2;
+  options.max_attempts = 3;
+  options.backoff_initial_ms = 0;  // tests need no pacing
+  options.poll_interval_ms = 1;
+  return options;
+}
+
+Bytes MergedBytes(const Fixture& f) {
+  return MergeShards(f.dir, f.spec.name).value();
+}
+
+// ---------------------------------------------------------------------
+// Happy path, options validation
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, CompletesAllShardsAndMatchesSerial) {
+  Fixture f = MakeFixture("sched_happy", 103, 5);
+  ShardScheduler scheduler(
+      f.info, f.dir, MakeRunnerShardExecutor(f.spec, f.plan, f.dir),
+      FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->shards, 5);
+  EXPECT_EQ(summary->resumed, 0);
+  EXPECT_EQ(summary->retries, 0);
+  EXPECT_EQ(summary->attempts, (std::vector<int>{1, 1, 1, 1, 1}));
+  EXPECT_EQ(MergedBytes(f), SerialReference(f.spec));
+}
+
+TEST(ShardSchedulerTest, RejectsBadOptions) {
+  Fixture f = MakeFixture("sched_badopt", 10, 2);
+  for (auto mutate : std::vector<void (*)(ShardScheduleOptions*)>{
+           [](ShardScheduleOptions* o) { o->workers = 0; },
+           [](ShardScheduleOptions* o) { o->max_attempts = 0; },
+           [](ShardScheduleOptions* o) { o->shard_timeout_ms = -1; },
+           [](ShardScheduleOptions* o) { o->backoff_initial_ms = -5; }}) {
+    ShardScheduleOptions options = FastOptions();
+    mutate(&options);
+    ShardScheduler scheduler(
+        f.info, f.dir, MakeRunnerShardExecutor(f.spec, f.plan, f.dir),
+        options);
+    Result<ShardScheduleSummary> summary = scheduler.Run();
+    ASSERT_FALSE(summary.ok());
+    EXPECT_EQ(summary.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Retry on transient failure
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, RetriesWorkerThatExitsWithoutCommitting) {
+  Fixture f = MakeFixture("sched_retry", 41, 4);
+  FlakyJob job(f.spec, f.plan, f.dir);
+  job.FailNext(1, 1);  // one transient failure on shard 1
+  job.FailNext(3, 2);  // two on shard 3 — still below max_attempts=3
+  ShardScheduler scheduler(f.info, f.dir,
+                           MakeInProcessShardExecutor(job.AsJob()),
+                           FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->retries, 3);
+  EXPECT_EQ(summary->attempts, (std::vector<int>{1, 2, 1, 3}));
+  EXPECT_EQ(MergedBytes(f), SerialReference(f.spec));
+}
+
+TEST(ShardSchedulerTest, ExhaustedAttemptsNameTheShard) {
+  Fixture f = MakeFixture("sched_exhaust", 20, 2);
+  FlakyJob job(f.spec, f.plan, f.dir);
+  job.FailNext(1, 99);  // shard 1 never succeeds
+  ShardScheduler scheduler(f.info, f.dir,
+                           MakeInProcessShardExecutor(job.AsJob()),
+                           FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kInternal);
+  EXPECT_NE(summary.status().message().find("shard 1"), std::string::npos)
+      << summary.status().ToString();
+  EXPECT_NE(summary.status().message().find("3 attempts"), std::string::npos)
+      << summary.status().ToString();
+}
+
+// ---------------------------------------------------------------------
+// Resume: committed shards are never recomputed
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, ResumeSkipsCommittedShards) {
+  Fixture f = MakeFixture("sched_resume", 57, 4);
+  // A previous (say, killed) run committed shards 0 and 2.
+  ShardRunner runner(f.spec, f.plan);
+  ASSERT_TRUE(runner.Run(0, f.dir, 1).ok());
+  ASSERT_TRUE(runner.Run(2, f.dir, 1).ok());
+
+  // The resumed run must not recompute them: a job that aborts the
+  // test if asked for shard 0 or 2 proves it.
+  InProcessShardJob job = [&](int shard, const std::atomic<bool>&) -> Status {
+    EXPECT_TRUE(shard == 1 || shard == 3)
+        << "scheduler recomputed committed shard " << shard;
+    return ShardRunner(f.spec, f.plan).Run(shard, f.dir, 1);
+  };
+  ShardScheduler scheduler(f.info, f.dir, MakeInProcessShardExecutor(job),
+                           FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->resumed, 2);
+  EXPECT_EQ(summary->attempts, (std::vector<int>{0, 1, 0, 1}));
+  EXPECT_EQ(MergedBytes(f), SerialReference(f.spec));
+}
+
+TEST(ShardSchedulerTest, FullyCommittedDirectoryResumesToNoOp) {
+  Fixture f = MakeFixture("sched_noop", 30, 3);
+  ShardRunner runner(f.spec, f.plan);
+  for (int k = 0; k < 3; ++k) ASSERT_TRUE(runner.Run(k, f.dir, 1).ok());
+  InProcessShardJob job = [](int shard, const std::atomic<bool>&) -> Status {
+    ADD_FAILURE() << "no shard should run, got " << shard;
+    return Status::Internal("unreachable");
+  };
+  ShardScheduler scheduler(f.info, f.dir, MakeInProcessShardExecutor(job),
+                           FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->resumed, 3);
+  EXPECT_EQ(summary->retries, 0);
+}
+
+// ---------------------------------------------------------------------
+// Quarantine: corrupt files are preserved as evidence, then re-run
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, QuarantinesCorruptPayloadThenRecovers) {
+  Fixture f = MakeFixture("sched_qpayload", 44, 4);
+  ShardRunner runner(f.spec, f.plan);
+  for (int k = 0; k < 4; ++k) ASSERT_TRUE(runner.Run(k, f.dir, 1).ok());
+  // Flip a byte in shard 2's committed payload: SHA-256 mismatch.
+  std::string payload = ReadFile(ShardPayloadPath(f.dir, 2)).value();
+  payload[payload.size() / 2] ^= 0x40;
+  ASSERT_TRUE(WriteFile(ShardPayloadPath(f.dir, 2), payload).ok());
+
+  ShardScheduler scheduler(
+      f.info, f.dir, MakeRunnerShardExecutor(f.spec, f.plan, f.dir),
+      FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->resumed, 3);
+  EXPECT_EQ(summary->quarantined, 2);  // payload + manifest moved
+  EXPECT_EQ(summary->attempts, (std::vector<int>{0, 0, 1, 0}));
+  // The corrupt evidence is preserved, not deleted.
+  EXPECT_TRUE(FileExists(ShardQuarantineDir(f.dir) + "/shard-2.q0.bin"));
+  EXPECT_TRUE(FileExists(ShardQuarantineDir(f.dir) + "/shard-2.q0.manifest"));
+  EXPECT_EQ(MergedBytes(f), SerialReference(f.spec));
+}
+
+TEST(ShardSchedulerTest, QuarantinesCorruptManifestThenRecovers) {
+  Fixture f = MakeFixture("sched_qmanifest", 31, 3);
+  ShardRunner runner(f.spec, f.plan);
+  for (int k = 0; k < 3; ++k) ASSERT_TRUE(runner.Run(k, f.dir, 1).ok());
+  ASSERT_TRUE(WriteFile(ShardManifestPath(f.dir, 1), "not a manifest").ok());
+
+  ShardScheduler scheduler(
+      f.info, f.dir, MakeRunnerShardExecutor(f.spec, f.plan, f.dir),
+      FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_GE(summary->quarantined, 1);
+  EXPECT_EQ(summary->attempts, (std::vector<int>{0, 1, 0}));
+  EXPECT_EQ(MergedBytes(f), SerialReference(f.spec));
+}
+
+TEST(ShardSchedulerTest, CrashAfterCommitCountsAsDone) {
+  // Files are the truth: a job that commits its shard and THEN reports
+  // failure (crash between fsync and exit) must not trigger a re-run.
+  Fixture f = MakeFixture("sched_crashcommit", 26, 2);
+  std::atomic<int> runs{0};
+  InProcessShardJob job = [&](int shard, const std::atomic<bool>&) -> Status {
+    ++runs;
+    Status s = ShardRunner(f.spec, f.plan).Run(shard, f.dir, 1);
+    EXPECT_TRUE(s.ok());
+    return Status::Internal("crashed after committing");
+  };
+  ShardScheduler scheduler(f.info, f.dir, MakeInProcessShardExecutor(job),
+                           FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(runs.load(), 2);  // one attempt per shard, no retries
+  EXPECT_EQ(summary->retries, 0);
+  EXPECT_EQ(MergedBytes(f), SerialReference(f.spec));
+}
+
+// ---------------------------------------------------------------------
+// Fail fast on operator error
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, ForeignPlanFilesFailFastWithoutRetry) {
+  // The directory holds shards of a DIFFERENT plan (other shard count):
+  // InvalidArgument, and no attempt may be dispatched.
+  Fixture f = MakeFixture("sched_foreign", 40, 4);
+  ShardSweepSpec other = ToySpec(40);
+  ShardPlan other_plan = ShardPlan::Create(40, 5).value();
+  ASSERT_TRUE(ShardRunner(other, other_plan).Run(0, f.dir, 1).ok());
+
+  InProcessShardJob job = [](int, const std::atomic<bool>&) -> Status {
+    ADD_FAILURE() << "dispatched despite operator error";
+    return Status::Internal("unreachable");
+  };
+  ShardScheduler scheduler(f.info, f.dir, MakeInProcessShardExecutor(job),
+                           FastOptions());
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_FALSE(summary.ok());
+  EXPECT_EQ(summary.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Timeouts: hung workers are killed and retried
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, HungWorkerIsKilledAndRetried) {
+  Fixture f = MakeFixture("sched_hang", 22, 2);
+  std::atomic<int> hangs{1};  // first attempt of shard 1 hangs
+  InProcessShardJob job = [&](int shard, const std::atomic<bool>& cancelled)
+      -> Status {
+    if (shard == 1 && hangs.fetch_sub(1) > 0) {
+      while (!cancelled.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return Status::Internal("cancelled while hung");
+    }
+    return ShardRunner(f.spec, f.plan).Run(shard, f.dir, 1);
+  };
+  ShardScheduleOptions options = FastOptions();
+  options.shard_timeout_ms = 200;
+  ShardScheduler scheduler(f.info, f.dir, MakeInProcessShardExecutor(job),
+                           options);
+  Result<ShardScheduleSummary> summary = scheduler.Run();
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->timeouts, 1);
+  EXPECT_EQ(summary->retries, 1);
+  EXPECT_EQ(summary->attempts, (std::vector<int>{1, 2}));
+  EXPECT_EQ(MergedBytes(f), SerialReference(f.spec));
+}
+
+// ---------------------------------------------------------------------
+// Property test: any failure sequence below the retry cap still ends
+// in a byte-identical merge
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, RandomFailureSequencesBelowCapAlwaysConverge) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 15; ++trial) {
+    size_t total = 10 + rng.NextUint64() % 80;
+    int shards = 1 + static_cast<int>(rng.NextUint64() % 6);
+    Fixture f = MakeFixture(
+        ("sched_prop_" + std::to_string(trial)).c_str(), total, shards);
+    FlakyJob job(f.spec, f.plan, f.dir);
+    int injected = 0;
+    for (int k = 0; k < shards; ++k) {
+      // 0..max_attempts-1 failures per shard: always below the cap.
+      int failures = static_cast<int>(rng.NextUint64() % 3);
+      job.FailNext(k, failures);
+      injected += failures;
+    }
+    ShardScheduleOptions options = FastOptions();
+    options.workers = 1 + static_cast<int>(rng.NextUint64() % 4);
+    ShardScheduler scheduler(f.info, f.dir,
+                             MakeInProcessShardExecutor(job.AsJob()),
+                             options);
+    Result<ShardScheduleSummary> summary = scheduler.Run();
+    ASSERT_TRUE(summary.ok())
+        << "trial " << trial << ": " << summary.status().ToString();
+    EXPECT_EQ(summary->retries, injected) << "trial " << trial;
+    EXPECT_EQ(MergedBytes(f), SerialReference(f.spec)) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Process executor: real child processes
+// ---------------------------------------------------------------------
+
+TEST(ProcessShardExecutorTest, ReportsExitStatusOfRealProcesses) {
+  auto ok_exec = MakeProcessShardExecutor("/bin/true", "unused");
+  Result<int> ok_job = ok_exec->Start(0);
+  ASSERT_TRUE(ok_job.ok());
+  Status status = Status::Internal("unset");
+  while (!ok_exec->Poll(*ok_job, &status)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  auto fail_exec = MakeProcessShardExecutor("/bin/false", "unused");
+  Result<int> fail_job = fail_exec->Start(0);
+  ASSERT_TRUE(fail_job.ok());
+  while (!fail_exec->Poll(*fail_job, &status)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exited with code 1"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(ProcessShardExecutorTest, KillTerminatesARealProcess) {
+  // The executor passes --shard/--out/--threads flags; a wrapper script
+  // that ignores them stands in for a hung worker.
+  std::string script = FreshDir("sched_killer") + "/hang.sh";
+  ASSERT_TRUE(WriteFile(script, "#!/bin/sh\nsleep 30\n").ok());
+  std::filesystem::permissions(script, std::filesystem::perms::owner_all);
+  auto exec = MakeProcessShardExecutor(script, "unused");
+  Result<int> job = exec->Start(0);
+  ASSERT_TRUE(job.ok());
+  exec->Kill(*job);
+  Status status;
+  while (!exec->Poll(*job, &status)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("signal"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Summary serialization round-trip
+// ---------------------------------------------------------------------
+
+TEST(ShardSchedulerTest, SummaryConvertsToValidScheduleRecord) {
+  ShardScheduleSummary summary;
+  summary.sweep = "toy";
+  summary.shards = 4;
+  summary.resumed = 1;
+  summary.retries = 2;
+  summary.quarantined = 2;
+  summary.timeouts = 1;
+  summary.attempts = {0, 1, 2, 2};
+  summary.wall_ms = 12.5;
+  ScheduleRecord record = ToScheduleRecord(summary);
+  ASSERT_TRUE(record.Validate().ok()) << record.Validate().ToString();
+  EXPECT_EQ(record.attempts, "0,1,2,2");
+  Result<ScheduleRecord> parsed =
+      ParseScheduleRecord(ScheduleRecordToJson(record));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->retries, 2);
+  EXPECT_EQ(parsed->attempts, record.attempts);
+}
+
+}  // namespace
+}  // namespace hsis::common
