@@ -1,25 +1,45 @@
-// Validates a machine-readable bench record (`--json=PATH` output of
+// Validates machine-readable bench records (`--json=PATH` output of
 // the benches): reads the file, parses it against the strict
 // hsis-bench-v1 schema (common/perf_record.h), and prints the decoded
-// fields. Exit code 0 means the record is well-formed and sensible;
-// CI's bench smoke step pipes a fresh record through this checker so a
+// fields. Exit code 0 means every record is well-formed and sensible;
+// CI's bench smoke steps pipe fresh records through this checker so a
 // schema regression fails the build rather than silently producing
 // garbage artifacts.
 //
-//   check_bench_json FILE.json [--min-cells-per-sec=X]
+//   check_bench_json FILE.json [--min-cells-per-sec=X] [--lines=N]
+//
+// By default the file must hold exactly one record. Multi-record
+// artifacts (one JSON object per line, e.g. the serving-latency bench's
+// BENCH_6.json) pass --lines=N to require exactly N records; every line
+// must parse and --min-cells-per-sec applies to each.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/file.h"
 #include "common/perf_record.h"
 
 using namespace hsis;
 
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: check_bench_json FILE.json "
+               "[--min-cells-per-sec=X] [--lines=N]\n");
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const char* path = nullptr;
   double min_cells_per_sec = 0;
+  long expected_lines = -1;  // -1: legacy single-record mode
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--min-cells-per-sec=", 20) == 0) {
       char* end = nullptr;
@@ -28,43 +48,66 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --min-cells-per-sec value\n");
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--lines=", 8) == 0) {
+      char* end = nullptr;
+      expected_lines = std::strtol(argv[i] + 8, &end, 10);
+      if (end == argv[i] + 8 || *end != '\0' || expected_lines < 1) {
+        std::fprintf(stderr, "bad --lines value\n");
+        return 2;
+      }
     } else if (path == nullptr) {
       path = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: check_bench_json FILE.json "
-                   "[--min-cells-per-sec=X]\n");
-      return 2;
+      return Usage();
     }
   }
-  if (path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: check_bench_json FILE.json [--min-cells-per-sec=X]\n");
-    return 2;
-  }
+  if (path == nullptr) return Usage();
 
   auto content = ReadFile(path);
   if (!content.ok()) {
     std::fprintf(stderr, "%s\n", content.status().ToString().c_str());
     return 1;
   }
-  auto record = common::ParsePerfRecord(*content);
-  if (!record.ok()) {
-    std::fprintf(stderr, "%s: %s\n", path,
-                 record.status().ToString().c_str());
+
+  // Split into non-empty lines; each line is one strict record.
+  std::vector<std::string_view> lines;
+  std::string_view rest = *content;
+  while (!rest.empty()) {
+    size_t eol = rest.find('\n');
+    std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view()
+                                         : rest.substr(eol + 1);
+    if (!line.empty()) lines.push_back(line);
+  }
+  size_t want = expected_lines < 0 ? 1 : static_cast<size_t>(expected_lines);
+  if (lines.size() != want) {
+    std::fprintf(stderr, "%s: expected %zu record line(s), found %zu\n", path,
+                 want, lines.size());
     return 1;
   }
-  if (record->cells_per_sec < min_cells_per_sec) {
-    std::fprintf(stderr,
-                 "%s: cells_per_sec %.0f below required minimum %.0f\n", path,
-                 record->cells_per_sec, min_cells_per_sec);
-    return 1;
+
+  for (size_t i = 0; i < lines.size(); ++i) {
+    auto record = common::ParsePerfRecord(lines[i]);
+    if (!record.ok()) {
+      std::fprintf(stderr, "%s line %zu: %s\n", path, i + 1,
+                   record.status().ToString().c_str());
+      return 1;
+    }
+    if (record->cells_per_sec < min_cells_per_sec) {
+      std::fprintf(stderr,
+                   "%s line %zu (%s): cells_per_sec %.0f below required "
+                   "minimum %.0f\n",
+                   path, i + 1, record->bench.c_str(), record->cells_per_sec,
+                   min_cells_per_sec);
+      return 1;
+    }
+    std::printf("%s line %zu: ok\n", path, i + 1);
+    std::printf("  bench         %s\n", record->bench.c_str());
+    std::printf("  threads       %d\n", record->threads);
+    std::printf("  cells_per_sec %.0f\n", record->cells_per_sec);
+    std::printf("  wall_ms       %.3f\n", record->wall_ms);
+    std::printf("  git_describe  %s\n", record->git_describe.c_str());
   }
-  std::printf("%s: ok\n", path);
-  std::printf("  bench         %s\n", record->bench.c_str());
-  std::printf("  threads       %d\n", record->threads);
-  std::printf("  cells_per_sec %.0f\n", record->cells_per_sec);
-  std::printf("  wall_ms       %.3f\n", record->wall_ms);
-  std::printf("  git_describe  %s\n", record->git_describe.c_str());
   return 0;
 }

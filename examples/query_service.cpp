@@ -1,0 +1,249 @@
+// Online mechanism-design query service, from the command line.
+//
+// The serving tier answers "is honesty dominant at this operating
+// point, and if not, what would make it so?" — Section 4's
+// observations packaged as an online API (src/serve). This driver
+// exposes all three serving paths:
+//
+//   Single query, with the full step-by-step proof:
+//     query_service --query=10,25,0.3,40
+//     query_service --query=10,25,0.3,40,5     (5 sharing parties)
+//
+//   Batch-serve a request file (one B,F,f,P[,n] line per request;
+//   blank lines and #-comments skipped) through the memoized cache:
+//     query_service --requests=queries.csv
+//
+//   Synthetic Zipf-skewed stream (the repetitive traffic production
+//   serving sees), printing the regime histogram and cache counters:
+//     query_service --stream=100000 --domain=1024 --skew=1.1 --seed=42
+//
+// Cache and service knobs: --quantum=Q (key quantization step; 0 =
+// lossless bit-pattern keys), --shards=K, --capacity=C (entries per
+// shard, 0 = unbounded), --threads=T, --margin=M.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/file.h"
+#include "game/thresholds.h"
+#include "serve/query_service.h"
+#include "serve/stream.h"
+
+using namespace hsis;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  query_service --query=B,F,f,P[,n]\n"
+      "  query_service --requests=FILE\n"
+      "  query_service --stream=N [--domain=K --skew=S --seed=U]\n"
+      "options: --quantum=Q --shards=K --capacity=C --threads=T --margin=M\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Parses "B,F,f,P" or "B,F,f,P,n" into a request; returns false on
+/// malformed input.
+bool ParseRequestSpec(std::string_view spec, serve::QueryRequest* request) {
+  std::vector<double> values;
+  std::string buffer(spec);
+  char* cursor = buffer.data();
+  while (true) {
+    char* end = nullptr;
+    double value = std::strtod(cursor, &end);
+    if (end == cursor) return false;
+    values.push_back(value);
+    if (*end == '\0') break;
+    if (*end != ',') return false;
+    cursor = end + 1;
+  }
+  if (values.size() != 4 && values.size() != 5) return false;
+  request->benefit = values[0];
+  request->cheat_gain = values[1];
+  request->frequency = values[2];
+  request->penalty = values[3];
+  request->n = values.size() == 5 ? static_cast<int>(values[4]) : 2;
+  return true;
+}
+
+double ParseDoubleFlag(const char* text, const char* flag) {
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "bad %s value: %s\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+long ParseLongFlag(const char* text, const char* flag) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) {
+    std::fprintf(stderr, "bad %s value: %s\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+void PrintAnswer(const serve::QueryAnswer& answer) {
+  std::printf("regime:                 %s\n",
+              game::DeviceEffectivenessName(answer.effectiveness));
+  std::printf("honest is dominant:     %s\n",
+              answer.honest_is_dominant ? "yes" : "no");
+  std::printf("min deterring frequency: %g\n", answer.min_frequency);
+  std::printf("min deterring penalty:   %g\n", answer.min_penalty);
+  std::printf("zero-penalty frequency:  %g\n", answer.zero_penalty_frequency);
+}
+
+void PrintStats(const serve::CacheStats& stats) {
+  std::printf("cache: %llu hits, %llu misses, %llu evictions, "
+              "%llu resident entries\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses),
+              static_cast<unsigned long long>(stats.evictions),
+              static_cast<unsigned long long>(stats.entries));
+}
+
+int ServeBatch(serve::QueryService& service,
+               const std::vector<serve::QueryRequest>& requests,
+               bool per_request) {
+  game::kernel::DeviceAnswersSoA answers;
+  if (Status s = service.AnswerBatchCached(requests.data(), requests.size(),
+                                           answers);
+      !s.ok()) {
+    return Fail(s);
+  }
+  size_t histogram[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < requests.size(); ++i) {
+    histogram[static_cast<size_t>(answers.effectiveness[i])]++;
+    if (per_request) {
+      std::printf("%zu: %s  min_f=%g  min_P=%g  f0=%g\n", i + 1,
+                  game::DeviceEffectivenessName(answers.effectiveness[i]),
+                  answers.min_frequency[i], answers.min_penalty[i],
+                  answers.zero_penalty_frequency[i]);
+    }
+  }
+  std::printf("served %zu requests\n", requests.size());
+  for (int e = 0; e < 4; ++e) {
+    std::printf("  %-18s %zu\n",
+                game::DeviceEffectivenessName(
+                    static_cast<game::DeviceEffectiveness>(e)),
+                histogram[static_cast<size_t>(e)]);
+  }
+  PrintStats(service.Stats());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* query_spec = nullptr;
+  const char* requests_path = nullptr;
+  long stream_count = 0;
+  serve::StreamConfig stream;
+  serve::QueryServiceConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--query=", 8) == 0) {
+      query_spec = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+      requests_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--stream=", 9) == 0) {
+      stream_count = ParseLongFlag(argv[i] + 9, "--stream");
+    } else if (std::strncmp(argv[i], "--domain=", 9) == 0) {
+      stream.domain =
+          static_cast<size_t>(ParseLongFlag(argv[i] + 9, "--domain"));
+    } else if (std::strncmp(argv[i], "--skew=", 7) == 0) {
+      stream.skew = ParseDoubleFlag(argv[i] + 7, "--skew");
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      stream.seed = static_cast<uint64_t>(ParseLongFlag(argv[i] + 7, "--seed"));
+    } else if (std::strncmp(argv[i], "--quantum=", 10) == 0) {
+      config.cache.quantum = ParseDoubleFlag(argv[i] + 10, "--quantum");
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      config.cache.shards =
+          static_cast<int>(ParseLongFlag(argv[i] + 9, "--shards"));
+    } else if (std::strncmp(argv[i], "--capacity=", 11) == 0) {
+      config.cache.capacity_per_shard =
+          static_cast<size_t>(ParseLongFlag(argv[i] + 11, "--capacity"));
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      config.threads = static_cast<int>(ParseLongFlag(argv[i] + 10,
+                                                      "--threads"));
+    } else if (std::strncmp(argv[i], "--margin=", 9) == 0) {
+      config.margin = ParseDoubleFlag(argv[i] + 9, "--margin");
+    } else {
+      return Usage();
+    }
+  }
+
+  auto service_or = serve::QueryService::Create(config);
+  if (!service_or.ok()) return Fail(service_or.status());
+  serve::QueryService service = std::move(*service_or);
+
+  if (query_spec != nullptr) {
+    serve::QueryRequest request;
+    if (!ParseRequestSpec(query_spec, &request)) {
+      std::fprintf(stderr, "bad --query spec (want B,F,f,P[,n]): %s\n",
+                   query_spec);
+      return 2;
+    }
+    auto answer = service.Answer(request);
+    if (!answer.ok()) return Fail(answer.status());
+    std::printf("query: B=%g F=%g f=%g P=%g n=%d\n", request.benefit,
+                request.cheat_gain, request.frequency, request.penalty,
+                request.n);
+    PrintAnswer(*answer);
+    auto derivation = service.Explain(request);
+    if (!derivation.ok()) return Fail(derivation.status());
+    std::printf("\n%s", serve::DerivationToText(*derivation).c_str());
+    return 0;
+  }
+
+  if (requests_path != nullptr) {
+    auto content = ReadFile(requests_path);
+    if (!content.ok()) return Fail(content.status());
+    std::vector<serve::QueryRequest> requests;
+    std::string_view rest = *content;
+    size_t line_no = 0;
+    while (!rest.empty()) {
+      size_t eol = rest.find('\n');
+      std::string_view line =
+          eol == std::string_view::npos ? rest : rest.substr(0, eol);
+      rest = eol == std::string_view::npos ? std::string_view()
+                                           : rest.substr(eol + 1);
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      serve::QueryRequest request;
+      if (!ParseRequestSpec(line, &request)) {
+        std::fprintf(stderr, "%s:%zu: bad request line (want B,F,f,P[,n])\n",
+                     requests_path, line_no);
+        return 2;
+      }
+      requests.push_back(request);
+    }
+    return ServeBatch(service, requests, /*per_request=*/true);
+  }
+
+  if (stream_count > 0) {
+    stream.count = static_cast<size_t>(stream_count);
+    auto requests = serve::MakeSyntheticStream(stream);
+    if (!requests.ok()) return Fail(requests.status());
+    std::printf("stream: %zu requests over %zu points, skew %g, seed %llu\n",
+                requests->size(), stream.domain, stream.skew,
+                static_cast<unsigned long long>(stream.seed));
+    return ServeBatch(service, *requests, /*per_request=*/false);
+  }
+
+  return Usage();
+}

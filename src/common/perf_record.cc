@@ -23,8 +23,24 @@ void AppendJsonString(std::string& out, std::string_view value) {
       case '\n':
         out += "\\n";
         break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
       default:
-        out += c;
+        // JSON forbids raw control characters inside strings; anything
+        // below 0x20 without a short escape goes out as \u00XX so a
+        // hostile bench/sweep label can never emit an invalid record.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
     }
   }
   out += '"';
@@ -79,12 +95,51 @@ class Scanner {
         char esc = input_[pos_++];
         if (esc == 'n') {
           out += '\n';
+        } else if (esc == 't') {
+          out += '\t';
+        } else if (esc == 'r') {
+          out += '\r';
         } else if (esc == '"' || esc == '\\') {
           out += esc;
+        } else if (esc == 'u') {
+          // \uXXXX — the serializer only emits code points below 0x20,
+          // but accept anything in the single-byte range; multi-byte
+          // code points are rejected (labels are byte strings here).
+          if (pos_ + 4 > input_.size()) {
+            return Status::InvalidArgument(
+                "perf record: truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = input_[pos_++];
+            unsigned digit;
+            if (h >= '0' && h <= '9') {
+              digit = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              digit = static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              digit = static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Status::InvalidArgument(
+                  "perf record: malformed \\u escape");
+            }
+            code = code * 16 + digit;
+          }
+          if (code > 0xFF) {
+            return Status::InvalidArgument(
+                "perf record: \\u escape beyond single-byte range");
+          }
+          out += static_cast<char>(code);
         } else {
           return Status::InvalidArgument(
               "perf record: unsupported escape sequence");
         }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        // Raw control characters are invalid JSON — exactly the bytes
+        // the serializer escapes; a record containing one was produced
+        // by a broken writer.
+        return Status::InvalidArgument(
+            "perf record: raw control character in string");
       } else {
         out += c;
       }

@@ -215,6 +215,23 @@ std::string ShardQuarantineDir(const std::string& dir) {
   return dir + "/quarantine";
 }
 
+int64_t BackoffDelayMs(int64_t initial_ms, int64_t max_ms,
+                       int attempts_so_far) {
+  if (initial_ms == 0) return 0;
+  int64_t ms = initial_ms;
+  for (int i = 1; i < attempts_so_far && ms < max_ms; ++i) {
+    // Saturate before doubling: past max_ms / 2 the next doubling would
+    // exceed the cap anyway, and near INT64_MAX it would overflow (UB)
+    // into a negative delay.
+    if (ms > max_ms / 2) {
+      ms = max_ms;
+    } else {
+      ms *= 2;
+    }
+  }
+  return ms < max_ms ? ms : max_ms;
+}
+
 ShardScheduler::ShardScheduler(ShardPlanInfo info, std::string dir,
                                std::unique_ptr<ShardExecutor> executor,
                                ShardScheduleOptions options)
@@ -316,12 +333,8 @@ Result<ShardScheduleSummary> ShardScheduler::Run() {
   }
 
   auto backoff_ms = [&](int attempts_so_far) -> int64_t {
-    if (options_.backoff_initial_ms == 0) return 0;
-    int64_t ms = options_.backoff_initial_ms;
-    for (int i = 1; i < attempts_so_far && ms < options_.backoff_max_ms; ++i) {
-      ms *= 2;
-    }
-    return ms < options_.backoff_max_ms ? ms : options_.backoff_max_ms;
+    return BackoffDelayMs(options_.backoff_initial_ms,
+                          options_.backoff_max_ms, attempts_so_far);
   };
 
   int running = 0;

@@ -154,6 +154,15 @@ struct ShardScheduleSummary {
 /// Converts a run summary to its serializable `hsis-schedule-v1` form.
 ScheduleRecord ToScheduleRecord(const ShardScheduleSummary& summary);
 
+/// Backoff delay before the next attempt after `attempts_so_far`
+/// attempts: `initial_ms * 2^(attempts_so_far - 1)` saturated at
+/// `max_ms`. Doubling is overflow-safe — once the value passes
+/// `max_ms / 2` (or the int64 range would overflow), it saturates to
+/// `max_ms` instead of wrapping, so `max_ms` near INT64_MAX is safe.
+/// `initial_ms == 0` disables backoff (returns 0).
+int64_t BackoffDelayMs(int64_t initial_ms, int64_t max_ms,
+                       int attempts_so_far);
+
 /// Path of the quarantine subdirectory inside results directory `dir`;
 /// corrupt shard files are moved there as
 /// `shard-<k>.q<N>.{bin,manifest}` instead of being deleted, so

@@ -20,8 +20,11 @@ Result<MechanismDesigner> MechanismDesigner::Create(double benefit,
 }
 
 double MechanismDesigner::MinFrequency(double penalty, double margin) const {
+  // Clamp to [0, 1] on both sides: a large penalty shrinks f* toward 0,
+  // and a negative caller margin (or one larger in magnitude than f*)
+  // would otherwise return a negative "minimum frequency".
   double f = game::CriticalFrequency(benefit_, cheat_gain_, penalty) + margin;
-  return std::min(f, 1.0);
+  return std::clamp(f, 0.0, 1.0);
 }
 
 Result<double> MechanismDesigner::MinPenalty(double frequency,

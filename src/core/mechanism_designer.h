@@ -35,7 +35,10 @@ class MechanismDesigner {
   static Result<MechanismDesigner> Create(double benefit, double cheat_gain);
 
   /// Observation 2: the minimum audit frequency that makes honesty the
-  /// unique DSE/NE for a fixed penalty. Returns a value in (f*, 1].
+  /// unique DSE/NE for a fixed penalty. The result is clamped to
+  /// [0, 1]: normally f* + margin, but never negative (a large penalty
+  /// plus a negative margin would otherwise escape the valid range) and
+  /// never above 1.
   double MinFrequency(double penalty, double margin = 1e-6) const;
 
   /// Observation 3: the minimum penalty for a fixed frequency f > 0.

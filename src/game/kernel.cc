@@ -1,5 +1,8 @@
 #include "game/kernel.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/parallel.h"
 #include "game/equilibrium.h"
 
@@ -514,6 +517,96 @@ Status EvalNPlayerBandRows(const NPlayerHonestyGame::Params& base_params,
     out.honest_is_dominant[k] = row.honest_is_dominant ? 1 : 0;
     out.cheat_is_dominant[k] = row.cheat_is_dominant ? 1 : 0;
     out.matches[k] = row.matches ? 1 : 0;
+  });
+  return Status::OK();
+}
+
+DeviceAnswerKernel DeviceAnswerAt(double benefit, double cheat_gain,
+                                  double frequency, double penalty,
+                                  double margin) {
+  // Exactly the MechanismDesigner analytic layer, expression for
+  // expression: Classify == ClassifySymmetricDevice, MinFrequency ==
+  // clamp(f* + margin, 0, 1), MinPenalty == (P* < 0 ? 0 : P* + margin)
+  // with CriticalPenalty's +infinity at f == 0 propagating through, and
+  // ZeroPenaltyFrequency verbatim. The serve-layer cross-validation
+  // suite pins bit-equality on a dense grid.
+  DeviceAnswerKernel answer;
+  answer.effectiveness =
+      ClassifySymmetricDevice(benefit, cheat_gain, frequency, penalty);
+  answer.min_frequency = std::clamp(
+      CriticalFrequency(benefit, cheat_gain, penalty) + margin, 0.0, 1.0);
+  const double critical_penalty =
+      CriticalPenalty(benefit, cheat_gain, frequency);
+  answer.min_penalty = critical_penalty < 0 ? 0.0 : critical_penalty + margin;
+  answer.zero_penalty_frequency = ZeroPenaltyFrequency(benefit, cheat_gain);
+  return answer;
+}
+
+void DevicePointsSoA::Resize(size_t n) {
+  benefit.resize(n);
+  cheat_gain.resize(n);
+  frequency.resize(n);
+  penalty.resize(n);
+}
+
+void DeviceAnswersSoA::Resize(size_t n) {
+  effectiveness.resize(n);
+  min_frequency.resize(n);
+  min_penalty.resize(n);
+  zero_penalty_frequency.resize(n);
+}
+
+Status EvalDevicePoints(const DevicePointsSoA& in, double margin,
+                        size_t begin, size_t count, DeviceAnswersSoA& out,
+                        int threads) {
+  if (in.cheat_gain.size() != in.size() || in.frequency.size() != in.size() ||
+      in.penalty.size() != in.size()) {
+    return Status::InvalidArgument("device point columns disagree on size");
+  }
+  if (begin > in.size() || count > in.size() - begin) {
+    return Status::InvalidArgument("point range exceeds the request vector");
+  }
+  if (!std::isfinite(margin)) {
+    return Status::InvalidArgument("margin must be finite");
+  }
+  // Per-point validation up front (requests carry independent
+  // economics, unlike the single-parameterization sweeps), so the
+  // answer loop below runs unchecked and allocation-free.
+  for (size_t k = begin; k < begin + count; ++k) {
+    const double b = in.benefit[k], f = in.cheat_gain[k];
+    const double freq = in.frequency[k], p = in.penalty[k];
+    if (!std::isfinite(b) || !std::isfinite(f) || !std::isfinite(freq) ||
+        !std::isfinite(p)) {
+      return Status::InvalidArgument("device point " + std::to_string(k) +
+                                     ": parameters must be finite");
+    }
+    if (b < 0) {
+      return Status::InvalidArgument("device point " + std::to_string(k) +
+                                     ": benefit B must be non-negative");
+    }
+    if (f <= b) {
+      return Status::InvalidArgument(
+          "device point " + std::to_string(k) +
+          ": cheating gain F must exceed honest benefit B");
+    }
+    if (freq < 0 || freq > 1) {
+      return Status::InvalidArgument("device point " + std::to_string(k) +
+                                     ": frequency must be in [0, 1]");
+    }
+    if (p < 0) {
+      return Status::InvalidArgument("device point " + std::to_string(k) +
+                                     ": penalty must be non-negative");
+    }
+  }
+  out.Resize(count);
+  common::ParallelFor(threads, count, kBatchSize, [&](size_t k) {
+    const DeviceAnswerKernel answer =
+        DeviceAnswerAt(in.benefit[begin + k], in.cheat_gain[begin + k],
+                       in.frequency[begin + k], in.penalty[begin + k], margin);
+    out.effectiveness[k] = answer.effectiveness;
+    out.min_frequency[k] = answer.min_frequency;
+    out.min_penalty[k] = answer.min_penalty;
+    out.zero_penalty_frequency[k] = answer.zero_penalty_frequency;
   });
   return Status::OK();
 }

@@ -327,6 +327,77 @@ struct NPlayerBandRowsSoA {
   size_t size() const { return penalty.size(); }
 };
 
+// ---------------------------------------------------------------------------
+// Mechanism-design device points: the serving-tier kernel
+// ---------------------------------------------------------------------------
+
+/// The analytic answer at one (B, F, f, P) operating point — exactly
+/// the quantities of the `core::MechanismDesigner` analytic layer
+/// (same `game/thresholds.h` expressions in the same order, so every
+/// double is bit-identical to `Classify`/`MinFrequency`/`MinPenalty`/
+/// `ZeroPenaltyFrequency`), computed without the designer object or
+/// any allocation. The serving tier (src/serve) classifies whole
+/// request vectors through this kernel.
+struct DeviceAnswerKernel {
+  /// Section 4 taxonomy of the device at (f, P).
+  DeviceEffectiveness effectiveness = DeviceEffectiveness::kIneffective;
+  /// Minimum deterring frequency at the request's penalty, clamped to
+  /// [0, 1] (`MechanismDesigner::MinFrequency`).
+  double min_frequency = 0;
+  /// Minimum deterring penalty at the request's frequency
+  /// (`MechanismDesigner::MinPenalty`); +infinity when f == 0 — no
+  /// finite penalty deters a player who is never audited.
+  double min_penalty = 0;
+  /// Frequency above which no penalty is needed at all
+  /// (`MechanismDesigner::ZeroPenaltyFrequency`).
+  double zero_penalty_frequency = 0;
+};
+
+/// Unvalidated single-point evaluator — precondition checks (finite
+/// economics, F > B, f in [0, 1], P >= 0) live in `EvalDevicePoints`
+/// and the serve-layer request validation.
+DeviceAnswerKernel DeviceAnswerAt(double benefit, double cheat_gain,
+                                  double frequency, double penalty,
+                                  double margin);
+
+/// SoA buffer of mechanism-design query points (one request per slot).
+struct DevicePointsSoA {
+  std::vector<double> benefit;     ///< Honest-sharing benefits B.
+  std::vector<double> cheat_gain;  ///< Cheating gains F.
+  std::vector<double> frequency;   ///< Audit frequencies f.
+  std::vector<double> penalty;     ///< Penalties P.
+
+  /// Resizes every column to `n` slots.
+  void Resize(size_t n);
+  /// Number of points currently held.
+  size_t size() const { return benefit.size(); }
+};
+
+/// SoA buffer of analytic device answers (`DeviceAnswerKernel` split
+/// field-by-field; slot k of every vector answers point k).
+struct DeviceAnswersSoA {
+  std::vector<DeviceEffectiveness> effectiveness;  ///< Regime labels.
+  std::vector<double> min_frequency;           ///< Min deterring frequencies.
+  std::vector<double> min_penalty;             ///< Min deterring penalties.
+  std::vector<double> zero_penalty_frequency;  ///< Zero-penalty frequencies.
+
+  /// Resizes every column to `n` slots.
+  void Resize(size_t n);
+  /// Number of answers currently held.
+  size_t size() const { return effectiveness.size(); }
+};
+
+/// Batch device-point evaluator: validates every point in
+/// [begin, begin + count) of `in` (finite economics, F > B, f in
+/// [0, 1], P >= 0 — InvalidArgument names the first offending slot),
+/// resizes `out` to `count`, then answers point begin + k into slot k
+/// with `threads` workers (common/parallel.h determinism contract:
+/// bit-identical for every thread count) and zero heap allocations per
+/// point inside the loop.
+Status EvalDevicePoints(const DevicePointsSoA& in, double margin,
+                        size_t begin, size_t count, DeviceAnswersSoA& out,
+                        int threads = 1);
+
 /// Batch frequency-sweep evaluator: validates once, resizes `out` to
 /// `count`, then classifies global rows [begin, begin + count) into the
 /// SoA slots with `threads` workers (common/parallel.h determinism

@@ -1,0 +1,179 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace hsis::serve {
+
+namespace {
+
+/// splitmix64 finalizer — cheap, well-distributed mixing for shard
+/// selection and the per-shard hash table.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashKey(const QueryKey& key) {
+  uint64_t h = Mix64(key.benefit);
+  h = Mix64(h ^ key.cheat_gain);
+  h = Mix64(h ^ key.frequency);
+  h = Mix64(h ^ key.penalty);
+  h = Mix64(h ^ static_cast<uint64_t>(key.n));
+  return h;
+}
+
+struct KeyHasher {
+  size_t operator()(const QueryKey& key) const {
+    return static_cast<size_t>(HashKey(key));
+  }
+};
+
+/// Quantized image of one parameter. quantum == 0: the exact bit
+/// pattern (with -0.0 folded into +0.0 so the two spellings of zero
+/// share an entry); quantum > 0: the nearest lattice index, saturated
+/// at the int64 range so absurd magnitudes cannot overflow into UB.
+uint64_t QuantizeComponent(double value, double quantum) {
+  if (quantum == 0) {
+    return std::bit_cast<uint64_t>(value == 0.0 ? 0.0 : value);
+  }
+  double index = std::nearbyint(value / quantum);
+  index = std::clamp(index, -9.0e18, 9.0e18);
+  return static_cast<uint64_t>(static_cast<int64_t>(index));
+}
+
+}  // namespace
+
+QueryKey MakeQueryKey(const QueryRequest& request, double quantum) {
+  QueryKey key;
+  key.benefit = QuantizeComponent(request.benefit, quantum);
+  key.cheat_gain = QuantizeComponent(request.cheat_gain, quantum);
+  key.frequency = QuantizeComponent(request.frequency, quantum);
+  key.penalty = QuantizeComponent(request.penalty, quantum);
+  key.n = request.n;
+  return key;
+}
+
+QueryRequest SnapRequest(const QueryRequest& request, double quantum) {
+  if (quantum == 0) return request;
+  auto snap = [quantum](double value) {
+    return std::nearbyint(value / quantum) * quantum;
+  };
+  QueryRequest snapped = request;
+  snapped.benefit = std::max(0.0, snap(request.benefit));
+  snapped.cheat_gain = snap(request.cheat_gain);
+  snapped.frequency = std::clamp(snap(request.frequency), 0.0, 1.0);
+  snapped.penalty = std::max(0.0, snap(request.penalty));
+  // Snapping can collapse the F > B gap (both land on the same lattice
+  // point); bump F to the next lattice point above B so every
+  // equivalence class stays servable.
+  if (snapped.cheat_gain <= snapped.benefit) {
+    snapped.cheat_gain = snapped.benefit + quantum;
+  }
+  return snapped;
+}
+
+struct AnswerCache::Shard {
+  std::mutex mutex;
+  std::unordered_map<QueryKey, QueryAnswer, KeyHasher> entries;
+  std::deque<QueryKey> fifo;  ///< Insertion order, oldest first.
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+Result<AnswerCache> AnswerCache::Create(const CacheConfig& config) {
+  if (!std::isfinite(config.quantum) || config.quantum < 0) {
+    return Status::InvalidArgument(
+        "cache: quantum must be finite and non-negative");
+  }
+  if (config.shards < 1) {
+    return Status::InvalidArgument("cache: need at least one shard");
+  }
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(static_cast<size_t>(config.shards));
+  for (int i = 0; i < config.shards; ++i) {
+    shards.push_back(std::make_unique<Shard>());
+  }
+  return AnswerCache(config.quantum, config.capacity_per_shard,
+                     std::move(shards));
+}
+
+AnswerCache::AnswerCache(double quantum, size_t capacity_per_shard,
+                         std::vector<std::unique_ptr<Shard>> shards)
+    : quantum_(quantum),
+      capacity_per_shard_(capacity_per_shard),
+      shards_(std::move(shards)) {}
+
+AnswerCache::AnswerCache(AnswerCache&&) noexcept = default;
+AnswerCache& AnswerCache::operator=(AnswerCache&&) noexcept = default;
+AnswerCache::~AnswerCache() = default;
+
+AnswerCache::Shard& AnswerCache::ShardFor(const QueryKey& key) {
+  return *shards_[static_cast<size_t>(HashKey(key) ^ 0xa5a5a5a5a5a5a5a5ULL) %
+                  shards_.size()];
+}
+
+bool AnswerCache::Lookup(const QueryKey& key, QueryAnswer* answer) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  *answer = it->second;
+  return true;
+}
+
+void AnswerCache::Insert(const QueryKey& key, const QueryAnswer& answer) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto [it, inserted] = shard.entries.try_emplace(key, answer);
+  if (!inserted) {
+    it->second = answer;  // refresh — no FIFO movement
+    return;
+  }
+  shard.fifo.push_back(key);
+  if (capacity_per_shard_ != 0 && shard.entries.size() > capacity_per_shard_) {
+    // FIFO eviction: drop the oldest still-resident entry.
+    while (!shard.fifo.empty()) {
+      QueryKey oldest = shard.fifo.front();
+      shard.fifo.pop_front();
+      if (oldest == key) continue;  // never evict the entry just added
+      if (shard.entries.erase(oldest) > 0) {
+        ++shard.evictions;
+        break;
+      }
+    }
+  }
+}
+
+CacheStats AnswerCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->entries.size();
+  }
+  return stats;
+}
+
+void AnswerCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->entries.clear();
+    shard->fifo.clear();
+  }
+}
+
+}  // namespace hsis::serve

@@ -1,0 +1,126 @@
+#ifndef HSIS_SERVE_CACHE_H_
+#define HSIS_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/query.h"
+
+/// \file
+/// \brief Sharded memo-cache for served query answers.
+///
+/// Production query streams are heavily repetitive — the same tariff
+/// points, the same contract templates — so the serving tier memoizes
+/// answers keyed on the request's parameter point. Keys are built by
+/// `MakeQueryKey`: with the default `quantum == 0` the key is the
+/// exact bit pattern of each parameter (lossless — a hit returns the
+/// bit-identical answer the analytic path would compute, including at
+/// points within `kPayoffEpsilon` of a regime flip), while a positive
+/// quantum snaps parameters to a lattice and the cache stores the
+/// answer *of the snapped point* (`SnapRequest`), so lossy mode is
+/// deterministic and arrival-order independent.
+///
+/// The cache is sharded: each shard owns an independent mutex, map,
+/// and FIFO eviction ring, so concurrent batch workers contend only
+/// 1/shards of the time. Hit/miss/eviction counters aggregate into a
+/// `CacheStats` snapshot for the service's stats endpoint.
+
+namespace hsis::serve {
+
+/// Tuning knobs of an `AnswerCache`.
+struct CacheConfig {
+  /// Key quantization step. 0 (default) keys on exact double bit
+  /// patterns; q > 0 snaps every parameter to the lattice q*Z (and the
+  /// answer is computed at the snapped point). Must be finite, >= 0.
+  double quantum = 0.0;
+  /// Number of independently locked shards (>= 1).
+  int shards = 16;
+  /// Entries per shard before FIFO eviction kicks in; 0 = unbounded.
+  size_t capacity_per_shard = 4096;
+};
+
+/// Aggregated counters across all shards, as of one `Stats()` call.
+struct CacheStats {
+  uint64_t hits = 0;       ///< Lookups answered from the cache.
+  uint64_t misses = 0;     ///< Lookups that found nothing.
+  uint64_t evictions = 0;  ///< Entries displaced by capacity pressure.
+  uint64_t entries = 0;    ///< Entries currently resident.
+};
+
+/// Cache key of one request: quantized parameter images plus the party
+/// count. Equality is exact — two requests collide iff every quantized
+/// component matches.
+struct QueryKey {
+  uint64_t benefit = 0;     ///< Quantized image of B.
+  uint64_t cheat_gain = 0;  ///< Quantized image of F.
+  uint64_t frequency = 0;   ///< Quantized image of f.
+  uint64_t penalty = 0;     ///< Quantized image of P.
+  int n = 0;                ///< Party count (cached answers are n-tagged).
+
+  /// Exact component-wise equality.
+  bool operator==(const QueryKey& other) const = default;
+};
+
+/// Builds the cache key of `request` under `quantum` (see
+/// `CacheConfig::quantum`). -0.0 and +0.0 share a key.
+QueryKey MakeQueryKey(const QueryRequest& request, double quantum);
+
+/// The canonical request of a key's equivalence class: the identity
+/// for `quantum == 0`, otherwise every parameter rounded to the
+/// nearest lattice point (frequency re-clamped to [0, 1] so snapping
+/// never produces an unservable request). Cached answers are computed
+/// here, so every request in the class serves the same bytes.
+QueryRequest SnapRequest(const QueryRequest& request, double quantum);
+
+/// Sharded memoization of `QueryKey -> QueryAnswer`. Thread-safe;
+/// every operation locks exactly one shard (Stats locks each in turn).
+class AnswerCache {
+ public:
+  /// Validates `config` (finite quantum >= 0, shards >= 1) and builds
+  /// an empty cache.
+  static Result<AnswerCache> Create(const CacheConfig& config);
+
+  /// Movable (out-of-line so the Shard type stays private to cache.cc).
+  AnswerCache(AnswerCache&&) noexcept;
+  /// Move-assignable (out-of-line, same reason).
+  AnswerCache& operator=(AnswerCache&&) noexcept;
+  /// Out-of-line destructor, same reason.
+  ~AnswerCache();
+
+  /// Looks `key` up; on a hit copies the answer into `*answer` and
+  /// returns true. Counts one hit or one miss.
+  bool Lookup(const QueryKey& key, QueryAnswer* answer);
+
+  /// Inserts (or overwrites) `key`'s answer, evicting the oldest entry
+  /// of the shard when it is full (FIFO — deterministic for a given
+  /// insertion order).
+  void Insert(const QueryKey& key, const QueryAnswer& answer);
+
+  /// Aggregated counters across all shards.
+  CacheStats Stats() const;
+
+  /// Drops every entry; counters keep accumulating.
+  void Clear();
+
+  /// The quantum the cache was built with.
+  double quantum() const { return quantum_; }
+
+ private:
+  struct Shard;
+
+  AnswerCache(double quantum, size_t capacity_per_shard,
+              std::vector<std::unique_ptr<Shard>> shards);
+
+  /// The owning shard of `key` (stable hash of the key's components).
+  Shard& ShardFor(const QueryKey& key);
+
+  double quantum_ = 0;
+  size_t capacity_per_shard_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hsis::serve
+
+#endif  // HSIS_SERVE_CACHE_H_

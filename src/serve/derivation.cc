@@ -1,0 +1,147 @@
+#include "serve/derivation.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "game/thresholds.h"
+
+namespace hsis::serve {
+
+namespace {
+
+/// Human-readable number: %g (deterministic shortest-ish form), with
+/// infinities spelled out so proofs read as prose, not as "inf".
+std::string Num(double value) {
+  if (std::isinf(value)) return value > 0 ? "infinity" : "-infinity";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+}  // namespace
+
+Derivation BuildDerivation(const QueryRequest& request,
+                           const QueryAnswer& answer, double margin) {
+  const double b = request.benefit;
+  const double cheat_gain = request.cheat_gain;
+  const double f = request.frequency;
+  const double p = request.penalty;
+
+  Derivation derivation;
+  derivation.honest_is_dominant = answer.honest_is_dominant;
+
+  // Step 1: the two sides of the deterrence inequality, instantiated.
+  const double expected_penalty = f * p;
+  const double net_cheat_gain = (1 - f) * cheat_gain - b;
+  derivation.steps.push_back(
+      {"a cheating party keeps the gross gain F = " + Num(cheat_gain) +
+           " only when the audit misses (probability 1 - f = " + Num(1 - f) +
+           ") and forfeits honesty's benefit B = " + Num(b) +
+           "; detection (probability f = " + Num(f) +
+           ") costs the penalty P = " + Num(p),
+       "net cheating gain (1 - f)*F - B = " + Num(net_cheat_gain) +
+           ", expected penalty f*P = " + Num(expected_penalty),
+       "cheating is deterred exactly when the expected penalty exceeds "
+       "the net cheating gain"});
+
+  // Step 2: the regime comparison — the same quantities and boundary
+  // semantics ClassifySymmetricDevice uses.
+  const char* relation = "=";
+  switch (answer.effectiveness) {
+    case game::DeviceEffectiveness::kTransformative:
+    case game::DeviceEffectiveness::kHighlyEffective:
+      relation = ">";
+      break;
+    case game::DeviceEffectiveness::kIneffective:
+      relation = "<";
+      break;
+    case game::DeviceEffectiveness::kEffective:
+      relation = "=";
+      break;
+  }
+  std::string regime_conclusion;
+  switch (answer.effectiveness) {
+    case game::DeviceEffectiveness::kTransformative:
+    case game::DeviceEffectiveness::kHighlyEffective:
+      regime_conclusion =
+          "honesty is the unique dominant-strategy equilibrium for all " +
+          std::to_string(request.n) + " parties: the device is transformative";
+      break;
+    case game::DeviceEffectiveness::kEffective:
+      regime_conclusion =
+          "the operating point lies on the critical boundary: all-honest is "
+          "among the equilibria, but so is cheating — the device is merely "
+          "effective";
+      break;
+    case game::DeviceEffectiveness::kIneffective:
+      regime_conclusion =
+          "cheating dominates for every party: the device is ineffective "
+          "at this operating point";
+      break;
+  }
+  derivation.steps.push_back(
+      {"Observation 2/3 regime test at (f = " + Num(f) + ", P = " + Num(p) +
+           ")",
+       "f*P = " + Num(expected_penalty) + " " + relation +
+           " (1 - f)*F - B = " + Num(net_cheat_gain),
+       regime_conclusion});
+
+  // Step 3: minimum deterring penalty at the request's frequency
+  // (Observation 3).
+  std::string penalty_conclusion;
+  if (f <= 0) {
+    penalty_conclusion =
+        "a party that is never audited cannot be deterred by any finite "
+        "penalty";
+  } else if (answer.min_penalty == 0) {
+    penalty_conclusion =
+        "the frequency alone already deters cheating — no penalty is needed";
+  } else {
+    penalty_conclusion = "any penalty of at least " + Num(answer.min_penalty) +
+                         " (margin " + Num(margin) +
+                         " included) makes honesty dominant at f = " + Num(f);
+  }
+  derivation.steps.push_back(
+      {"Observation 3: at fixed frequency f the critical penalty is "
+       "P* = ((1 - f)*F - B) / f",
+       "P* = " + Num(game::CriticalPenalty(b, cheat_gain, f)) +
+           ", served minimum " + Num(answer.min_penalty),
+       penalty_conclusion});
+
+  // Step 4: minimum deterring frequency at the request's penalty
+  // (Observation 2), clamped to [0, 1] by the designer.
+  derivation.steps.push_back(
+      {"Observation 2: at fixed penalty P the critical frequency is "
+       "f* = (F - B) / (P + F)",
+       "f* = " + Num(game::CriticalFrequency(b, cheat_gain, p)) +
+           ", served minimum clamp(f* + " + Num(margin) +
+           ", [0, 1]) = " + Num(answer.min_frequency),
+       "auditing at frequency " + Num(answer.min_frequency) +
+           " or above makes honesty dominant at P = " + Num(p)});
+
+  // Step 5: the zero-penalty frequency (Observation 3, special case).
+  derivation.steps.push_back(
+      {"above f0 = (F - B) / F the expected cheating gain falls below B "
+       "with no penalty at all",
+       "f0 = " + Num(answer.zero_penalty_frequency),
+       "auditing more often than " + Num(answer.zero_penalty_frequency) +
+           " needs no penalty whatsoever"});
+
+  derivation.conclusion = regime_conclusion;
+  return derivation;
+}
+
+std::string DerivationToText(const Derivation& derivation) {
+  std::string out;
+  for (size_t i = 0; i < derivation.steps.size(); ++i) {
+    const DerivationStep& step = derivation.steps[i];
+    out += "step " + std::to_string(i + 1) + ":\n";
+    out += "  premise:    " + step.premise + "\n";
+    out += "  inequality: " + step.inequality + "\n";
+    out += "  conclusion: " + step.conclusion + "\n";
+  }
+  out += "verdict: " + derivation.conclusion + "\n";
+  return out;
+}
+
+}  // namespace hsis::serve

@@ -1,0 +1,64 @@
+#ifndef HSIS_SERVE_DERIVATION_H_
+#define HSIS_SERVE_DERIVATION_H_
+
+#include <string>
+#include <vector>
+
+#include "serve/query.h"
+
+/// \file
+/// \brief Structured step-by-step proofs for served query answers.
+///
+/// A `QueryAnswer` tells a client *what* the regime is; the
+/// `Derivation` tells them *why*: a premise → inequality → conclusion
+/// chain walking the paper's Observations 2 and 3 with the request's
+/// own numbers substituted in, ending in a one-line verdict. The shape
+/// follows the `proveHonesty`/`minimumStake` proof objects of the
+/// honesty-staking exemplars: every step is self-contained, so a
+/// client can render the chain verbatim as an audit trail for the
+/// recommendation.
+///
+/// Derivations are deterministic functions of (request, answer): two
+/// bit-equal answers always carry byte-identical derivations, which is
+/// what lets the cached and batch paths materialize them lazily
+/// without affecting the served bytes.
+
+namespace hsis::serve {
+
+/// One inference step of a served proof.
+struct DerivationStep {
+  /// What the step assumes, in words ("a cheater escapes the audit
+  /// with probability 1 - f").
+  std::string premise;
+  /// The instantiated (in)equality, numbers substituted in
+  /// ("(1 - 0.3)·25 - 0.3·40 = 5.5").
+  std::string inequality;
+  /// What the step concludes from it.
+  std::string conclusion;
+};
+
+/// A complete served proof: the inference chain plus the final verdict.
+struct Derivation {
+  std::vector<DerivationStep> steps;  ///< Premise → inequality → conclusion chain.
+  /// Final verdict line — a deterministic function of the regime
+  /// classification (the cross-validation suite compares it across the
+  /// analytic, batch, and cached paths).
+  std::string conclusion;
+  /// Mirrors `QueryAnswer::honest_is_dominant`.
+  bool honest_is_dominant = false;
+};
+
+/// Builds the proof chain for `answer` at `request`. The caller is
+/// responsible for `answer` actually answering `request` (the service
+/// guarantees it); `margin` must be the margin the answer was computed
+/// with so the threshold steps restate the served numbers exactly.
+Derivation BuildDerivation(const QueryRequest& request,
+                           const QueryAnswer& answer, double margin = 1e-6);
+
+/// Renders a derivation as indented plain text (one step per stanza),
+/// the CLI/debug format.
+std::string DerivationToText(const Derivation& derivation);
+
+}  // namespace hsis::serve
+
+#endif  // HSIS_SERVE_DERIVATION_H_

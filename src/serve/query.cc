@@ -1,0 +1,72 @@
+#include "serve/query.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/mechanism_designer.h"
+
+namespace hsis::serve {
+
+Status ValidateQueryRequest(const QueryRequest& request) {
+  if (!std::isfinite(request.benefit) || !std::isfinite(request.cheat_gain) ||
+      !std::isfinite(request.frequency) || !std::isfinite(request.penalty)) {
+    return Status::InvalidArgument("query: parameters must be finite");
+  }
+  if (request.benefit < 0) {
+    return Status::InvalidArgument("query: benefit B must be non-negative");
+  }
+  if (request.cheat_gain <= request.benefit) {
+    return Status::InvalidArgument(
+        "query: cheating gain F must exceed honest benefit B");
+  }
+  if (request.frequency < 0 || request.frequency > 1) {
+    return Status::InvalidArgument("query: frequency f must be in [0, 1]");
+  }
+  if (request.penalty < 0) {
+    return Status::InvalidArgument("query: penalty P must be non-negative");
+  }
+  if (request.n < 2) {
+    return Status::InvalidArgument("query: need n >= 2 sharing parties");
+  }
+  return Status::OK();
+}
+
+Result<QueryAnswer> AnswerQuery(const QueryRequest& request, double margin) {
+  HSIS_RETURN_IF_ERROR(ValidateQueryRequest(request));
+  if (!std::isfinite(margin)) {
+    return Status::InvalidArgument("query: margin must be finite");
+  }
+  HSIS_ASSIGN_OR_RETURN(
+      core::MechanismDesigner designer,
+      core::MechanismDesigner::Create(request.benefit, request.cheat_gain));
+  QueryAnswer answer;
+  answer.effectiveness =
+      designer.Classify(request.frequency, request.penalty);
+  answer.honest_is_dominant =
+      answer.effectiveness == game::DeviceEffectiveness::kTransformative;
+  answer.min_frequency = designer.MinFrequency(request.penalty, margin);
+  if (request.frequency > 0) {
+    HSIS_ASSIGN_OR_RETURN(answer.min_penalty,
+                          designer.MinPenalty(request.frequency, margin));
+  } else {
+    // CriticalPenalty(f = 0) is +infinity: never-audited players cannot
+    // be deterred by any finite penalty. The kernel path propagates the
+    // same infinity through its unconditional arithmetic.
+    answer.min_penalty = std::numeric_limits<double>::infinity();
+  }
+  answer.zero_penalty_frequency = designer.ZeroPenaltyFrequency();
+  return answer;
+}
+
+QueryAnswer AnswerFromKernel(const game::kernel::DeviceAnswerKernel& kernel) {
+  QueryAnswer answer;
+  answer.effectiveness = kernel.effectiveness;
+  answer.honest_is_dominant =
+      kernel.effectiveness == game::DeviceEffectiveness::kTransformative;
+  answer.min_frequency = kernel.min_frequency;
+  answer.min_penalty = kernel.min_penalty;
+  answer.zero_penalty_frequency = kernel.zero_penalty_frequency;
+  return answer;
+}
+
+}  // namespace hsis::serve

@@ -1,0 +1,50 @@
+#include "serve/stream.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "sim/workload.h"
+
+namespace hsis::serve {
+
+Result<std::vector<QueryRequest>> MakeSyntheticStream(
+    const StreamConfig& config) {
+  if (config.count == 0) {
+    return Status::InvalidArgument("stream: need at least one request");
+  }
+  if (config.domain == 0) {
+    return Status::InvalidArgument("stream: need at least one catalog point");
+  }
+  if (!std::isfinite(config.skew) || config.skew < 0) {
+    return Status::InvalidArgument(
+        "stream: skew must be finite and non-negative");
+  }
+  if (config.n < 2) {
+    return Status::InvalidArgument("stream: need n >= 2 sharing parties");
+  }
+
+  Rng rng(config.seed);
+  std::vector<QueryRequest> catalog;
+  catalog.reserve(config.domain);
+  for (size_t i = 0; i < config.domain; ++i) {
+    QueryRequest request;
+    request.benefit = 50.0 * rng.UniformDouble();
+    // Gap strictly positive so F > B holds for every catalog point.
+    request.cheat_gain = request.benefit + 0.5 + 50.0 * rng.UniformDouble();
+    request.frequency = rng.UniformDouble();
+    request.penalty = 100.0 * rng.UniformDouble();
+    request.n = config.n;
+    catalog.push_back(request);
+  }
+
+  std::vector<size_t> indices =
+      sim::MakeZipfIndexDraws(config.count, config.domain, config.skew, rng);
+  std::vector<QueryRequest> stream;
+  stream.reserve(config.count);
+  for (size_t index : indices) {
+    stream.push_back(catalog[index]);
+  }
+  return stream;
+}
+
+}  // namespace hsis::serve

@@ -51,13 +51,23 @@ std::vector<std::vector<std::string>> MakeSupplyChainWorkload(
   return out;
 }
 
-std::vector<std::string> MakeZipfDraws(size_t draws, size_t domain_size,
+std::vector<size_t> MakeZipfIndexDraws(size_t draws, size_t domain_size,
                                        double s, Rng& rng) {
   HSIS_CHECK(domain_size >= 1);
-  std::vector<std::string> out;
+  std::vector<size_t> out;
   out.reserve(draws);
   for (size_t i = 0; i < draws; ++i) {
-    out.push_back("item-" + std::to_string(rng.Zipf(domain_size, s)));
+    out.push_back(rng.Zipf(domain_size, s));
+  }
+  return out;
+}
+
+std::vector<std::string> MakeZipfDraws(size_t draws, size_t domain_size,
+                                       double s, Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(draws);
+  for (size_t index : MakeZipfIndexDraws(draws, domain_size, s, rng)) {
+    out.push_back("item-" + std::to_string(index));
   }
   return out;
 }

@@ -194,5 +194,55 @@ TEST(ScheduleRecordTest, ValidatesInternalConsistency) {
   EXPECT_FALSE(record.Validate().ok());
 }
 
+TEST(PerfRecordTest, HostileLabelsRoundTripThroughJson) {
+  // Every control character below 0x20 plus the quote/backslash family:
+  // each must serialize to valid JSON (no raw control bytes) and parse
+  // back to the identical byte string.
+  std::string hostile = "tab\tcr\rnl\nquote\"backslash\\bell\x07";
+  for (int c = 1; c < 0x20; ++c) hostile += static_cast<char>(c);
+
+  PerfRecord record = SampleRecord();
+  record.bench = hostile;
+  std::string json = PerfRecordToJson(record);
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), c == '\n' ? 0u : 0x20u)
+        << "raw control byte in serialized record";
+  }
+  // The one raw newline is the record terminator, not string content.
+  EXPECT_EQ(json.find('\n'), json.size() - 1);
+
+  PerfRecord parsed = ParsePerfRecord(json).value();
+  EXPECT_EQ(parsed.bench, hostile);
+
+  ScheduleRecord sched;
+  sched.sweep = hostile;
+  sched.shards = 1;
+  sched.attempts = "1";
+  std::string sched_json = ScheduleRecordToJson(sched);
+  EXPECT_EQ(sched_json.find('\n'), sched_json.size() - 1);
+  EXPECT_EQ(ParseScheduleRecord(sched_json).value().sweep, hostile);
+}
+
+TEST(PerfRecordTest, RejectsRawControlCharactersInStrings) {
+  // The pre-fix serializer emitted raw tabs; the strict parser must
+  // reject such records rather than silently accepting invalid JSON.
+  std::string bad = PerfRecordToJson(SampleRecord());
+  bad.replace(bad.find("figure1"), 7, "fig\tre1");
+  EXPECT_FALSE(ParsePerfRecord(bad).ok());
+}
+
+TEST(PerfRecordTest, RejectsMalformedUnicodeEscapes) {
+  auto with_bench = [](const std::string& bench_literal) {
+    return "{\"schema\":\"hsis-bench-v1\",\"bench\":\"" + bench_literal +
+           "\",\"threads\":1,\"cells_per_sec\":1,\"wall_ms\":0,"
+           "\"git_describe\":\"g\"}\n";
+  };
+  EXPECT_TRUE(ParsePerfRecord(with_bench("a\\u0007b")).ok());
+  EXPECT_FALSE(ParsePerfRecord(with_bench("a\\u00")).ok());      // truncated
+  EXPECT_FALSE(ParsePerfRecord(with_bench("a\\u00zz")).ok());    // bad hex
+  EXPECT_FALSE(ParsePerfRecord(with_bench("a\\u1234")).ok());    // multi-byte
+  EXPECT_FALSE(ParsePerfRecord(with_bench("a\\v")).ok());        // unknown esc
+}
+
 }  // namespace
 }  // namespace hsis::common

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <string>
 #include <thread>
@@ -433,6 +434,32 @@ TEST(ShardSchedulerTest, SummaryConvertsToValidScheduleRecord) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->retries, 2);
   EXPECT_EQ(parsed->attempts, record.attempts);
+}
+
+TEST(BackoffDelayMsTest, DoublesThenSaturatesAtCap) {
+  EXPECT_EQ(BackoffDelayMs(100, 5000, 1), 100);
+  EXPECT_EQ(BackoffDelayMs(100, 5000, 2), 200);
+  EXPECT_EQ(BackoffDelayMs(100, 5000, 3), 400);
+  EXPECT_EQ(BackoffDelayMs(100, 5000, 7), 5000);   // 6400 capped
+  EXPECT_EQ(BackoffDelayMs(100, 5000, 100), 5000);
+  EXPECT_EQ(BackoffDelayMs(0, 5000, 50), 0);       // disabled
+}
+
+TEST(BackoffDelayMsTest, SaturatesInsteadOfOverflowingNearInt64Max) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  // With the cap at INT64_MAX, repeated doubling used to run 100 * 2^k
+  // straight past the signed range (UB, and in practice a negative
+  // delay). It must saturate at the cap and stay there.
+  EXPECT_EQ(BackoffDelayMs(100, kMax, 70), kMax);
+  EXPECT_EQ(BackoffDelayMs(100, kMax, 1000), kMax);
+  EXPECT_EQ(BackoffDelayMs(kMax / 2 + 1, kMax, 2), kMax);
+  EXPECT_EQ(BackoffDelayMs(1, kMax, 63), int64_t{1} << 62);
+  // Every attempt count must produce a non-negative delay <= the cap.
+  for (int attempts = 1; attempts <= 200; ++attempts) {
+    int64_t delay = BackoffDelayMs(100, kMax, attempts);
+    EXPECT_GE(delay, 0) << "attempts " << attempts;
+    EXPECT_LE(delay, kMax) << "attempts " << attempts;
+  }
 }
 
 }  // namespace

@@ -100,5 +100,35 @@ TEST(MechanismDesignerTest, NPlayerValidation) {
   EXPECT_FALSE(d.MinPenaltyNPlayer(5, gain, 0.0).ok());
 }
 
+TEST(MechanismDesignerTest, MinFrequencyIsClampedToUnitInterval) {
+  MechanismDesigner d = Make();
+
+  // A huge penalty drives f* toward 0; a negative margin larger in
+  // magnitude than f* used to escape below zero — the serving tier must
+  // never see a negative "minimum frequency".
+  double f_star = game::CriticalFrequency(d.benefit(), d.cheat_gain(), 1e12);
+  ASSERT_GT(f_star, 0.0);
+  EXPECT_EQ(d.MinFrequency(1e12, -1.0), 0.0);
+  EXPECT_EQ(d.MinFrequency(1e12, -2 * f_star), 0.0);
+
+  // The upper clamp still holds, and interior points are untouched.
+  EXPECT_EQ(d.MinFrequency(0.0, 1.0), 1.0);
+  double interior = d.MinFrequency(10.0);
+  EXPECT_GT(interior, 0.0);
+  EXPECT_LE(interior, 1.0);
+  EXPECT_EQ(interior,
+            game::CriticalFrequency(d.benefit(), d.cheat_gain(), 10.0) + 1e-6);
+
+  // Every penalty in a broad sweep yields a frequency inside [0, 1]
+  // for hostile margins of either sign.
+  for (double penalty : {0.0, 1.0, 1e3, 1e6, 1e9, 1e15}) {
+    for (double margin : {-10.0, -1e-6, 0.0, 1e-6, 10.0}) {
+      double f = d.MinFrequency(penalty, margin);
+      EXPECT_GE(f, 0.0) << "penalty " << penalty << " margin " << margin;
+      EXPECT_LE(f, 1.0) << "penalty " << penalty << " margin " << margin;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hsis::core

@@ -1,0 +1,170 @@
+#include "serve/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "serve/query.h"
+
+namespace hsis::serve {
+namespace {
+
+QueryRequest Point(double benefit, double cheat_gain, double frequency,
+                   double penalty, int n = 2) {
+  return QueryRequest{benefit, cheat_gain, frequency, penalty, n};
+}
+
+QueryAnswer Tagged(double tag) {
+  QueryAnswer answer;
+  answer.min_penalty = tag;
+  return answer;
+}
+
+TEST(CacheConfigTest, CreateRejectsBadConfigs) {
+  CacheConfig config;
+  config.quantum = -1;
+  EXPECT_FALSE(AnswerCache::Create(config).ok());
+  config = CacheConfig{};
+  config.quantum = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AnswerCache::Create(config).ok());
+  config = CacheConfig{};
+  config.shards = 0;
+  EXPECT_FALSE(AnswerCache::Create(config).ok());
+}
+
+TEST(QueryKeyTest, ExactModeKeysOnBitPatterns) {
+  QueryRequest a = Point(10, 25, 0.3, 40);
+  EXPECT_EQ(MakeQueryKey(a, 0), MakeQueryKey(a, 0));
+  // The next representable frequency is a different point.
+  QueryRequest b = a;
+  b.frequency = std::nextafter(b.frequency, 1.0);
+  EXPECT_FALSE(MakeQueryKey(a, 0) == MakeQueryKey(b, 0));
+  // The party count is part of the key.
+  QueryRequest c = a;
+  c.n = 3;
+  EXPECT_FALSE(MakeQueryKey(a, 0) == MakeQueryKey(c, 0));
+  // Exact mode never rewrites the request.
+  QueryRequest snapped = SnapRequest(a, 0);
+  EXPECT_EQ(snapped.benefit, a.benefit);
+  EXPECT_EQ(snapped.frequency, a.frequency);
+}
+
+TEST(QueryKeyTest, BothZeroSpellingsShareAKey) {
+  QueryRequest plus = Point(0.0, 25, 0.3, 40);
+  QueryRequest minus = plus;
+  minus.benefit = -0.0;  // valid (B >= 0) but a distinct bit pattern
+  EXPECT_TRUE(MakeQueryKey(plus, 0) == MakeQueryKey(minus, 0));
+}
+
+TEST(QueryKeyTest, QuantizedModeCollapsesNearbyPoints) {
+  const double kQuantum = 1e-3;
+  QueryRequest a = Point(10, 25, 0.3, 40);
+  QueryRequest b = Point(10 + 4e-4, 25 - 4e-4, 0.3 + 4e-4, 40 - 4e-4);
+  EXPECT_TRUE(MakeQueryKey(a, kQuantum) == MakeQueryKey(b, kQuantum));
+  // ...but points a full quantum apart stay distinct.
+  QueryRequest c = Point(10 + 2e-3, 25, 0.3, 40);
+  EXPECT_FALSE(MakeQueryKey(a, kQuantum) == MakeQueryKey(c, kQuantum));
+  // Snapping lands every member of the class on the same canonical
+  // request, so the cached answer is arrival-order independent.
+  QueryRequest snap_a = SnapRequest(a, kQuantum);
+  QueryRequest snap_b = SnapRequest(b, kQuantum);
+  EXPECT_EQ(snap_a.benefit, snap_b.benefit);
+  EXPECT_EQ(snap_a.cheat_gain, snap_b.cheat_gain);
+  EXPECT_EQ(snap_a.frequency, snap_b.frequency);
+  EXPECT_EQ(snap_a.penalty, snap_b.penalty);
+}
+
+TEST(QueryKeyTest, SnappingKeepsRequestsServable) {
+  const double kQuantum = 0.5;
+  // Snapping would collapse F onto B; the canonical point must keep
+  // the F > B gap open.
+  QueryRequest tight = Point(10.1, 10.3, 0.99, 40);
+  QueryRequest snapped = SnapRequest(tight, kQuantum);
+  EXPECT_TRUE(ValidateQueryRequest(snapped).ok());
+  EXPECT_GT(snapped.cheat_gain, snapped.benefit);
+  // Frequencies snap back into [0, 1].
+  QueryRequest edge = Point(10, 25, 0.9, 40);
+  EXPECT_LE(SnapRequest(edge, 0.4).frequency, 1.0);
+}
+
+TEST(AnswerCacheTest, CountsHitsAndMisses) {
+  AnswerCache cache = std::move(AnswerCache::Create({}).value());
+  QueryKey key = MakeQueryKey(Point(10, 25, 0.3, 40), 0);
+  QueryAnswer out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, Tagged(25.0));
+  EXPECT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.min_penalty, 25.0);
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(AnswerCacheTest, EvictsOldestFirstWhenFull) {
+  CacheConfig config;
+  config.shards = 1;  // single shard so the FIFO order is global
+  config.capacity_per_shard = 2;
+  AnswerCache cache = std::move(AnswerCache::Create(config).value());
+  QueryKey k1 = MakeQueryKey(Point(1, 2, 0.1, 1), 0);
+  QueryKey k2 = MakeQueryKey(Point(2, 3, 0.2, 2), 0);
+  QueryKey k3 = MakeQueryKey(Point(3, 4, 0.3, 3), 0);
+  cache.Insert(k1, Tagged(1));
+  cache.Insert(k2, Tagged(2));
+  cache.Insert(k3, Tagged(3));  // evicts k1
+  QueryAnswer out;
+  EXPECT_FALSE(cache.Lookup(k1, &out));
+  EXPECT_TRUE(cache.Lookup(k2, &out));
+  EXPECT_TRUE(cache.Lookup(k3, &out));
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(AnswerCacheTest, ReinsertRefreshesWithoutEvicting) {
+  CacheConfig config;
+  config.shards = 1;
+  config.capacity_per_shard = 2;
+  AnswerCache cache = std::move(AnswerCache::Create(config).value());
+  QueryKey k1 = MakeQueryKey(Point(1, 2, 0.1, 1), 0);
+  QueryKey k2 = MakeQueryKey(Point(2, 3, 0.2, 2), 0);
+  cache.Insert(k1, Tagged(1));
+  cache.Insert(k2, Tagged(2));
+  cache.Insert(k1, Tagged(100));  // overwrite, no capacity pressure
+  QueryAnswer out;
+  EXPECT_TRUE(cache.Lookup(k1, &out));
+  EXPECT_EQ(out.min_penalty, 100.0);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
+}
+
+TEST(AnswerCacheTest, ClearDropsEntriesButKeepsCounters) {
+  AnswerCache cache = std::move(AnswerCache::Create({}).value());
+  QueryKey key = MakeQueryKey(Point(10, 25, 0.3, 40), 0);
+  cache.Insert(key, Tagged(1));
+  QueryAnswer out;
+  EXPECT_TRUE(cache.Lookup(key, &out));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(AnswerCacheTest, UnboundedModeNeverEvicts) {
+  CacheConfig config;
+  config.shards = 2;
+  config.capacity_per_shard = 0;  // unbounded
+  AnswerCache cache = std::move(AnswerCache::Create(config).value());
+  for (int i = 0; i < 1000; ++i) {
+    cache.Insert(MakeQueryKey(Point(i, i + 1, 0.5, i), 0), Tagged(i));
+  }
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1000u);
+}
+
+}  // namespace
+}  // namespace hsis::serve

@@ -1,0 +1,210 @@
+// Cross-validation of the three serving paths: the analytic layer
+// (core::MechanismDesigner through serve::AnswerQuery), the batch SoA
+// kernel (game::kernel::EvalDevicePoints), and the memoized path —
+// every answer a client can receive must be bit-identical regardless
+// of which path served it, including at operating points within
+// kPayoffEpsilon of a regime flip and at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "game/equilibrium.h"
+#include "game/kernel.h"
+#include "game/thresholds.h"
+#include "serve/query_service.h"
+#include "serve/stream.h"
+
+namespace hsis::serve {
+namespace {
+
+/// Bit-level equality: distinguishes -0.0 from +0.0 and compares
+/// infinities exactly, which EXPECT_DOUBLE_EQ does not.
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ at the bit level";
+}
+
+void ExpectAnswersBitEqual(const QueryAnswer& a, const QueryAnswer& b) {
+  EXPECT_EQ(a.effectiveness, b.effectiveness);
+  EXPECT_EQ(a.honest_is_dominant, b.honest_is_dominant);
+  EXPECT_TRUE(BitEqual(a.min_frequency, b.min_frequency));
+  EXPECT_TRUE(BitEqual(a.min_penalty, b.min_penalty));
+  EXPECT_TRUE(BitEqual(a.zero_penalty_frequency, b.zero_penalty_frequency));
+}
+
+/// The dense property-test grid of the acceptance criteria: every
+/// (B, F, f, P) combination the serving tier accepts.
+std::vector<QueryRequest> PropertyGrid() {
+  std::vector<QueryRequest> grid;
+  for (double b : {0.0, 1.0, 10.0, 49.5}) {
+    for (double gap : {0.5, 5.0, 15.0, 90.0}) {
+      for (double f : {0.0, 0.05, 0.3, 0.6, 0.95, 1.0}) {
+        for (double p : {0.0, 1.0, 40.0, 1e6}) {
+          grid.push_back(QueryRequest{b, b + gap, f, p, 2});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+TEST(CrossValidationTest, BatchPathIsBitEqualToTheAnalyticPath) {
+  QueryService service = std::move(QueryService::Create({}).value());
+  std::vector<QueryRequest> grid = PropertyGrid();
+  game::kernel::DeviceAnswersSoA batch;
+  ASSERT_TRUE(service.AnswerBatch(grid.data(), grid.size(), batch).ok());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    QueryAnswer analytic = service.Answer(grid[i]).value();
+    EXPECT_EQ(batch.effectiveness[i], analytic.effectiveness) << "slot " << i;
+    EXPECT_TRUE(BitEqual(batch.min_frequency[i], analytic.min_frequency))
+        << "slot " << i;
+    EXPECT_TRUE(BitEqual(batch.min_penalty[i], analytic.min_penalty))
+        << "slot " << i;
+    EXPECT_TRUE(BitEqual(batch.zero_penalty_frequency[i],
+                         analytic.zero_penalty_frequency))
+        << "slot " << i;
+  }
+}
+
+TEST(CrossValidationTest, CachedPathIsBitEqualToTheAnalyticPath) {
+  QueryService service = std::move(QueryService::Create({}).value());
+  for (const QueryRequest& request : PropertyGrid()) {
+    QueryAnswer analytic = service.Answer(request).value();
+    // Twice: once computed through the kernel (miss), once replayed
+    // from the cache (hit) — all three must agree bit for bit.
+    ExpectAnswersBitEqual(service.AnswerCached(request).value(), analytic);
+    ExpectAnswersBitEqual(service.AnswerCached(request).value(), analytic);
+  }
+  CacheStats stats = service.Stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+}
+
+TEST(CrossValidationTest, BatchCachedPathMatchesBatchUncached) {
+  QueryServiceConfig config;
+  QueryService cached = std::move(QueryService::Create(config).value());
+  QueryService uncached = std::move(QueryService::Create(config).value());
+  std::vector<QueryRequest> grid = PropertyGrid();
+  game::kernel::DeviceAnswersSoA a, b;
+  ASSERT_TRUE(cached.AnswerBatchCached(grid.data(), grid.size(), a).ok());
+  ASSERT_TRUE(uncached.AnswerBatch(grid.data(), grid.size(), b).ok());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(a.effectiveness[i], b.effectiveness[i]) << "slot " << i;
+    EXPECT_TRUE(BitEqual(a.min_frequency[i], b.min_frequency[i]));
+    EXPECT_TRUE(BitEqual(a.min_penalty[i], b.min_penalty[i]));
+    EXPECT_TRUE(
+        BitEqual(a.zero_penalty_frequency[i], b.zero_penalty_frequency[i]));
+  }
+}
+
+TEST(CrossValidationTest, ThreadCountNeverChangesBatchAnswers) {
+  QueryServiceConfig serial_config, parallel_config;
+  parallel_config.threads = 4;
+  QueryService serial = std::move(QueryService::Create(serial_config).value());
+  QueryService parallel =
+      std::move(QueryService::Create(parallel_config).value());
+  std::vector<QueryRequest> grid = PropertyGrid();
+  game::kernel::DeviceAnswersSoA a, b;
+  ASSERT_TRUE(serial.AnswerBatch(grid.data(), grid.size(), a).ok());
+  ASSERT_TRUE(parallel.AnswerBatch(grid.data(), grid.size(), b).ok());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(a.effectiveness[i], b.effectiveness[i]);
+    EXPECT_TRUE(BitEqual(a.min_frequency[i], b.min_frequency[i]));
+    EXPECT_TRUE(BitEqual(a.min_penalty[i], b.min_penalty[i]));
+    EXPECT_TRUE(
+        BitEqual(a.zero_penalty_frequency[i], b.zero_penalty_frequency[i]));
+  }
+}
+
+// The quantization satellite: operating points within kPayoffEpsilon
+// of a regime flip must classify identically through the analytic,
+// batch, and (lossless) cached paths — the cache key must not merge
+// distinct sides of the boundary.
+TEST(CrossValidationTest, EpsilonBoundaryPointsClassifyIdenticallyEverywhere) {
+  const double kB = 10, kF = 25;
+  QueryService service = std::move(QueryService::Create({}).value());
+  for (double p : {0.0, 10.0, 40.0, 200.0}) {
+    // The boundary frequency at penalty p, then points straddling it at
+    // sub-epsilon offsets.
+    const double f_star = game::CriticalFrequency(kB, kF, p);
+    for (double offset :
+         {-2 * game::kPayoffEpsilon, -game::kPayoffEpsilon,
+          -game::kPayoffEpsilon / 2, 0.0, game::kPayoffEpsilon / 2,
+          game::kPayoffEpsilon, 2 * game::kPayoffEpsilon}) {
+      QueryRequest request{kB, kF, f_star + offset, p, 2};
+      if (request.frequency < 0 || request.frequency > 1) continue;
+      QueryAnswer analytic = service.Answer(request).value();
+      game::kernel::DeviceAnswersSoA batch;
+      ASSERT_TRUE(service.AnswerBatch(&request, 1, batch).ok());
+      EXPECT_EQ(batch.effectiveness[0], analytic.effectiveness)
+          << "f = f* + " << offset;
+      ExpectAnswersBitEqual(service.AnswerCached(request).value(), analytic);
+      // Distinct boundary neighbours must occupy distinct cache slots
+      // in lossless mode.
+      QueryRequest shifted = request;
+      shifted.frequency = f_star - offset;
+      if (offset != 0.0 && shifted.frequency != request.frequency) {
+        EXPECT_FALSE(MakeQueryKey(request, 0) == MakeQueryKey(shifted, 0));
+      }
+    }
+  }
+}
+
+TEST(CrossValidationTest, QuantizedCacheServesTheSnappedPointsAnswer) {
+  QueryServiceConfig config;
+  config.cache.quantum = 1e-3;
+  QueryService service = std::move(QueryService::Create(config).value());
+  QueryRequest request{10.0 + 2e-4, 25.0, 0.3, 40.0, 2};
+  QueryAnswer served = service.AnswerCached(request).value();
+  // The served answer is the analytic answer of the canonical point,
+  // not of the raw request.
+  QueryRequest canonical = SnapRequest(request, config.cache.quantum);
+  QueryService plain = std::move(QueryService::Create({}).value());
+  ExpectAnswersBitEqual(served, plain.Answer(canonical).value());
+  // Every member of the equivalence class serves those same bytes.
+  QueryRequest sibling = request;
+  sibling.benefit = 10.0 - 3e-4;
+  ExpectAnswersBitEqual(service.AnswerCached(sibling).value(), served);
+}
+
+TEST(CrossValidationTest, SyntheticStreamServesConsistentlyAcrossPaths) {
+  StreamConfig stream_config;
+  stream_config.count = 5000;
+  stream_config.domain = 64;
+  std::vector<QueryRequest> stream =
+      MakeSyntheticStream(stream_config).value();
+  QueryService service = std::move(QueryService::Create({}).value());
+  game::kernel::DeviceAnswersSoA cached_answers, batch_answers;
+  ASSERT_TRUE(service
+                  .AnswerBatchCached(stream.data(), stream.size(),
+                                     cached_answers)
+                  .ok());
+  ASSERT_TRUE(
+      service.AnswerBatch(stream.data(), stream.size(), batch_answers).ok());
+  for (size_t i = 0; i < stream.size(); ++i) {
+    EXPECT_EQ(cached_answers.effectiveness[i], batch_answers.effectiveness[i]);
+    EXPECT_TRUE(BitEqual(cached_answers.min_penalty[i],
+                         batch_answers.min_penalty[i]));
+    // The serving-tier output contract, checked over the whole stream:
+    // no path ever emits a frequency outside [0, 1].
+    EXPECT_GE(cached_answers.min_frequency[i], 0.0);
+    EXPECT_LE(cached_answers.min_frequency[i], 1.0);
+    EXPECT_GE(cached_answers.zero_penalty_frequency[i], 0.0);
+    EXPECT_LE(cached_answers.zero_penalty_frequency[i], 1.0);
+  }
+  // One miss per distinct catalog point drawn, everything else hits.
+  CacheStats stats = service.Stats();
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_EQ(stats.misses, stats.entries);
+  EXPECT_EQ(stats.hits + stats.misses, 5000u);
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+}  // namespace
+}  // namespace hsis::serve

@@ -1,0 +1,164 @@
+#include "serve/query.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/mechanism_designer.h"
+#include "game/thresholds.h"
+#include "serve/derivation.h"
+#include "serve/query_service.h"
+
+namespace hsis::serve {
+namespace {
+
+constexpr double kB = 10, kF = 25;
+
+TEST(ValidateQueryRequestTest, AcceptsTheCanonicalPoint) {
+  EXPECT_TRUE(ValidateQueryRequest({kB, kF, 0.3, 40, 2}).ok());
+  EXPECT_TRUE(ValidateQueryRequest({0, 1, 0, 0, 2}).ok());
+  EXPECT_TRUE(ValidateQueryRequest({kB, kF, 1.0, 0, 17}).ok());
+}
+
+TEST(ValidateQueryRequestTest, NamesTheOffendingField) {
+  auto message = [](const QueryRequest& request) {
+    return ValidateQueryRequest(request).ToString();
+  };
+  EXPECT_NE(message({-1, kF, 0.3, 40, 2}).find("benefit"), std::string::npos);
+  EXPECT_NE(message({kB, kB, 0.3, 40, 2}).find("cheating gain"),
+            std::string::npos);
+  EXPECT_NE(message({kB, kF, -0.1, 40, 2}).find("frequency"),
+            std::string::npos);
+  EXPECT_NE(message({kB, kF, 1.1, 40, 2}).find("frequency"),
+            std::string::npos);
+  EXPECT_NE(message({kB, kF, 0.3, -1, 2}).find("penalty"), std::string::npos);
+  EXPECT_NE(message({kB, kF, 0.3, 40, 1}).find("n >= 2"), std::string::npos);
+  const double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_NE(message({kInf, kF, 0.3, 40, 2}).find("finite"), std::string::npos);
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(message({kB, kF, kNan, 40, 2}).find("finite"), std::string::npos);
+}
+
+TEST(AnswerQueryTest, MatchesTheMechanismDesignerBitForBit) {
+  core::MechanismDesigner designer =
+      std::move(core::MechanismDesigner::Create(kB, kF).value());
+  for (double f : {0.05, 0.2, 0.3, 0.6, 0.9}) {
+    for (double p : {0.0, 10.0, 40.0, 200.0}) {
+      QueryAnswer answer = AnswerQuery({kB, kF, f, p, 2}).value();
+      EXPECT_EQ(answer.effectiveness, designer.Classify(f, p));
+      EXPECT_EQ(answer.min_frequency, designer.MinFrequency(p));
+      EXPECT_EQ(answer.min_penalty, designer.MinPenalty(f).value());
+      EXPECT_EQ(answer.zero_penalty_frequency, designer.ZeroPenaltyFrequency());
+      EXPECT_EQ(answer.honest_is_dominant,
+                answer.effectiveness ==
+                    game::DeviceEffectiveness::kTransformative);
+    }
+  }
+}
+
+TEST(AnswerQueryTest, NeverAuditedMeansInfiniteMinPenalty) {
+  QueryAnswer answer = AnswerQuery({kB, kF, 0.0, 1000, 2}).value();
+  EXPECT_TRUE(std::isinf(answer.min_penalty));
+  EXPECT_GT(answer.min_penalty, 0);
+  EXPECT_FALSE(answer.honest_is_dominant);
+}
+
+TEST(AnswerQueryTest, RejectsNonFiniteMargin) {
+  EXPECT_FALSE(
+      AnswerQuery({kB, kF, 0.3, 40, 2},
+                  std::numeric_limits<double>::infinity())
+          .ok());
+}
+
+TEST(AnswerFromKernelTest, DominanceTracksTheTransformativeRegime) {
+  game::kernel::DeviceAnswerKernel kernel;
+  kernel.effectiveness = game::DeviceEffectiveness::kTransformative;
+  kernel.min_frequency = 0.25;
+  kernel.min_penalty = 12.5;
+  kernel.zero_penalty_frequency = 0.6;
+  QueryAnswer answer = AnswerFromKernel(kernel);
+  EXPECT_TRUE(answer.honest_is_dominant);
+  EXPECT_EQ(answer.min_frequency, 0.25);
+  EXPECT_EQ(answer.min_penalty, 12.5);
+  EXPECT_EQ(answer.zero_penalty_frequency, 0.6);
+  kernel.effectiveness = game::DeviceEffectiveness::kEffective;
+  EXPECT_FALSE(AnswerFromKernel(kernel).honest_is_dominant);
+}
+
+TEST(QueryServiceTest, CreateRejectsBadConfigs) {
+  QueryServiceConfig config;
+  config.margin = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(QueryService::Create(config).ok());
+  config = QueryServiceConfig{};
+  config.threads = -1;
+  EXPECT_FALSE(QueryService::Create(config).ok());
+  config = QueryServiceConfig{};
+  config.cache.shards = 0;
+  EXPECT_FALSE(QueryService::Create(config).ok());
+}
+
+TEST(QueryServiceTest, ServedFrequenciesStayInTheUnitInterval) {
+  // The designer clamp (core::MechanismDesigner::MinFrequency) is the
+  // serving tier's guarantee; exercise the extremes that used to escape
+  // it: enormous penalties (negative critical frequency) and P = 0.
+  QueryService service = std::move(QueryService::Create({}).value());
+  for (double p : {0.0, 1.0, 1e6, 1e15}) {
+    QueryAnswer answer = service.Answer({kB, kF, 0.5, p, 2}).value();
+    EXPECT_GE(answer.min_frequency, 0.0);
+    EXPECT_LE(answer.min_frequency, 1.0);
+    EXPECT_GE(answer.zero_penalty_frequency, 0.0);
+    EXPECT_LE(answer.zero_penalty_frequency, 1.0);
+  }
+}
+
+TEST(DerivationTest, ExplainsTheServedAnswerDeterministically) {
+  QueryService service = std::move(QueryService::Create({}).value());
+  QueryRequest request{kB, kF, 0.3, 40, 5};
+  Derivation derivation = service.Explain(request).value();
+  ASSERT_EQ(derivation.steps.size(), 5u);
+  QueryAnswer answer = service.Answer(request).value();
+  EXPECT_EQ(derivation.honest_is_dominant, answer.honest_is_dominant);
+  // The verdict restates the regime and mentions the party count.
+  EXPECT_NE(derivation.conclusion.find("transformative"), std::string::npos);
+  EXPECT_NE(derivation.conclusion.find("5 parties"), std::string::npos);
+  // Deterministic: two builds render byte-identically.
+  EXPECT_EQ(DerivationToText(derivation),
+            DerivationToText(service.Explain(request).value()));
+}
+
+TEST(DerivationTest, RegimeLineMatchesTheClassificationEverywhere) {
+  QueryService service = std::move(QueryService::Create({}).value());
+  for (double f : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+    for (double p : {0.0, 10.0, 40.0}) {
+      QueryRequest request{kB, kF, f, p, 2};
+      QueryAnswer answer = service.Answer(request).value();
+      Derivation derivation = service.Explain(request).value();
+      switch (answer.effectiveness) {
+        case game::DeviceEffectiveness::kTransformative:
+        case game::DeviceEffectiveness::kHighlyEffective:
+          EXPECT_NE(derivation.steps[1].inequality.find(" > "),
+                    std::string::npos);
+          break;
+        case game::DeviceEffectiveness::kEffective:
+          EXPECT_NE(derivation.steps[1].inequality.find(" = "),
+                    std::string::npos);
+          break;
+        case game::DeviceEffectiveness::kIneffective:
+          EXPECT_NE(derivation.steps[1].inequality.find(" < "),
+                    std::string::npos);
+          break;
+      }
+    }
+  }
+}
+
+TEST(DerivationTest, NeverAuditedStepSaysSo) {
+  QueryService service = std::move(QueryService::Create({}).value());
+  Derivation derivation = service.Explain({kB, kF, 0.0, 40, 2}).value();
+  EXPECT_NE(derivation.steps[2].conclusion.find("never audited"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hsis::serve
