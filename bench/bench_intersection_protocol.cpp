@@ -1,12 +1,32 @@
 // Experiment E10a — the sovereign set-intersection substrate (Section 2
 // and footnote 3): protocol cost vs set size, full vs size-only
 // variants, 64-bit test group vs the production 256-bit group.
+//
+// Protocol-scale mode (`--tuples=N`): runs one N-tuples-per-party
+// two-firm intersection (50% overlap, 64-bit test group so throughput
+// measures the pipeline rather than 256-bit modexp) through the legacy
+// whole-set path and the streamed pipeline
+// (`--chunk-size=C --threads=T`), asserts the streamed outcome is
+// bit-identical to the legacy one (exit 1 on any mismatch — this is
+// CI's protocol-scale diff smoke), and reports tuples/sec for both.
+// With `--shards=K` (K > 1) it also drives a K-session heavy-traffic
+// campaign (mixed honest/withhold/probe behavior plus commitment
+// audits) with K session workers. `--json=PATH` writes one
+// hsis-bench-v1 record per measured path — intersection_legacy,
+// intersection_streamed, and (under --shards) intersection_campaign —
+// with tuples/sec as cells_per_sec.
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "bench_util.h"
+#include "common/file.h"
 #include "common/parallel.h"
+#include "common/perf_record.h"
+#include "sim/protocol_traffic.h"
 #include "sim/workload.h"
 #include "sovereign/intersection_protocol.h"
 #include "sovereign/multiparty.h"
@@ -169,6 +189,153 @@ void PrintMain() {
   }
 }
 
+// --- Protocol-scale mode (--tuples=N) ------------------------------------
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool OutcomeMatches(const IntersectionOutcome& streamed,
+                    const IntersectionOutcome& legacy) {
+  return streamed.intersection == legacy.intersection &&
+         streamed.intersection_size == legacy.intersection_size &&
+         streamed.own_commitment == legacy.own_commitment &&
+         streamed.peer_commitment == legacy.peer_commitment;
+}
+
+/// Runs the legacy and streamed paths on the same N-per-party workload,
+/// enforces bit-identity, reports tuples/sec, and (with --shards=K > 1)
+/// adds a K-session traffic campaign. Returns the process exit code.
+int RunProtocolScale(size_t tuples, size_t chunk_size) {
+  const crypto::PrimeGroup& group = crypto::PrimeGroup::SmallTestGroup();
+  crypto::MultisetHashFamily family = FamilyFor(group);
+  const int threads = bench::Threads();
+
+  bench::PrintRule("protocol-scale: streamed vs legacy intersection");
+  std::printf("workload: %zu tuples/party, 50%% overlap, 64-bit test group\n"
+              "streamed: chunk-size %zu, threads %d\n\n",
+              tuples, chunk_size, threads);
+
+  const size_t half = tuples / 2;
+  Dataset a = MakeSet(half, "shared-").Union(MakeSet(tuples - half,
+                                                     "a-only-"));
+  Dataset b = MakeSet(half, "shared-").Union(MakeSet(tuples - half,
+                                                     "b-only-"));
+  const double total = static_cast<double>(a.size() + b.size());
+
+  auto legacy_start = std::chrono::steady_clock::now();
+  Rng legacy_rng(42);
+  auto legacy = RunTwoPartyIntersection(a, b, group, family, legacy_rng);
+  if (!legacy.ok()) {
+    std::fprintf(stderr, "legacy run failed: %s\n",
+                 legacy.status().ToString().c_str());
+    return 1;
+  }
+  const double legacy_ms = MsSince(legacy_start);
+  const double legacy_tps = 1000.0 * total / legacy_ms;
+  std::printf("legacy whole-set:  %10.1f ms  %12.0f tuples/s\n", legacy_ms,
+              legacy_tps);
+
+  IntersectionOptions options;
+  options.chunk_size = chunk_size;
+  options.threads = threads;
+  auto streamed_start = std::chrono::steady_clock::now();
+  Rng streamed_rng(42);
+  auto streamed = RunTwoPartyIntersectionStreamed(a, b, group, family,
+                                                  streamed_rng, options);
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "streamed run failed: %s\n",
+                 streamed.status().ToString().c_str());
+    return 1;
+  }
+  const double streamed_ms = MsSince(streamed_start);
+  const double streamed_tps = 1000.0 * total / streamed_ms;
+  std::printf("streamed pipeline: %10.1f ms  %12.0f tuples/s  "
+              "(speedup %.2fx)\n",
+              streamed_ms, streamed_tps, legacy_ms / streamed_ms);
+
+  // The differential gate: the streamed outcome must be bit-identical
+  // to the legacy one for both parties.
+  if (!OutcomeMatches(streamed->first, legacy->first) ||
+      !OutcomeMatches(streamed->second, legacy->second)) {
+    std::fprintf(stderr,
+                 "DIFFERENTIAL FAILURE: streamed outcome diverged from the "
+                 "legacy path\n");
+    return 1;
+  }
+  const size_t expected = half;
+  std::printf("bit-identical to legacy: yes  (|A ∩ B| = %zu, expected %zu)\n",
+              streamed->first.intersection_size, expected);
+  if (streamed->first.intersection_size != expected) {
+    std::fprintf(stderr, "wrong intersection size\n");
+    return 1;
+  }
+
+  // Optional heavy-traffic campaign: --shards=K sessions, K workers.
+  double campaign_tps = 0, campaign_ms = 0;
+  const int sessions = bench::Shards();
+  if (sessions > 1) {
+    sim::ProtocolTrafficOptions traffic;
+    traffic.sessions = static_cast<size_t>(sessions);
+    traffic.tuples_per_party = std::min<size_t>(tuples, 512);
+    traffic.common_tuples = traffic.tuples_per_party / 4;
+    traffic.chunk_size = chunk_size;
+    traffic.threads = 1;  // parallelism across sessions instead
+    traffic.session_threads = sessions;
+    auto campaign_start = std::chrono::steady_clock::now();
+    auto stats = sim::RunProtocolTrafficCampaign(traffic, group, family);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "campaign failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    campaign_ms = MsSince(campaign_start);
+    campaign_tps =
+        1000.0 * static_cast<double>(stats->tuples_processed) / campaign_ms;
+    std::printf("\ncampaign: %zu sessions (%zu honest / %zu withheld / %zu "
+                "probed), %zu audits -> %zu flags,\n          %zu tuples, "
+                "%.1f ms, %.0f tuples/s, %zu protocol failures\n",
+                stats->sessions, stats->honest, stats->withheld,
+                stats->probed, stats->audited, stats->audit_flags,
+                stats->tuples_processed, campaign_ms, campaign_tps,
+                stats->protocol_failures);
+    if (stats->protocol_failures != 0) {
+      std::fprintf(stderr, "campaign sessions failed\n");
+      return 1;
+    }
+  }
+
+  if (!bench::JsonPath().empty()) {
+    auto record = [&](const char* name, double tps, double wall_ms) {
+      common::PerfRecord r;
+      r.bench = name;
+      r.threads = threads;
+      r.cells_per_sec = tps;
+      r.wall_ms = wall_ms;
+      r.git_describe = bench::GitDescribe();
+      if (Status s = r.Validate(); !s.ok()) {
+        std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+      return common::PerfRecordToJson(r);
+    };
+    std::string lines;
+    lines += record("intersection_legacy", legacy_tps, legacy_ms);
+    lines += record("intersection_streamed", streamed_tps, streamed_ms);
+    if (sessions > 1) {
+      lines += record("intersection_campaign", campaign_tps, campaign_ms);
+    }
+    if (Status s = hsis::WriteFile(bench::JsonPath(), lines); !s.ok()) {
+      std::fprintf(stderr, "--json: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote perf records -> %s\n", bench::JsonPath().c_str());
+  }
+  return 0;
+}
+
 void BM_TwoPartyIntersection(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   bool production = state.range(1) == 1;
@@ -220,4 +387,41 @@ BENCHMARK(BM_MultiPartyRing)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintMain)
+int main(int argc, char** argv) {
+  size_t tuples = 0;       // 0 = reproduction mode, no scale run
+  size_t chunk_size = kDefaultIntersectionChunkSize;
+
+  // Strip the bench-specific flags, then let bench_util consume the
+  // standard ones (--threads, --shards, --speedup, --json).
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    auto size_flag = [&](const char* prefix, const char* name) -> size_t {
+      size_t len = std::strlen(prefix);
+      char* end = nullptr;
+      long value = std::strtol(argv[i] + len, &end, 10);
+      if (end == argv[i] + len || *end != '\0' || value <= 0) {
+        std::fprintf(stderr, "bad %s value: %s\n", name, argv[i] + len);
+        std::exit(2);
+      }
+      return static_cast<size_t>(value);
+    };
+    if (std::strncmp(argv[i], "--tuples=", 9) == 0) {
+      tuples = size_flag("--tuples=", "--tuples");
+    } else if (std::strncmp(argv[i], "--chunk-size=", 13) == 0) {
+      chunk_size = size_flag("--chunk-size=", "--chunk-size");
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  bench::ConsumeFlags(&argc, argv);
+
+  if (tuples > 0) return RunProtocolScale(tuples, chunk_size);
+
+  PrintMain();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef HSIS_CRYPTO_PARALLEL_MODEXP_H_
+#define HSIS_CRYPTO_PARALLEL_MODEXP_H_
+
+#include <functional>
+#include <span>
+
+#include "common/bytes.h"
+#include "common/u256.h"
+#include "crypto/commutative_cipher.h"
+
+/// \file
+/// \brief Deterministic parallel batch stages for the commutative
+/// cipher — the modexp hot loop of the streamed intersection pipeline.
+///
+/// Per-tuple SRA encryption is a full 256-bit modular exponentiation, so
+/// at production data sizes (10^5–10^6 tuples) the crypto throughput,
+/// not the set logic, bounds the protocol. Both stages here follow the
+/// batched-crypto idiom: amortize the fixed per-batch cost, fan the
+/// independent exponentiations out over `common::ParallelFor`, and write
+/// each result into its ordered output slot, so a batch is bit-identical
+/// for every thread count (the determinism contract of
+/// common/parallel.h). Encryption itself is deterministic — no RNG is
+/// consumed — which is what makes the fan-out safe.
+
+namespace hsis::crypto {
+
+/// out[i] = cipher.Encrypt(in[i]) for every i, fanned out over
+/// `threads` workers (0 = hardware concurrency; resolved via
+/// `common::ResolveThreadCount`). `out.size()` must equal `in.size()`;
+/// `out` must not alias `in`.
+void EncryptBatch(const CommutativeCipher& cipher, std::span<const U256> in,
+                  std::span<U256> out, int threads);
+
+/// Fused hash-to-group + encrypt over a batch of opaque byte strings:
+/// out[i] = cipher.Encrypt(HashToElement(get(i))). `get(i)` must be safe
+/// to call concurrently for distinct i (a read-only indexed view such as
+/// a dataset chunk).
+void HashEncryptBatch(const CommutativeCipher& cipher, size_t n,
+                      const std::function<const Bytes&(size_t)>& get,
+                      std::span<U256> out, int threads);
+
+}  // namespace hsis::crypto
+
+#endif  // HSIS_CRYPTO_PARALLEL_MODEXP_H_

@@ -57,6 +57,19 @@ Dataset Dataset::Difference(const Dataset& other) const {
   return Dataset(std::move(out));
 }
 
+DatasetSource::DatasetSource(const Dataset& dataset, size_t chunk_size)
+    : dataset_(&dataset), chunk_size_(std::max<size_t>(chunk_size, 1)) {}
+
+size_t DatasetSource::chunk_count() const {
+  return (dataset_->size() + chunk_size_ - 1) / chunk_size_;
+}
+
+std::span<const Tuple> DatasetSource::Chunk(size_t index) const {
+  size_t begin = index * chunk_size_;
+  size_t end = std::min(begin + chunk_size_, dataset_->size());
+  return std::span<const Tuple>(dataset_->tuples()).subspan(begin, end - begin);
+}
+
 void Dataset::RemoveRandom(size_t n, Rng& rng) {
   n = std::min(n, tuples_.size());
   for (size_t k = 0; k < n; ++k) {

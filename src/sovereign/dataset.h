@@ -2,6 +2,7 @@
 #define HSIS_SOVEREIGN_DATASET_H_
 
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,6 +71,39 @@ class Dataset {
 
  private:
   std::vector<Tuple> tuples_;  // kept sorted
+};
+
+/// Read-only chunked cursor over a `Dataset`: the streamed protocol
+/// pipeline's input stage. Yields the dataset's canonical tuple order as
+/// fixed-size frames of at most `chunk_size` tuples, so tuples are
+/// hashed-to-group, encrypted, and shipped frame by frame instead of as
+/// whole-set vectors. Indexed access (rather than a single forward
+/// iterator) lets parallel stages address chunks independently.
+///
+/// The cursor borrows the dataset; the dataset must outlive it and stay
+/// unmodified while the cursor is in use.
+class DatasetSource {
+ public:
+  /// `chunk_size` must be >= 1 (callers validate via
+  /// `ValidateIntersectionOptions`; a zero chunk size is clamped to 1
+  /// here so the cursor itself is total).
+  DatasetSource(const Dataset& dataset, size_t chunk_size);
+
+  /// Total tuples across all chunks.
+  size_t total() const { return dataset_->size(); }
+
+  /// Frame size in tuples (the last chunk may be smaller).
+  size_t chunk_size() const { return chunk_size_; }
+
+  /// Number of chunks: ceil(total / chunk_size); 0 for an empty dataset.
+  size_t chunk_count() const;
+
+  /// Tuples of chunk `index` (in [0, chunk_count())), canonical order.
+  std::span<const Tuple> Chunk(size_t index) const;
+
+ private:
+  const Dataset* dataset_;
+  size_t chunk_size_;
 };
 
 }  // namespace hsis::sovereign

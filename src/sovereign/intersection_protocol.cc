@@ -5,42 +5,28 @@
 
 #include "crypto/commutative_cipher.h"
 #include "sovereign/channel.h"
+#include "sovereign/stream_frame.h"
 
 namespace hsis::sovereign {
 
 namespace {
 
-// Wire message type tags.
-constexpr uint8_t kMsgCommitment = 0x01;
-constexpr uint8_t kMsgEncryptedSet = 0x02;
-constexpr uint8_t kMsgDoubleEncryptedPairs = 0x03;
-constexpr uint8_t kMsgDoubleEncryptedSet = 0x04;
-
+// The legacy whole-set message is exactly a single-chunk element stream
+// (sovereign/stream_frame.h): serialization and parsing delegate to the
+// shared codec, so the two paths cannot drift apart on the wire.
 Bytes SerializeElements(uint8_t tag, const std::vector<U256>& elements) {
-  Bytes out;
-  out.push_back(tag);
-  AppendUint32BE(out, static_cast<uint32_t>(elements.size()));
-  for (const U256& e : elements) Append(out, e.ToBytesBE());
-  return out;
+  return SerializeFirstFrame(tag, static_cast<uint32_t>(elements.size()),
+                             elements);
 }
 
 Result<std::vector<U256>> ParseElements(uint8_t expected_tag,
                                         const Bytes& msg) {
-  if (msg.size() < 5 || msg[0] != expected_tag) {
-    return Status::ProtocolViolation("unexpected message type");
-  }
-  uint32_t count = ReadUint32BE(msg, 1);
-  if (msg.size() != 5 + static_cast<size_t>(count) * 32) {
+  ElementStreamReader reader(expected_tag);
+  HSIS_RETURN_IF_ERROR(reader.Consume(msg));
+  if (!reader.complete()) {
     return Status::ProtocolViolation("malformed element list");
   }
-  std::vector<U256> out;
-  out.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    Bytes chunk(msg.begin() + 5 + static_cast<ptrdiff_t>(i) * 32,
-                msg.begin() + 5 + static_cast<ptrdiff_t>(i + 1) * 32);
-    out.push_back(U256::FromBytesBE(chunk));
-  }
-  return out;
+  return reader.TakeElements();
 }
 
 /// Per-party protocol state.
@@ -216,6 +202,19 @@ Status ResolveIntersection(Participant& p, bool size_only,
 
 }  // namespace
 
+Status ValidateIntersectionOptions(const IntersectionOptions& options) {
+  if (options.chunk_size == 0) {
+    return Status::InvalidArgument(
+        "IntersectionOptions.chunk_size must be >= 1");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument(
+        "IntersectionOptions.threads must be >= 0 "
+        "(0 selects hardware concurrency)");
+  }
+  return Status::OK();
+}
+
 Result<std::pair<IntersectionOutcome, IntersectionOutcome>>
 RunTwoPartyIntersection(const Dataset& reported_a, const Dataset& reported_b,
                         const crypto::PrimeGroup& group,
@@ -252,6 +251,9 @@ RunTwoPartyIntersection(const Dataset& reported_a, const Dataset& reported_b,
   HSIS_RETURN_IF_ERROR(EncryptPeerSet(a, options.size_only, rng));
   HSIS_RETURN_IF_ERROR(
       EncryptPeerSet(b, options.size_only, rng, options.fault_injection));
+  if (options.fault_injection.corrupt_reply_frame_bit) {
+    a.channel.CorruptNextInboundForTest();  // tamper with B's reply in flight
+  }
 
   // Phase 4: resolve.
   IntersectionOutcome out_a, out_b;

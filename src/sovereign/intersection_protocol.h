@@ -23,21 +23,46 @@ struct FaultInjection {
   bool corrupt_reply_count = false;
   /// B sends a malformed (wrong-type) message in phase 3.
   bool wrong_message_type = false;
+  /// A bit of B's reply is flipped *on the wire* (a tampering network,
+  /// not a deviating peer): the channel AEAD must reject the frame with
+  /// IntegrityViolation before any payload reaches the parser.
+  bool corrupt_reply_frame_bit = false;
 
   bool AnyActive() const {
     return omit_one_reply_pair || swap_reply_pairs || corrupt_reply_count ||
-           wrong_message_type;
+           wrong_message_type || corrupt_reply_frame_bit;
   }
 };
+
+/// Default frame size (tuples per wire chunk) of the streamed path.
+inline constexpr size_t kDefaultIntersectionChunkSize = 4096;
 
 /// Options for a sovereign set-intersection run.
 struct IntersectionOptions {
   /// When set, run the intersection-*size* variant (the paper's footnote
   /// 3): parties learn |D_A ∩ D_B| but not which tuples are common.
   bool size_only = false;
+  /// Streamed-path frame size in tuples (`RunTwoPartyIntersectionStreamed`):
+  /// each party hashes, encrypts, shuffles, and ships its set in frames
+  /// of at most this many tuples. Must be >= 1 there; the legacy
+  /// whole-set `RunTwoPartyIntersection` ignores it.
+  size_t chunk_size = kDefaultIntersectionChunkSize;
+  /// Worker threads for the streamed path's parallel modexp stages
+  /// (crypto/parallel_modexp.h): 0 = hardware concurrency, negative is
+  /// InvalidArgument — the `ParseThreadsValue` flag contract. Results
+  /// are bit-identical for every thread count. Ignored by the legacy
+  /// path.
+  int threads = 1;
   /// Robustness-testing hooks (see FaultInjection).
   FaultInjection fault_injection;
 };
+
+/// Validates the streamed-path knobs: `chunk_size == 0` and
+/// `threads < 0` are InvalidArgument, mirroring the
+/// `ParseThreadsValue` / `ParseShardsValue` flag contract (0 threads =
+/// hardware concurrency). `RunTwoPartyIntersectionStreamed` calls this
+/// before touching the channel.
+Status ValidateIntersectionOptions(const IntersectionOptions& options);
 
 /// What one party walks away with after the protocol.
 struct IntersectionOutcome {
@@ -83,6 +108,38 @@ RunTwoPartyIntersection(const Dataset& reported_a, const Dataset& reported_b,
                         const crypto::PrimeGroup& group,
                         const crypto::MultisetHashFamily& commitment_family,
                         Rng& rng, const IntersectionOptions& options = {});
+
+/// The streamed/batched pipeline over the same protocol: datasets are
+/// iterated in fixed-size frames (`DatasetSource`), each frame is
+/// hashed-to-group and encrypted by the parallel modexp stage
+/// (crypto/parallel_modexp.h, `options.threads` workers), shuffled
+/// frame-locally under a per-chunk `Rng::ForIndex` stream, and shipped
+/// as a chunk-framed element stream (sovereign/stream_frame.h) that the
+/// receiver reassembles and double-encrypts chunk by chunk. Commitments
+/// accumulate incrementally per chunk — bit-identical to the whole-set
+/// hash by the multiset hash's incrementality.
+///
+/// The differential contract against the legacy whole-set path (pinned
+/// by tests/sovereign/streamed_protocol_test.cc): for every chunk size
+/// and thread count, `intersection`, `intersection_size`,
+/// `own_commitment`, and `peer_commitment` are byte-identical to
+/// `RunTwoPartyIntersection` on the same inputs, and `bytes_sent` is
+/// identical across thread counts. A single-chunk stream (`chunk_size
+/// >= |D|` for both parties) is wire-size-identical to the legacy path,
+/// so `bytes_sent` matches it exactly; smaller chunks add exactly 10
+/// header bytes plus one AEAD seal per continuation frame.
+///
+/// Privacy note: the whole-set shuffle becomes frame-local, so the
+/// hiding set for "which transmitted ciphertext is which tuple" narrows
+/// from the dataset to the frame; pick `chunk_size` with that in mind
+/// (the default 4096 keeps the hiding set large while bounding frame
+/// memory).
+Result<std::pair<IntersectionOutcome, IntersectionOutcome>>
+RunTwoPartyIntersectionStreamed(
+    const Dataset& reported_a, const Dataset& reported_b,
+    const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng,
+    const IntersectionOptions& options = {});
 
 }  // namespace hsis::sovereign
 

@@ -1,0 +1,116 @@
+#ifndef HSIS_SOVEREIGN_STREAM_FRAME_H_
+#define HSIS_SOVEREIGN_STREAM_FRAME_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/u256.h"
+
+/// \file
+/// \brief Chunk-framed wire codec for streamed element lists.
+///
+/// The legacy intersection protocol ships each element list — singly
+/// encrypted sets, double-encrypted reply pairs — as one message:
+///
+///     [kind:1][total:u32][total * 32 element bytes]
+///
+/// The streamed pipeline splits the same logical list into fixed-size
+/// frames so neither side ever materializes a million-tuple message.
+/// The opening frame keeps the **legacy layout** (its count field is the
+/// stream's total, its payload is the first chunk), so a single-chunk
+/// stream is byte-for-byte the legacy message; continuation frames are
+///
+///     [kMsgStreamChunk:1][kind:1][index:u32][count:u32][count * 32 bytes]
+///
+/// with 1-based strictly sequential indices. `ElementStreamReader`
+/// validates every structural property on arrival — tag, kind, index
+/// order, per-frame count vs byte length, cumulative count vs the
+/// declared total — and fails with a typed `ProtocolViolation` instead
+/// of ever yielding a wrong element list. Payload bit flips are below
+/// this layer: frames travel over the AEAD channel (sovereign/channel.h),
+/// which rejects any tampered frame with `IntegrityViolation` before the
+/// reader sees it.
+
+namespace hsis::sovereign {
+
+/// Wire message type tags shared by the legacy and streamed paths.
+inline constexpr uint8_t kMsgCommitment = 0x01;
+/// Kind tag of a singly-encrypted set stream {E_i(h(t))}.
+inline constexpr uint8_t kMsgEncryptedSet = 0x02;
+/// Kind tag of a (value, double-encryption) reply-pair stream.
+inline constexpr uint8_t kMsgDoubleEncryptedPairs = 0x03;
+/// Kind tag of an unpaired double-encrypted set stream (size-only mode).
+inline constexpr uint8_t kMsgDoubleEncryptedSet = 0x04;
+/// Frame tag of a continuation chunk within a streamed element list.
+inline constexpr uint8_t kMsgStreamChunk = 0x05;
+
+/// Serializes the opening frame of a streamed element list of `kind`:
+/// legacy message layout, count field = `total` (the whole stream's
+/// element count), payload = the first chunk. When `elements.size() ==
+/// total` the result is exactly the legacy whole-set message.
+Bytes SerializeFirstFrame(uint8_t kind, uint32_t total,
+                          const std::vector<U256>& elements);
+
+/// Serializes continuation frame `index` (1-based, strictly sequential
+/// on the wire) of a streamed element list of `kind`.
+Bytes SerializeContinuationFrame(uint8_t kind, uint32_t index,
+                                 const std::vector<U256>& elements);
+
+/// Incremental, validating reassembler for one streamed element list.
+///
+/// Feed frames in wire order via `Consume`; accumulated elements are
+/// available at any point, so a pipeline can process each chunk as it
+/// arrives (`elements()` grows, never shrinks or reorders). Every
+/// structural deviation — wrong tag or kind, out-of-order or duplicate
+/// chunk index, a count field disagreeing with the frame's byte length,
+/// an empty continuation frame, or more elements than the declared
+/// total — is a typed `ProtocolViolation`.
+class ElementStreamReader {
+ public:
+  /// `kind` is the expected stream kind tag (kMsgEncryptedSet, ...).
+  explicit ElementStreamReader(uint8_t kind) : kind_(kind) {}
+
+  /// Consumes the next frame. The first frame must be an opening frame
+  /// of the expected kind; later frames must be sequential continuation
+  /// frames. After an error the reader is poisoned: further calls fail.
+  Status Consume(const Bytes& frame);
+
+  /// True once the opening frame (which declares the total) was read.
+  bool header_seen() const { return header_seen_; }
+
+  /// Declared element count of the whole stream (valid once
+  /// `header_seen()`).
+  uint32_t total() const { return total_; }
+
+  /// True iff every declared element has arrived.
+  bool complete() const {
+    return header_seen_ && elements_.size() == total_;
+  }
+
+  /// Elements received so far, in wire order.
+  const std::vector<U256>& elements() const { return elements_; }
+
+  /// Moves the accumulated elements out (the reader is done with them);
+  /// callers use this once `complete()`.
+  std::vector<U256> TakeElements() { return std::move(elements_); }
+
+  /// Index into `elements()` of the first element delivered by the most
+  /// recent successful `Consume` — the window `[last_frame_begin(),
+  /// elements().size())` is the newest chunk, ready for pipelining.
+  size_t last_frame_begin() const { return last_frame_begin_; }
+
+ private:
+  uint8_t kind_;
+  bool header_seen_ = false;
+  bool failed_ = false;
+  uint32_t total_ = 0;
+  uint32_t next_index_ = 1;
+  size_t last_frame_begin_ = 0;
+  std::vector<U256> elements_;
+};
+
+}  // namespace hsis::sovereign
+
+#endif  // HSIS_SOVEREIGN_STREAM_FRAME_H_

@@ -1,0 +1,384 @@
+// The streamed/batched two-party intersection pipeline
+// (RunTwoPartyIntersectionStreamed, declared in intersection_protocol.h).
+//
+// Same protocol, same four phases, but every element list travels as a
+// chunk-framed stream (sovereign/stream_frame.h) and every per-tuple
+// modexp runs through the parallel batch stages of
+// crypto/parallel_modexp.h. Shuffles draw from per-chunk
+// `Rng::ForIndex` streams — a pure function of (seed, party, phase,
+// chunk index) — so the wire transcript is bit-identical at every
+// thread count, and the outcome is bit-identical to the legacy
+// whole-set path at every chunk size (the differential contract of
+// tests/sovereign/streamed_protocol_test.cc).
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <span>
+
+#include "common/parallel.h"
+#include "crypto/commutative_cipher.h"
+#include "crypto/parallel_modexp.h"
+#include "sovereign/channel.h"
+#include "sovereign/intersection_protocol.h"
+#include "sovereign/stream_frame.h"
+
+namespace hsis::sovereign {
+
+namespace {
+
+// Shuffle-stream namespaces: Rng::ForIndex(seed, (purpose << 32) | chunk)
+// gives every (party, phase, chunk) triple an independent deterministic
+// stream, so frame-local shuffles never depend on thread count or on
+// each other.
+constexpr uint64_t kShuffleSendA = 0;
+constexpr uint64_t kShuffleSendB = 1;
+constexpr uint64_t kShuffleReplyA = 2;
+constexpr uint64_t kShuffleReplyB = 3;
+
+Rng ChunkRng(uint64_t seed, uint64_t purpose, uint64_t chunk) {
+  return Rng::ForIndex(seed, (purpose << 32) | chunk);
+}
+
+/// Per-party pipeline state.
+struct StreamParticipant {
+  StreamParticipant(const Dataset& reported, ChannelEndpoint endpoint,
+                    crypto::CommutativeCipher cipher_in, size_t chunk_size)
+      : data(&reported),
+        source(reported, chunk_size),
+        channel(std::move(endpoint)),
+        cipher(std::move(cipher_in)) {}
+
+  const Dataset* data;
+  DatasetSource source;
+  ChannelEndpoint channel;
+  crypto::CommutativeCipher cipher;
+
+  // E_self(h(t)), aligned with data->tuples().
+  std::vector<U256> self_encrypted;
+  // Multiset {E_self(E_peer(h(peer tuple)))}, accumulated frame by frame.
+  std::map<U256, size_t> peer_counts;
+
+  Bytes own_commitment;
+  Bytes peer_commitment;
+};
+
+Status SendCommitmentStreamed(StreamParticipant& p,
+                              const crypto::MultisetHashFamily& family) {
+  // Incremental accumulation, chunk by chunk: equal to the whole-set
+  // hash by the multiset hash's incrementality (pinned by
+  // tests/sovereign/commitment_stream_property_test.cc).
+  std::unique_ptr<crypto::MultisetHash> hash = family.NewHash();
+  for (size_t c = 0; c < p.source.chunk_count(); ++c) {
+    for (const Tuple& t : p.source.Chunk(c)) hash->Add(t.value);
+  }
+  p.own_commitment = hash->Serialize();
+  Bytes msg;
+  msg.push_back(kMsgCommitment);
+  Append(msg, p.own_commitment);
+  return p.channel.Send(msg);
+}
+
+Status ReceiveCommitmentStreamed(StreamParticipant& p) {
+  Result<Bytes> msg = p.channel.Receive();
+  HSIS_RETURN_IF_ERROR(msg.status());
+  if (msg->empty() || (*msg)[0] != kMsgCommitment) {
+    return Status::ProtocolViolation("expected commitment message");
+  }
+  p.peer_commitment.assign(msg->begin() + 1, msg->end());
+  return Status::OK();
+}
+
+/// Receives the next frame of an in-flight stream; a drained channel
+/// mid-stream is a protocol violation (the peer promised more chunks),
+/// and channel-layer errors (tamper -> IntegrityViolation) pass through.
+Status ReceiveFrame(ChannelEndpoint& channel, Bytes* frame) {
+  if (!channel.HasPending()) {
+    return Status::ProtocolViolation("element stream ended early");
+  }
+  Result<Bytes> msg = channel.Receive();
+  HSIS_RETURN_IF_ERROR(msg.status());
+  *frame = std::move(*msg);
+  return Status::OK();
+}
+
+/// Phase 2, send side: hash + encrypt each chunk through the parallel
+/// modexp stage, shuffle it frame-locally, ship it. The aligned
+/// `self_encrypted` copy is kept for phase 4.
+Status SendEncryptedSetStreamed(StreamParticipant& p, int threads,
+                                uint64_t seed, uint64_t purpose) {
+  const size_t n = p.source.total();
+  p.self_encrypted.resize(n);
+  const size_t chunks = p.source.chunk_count();
+  if (chunks == 0) {
+    return p.channel.Send(SerializeFirstFrame(
+        kMsgEncryptedSet, 0, std::vector<U256>()));
+  }
+  for (size_t c = 0; c < chunks; ++c) {
+    std::span<const Tuple> tuples = p.source.Chunk(c);
+    std::span<U256> slots(p.self_encrypted.data() + c * p.source.chunk_size(),
+                          tuples.size());
+    crypto::HashEncryptBatch(
+        p.cipher, tuples.size(),
+        [tuples](size_t i) -> const Bytes& { return tuples[i].value; }, slots,
+        threads);
+    std::vector<U256> frame(slots.begin(), slots.end());
+    Rng shuffle_rng = ChunkRng(seed, purpose, c);
+    shuffle_rng.Shuffle(frame);
+    Bytes wire =
+        c == 0 ? SerializeFirstFrame(kMsgEncryptedSet,
+                                     static_cast<uint32_t>(n), frame)
+               : SerializeContinuationFrame(kMsgEncryptedSet,
+                                            static_cast<uint32_t>(c), frame);
+    HSIS_RETURN_IF_ERROR(p.channel.Send(wire));
+  }
+  return Status::OK();
+}
+
+/// Phase 3: consumes the peer's singly-encrypted stream frame by frame,
+/// double-encrypts each window through the parallel batch stage, records
+/// the double-encrypted multiset, and streams the reply back — (v, E(v))
+/// pairs in full mode, frame-locally shuffled bare values in size-only
+/// mode. `faults` (robustness testing) makes this participant deviate:
+/// the faulted reply is buffered flat, mutated with the legacy path's
+/// exact semantics, and re-framed.
+Status EncryptPeerSetStreamed(StreamParticipant& p, bool size_only,
+                              int threads, size_t chunk_size, uint64_t seed,
+                              uint64_t reply_purpose,
+                              const FaultInjection& faults = {}) {
+  ElementStreamReader reader(kMsgEncryptedSet);
+  const bool buffer_reply = !size_only && faults.AnyActive();
+  std::vector<U256> buffered;
+  uint64_t frame_no = 0;
+  do {
+    Bytes frame;
+    HSIS_RETURN_IF_ERROR(ReceiveFrame(p.channel, &frame));
+    HSIS_RETURN_IF_ERROR(reader.Consume(frame));
+    const size_t begin = reader.last_frame_begin();
+    const size_t count = reader.elements().size() - begin;
+    std::span<const U256> window(reader.elements().data() + begin, count);
+    std::vector<U256> dd(count);
+    crypto::EncryptBatch(p.cipher, window, dd, threads);
+    for (const U256& v : dd) p.peer_counts[v]++;
+
+    std::vector<U256> reply;
+    if (size_only) {
+      reply = dd;
+      Rng shuffle_rng = ChunkRng(seed, reply_purpose, frame_no);
+      shuffle_rng.Shuffle(reply);
+    } else {
+      reply.reserve(count * 2);
+      for (size_t i = 0; i < count; ++i) {
+        reply.push_back(window[i]);
+        reply.push_back(dd[i]);
+      }
+    }
+    if (buffer_reply) {
+      buffered.insert(buffered.end(), reply.begin(), reply.end());
+    } else {
+      const uint32_t reply_total = static_cast<uint32_t>(
+          size_only ? reader.total() : reader.total() * 2);
+      Bytes wire =
+          frame_no == 0
+              ? SerializeFirstFrame(size_only ? kMsgDoubleEncryptedSet
+                                              : kMsgDoubleEncryptedPairs,
+                                    reply_total, reply)
+              : SerializeContinuationFrame(
+                    size_only ? kMsgDoubleEncryptedSet
+                              : kMsgDoubleEncryptedPairs,
+                    static_cast<uint32_t>(frame_no), reply);
+      HSIS_RETURN_IF_ERROR(p.channel.Send(wire));
+    }
+    ++frame_no;
+  } while (!reader.complete());
+
+  if (!buffer_reply) return Status::OK();
+
+  // Fault injection, legacy semantics on the flat pair list.
+  if (faults.omit_one_reply_pair && buffered.size() >= 2) {
+    buffered.pop_back();
+    buffered.pop_back();
+  }
+  if (faults.swap_reply_pairs && buffered.size() >= 4) {
+    std::swap(buffered[1], buffered[3]);  // swap the double-encryptions only
+  }
+  const uint8_t tag = faults.wrong_message_type ? kMsgEncryptedSet
+                                                : kMsgDoubleEncryptedPairs;
+  const size_t per_frame = chunk_size * 2;  // whole pairs per frame
+  uint32_t index = 0;
+  size_t sent = 0;
+  do {
+    const size_t count = std::min(per_frame, buffered.size() - sent);
+    std::vector<U256> frame(buffered.begin() + static_cast<ptrdiff_t>(sent),
+                            buffered.begin() +
+                                static_cast<ptrdiff_t>(sent + count));
+    Bytes wire =
+        index == 0
+            ? SerializeFirstFrame(tag, static_cast<uint32_t>(buffered.size()),
+                                  frame)
+            : SerializeContinuationFrame(tag, index, frame);
+    if (faults.corrupt_reply_count && index == 0 && buffered.size() >= 2) {
+      AppendUint32BE(wire, 0);  // garbage length suffix -> malformed frame
+    }
+    HSIS_RETURN_IF_ERROR(p.channel.Send(wire));
+    sent += count;
+    ++index;
+  } while (sent < buffered.size());
+  return Status::OK();
+}
+
+/// Phase 4: consumes the peer's reply stream about our own set and
+/// resolves the intersection — identical logic and error taxonomy to
+/// the legacy resolve, applied incrementally.
+Status ResolveIntersectionStreamed(StreamParticipant& p, bool size_only,
+                                   IntersectionOutcome& outcome) {
+  const size_t n = p.data->size();
+
+  if (size_only) {
+    ElementStreamReader reader(kMsgDoubleEncryptedSet);
+    std::map<U256, size_t> remaining = std::move(p.peer_counts);
+    size_t matches = 0;
+    do {
+      Bytes frame;
+      HSIS_RETURN_IF_ERROR(ReceiveFrame(p.channel, &frame));
+      const bool first = !reader.header_seen();
+      HSIS_RETURN_IF_ERROR(reader.Consume(frame));
+      if (first && reader.total() != n) {
+        return Status::ProtocolViolation(
+            "double-encrypted set size mismatch");
+      }
+      for (size_t i = reader.last_frame_begin(); i < reader.elements().size();
+           ++i) {
+        auto it = remaining.find(reader.elements()[i]);
+        if (it != remaining.end() && it->second > 0) {
+          --it->second;
+          ++matches;
+        }
+      }
+    } while (!reader.complete());
+    outcome.intersection_size = matches;
+    return Status::OK();
+  }
+
+  ElementStreamReader reader(kMsgDoubleEncryptedPairs);
+  // Map E_self(h(t)) -> E_peer(E_self(h(t))), extended per frame over
+  // the complete pairs received so far. Duplicate tuples share the same
+  // singly-encrypted value and the same double-encrypted value, so a
+  // plain map is sufficient.
+  std::map<U256, U256> mapping;
+  size_t paired = 0;
+  do {
+    Bytes frame;
+    HSIS_RETURN_IF_ERROR(ReceiveFrame(p.channel, &frame));
+    const bool first = !reader.header_seen();
+    HSIS_RETURN_IF_ERROR(reader.Consume(frame));
+    if (first && reader.total() != n * 2) {
+      return Status::ProtocolViolation(
+          "double-encrypted pair count mismatch");
+    }
+    const std::vector<U256>& flat = reader.elements();
+    for (; paired + 2 <= flat.size(); paired += 2) {
+      mapping[flat[paired]] = flat[paired + 1];
+    }
+  } while (!reader.complete());
+
+  std::vector<U256> own_double_encrypted;
+  own_double_encrypted.reserve(n);
+  for (const U256& v : p.self_encrypted) {
+    auto it = mapping.find(v);
+    if (it == mapping.end()) {
+      return Status::ProtocolViolation(
+          "peer reply omits one of our encrypted values");
+    }
+    own_double_encrypted.push_back(it->second);
+  }
+
+  std::map<U256, size_t> remaining = std::move(p.peer_counts);
+  const std::vector<Tuple>& tuples = p.data->tuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    auto it = remaining.find(own_double_encrypted[i]);
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      outcome.intersection.Add(tuples[i]);
+    }
+  }
+  outcome.intersection_size = outcome.intersection.size();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::pair<IntersectionOutcome, IntersectionOutcome>>
+RunTwoPartyIntersectionStreamed(
+    const Dataset& reported_a, const Dataset& reported_b,
+    const crypto::PrimeGroup& group,
+    const crypto::MultisetHashFamily& commitment_family, Rng& rng,
+    const IntersectionOptions& options) {
+  HSIS_RETURN_IF_ERROR(ValidateIntersectionOptions(options));
+  if (reported_a.size() > UINT32_MAX / 2 ||
+      reported_b.size() > UINT32_MAX / 2) {
+    return Status::InvalidArgument(
+        "dataset exceeds the 32-bit element counts of the wire format");
+  }
+  const int threads = common::ResolveThreadCount(options.threads);
+
+  // Session setup: the same shared-stream draw order as the legacy path.
+  Bytes session_key = rng.RandomBytes(32);
+  Result<std::pair<ChannelEndpoint, ChannelEndpoint>> channel =
+      SecureChannel::CreatePair(session_key, rng);
+  HSIS_RETURN_IF_ERROR(channel.status());
+  Result<crypto::CommutativeCipher> cipher_a =
+      crypto::CommutativeCipher::Create(group, rng);
+  HSIS_RETURN_IF_ERROR(cipher_a.status());
+  Result<crypto::CommutativeCipher> cipher_b =
+      crypto::CommutativeCipher::Create(group, rng);
+  HSIS_RETURN_IF_ERROR(cipher_b.status());
+  // One seed spawns every frame-local shuffle stream (see ChunkRng).
+  const uint64_t shuffle_seed = rng.NextUint64();
+
+  StreamParticipant a(reported_a, std::move(channel->first),
+                      std::move(*cipher_a), options.chunk_size);
+  StreamParticipant b(reported_b, std::move(channel->second),
+                      std::move(*cipher_b), options.chunk_size);
+
+  // Phase 1: commitments, accumulated incrementally per chunk.
+  HSIS_RETURN_IF_ERROR(SendCommitmentStreamed(a, commitment_family));
+  HSIS_RETURN_IF_ERROR(SendCommitmentStreamed(b, commitment_family));
+  HSIS_RETURN_IF_ERROR(ReceiveCommitmentStreamed(a));
+  HSIS_RETURN_IF_ERROR(ReceiveCommitmentStreamed(b));
+
+  // Phase 2: chunk-framed singly-encrypted streams.
+  HSIS_RETURN_IF_ERROR(
+      SendEncryptedSetStreamed(a, threads, shuffle_seed, kShuffleSendA));
+  HSIS_RETURN_IF_ERROR(
+      SendEncryptedSetStreamed(b, threads, shuffle_seed, kShuffleSendB));
+
+  // Phase 3: each double-encrypts the peer's stream chunk by chunk.
+  // Fault injection (if any) applies to party B's reply about A's set.
+  HSIS_RETURN_IF_ERROR(EncryptPeerSetStreamed(a, options.size_only, threads,
+                                              options.chunk_size,
+                                              shuffle_seed, kShuffleReplyA));
+  HSIS_RETURN_IF_ERROR(EncryptPeerSetStreamed(
+      b, options.size_only, threads, options.chunk_size, shuffle_seed,
+      kShuffleReplyB, options.fault_injection));
+  if (options.fault_injection.corrupt_reply_frame_bit) {
+    a.channel.CorruptNextInboundForTest();  // tamper with B's reply in flight
+  }
+
+  // Phase 4: resolve incrementally.
+  IntersectionOutcome out_a, out_b;
+  HSIS_RETURN_IF_ERROR(
+      ResolveIntersectionStreamed(a, options.size_only, out_a));
+  HSIS_RETURN_IF_ERROR(
+      ResolveIntersectionStreamed(b, options.size_only, out_b));
+
+  out_a.own_commitment = a.own_commitment;
+  out_a.peer_commitment = a.peer_commitment;
+  out_a.bytes_sent = a.channel.bytes_sent();
+  out_b.own_commitment = b.own_commitment;
+  out_b.peer_commitment = b.peer_commitment;
+  out_b.bytes_sent = b.channel.bytes_sent();
+  return std::make_pair(std::move(out_a), std::move(out_b));
+}
+
+}  // namespace hsis::sovereign
