@@ -82,12 +82,14 @@ void PrintReproduction() {
 }
 
 /// Times the frozen pre-kernel per-row path (landscape_baseline.h)
-/// against the kernel batch evaluator on a fine frequency sweep and
-/// reports cells/sec; the kernel number is the headline `--json`
-/// record of this bench.
+/// against the kernel batch evaluator on a fine frequency sweep, once
+/// per runtime-supported SIMD lane, and reports cells/sec; each lane's
+/// kernel number becomes one `--json` record, and `--min-speedup`
+/// gates the best vector lane against the scalar lane.
 void PrintKernelThroughput() {
   bench::PrintRule(
-      "Figure 1 kernel throughput: pre-kernel per-row path vs batch kernel");
+      "Figure 1 kernel throughput: pre-kernel per-row path vs batch kernel "
+      "per SIMD lane");
   const int kSteps = 20001;
   int threads = bench::Threads();
   using Clock = std::chrono::steady_clock;
@@ -109,28 +111,42 @@ void PrintKernelThroughput() {
       benchmark::DoNotOptimize(row);
     });
   });
-  kernel::FrequencyRowsSoA rows;
-  double kernel_s = best_of([&] {
-    Status s = kernel::EvalFrequencyRows(kB, kF, kL, kP, kSteps, 0,
-                                         static_cast<size_t>(kSteps), rows,
-                                         threads);
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      std::exit(1);
-    }
-    benchmark::DoNotOptimize(rows.nash_mask.data());
-  });
-
   double baseline_cps = kSteps / baseline_s;
-  double kernel_cps = kSteps / kernel_s;
   std::printf("rows: %d, threads=%d (best of 3)\n\n", kSteps, threads);
-  std::printf("  pre-kernel path  %8.2f ms   %12.0f cells/sec\n",
+  std::printf("  pre-kernel path   %8.2f ms   %12.0f cells/sec\n",
               baseline_s * 1e3, baseline_cps);
-  std::printf("  batch kernel     %8.2f ms   %12.0f cells/sec\n",
-              kernel_s * 1e3, kernel_cps);
-  std::printf("\nkernel speedup: %.2fx\n", kernel_cps / baseline_cps);
-  bench::WriteJsonRecord("figure1_frequency_sweep_kernel", threads, kernel_cps,
-                         kernel_s * 1e3);
+
+  kernel::FrequencyRowsSoA rows;
+  double scalar_cps = 0, best_vector_cps = 0;
+  bench::ForEachSupportedLane([&](common::SimdLane lane) {
+    double kernel_s = best_of([&] {
+      Status s = kernel::EvalFrequencyRows(kB, kF, kL, kP, kSteps, 0,
+                                           static_cast<size_t>(kSteps), rows,
+                                           threads);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(rows.nash_mask.data());
+    });
+    double kernel_cps = kSteps / kernel_s;
+    std::printf("  kernel [%-6s]   %8.2f ms   %12.0f cells/sec   (%.2fx)\n",
+                common::SimdLaneName(lane), kernel_s * 1e3, kernel_cps,
+                kernel_cps / baseline_cps);
+    bench::WriteJsonRecord("figure1_frequency_sweep_kernel", threads, lane,
+                           kernel_cps, kernel_s * 1e3);
+    if (lane == common::SimdLane::kScalar) {
+      scalar_cps = kernel_cps;
+    } else {
+      best_vector_cps = std::max(best_vector_cps, kernel_cps);
+    }
+  });
+  if (best_vector_cps > 0) {
+    std::printf("\nbest vector lane vs scalar lane: %.2fx\n",
+                best_vector_cps / scalar_cps);
+  }
+  bench::EnforceMinSpeedup("figure1 frequency kernel", scalar_cps,
+                           best_vector_cps);
 }
 
 void PrintMain() {

@@ -6,7 +6,11 @@
 // smaller f the landscape crosses from (C,C) to (H,H) at
 // P* = ((1-f)F - B)/f (Observation 3).
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_util.h"
+#include "game/kernel.h"
 #include "game/landscape.h"
 
 namespace {
@@ -60,6 +64,67 @@ void PrintReproduction() {
   }
 }
 
+/// Times the kernel batch penalty evaluator on a fine sweep, once per
+/// runtime-supported SIMD lane; each lane's cells/sec becomes one
+/// `--json` record and `--min-speedup` gates the best vector lane
+/// against the scalar lane.
+void PrintKernelThroughput() {
+  bench::PrintRule(
+      "Figure 2 kernel throughput: batch penalty kernel per SIMD lane");
+  const int kSteps = 20001;
+  const double kFreq = 0.2, kMaxPenalty = 100;
+  int threads = bench::Threads();
+  using Clock = std::chrono::steady_clock;
+  auto best_of = [&](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Clock::time_point start = Clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - start).count());
+    }
+    return best;
+  };
+
+  std::printf("rows: %d, threads=%d (best of 3)\n\n", kSteps, threads);
+  kernel::PenaltyRowsSoA rows;
+  double scalar_cps = 0, best_vector_cps = 0;
+  bench::ForEachSupportedLane([&](common::SimdLane lane) {
+    double kernel_s = best_of([&] {
+      Status s = kernel::EvalPenaltyRows(kB, kF, kL, kFreq, kMaxPenalty,
+                                         kSteps, 0,
+                                         static_cast<size_t>(kSteps), rows,
+                                         threads);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(rows.nash_mask.data());
+    });
+    double kernel_cps = kSteps / kernel_s;
+    std::printf("  kernel [%-6s]   %8.2f ms   %12.0f cells/sec\n",
+                common::SimdLaneName(lane), kernel_s * 1e3, kernel_cps);
+    bench::WriteJsonRecord("figure2_penalty_sweep_kernel", threads, lane,
+                           kernel_cps, kernel_s * 1e3);
+    if (lane == common::SimdLane::kScalar) {
+      scalar_cps = kernel_cps;
+    } else {
+      best_vector_cps = std::max(best_vector_cps, kernel_cps);
+    }
+  });
+  if (best_vector_cps > 0) {
+    std::printf("\nbest vector lane vs scalar lane: %.2fx\n",
+                best_vector_cps / scalar_cps);
+  }
+  bench::EnforceMinSpeedup("figure2 penalty kernel", scalar_cps,
+                           best_vector_cps);
+}
+
+void PrintMain() {
+  PrintReproduction();
+  PrintKernelThroughput();
+}
+
 void BM_SweepPenalty101(benchmark::State& state) {
   for (auto _ : state) {
     auto rows = SweepPenalty(kB, kF, kL, 0.2, 100, 101);
@@ -78,4 +143,4 @@ BENCHMARK(BM_CriticalPenaltyClosedForm);
 
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintReproduction)
+HSIS_BENCH_MAIN(PrintMain)

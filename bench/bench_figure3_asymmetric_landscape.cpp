@@ -160,12 +160,14 @@ void PrintSpeedup() {
 }
 
 /// Times the frozen pre-kernel per-cell path (landscape_baseline.h)
-/// against the kernel batch evaluator on the 200x200 acceptance grid
-/// and reports cells/sec; the kernel number is the headline `--json`
-/// record of this bench.
+/// against the kernel batch evaluator on the 200x200 acceptance grid,
+/// once per runtime-supported SIMD lane, and reports cells/sec; each
+/// lane's kernel number becomes one `--json` record, and
+/// `--min-speedup` gates the best vector lane against the scalar lane.
 void PrintKernelThroughput() {
   bench::PrintRule(
-      "Figure 3 kernel throughput: pre-kernel per-cell path vs batch kernel");
+      "Figure 3 kernel throughput: pre-kernel per-cell path vs batch kernel "
+      "per SIMD lane");
   TwoPlayerGameParams params = BaseParams();
   const int kGrid = 200;
   const size_t kCells = static_cast<size_t>(kGrid) * kGrid;
@@ -189,27 +191,41 @@ void PrintKernelThroughput() {
       benchmark::DoNotOptimize(cell);
     });
   });
-  kernel::AsymmetricCellsSoA cells;
-  double kernel_s = best_of([&] {
-    Status s =
-        kernel::EvalAsymmetricCells(params, kGrid, 0, kCells, cells, threads);
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      std::exit(1);
-    }
-    benchmark::DoNotOptimize(cells.nash_mask.data());
-  });
-
   double baseline_cps = static_cast<double>(kCells) / baseline_s;
-  double kernel_cps = static_cast<double>(kCells) / kernel_s;
   std::printf("cells: %zu, threads=%d (best of 3)\n\n", kCells, threads);
-  std::printf("  pre-kernel path  %8.2f ms   %12.0f cells/sec\n",
+  std::printf("  pre-kernel path   %8.2f ms   %12.0f cells/sec\n",
               baseline_s * 1e3, baseline_cps);
-  std::printf("  batch kernel     %8.2f ms   %12.0f cells/sec\n",
-              kernel_s * 1e3, kernel_cps);
-  std::printf("\nkernel speedup: %.2fx\n", kernel_cps / baseline_cps);
-  bench::WriteJsonRecord("figure3_asymmetric_grid_kernel", threads, kernel_cps,
-                         kernel_s * 1e3);
+
+  kernel::AsymmetricCellsSoA cells;
+  double scalar_cps = 0, best_vector_cps = 0;
+  bench::ForEachSupportedLane([&](common::SimdLane lane) {
+    double kernel_s = best_of([&] {
+      Status s =
+          kernel::EvalAsymmetricCells(params, kGrid, 0, kCells, cells, threads);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(cells.nash_mask.data());
+    });
+    double kernel_cps = static_cast<double>(kCells) / kernel_s;
+    std::printf("  kernel [%-6s]   %8.2f ms   %12.0f cells/sec   (%.2fx)\n",
+                common::SimdLaneName(lane), kernel_s * 1e3, kernel_cps,
+                kernel_cps / baseline_cps);
+    bench::WriteJsonRecord("figure3_asymmetric_grid_kernel", threads, lane,
+                           kernel_cps, kernel_s * 1e3);
+    if (lane == common::SimdLane::kScalar) {
+      scalar_cps = kernel_cps;
+    } else {
+      best_vector_cps = std::max(best_vector_cps, kernel_cps);
+    }
+  });
+  if (best_vector_cps > 0) {
+    std::printf("\nbest vector lane vs scalar lane: %.2fx\n",
+                best_vector_cps / scalar_cps);
+  }
+  bench::EnforceMinSpeedup("figure3 asymmetric kernel", scalar_cps,
+                           best_vector_cps);
 }
 
 void PrintMain() {

@@ -9,8 +9,12 @@
 // Also an ablation: the implicit O(n) equilibrium check vs dense 2^n
 // enumeration, which is what makes n = 1000 tractable.
 
+#include <algorithm>
+#include <chrono>
+
 #include "bench_util.h"
 #include "game/equilibrium.h"
+#include "game/kernel.h"
 #include "game/landscape.h"
 
 namespace {
@@ -98,6 +102,69 @@ void PrintReproduction() {
   std::printf("}\n");
 }
 
+/// Times the kernel batch n-player band evaluator on a fine penalty
+/// sweep, once per runtime-supported SIMD lane; each lane's cells/sec
+/// becomes one `--json` record and `--min-speedup` gates the best
+/// vector lane against the scalar lane.
+void PrintKernelThroughput() {
+  bench::PrintRule(
+      "Figure 4 kernel throughput: batch n-player band kernel per SIMD lane");
+  NPlayerHonestyGame::Params params = BaseParams(8);
+  const int kSteps = 20001;
+  const double top = NPlayerPenaltyBound(params.benefit, params.gain,
+                                         params.frequency, params.n - 1);
+  int threads = bench::Threads();
+  using Clock = std::chrono::steady_clock;
+  auto best_of = [&](auto&& fn) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      Clock::time_point start = Clock::now();
+      fn();
+      best = std::min(
+          best, std::chrono::duration<double>(Clock::now() - start).count());
+    }
+    return best;
+  };
+
+  std::printf("rows: %d (n=%d), threads=%d (best of 3)\n\n", kSteps, params.n,
+              threads);
+  kernel::NPlayerBandRowsSoA rows;
+  double scalar_cps = 0, best_vector_cps = 0;
+  bench::ForEachSupportedLane([&](common::SimdLane lane) {
+    double kernel_s = best_of([&] {
+      Status s = kernel::EvalNPlayerBandRows(params, top * 1.15, kSteps, 0,
+                                             static_cast<size_t>(kSteps),
+                                             rows, threads);
+      if (!s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        std::exit(1);
+      }
+      benchmark::DoNotOptimize(rows.analytic_honest_count.data());
+    });
+    double kernel_cps = kSteps / kernel_s;
+    std::printf("  kernel [%-6s]   %8.2f ms   %12.0f cells/sec\n",
+                common::SimdLaneName(lane), kernel_s * 1e3, kernel_cps);
+    bench::WriteJsonRecord("figure4_nplayer_bands_kernel", threads, lane,
+                           kernel_cps, kernel_s * 1e3);
+    if (lane == common::SimdLane::kScalar) {
+      scalar_cps = kernel_cps;
+    } else {
+      best_vector_cps = std::max(best_vector_cps, kernel_cps);
+    }
+  });
+  if (best_vector_cps > 0) {
+    std::printf("\nbest vector lane vs scalar lane: %.2fx\n",
+                best_vector_cps / scalar_cps);
+  }
+  bench::EnforceMinSpeedup("figure4 n-player band kernel", scalar_cps,
+                           best_vector_cps);
+}
+
+void PrintMain() {
+  PrintReproduction();
+  PrintKernelThroughput();
+}
+
 void BM_EquilibriumBandsImplicit(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   NPlayerHonestyGame::Params params = BaseParams(n);
@@ -140,4 +207,4 @@ BENCHMARK(BM_NashCheckLargeN)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 
-HSIS_BENCH_MAIN(PrintReproduction)
+HSIS_BENCH_MAIN(PrintMain)

@@ -197,10 +197,12 @@ int main(int argc, char** argv) {
               p50, p95, p99);
 
   if (!bench::JsonPath().empty()) {
+    const char* lane = common::SimdLaneName(bench::ActiveLaneOrDie());
     auto record = [&](const char* name, double rps, double wall_ms) {
       common::PerfRecord r;
       r.bench = name;
       r.threads = bench::Threads();
+      r.lane = lane;
       r.cells_per_sec = rps;
       r.wall_ms = wall_ms;
       r.git_describe = bench::GitDescribe();

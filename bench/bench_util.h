@@ -12,11 +12,13 @@
 #include "common/parallel.h"
 #include "common/perf_record.h"
 #include "common/shard.h"
+#include "common/simd_dispatch.h"
 
 /// Shared main() for all reproduction benches: strip the hsis-specific
 /// flags (`--threads=N`, `--speedup`, `--shards=K`, `--schedule`,
 /// `--workers=N`, `--max-retries=R`, `--shard-timeout-ms=T`,
-/// `--json=PATH`), print the paper artifact first (tables/series
+/// `--min-speedup=X`, `--json=PATH`), print the paper artifact first
+/// (tables/series
 /// exactly as DESIGN.md §4 specifies), then run the google-benchmark
 /// timings registered by the binary.
 #define HSIS_BENCH_MAIN(print_fn)                                   \
@@ -56,6 +58,14 @@ inline bool& SpeedupStorage() {
 inline std::string& JsonPathStorage() {
   static std::string path;  // empty = no machine-readable output requested
   return path;
+}
+inline std::string& JsonLinesStorage() {
+  static std::string lines;  // accumulated records; file rewritten per call
+  return lines;
+}
+inline double& MinSpeedupStorage() {
+  static double min_speedup = 0;  // 0 = report only, no enforcement
+  return min_speedup;
 }
 inline bool& ScheduleStorage() {
   static bool schedule = false;
@@ -108,10 +118,78 @@ inline int MaxRetries() { return internal::MaxRetriesStorage(); }
 inline long ShardTimeoutMs() { return internal::ShardTimeoutMsStorage(); }
 
 /// The `--json=PATH` flag value, or "" when absent. Benches that
-/// measure a headline throughput write one `common::PerfRecord` there
+/// measure a headline throughput write `common::PerfRecord` lines there
 /// via `WriteJsonRecord` so CI and EXPERIMENTS.md tooling can track
 /// cells/sec across commits without scraping stdout.
 inline const std::string& JsonPath() { return internal::JsonPathStorage(); }
+
+/// The `--min-speedup=X` flag value (default 0 = report only). Benches
+/// that measure a vectorized-vs-scalar kernel comparison pass their
+/// ratio through `EnforceMinSpeedup` so CI can gate on SIMD wins.
+inline double MinSpeedup() { return internal::MinSpeedupStorage(); }
+
+/// The SIMD lane the kernel batch evaluators will use for the next
+/// call, resolved exactly like the evaluators resolve it
+/// (`common::ActiveSimdLane`: `HSIS_SIMD_LANE` override, else CPUID
+/// probe). A bad override aborts here — at bench startup, with the
+/// dispatcher's message — instead of mid-measurement.
+inline common::SimdLane ActiveLaneOrDie() {
+  hsis::Result<common::SimdLane> lane = common::ActiveSimdLane();
+  if (!lane.ok()) {
+    std::fprintf(stderr, "%s\n", lane.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *lane;
+}
+
+/// Runs `fn(lane)` once per runtime-supported SIMD lane (ascending, so
+/// scalar first), forcing the kernel dispatcher to that lane through
+/// the `HSIS_SIMD_LANE` override for the duration of each call and
+/// restoring the caller's environment afterwards. This is how one
+/// bench invocation produces a scalar baseline plus one perf record
+/// per vector lane.
+template <typename Fn>
+inline void ForEachSupportedLane(Fn&& fn) {
+  const char* saved = std::getenv(common::kSimdLaneEnvVar);
+  const std::string saved_value = saved == nullptr ? "" : saved;
+  for (common::SimdLane lane : common::SupportedSimdLanes()) {
+    ::setenv(common::kSimdLaneEnvVar, common::SimdLaneName(lane), 1);
+    fn(lane);
+  }
+  if (saved == nullptr) {
+    ::unsetenv(common::kSimdLaneEnvVar);
+  } else {
+    ::setenv(common::kSimdLaneEnvVar, saved_value.c_str(), 1);
+  }
+}
+
+/// Applies the `--min-speedup=X` gate to a measured vectorized-vs-
+/// scalar kernel ratio: no-op when the flag is absent; otherwise exits
+/// nonzero when the best vector lane failed to beat the scalar lane by
+/// the required factor, or when no vector lane was available to
+/// measure (a scalar-only build cannot honor an enforcement request —
+/// failing loudly beats a silently green gate).
+inline void EnforceMinSpeedup(const char* what, double scalar_cps,
+                              double best_vector_cps) {
+  if (MinSpeedup() <= 0) return;
+  if (best_vector_cps <= 0) {
+    std::fprintf(stderr,
+                 "--min-speedup=%.2f requested but no vector lane is "
+                 "available for %s\n",
+                 MinSpeedup(), what);
+    std::exit(1);
+  }
+  const double ratio = best_vector_cps / scalar_cps;
+  if (ratio < MinSpeedup()) {
+    std::fprintf(stderr,
+                 "%s: vectorized speedup %.2fx below required minimum "
+                 "%.2fx\n",
+                 what, ratio, MinSpeedup());
+    std::exit(1);
+  }
+  std::printf("--min-speedup gate: %.2fx >= %.2fx, ok\n",
+              best_vector_cps / scalar_cps, MinSpeedup());
+}
 
 /// `git describe --always --dirty` of the built tree, stamped in by the
 /// build (bench/CMakeLists.txt); "unknown" when built outside git.
@@ -123,16 +201,21 @@ inline const char* GitDescribe() {
 #endif
 }
 
-/// Writes the headline measurement of this bench run to `JsonPath()` as
-/// a one-line hsis-bench-v1 JSON record; no-op when `--json` was not
+/// Appends one hsis-bench-v1 JSON record to `JsonPath()` and rewrites
+/// the file with every record accumulated so far (so the artifact is a
+/// complete JSON-lines file after each call, and one bench invocation
+/// can emit several records — e.g. one per SIMD lane). `lane` is the
+/// kernel lane the measurement exercised. No-op when `--json` was not
 /// passed. Aborts on an invalid record or unwritable path so CI smoke
 /// runs fail loudly instead of silently producing no artifact.
 inline void WriteJsonRecord(const char* bench, int threads,
-                            double cells_per_sec, double wall_ms) {
+                            common::SimdLane lane, double cells_per_sec,
+                            double wall_ms) {
   if (internal::JsonPathStorage().empty()) return;
   common::PerfRecord record;
   record.bench = bench;
   record.threads = threads;
+  record.lane = common::SimdLaneName(lane);
   record.cells_per_sec = cells_per_sec;
   record.wall_ms = wall_ms;
   record.git_describe = GitDescribe();
@@ -141,12 +224,21 @@ inline void WriteJsonRecord(const char* bench, int threads,
     std::exit(1);
   };
   if (Status s = record.Validate(); !s.ok()) fail(s);
+  internal::JsonLinesStorage() += common::PerfRecordToJson(record);
   if (Status s = hsis::WriteFile(internal::JsonPathStorage(),
-                                 common::PerfRecordToJson(record));
+                                 internal::JsonLinesStorage());
       !s.ok()) {
     fail(s);
   }
   std::printf("wrote perf record -> %s\n", internal::JsonPathStorage().c_str());
+}
+
+/// `WriteJsonRecord` stamped with the lane the dispatcher resolves for
+/// this call — the right default for benches that measure whatever
+/// lane the machine picked rather than forcing one.
+inline void WriteJsonRecord(const char* bench, int threads,
+                            double cells_per_sec, double wall_ms) {
+  WriteJsonRecord(bench, threads, ActiveLaneOrDie(), cells_per_sec, wall_ms);
 }
 
 /// Removes the hsis flags from argv so google-benchmark never sees
@@ -194,6 +286,14 @@ inline void ConsumeFlags(int* argc, char** argv) {
         std::exit(1);
       }
       internal::ShardTimeoutMsStorage() = value;
+    } else if (std::strncmp(argv[i], "--min-speedup=", 14) == 0) {
+      char* end = nullptr;
+      double value = std::strtod(argv[i] + 14, &end);
+      if (end == argv[i] + 14 || *end != '\0' || value < 0) {
+        std::fprintf(stderr, "bad --min-speedup value: %s\n", argv[i] + 14);
+        std::exit(1);
+      }
+      internal::MinSpeedupStorage() = value;
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       internal::JsonPathStorage() = argv[i] + 7;
     } else {

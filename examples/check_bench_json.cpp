@@ -7,11 +7,16 @@
 // garbage artifacts.
 //
 //   check_bench_json FILE.json [--min-cells-per-sec=X] [--lines=N]
+//                    [--min-lines=N]
 //
 // By default the file must hold exactly one record. Multi-record
 // artifacts (one JSON object per line, e.g. the serving-latency bench's
 // BENCH_6.json) pass --lines=N to require exactly N records; every line
-// must parse and --min-cells-per-sec applies to each.
+// must parse and --min-cells-per-sec applies to each. --min-lines=N
+// requires *at least* N records instead — the right check for per-SIMD-
+// lane artifacts whose record count depends on what the host CPU
+// supports (one line per lane, so N = 2 asserts a vector lane ran
+// without pinning which ones exist).
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +35,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: check_bench_json FILE.json "
-               "[--min-cells-per-sec=X] [--lines=N]\n");
+               "[--min-cells-per-sec=X] [--lines=N] [--min-lines=N]\n");
   return 2;
 }
 
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   double min_cells_per_sec = 0;
   long expected_lines = -1;  // -1: legacy single-record mode
+  long min_lines = -1;       // -1: exact count mode (expected_lines)
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--min-cells-per-sec=", 20) == 0) {
       char* end = nullptr;
@@ -53,6 +59,13 @@ int main(int argc, char** argv) {
       expected_lines = std::strtol(argv[i] + 8, &end, 10);
       if (end == argv[i] + 8 || *end != '\0' || expected_lines < 1) {
         std::fprintf(stderr, "bad --lines value\n");
+        return 2;
+      }
+    } else if (std::strncmp(argv[i], "--min-lines=", 12) == 0) {
+      char* end = nullptr;
+      min_lines = std::strtol(argv[i] + 12, &end, 10);
+      if (end == argv[i] + 12 || *end != '\0' || min_lines < 1) {
+        std::fprintf(stderr, "bad --min-lines value\n");
         return 2;
       }
     } else if (path == nullptr) {
@@ -80,11 +93,19 @@ int main(int argc, char** argv) {
                                          : rest.substr(eol + 1);
     if (!line.empty()) lines.push_back(line);
   }
-  size_t want = expected_lines < 0 ? 1 : static_cast<size_t>(expected_lines);
-  if (lines.size() != want) {
-    std::fprintf(stderr, "%s: expected %zu record line(s), found %zu\n", path,
-                 want, lines.size());
-    return 1;
+  if (min_lines >= 0) {
+    if (lines.size() < static_cast<size_t>(min_lines)) {
+      std::fprintf(stderr, "%s: expected at least %ld record line(s), found "
+                   "%zu\n", path, min_lines, lines.size());
+      return 1;
+    }
+  } else {
+    size_t want = expected_lines < 0 ? 1 : static_cast<size_t>(expected_lines);
+    if (lines.size() != want) {
+      std::fprintf(stderr, "%s: expected %zu record line(s), found %zu\n",
+                   path, want, lines.size());
+      return 1;
+    }
   }
 
   for (size_t i = 0; i < lines.size(); ++i) {
@@ -105,6 +126,7 @@ int main(int argc, char** argv) {
     std::printf("%s line %zu: ok\n", path, i + 1);
     std::printf("  bench         %s\n", record->bench.c_str());
     std::printf("  threads       %d\n", record->threads);
+    std::printf("  lane          %s\n", record->lane.c_str());
     std::printf("  cells_per_sec %.0f\n", record->cells_per_sec);
     std::printf("  wall_ms       %.3f\n", record->wall_ms);
     std::printf("  git_describe  %s\n", record->git_describe.c_str());

@@ -130,6 +130,16 @@ void ParallelFor(int threads, size_t n, size_t batch_size,
   });
 }
 
+void ParallelForTiles(int threads, size_t n, size_t tile_size,
+                      const std::function<void(size_t, size_t)>& body) {
+  const size_t tile = tile_size == 0 ? 1 : tile_size;
+  const size_t tiles = (n + tile - 1) / tile;
+  ParallelFor(threads, tiles, [&](size_t t) {
+    const size_t lo = t * tile;
+    body(lo, std::min(n, lo + tile));
+  });
+}
+
 Status ParallelForWithStatus(int threads, size_t n,
                              const std::function<Status(size_t)>& body) {
   return ParallelForWithStatus(threads, n, /*batch_size=*/1, body);

@@ -133,6 +133,19 @@ void ParallelFor(int threads, size_t n,
 void ParallelFor(int threads, size_t n, size_t batch_size,
                  const std::function<void(size_t)>& body);
 
+/// Tile-granular variant: `[0, n)` is split into the same
+/// `ceil(n / tile_size)` contiguous tiles as the batched `ParallelFor`
+/// and `body(lo, hi)` receives each whole half-open tile exactly once,
+/// with the identical static schedule. This is the entry point for
+/// callers that process a tile internally (e.g. the SIMD kernel lanes
+/// of game/kernel_lanes.h, which run width-strided loops plus a scalar
+/// remainder inside each tile): the tile boundaries — and therefore
+/// every vector-vs-remainder split — are the same for every thread
+/// count, preserving the bit-identical-results contract.
+/// `tile_size == 0` is treated as 1.
+void ParallelForTiles(int threads, size_t n, size_t tile_size,
+                      const std::function<void(size_t, size_t)>& body);
+
 /// Like `ParallelFor` for fallible bodies: every index still runs, and
 /// the returned status is OK iff all bodies succeeded, otherwise the
 /// error with the **smallest index** — the same error a serial

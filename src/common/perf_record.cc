@@ -213,6 +213,9 @@ Status PerfRecord::Validate() const {
   if (threads < 1) {
     return Status::InvalidArgument("perf record: threads must be >= 1");
   }
+  if (lane.empty()) {
+    return Status::InvalidArgument("perf record: lane is empty");
+  }
   if (!std::isfinite(cells_per_sec) || cells_per_sec <= 0) {
     return Status::InvalidArgument(
         "perf record: cells_per_sec must be finite and > 0");
@@ -231,6 +234,8 @@ std::string PerfRecordToJson(const PerfRecord& record) {
   AppendJsonString(out, record.bench);
   out += ",\"threads\":";
   out += std::to_string(record.threads);
+  out += ",\"lane\":";
+  AppendJsonString(out, record.lane);
   out += ",\"cells_per_sec\":";
   AppendJsonNumber(out, record.cells_per_sec);
   out += ",\"wall_ms\":";
@@ -248,7 +253,8 @@ Result<PerfRecord> ParsePerfRecord(std::string_view json) {
   }
   PerfRecord record;
   bool seen_schema = false, seen_bench = false, seen_threads = false,
-       seen_cells = false, seen_wall = false, seen_git = false;
+       seen_lane = false, seen_cells = false, seen_wall = false,
+       seen_git = false;
   bool first = true;
   while (!scanner.Consume('}')) {
     if (!first && !scanner.Consume(',')) {
@@ -286,6 +292,14 @@ Result<PerfRecord> ParsePerfRecord(std::string_view json) {
             "perf record: threads must be an integer");
       }
       record.threads = static_cast<int>(threads);
+    } else if (key == "lane") {
+      // Optional: absent in pre-lane artifacts, which stay parseable
+      // with the "scalar" default the struct carries.
+      if (seen_lane) {
+        return Status::InvalidArgument("perf record: duplicate key 'lane'");
+      }
+      seen_lane = true;
+      HSIS_ASSIGN_OR_RETURN(record.lane, scanner.String());
     } else if (key == "cells_per_sec") {
       if (seen_cells) {
         return Status::InvalidArgument(

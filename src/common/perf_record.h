@@ -41,27 +41,33 @@ inline constexpr const char* kPerfRecordSchema = "hsis-bench-v1";
 struct PerfRecord {
   std::string bench;        ///< Bench identifier, e.g. "figure1_frequency_sweep".
   int threads = 1;          ///< Worker threads used for the measurement.
+  /// SIMD lane of the measured code path (common/simd_dispatch.h lane
+  /// name: "scalar", "sse2", "avx2"). Defaults to "scalar" — the only
+  /// lane that existed before records carried the field — so archived
+  /// pre-lane artifacts parse unchanged.
+  std::string lane = "scalar";
   double cells_per_sec = 0; ///< Sweep cells evaluated per second.
   double wall_ms = 0;       ///< Wall-clock time of the measured run.
   std::string git_describe; ///< `git describe --always --dirty` at build time.
 
   /// Checks the record is complete and physically sensible: non-empty
-  /// bench and git_describe, threads >= 1, cells_per_sec > 0 and
+  /// bench, lane and git_describe, threads >= 1, cells_per_sec > 0 and
   /// wall_ms >= 0 (both finite).
   Status Validate() const;
 };
 
 /// Serializes to one line of JSON (trailing newline included):
-///   {"schema":"hsis-bench-v1","bench":...,"threads":...,
+///   {"schema":"hsis-bench-v1","bench":...,"threads":...,"lane":...,
 ///    "cells_per_sec":...,"wall_ms":...,"git_describe":...}
 /// Numbers use %.17g so a parse round-trips bit-exactly.
 std::string PerfRecordToJson(const PerfRecord& record);
 
 /// Strict inverse of `PerfRecordToJson`: accepts exactly one flat JSON
-/// object with the five fields in any order (whitespace tolerated),
+/// object with the fields in any order (whitespace tolerated),
 /// requires `"schema": "hsis-bench-v1"`, and rejects duplicate,
-/// missing, or unknown keys. The returned record additionally passes
-/// `Validate()`.
+/// missing, or unknown keys. `lane` is the one optional key (absent in
+/// records written before the SIMD lanes existed; defaults to
+/// "scalar"). The returned record additionally passes `Validate()`.
 Result<PerfRecord> ParsePerfRecord(std::string_view json);
 
 /// Schema tag of serialized shard-schedule summaries.

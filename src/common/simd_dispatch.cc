@@ -1,0 +1,121 @@
+#include "common/simd_dispatch.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace hsis::common {
+
+namespace {
+
+/// CPUID support probe for the vector lanes. The compile-time gates
+/// (HSIS_HAVE_*_LANE) say what this binary ships; this says what the
+/// running CPU can execute. On x86-64 SSE2 is architecturally
+/// guaranteed, so only AVX2 needs a real runtime probe.
+bool CpuSupports(SimdLane lane) {
+  switch (lane) {
+    case SimdLane::kScalar:
+      return true;
+    case SimdLane::kSse2:
+      return true;  // x86-64 baseline; the lane is only compiled there.
+    case SimdLane::kAvx2:
+#if defined(HSIS_HAVE_AVX2_LANE) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* SimdLaneName(SimdLane lane) {
+  switch (lane) {
+    case SimdLane::kScalar:
+      return "scalar";
+    case SimdLane::kSse2:
+      return "sse2";
+    case SimdLane::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Result<SimdLane> ParseSimdLaneName(std::string_view name) {
+  if (name == "scalar") return SimdLane::kScalar;
+  if (name == "sse2") return SimdLane::kSse2;
+  if (name == "avx2") return SimdLane::kAvx2;
+  return Status::InvalidArgument(
+      "unknown SIMD lane '" + std::string(name) +
+      "' (expected one of: scalar, sse2, avx2)");
+}
+
+bool SimdLaneCompiled(SimdLane lane) {
+  switch (lane) {
+    case SimdLane::kScalar:
+      return true;
+    case SimdLane::kSse2:
+#ifdef HSIS_HAVE_SSE2_LANE
+      return true;
+#else
+      return false;
+#endif
+    case SimdLane::kAvx2:
+#ifdef HSIS_HAVE_AVX2_LANE
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool SimdLaneSupported(SimdLane lane) {
+  return SimdLaneCompiled(lane) && CpuSupports(lane);
+}
+
+std::vector<SimdLane> CompiledSimdLanes() {
+  std::vector<SimdLane> lanes;
+  for (int i = 0; i < kSimdLaneCount; ++i) {
+    if (SimdLaneCompiled(static_cast<SimdLane>(i))) {
+      lanes.push_back(static_cast<SimdLane>(i));
+    }
+  }
+  return lanes;
+}
+
+std::vector<SimdLane> SupportedSimdLanes() {
+  std::vector<SimdLane> lanes;
+  for (int i = 0; i < kSimdLaneCount; ++i) {
+    if (SimdLaneSupported(static_cast<SimdLane>(i))) {
+      lanes.push_back(static_cast<SimdLane>(i));
+    }
+  }
+  return lanes;
+}
+
+SimdLane ProbeBestSimdLane() {
+  SimdLane best = SimdLane::kScalar;
+  for (int i = 0; i < kSimdLaneCount; ++i) {
+    SimdLane lane = static_cast<SimdLane>(i);
+    if (SimdLaneSupported(lane)) best = lane;
+  }
+  return best;
+}
+
+Result<SimdLane> ActiveSimdLane() {
+  const char* override_value = std::getenv(kSimdLaneEnvVar);
+  if (override_value == nullptr) return ProbeBestSimdLane();
+  HSIS_ASSIGN_OR_RETURN(SimdLane lane, ParseSimdLaneName(override_value));
+  if (!SimdLaneSupported(lane)) {
+    return Status::InvalidArgument(
+        std::string(kSimdLaneEnvVar) + "=" + SimdLaneName(lane) +
+        ": lane is not available in this build/CPU (" +
+        (SimdLaneCompiled(lane) ? "CPU lacks the instruction set"
+                                : "lane not compiled in") +
+        ")");
+  }
+  return lane;
+}
+
+}  // namespace hsis::common

@@ -1,0 +1,13 @@
+// AVX2 kernel lane: 4-wide double vectors. Compiled with
+// -mavx2 -mno-fma -ffp-contract=off (src/game/CMakeLists.txt): AVX2
+// enabled for this one translation unit only, FMA disabled both at
+// the ISA and the contraction level so the compiler cannot fuse the
+// mul/add pairs the scalar path evaluates as two roundings.
+
+#ifdef HSIS_HAVE_AVX2_LANE
+
+#define HSIS_SIMD_IMPL_AVX2 1
+#define HSIS_SIMD_LANE_NS lane_avx2
+#include "game/kernel_simd_impl.h"
+
+#endif  // HSIS_HAVE_AVX2_LANE

@@ -1,0 +1,12 @@
+// SSE2 kernel lane: 2-wide double vectors, part of the x86-64
+// baseline so it needs no extra -m flags. Compiled with
+// -ffp-contract=off (src/game/CMakeLists.txt) so the bit-identity
+// contract of kernel_simd_impl.h holds.
+
+#ifdef HSIS_HAVE_SSE2_LANE
+
+#define HSIS_SIMD_IMPL_SSE2 1
+#define HSIS_SIMD_LANE_NS lane_sse2
+#include "game/kernel_simd_impl.h"
+
+#endif  // HSIS_HAVE_SSE2_LANE

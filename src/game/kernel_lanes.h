@@ -1,0 +1,154 @@
+#ifndef HSIS_GAME_KERNEL_LANES_H_
+#define HSIS_GAME_KERNEL_LANES_H_
+
+#include <cstddef>
+
+#include "game/kernel.h"
+
+/// \file
+/// \brief Internal per-lane entry points of the batch row evaluators.
+///
+/// Each SIMD lane (common/simd_dispatch.h) ships the five batch
+/// evaluators as free functions over a **tile** `[lo, hi)` of output
+/// slots. The public `Eval*` wrappers in kernel.cc validate once,
+/// resolve the active lane, and hand fixed-size tiles to the selected
+/// lane under the common/parallel.h contract; every lane writes slot
+/// `k` from global row `begin + k`, so lanes are interchangeable
+/// row-for-row and — because they run the same IEEE-754 operations in
+/// the same order, with FMA contraction disabled on the vector
+/// translation units — bit-for-bit.
+///
+/// Vector lanes process `kWidth` rows per step and finish the tile's
+/// remainder (`hi - lo` not a multiple of the width) through the same
+/// scalar per-row functions the scalar lane uses, which is why
+/// remainder tails are a focus of the differential/property suites.
+///
+/// The batch-argument structs carry everything that is constant across
+/// one batch (validated economics, grid geometry, the global `begin`
+/// offset), so lane bodies touch no `Result`/`Status` machinery and
+/// allocate nothing.
+
+namespace hsis::game::kernel::detail {
+
+/// Batch constants of `EvalFrequencyRows`.
+struct FrequencyBatchArgs {
+  double benefit = 0;     ///< Honest-sharing benefit B.
+  double cheat_gain = 0;  ///< Cheating gain F.
+  double loss = 0;        ///< Spillover loss L.
+  double penalty = 0;     ///< Fixed penalty P.
+  int steps = 1;          ///< Sweep resolution.
+  size_t begin = 0;       ///< Global row of output slot 0.
+};
+
+/// Batch constants of `EvalPenaltyRows`.
+struct PenaltyBatchArgs {
+  double benefit = 0;      ///< Honest-sharing benefit B.
+  double cheat_gain = 0;   ///< Cheating gain F.
+  double loss = 0;         ///< Spillover loss L.
+  double frequency = 0;    ///< Fixed audit frequency f.
+  double max_penalty = 0;  ///< Top of the sampled penalty range.
+  int steps = 1;           ///< Sweep resolution.
+  size_t begin = 0;        ///< Global row of output slot 0.
+};
+
+/// Batch constants of `EvalAsymmetricCells`.
+struct AsymmetricBatchArgs {
+  TwoPlayerGameParams params;  ///< Validated base economics.
+  int steps = 1;               ///< Grid resolution per axis.
+  size_t begin = 0;            ///< Global cell of output slot 0.
+};
+
+/// Batch constants of `EvalNPlayerBandRows`.
+struct NPlayerBatchArgs {
+  NPlayerKernelParams params;  ///< Validated fixed-capacity game.
+  double max_penalty = 0;      ///< Top of the sampled penalty range.
+  int steps = 1;               ///< Sweep resolution.
+  size_t begin = 0;            ///< Global row of output slot 0.
+};
+
+/// Batch constants of `EvalDevicePoints`. `in` outlives the batch call
+/// (the wrapper borrows the caller's SoA request vector).
+struct DeviceBatchArgs {
+  const DevicePointsSoA* in = nullptr;  ///< Validated request columns.
+  double margin = 0;                    ///< Designer safety margin.
+  size_t begin = 0;                     ///< Global point of output slot 0.
+};
+
+/// Scatter helpers shared by every lane: one classified row into its
+/// SoA slot. The scalar lane and every vector lane's remainder tail go
+/// through these, so "store row k" means the same thing everywhere.
+inline void StoreFrequencyRow(const FrequencyRowKernel& row,
+                              FrequencyRowsSoA& out, size_t k) {
+  out.frequency[k] = row.frequency;
+  out.region[k] = row.region;
+  out.nash_mask[k] = row.nash_mask;
+  out.honest_is_dse[k] = row.honest_is_dse ? 1 : 0;
+  out.matches[k] = row.matches ? 1 : 0;
+}
+
+inline void StorePenaltyRow(const PenaltyRowKernel& row, PenaltyRowsSoA& out,
+                            size_t k) {
+  out.penalty[k] = row.penalty;
+  out.region[k] = row.region;
+  out.nash_mask[k] = row.nash_mask;
+  out.honest_is_dse[k] = row.honest_is_dse ? 1 : 0;
+  out.matches[k] = row.matches ? 1 : 0;
+}
+
+inline void StoreAsymmetricCell(const AsymmetricCellKernel& cell,
+                                AsymmetricCellsSoA& out, size_t k) {
+  out.f1[k] = cell.f1;
+  out.f2[k] = cell.f2;
+  out.region[k] = cell.region;
+  out.nash_mask[k] = cell.nash_mask;
+  out.matches[k] = cell.matches ? 1 : 0;
+}
+
+inline void StoreNPlayerBandRow(const NPlayerBandRowKernel& row,
+                                NPlayerBandRowsSoA& out, size_t k) {
+  out.penalty[k] = row.penalty;
+  out.analytic_honest_count[k] = row.analytic_honest_count;
+  out.count_mask[k] = row.count_mask;
+  out.honest_is_dominant[k] = row.honest_is_dominant ? 1 : 0;
+  out.cheat_is_dominant[k] = row.cheat_is_dominant ? 1 : 0;
+  out.matches[k] = row.matches ? 1 : 0;
+}
+
+inline void StoreDeviceAnswer(const DeviceAnswerKernel& answer,
+                              DeviceAnswersSoA& out, size_t k) {
+  out.effectiveness[k] = answer.effectiveness;
+  out.min_frequency[k] = answer.min_frequency;
+  out.min_penalty[k] = answer.min_penalty;
+  out.zero_penalty_frequency[k] = answer.zero_penalty_frequency;
+}
+
+// Per-lane tile evaluators: fill output slots [lo, hi) from global
+// rows begin + lo .. begin + hi. Declared per lane namespace; only the
+// lanes this build compiles (HSIS_HAVE_*_LANE) have definitions.
+
+#define HSIS_DECLARE_KERNEL_LANE(ns)                                          \
+  namespace ns {                                                              \
+  void EvalFrequencyRowsTile(const FrequencyBatchArgs& args, size_t lo,       \
+                             size_t hi, FrequencyRowsSoA& out);               \
+  void EvalPenaltyRowsTile(const PenaltyBatchArgs& args, size_t lo,           \
+                           size_t hi, PenaltyRowsSoA& out);                   \
+  void EvalAsymmetricCellsTile(const AsymmetricBatchArgs& args, size_t lo,    \
+                               size_t hi, AsymmetricCellsSoA& out);           \
+  void EvalNPlayerBandRowsTile(const NPlayerBatchArgs& args, size_t lo,       \
+                               size_t hi, NPlayerBandRowsSoA& out);           \
+  void EvalDevicePointsTile(const DeviceBatchArgs& args, size_t lo,           \
+                            size_t hi, DeviceAnswersSoA& out);                \
+  }
+
+#ifdef HSIS_HAVE_SSE2_LANE
+HSIS_DECLARE_KERNEL_LANE(lane_sse2)
+#endif
+#ifdef HSIS_HAVE_AVX2_LANE
+HSIS_DECLARE_KERNEL_LANE(lane_avx2)
+#endif
+
+#undef HSIS_DECLARE_KERNEL_LANE
+
+}  // namespace hsis::game::kernel::detail
+
+#endif  // HSIS_GAME_KERNEL_LANES_H_

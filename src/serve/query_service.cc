@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/simd_dispatch.h"
 #include "game/kernel.h"
 
 namespace hsis::serve {
@@ -29,6 +30,11 @@ Result<QueryService> QueryService::Create(const QueryServiceConfig& config) {
     return Status::InvalidArgument(
         "query service: threads must be non-negative");
   }
+  // Resolve the kernel SIMD lane once at startup so a bad
+  // HSIS_SIMD_LANE override fails service creation with the
+  // dispatcher's typed error instead of failing the first batch a
+  // client submits.
+  HSIS_RETURN_IF_ERROR(common::ActiveSimdLane().status());
   HSIS_ASSIGN_OR_RETURN(AnswerCache cache, AnswerCache::Create(config.cache));
   return QueryService(config.margin, config.threads, std::move(cache));
 }

@@ -1,0 +1,159 @@
+// The runtime SIMD lane dispatcher (common/simd_dispatch.h): lane
+// name round-trips, compiled/supported set consistency, the
+// HSIS_SIMD_LANE override contract (valid names select, unknown names
+// are typed InvalidArgument, unavailable lanes refuse loudly), probe/
+// override agreement, and the lane field's round-trip through the
+// hsis-bench-v1 perf-record codec that carries it into CI artifacts.
+
+#include "common/simd_dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/perf_record.h"
+
+namespace hsis::common {
+namespace {
+
+/// Forces or clears `HSIS_SIMD_LANE` for the lifetime of the object
+/// and restores the caller's environment on destruction.
+class ScopedLaneEnv {
+ public:
+  explicit ScopedLaneEnv(const char* value) {
+    const char* prev = std::getenv(kSimdLaneEnvVar);
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+    if (value == nullptr) {
+      ::unsetenv(kSimdLaneEnvVar);
+    } else {
+      ::setenv(kSimdLaneEnvVar, value, 1);
+    }
+  }
+  ~ScopedLaneEnv() {
+    if (had_) {
+      ::setenv(kSimdLaneEnvVar, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(kSimdLaneEnvVar);
+    }
+  }
+  ScopedLaneEnv(const ScopedLaneEnv&) = delete;
+  ScopedLaneEnv& operator=(const ScopedLaneEnv&) = delete;
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(SimdDispatchTest, LaneNamesRoundTrip) {
+  for (SimdLane lane : {SimdLane::kScalar, SimdLane::kSse2, SimdLane::kAvx2}) {
+    Result<SimdLane> parsed = ParseSimdLaneName(SimdLaneName(lane));
+    ASSERT_TRUE(parsed.ok()) << SimdLaneName(lane);
+    EXPECT_EQ(*parsed, lane);
+  }
+  EXPECT_STREQ(SimdLaneName(SimdLane::kScalar), "scalar");
+  EXPECT_STREQ(SimdLaneName(SimdLane::kSse2), "sse2");
+  EXPECT_STREQ(SimdLaneName(SimdLane::kAvx2), "avx2");
+}
+
+TEST(SimdDispatchTest, UnknownLaneNamesAreTypedInvalidArgument) {
+  for (const char* bad : {"", "bogus", "SSE2", "Avx2", "scalar ", "avx512"}) {
+    Result<SimdLane> parsed = ParseSimdLaneName(bad);
+    ASSERT_FALSE(parsed.ok()) << "'" << bad << "' unexpectedly parsed";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysCompiledAndSupported) {
+  EXPECT_TRUE(SimdLaneCompiled(SimdLane::kScalar));
+  EXPECT_TRUE(SimdLaneSupported(SimdLane::kScalar));
+  ASSERT_FALSE(CompiledSimdLanes().empty());
+  EXPECT_EQ(CompiledSimdLanes().front(), SimdLane::kScalar);
+  ASSERT_FALSE(SupportedSimdLanes().empty());
+  EXPECT_EQ(SupportedSimdLanes().front(), SimdLane::kScalar);
+}
+
+TEST(SimdDispatchTest, SupportedLanesAreASubsetOfCompiledLanes) {
+  for (SimdLane lane : SupportedSimdLanes()) {
+    EXPECT_TRUE(SimdLaneCompiled(lane)) << SimdLaneName(lane);
+    EXPECT_TRUE(SimdLaneSupported(lane)) << SimdLaneName(lane);
+  }
+  // Both sets ascend, so the probe result is the last supported lane.
+  EXPECT_EQ(ProbeBestSimdLane(), SupportedSimdLanes().back());
+}
+
+TEST(SimdDispatchTest, ActiveLaneFollowsProbeWithoutOverride) {
+  ScopedLaneEnv cleared(nullptr);
+  Result<SimdLane> active = ActiveSimdLane();
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(*active, ProbeBestSimdLane());
+}
+
+TEST(SimdDispatchTest, ActiveLaneHonorsEverySupportedOverride) {
+  for (SimdLane lane : SupportedSimdLanes()) {
+    ScopedLaneEnv forced(SimdLaneName(lane));
+    Result<SimdLane> active = ActiveSimdLane();
+    ASSERT_TRUE(active.ok()) << SimdLaneName(lane);
+    EXPECT_EQ(*active, lane);
+  }
+}
+
+TEST(SimdDispatchTest, ActiveLaneRejectsUnknownOverride) {
+  ScopedLaneEnv forced("bogus");
+  Result<SimdLane> active = ActiveSimdLane();
+  ASSERT_FALSE(active.ok());
+  EXPECT_EQ(active.status().code(), StatusCode::kInvalidArgument);
+  // The error must name the offender and the accepted values, so a
+  // misspelled override is a one-glance fix.
+  EXPECT_NE(active.status().ToString().find("bogus"), std::string::npos);
+  EXPECT_NE(active.status().ToString().find("scalar"), std::string::npos);
+}
+
+TEST(SimdDispatchTest, ActiveLaneRejectsUnavailableCompiledLane) {
+  // Find a lane in the enum that this build/CPU cannot run (absent on
+  // a full AVX2 host — then this test degenerates to a no-op).
+  for (SimdLane lane : {SimdLane::kSse2, SimdLane::kAvx2}) {
+    if (SimdLaneSupported(lane)) continue;
+    ScopedLaneEnv forced(SimdLaneName(lane));
+    Result<SimdLane> active = ActiveSimdLane();
+    ASSERT_FALSE(active.ok()) << SimdLaneName(lane);
+    EXPECT_EQ(active.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(SimdDispatchTest, LaneRoundTripsThroughPerfRecords) {
+  for (SimdLane lane : {SimdLane::kScalar, SimdLane::kSse2, SimdLane::kAvx2}) {
+    PerfRecord record;
+    record.bench = "kernel_lane_smoke";
+    record.threads = 2;
+    record.lane = SimdLaneName(lane);
+    record.cells_per_sec = 1.25e8;
+    record.wall_ms = 0.5;
+    record.git_describe = "test";
+    Result<PerfRecord> back = ParsePerfRecord(PerfRecordToJson(record));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->lane, SimdLaneName(lane));
+    // The round-tripped name must parse back to the same lane — this
+    // is the path CI artifacts travel (bench --json -> perf record ->
+    // check_bench_json).
+    Result<SimdLane> parsed = ParseSimdLaneName(back->lane);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, lane);
+  }
+}
+
+TEST(SimdDispatchTest, PreLaneRecordsParseWithScalarDefault) {
+  // Records written before the lane field existed must stay parseable
+  // and classify as scalar — the only lane that existed back then.
+  const char* legacy =
+      "{\"schema\":\"hsis-bench-v1\",\"bench\":\"old\",\"threads\":1,"
+      "\"cells_per_sec\":1e6,\"wall_ms\":2.5,\"git_describe\":\"abc\"}";
+  Result<PerfRecord> record = ParsePerfRecord(legacy);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  EXPECT_EQ(record->lane, "scalar");
+}
+
+}  // namespace
+}  // namespace hsis::common

@@ -1,0 +1,300 @@
+// Cross-ISA differential suite for the SIMD kernel lanes: every
+// runtime-supported lane (common/simd_dispatch.h) must produce output
+// buffers BIT-IDENTICAL to the scalar lane — same IEEE-754 bit pattern
+// in every double slot, same byte in every flag slot — for all five
+// batch evaluators, across batch sizes that straddle both vector
+// widths (empty, 1, W-1, W, W+1 for W in {2, 4}), a mid-size batch,
+// and the figure-sized workloads the benches measure. A vector lane
+// that reassociates, contracts into FMA, or mishandles a remainder
+// tail fails here before it can reach the golden CSV pins.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/simd_dispatch.h"
+#include "game/honesty_games.h"
+#include "game/kernel.h"
+#include "game/nplayer_game.h"
+#include "game/thresholds.h"
+
+namespace hsis::game::kernel {
+namespace {
+
+/// Forces `HSIS_SIMD_LANE` for the lifetime of the object and restores
+/// the caller's environment on destruction, so a failing test cannot
+/// leak its lane override into later tests.
+class ScopedLane {
+ public:
+  explicit ScopedLane(common::SimdLane lane) {
+    const char* prev = std::getenv(common::kSimdLaneEnvVar);
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+    ::setenv(common::kSimdLaneEnvVar, common::SimdLaneName(lane), 1);
+  }
+  ~ScopedLane() {
+    if (had_) {
+      ::setenv(common::kSimdLaneEnvVar, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(common::kSimdLaneEnvVar);
+    }
+  }
+  ScopedLane(const ScopedLane&) = delete;
+  ScopedLane& operator=(const ScopedLane&) = delete;
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// The raw IEEE-754 bit pattern — differential equality must not go
+/// through operator== (which identifies +0.0 with -0.0 and never
+/// matches NaN).
+uint64_t Bits(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+/// Batch sizes covering both vector widths' edge cases plus realistic
+/// loads: W-1 / W / W+1 for W = 2 and W = 4, an empty batch, a batch
+/// spanning many tiles, and (appended per evaluator) the figure-sized
+/// count.
+const size_t kEdgeCounts[] = {0, 1, 2, 3, 4, 5, 1000};
+
+std::vector<common::SimdLane> VectorLanes() {
+  std::vector<common::SimdLane> lanes;
+  for (common::SimdLane lane : common::SupportedSimdLanes()) {
+    if (lane != common::SimdLane::kScalar) lanes.push_back(lane);
+  }
+  return lanes;
+}
+
+#define EXPECT_COLUMN_EQ(col, k, lane, count, begin)                       \
+  EXPECT_EQ(expected.col[k], actual.col[k])                                \
+      << "lane " << common::SimdLaneName(lane) << ", count " << count      \
+      << ", begin " << begin << ", row " << k << ": column '" #col "'"
+
+#define EXPECT_COLUMN_BITS_EQ(col, k, lane, count, begin)                  \
+  EXPECT_EQ(Bits(expected.col[k]), Bits(actual.col[k]))                    \
+      << "lane " << common::SimdLaneName(lane) << ", count " << count      \
+      << ", begin " << begin << ", row " << k << ": column '" #col "' ("   \
+      << expected.col[k] << " vs " << actual.col[k] << ")"
+
+void ExpectIdentical(const FrequencyRowsSoA& expected,
+                     const FrequencyRowsSoA& actual, common::SimdLane lane,
+                     size_t count, size_t begin) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_COLUMN_BITS_EQ(frequency, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(region, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(nash_mask, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(honest_is_dse, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(matches, k, lane, count, begin);
+  }
+}
+
+void ExpectIdentical(const PenaltyRowsSoA& expected,
+                     const PenaltyRowsSoA& actual, common::SimdLane lane,
+                     size_t count, size_t begin) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_COLUMN_BITS_EQ(penalty, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(region, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(nash_mask, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(honest_is_dse, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(matches, k, lane, count, begin);
+  }
+}
+
+void ExpectIdentical(const AsymmetricCellsSoA& expected,
+                     const AsymmetricCellsSoA& actual, common::SimdLane lane,
+                     size_t count, size_t begin) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_COLUMN_BITS_EQ(f1, k, lane, count, begin);
+    EXPECT_COLUMN_BITS_EQ(f2, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(region, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(nash_mask, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(matches, k, lane, count, begin);
+  }
+}
+
+void ExpectIdentical(const NPlayerBandRowsSoA& expected,
+                     const NPlayerBandRowsSoA& actual, common::SimdLane lane,
+                     size_t count, size_t begin) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_COLUMN_BITS_EQ(penalty, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(analytic_honest_count, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(count_mask, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(honest_is_dominant, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(cheat_is_dominant, k, lane, count, begin);
+    EXPECT_COLUMN_EQ(matches, k, lane, count, begin);
+  }
+}
+
+void ExpectIdentical(const DeviceAnswersSoA& expected,
+                     const DeviceAnswersSoA& actual, common::SimdLane lane,
+                     size_t count, size_t begin) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_COLUMN_EQ(effectiveness, k, lane, count, begin);
+    EXPECT_COLUMN_BITS_EQ(min_frequency, k, lane, count, begin);
+    EXPECT_COLUMN_BITS_EQ(min_penalty, k, lane, count, begin);
+    EXPECT_COLUMN_BITS_EQ(zero_penalty_frequency, k, lane, count, begin);
+  }
+}
+
+/// Runs `eval(out)` under the scalar lane and under every supported
+/// vector lane and asserts bit-identity of the SoA buffers.
+template <typename SoA, typename Eval>
+void RunDifferential(const Eval& eval, size_t count, size_t begin) {
+  SoA expected;
+  {
+    ScopedLane scalar(common::SimdLane::kScalar);
+    ASSERT_TRUE(eval(expected).ok());
+  }
+  for (common::SimdLane lane : VectorLanes()) {
+    SoA actual;
+    ScopedLane forced(lane);
+    ASSERT_TRUE(eval(actual).ok()) << common::SimdLaneName(lane);
+    ExpectIdentical(expected, actual, lane, count, begin);
+  }
+}
+
+/// Batch geometries per evaluator: every edge count at begin 0, the
+/// same counts at a misaligned begin (tiles no longer start on a
+/// vector-width boundary of the global index), and the figure-sized
+/// full sweep.
+template <typename SoA, typename EvalAt>
+void RunGeometries(const EvalAt& eval_at, size_t figure_count) {
+  for (size_t count : kEdgeCounts) {
+    RunDifferential<SoA>(
+        [&](SoA& out) { return eval_at(/*begin=*/0, count, out); }, count, 0);
+    RunDifferential<SoA>(
+        [&](SoA& out) { return eval_at(/*begin=*/7, count, out); }, count, 7);
+  }
+  RunDifferential<SoA>(
+      [&](SoA& out) { return eval_at(/*begin=*/0, figure_count, out); },
+      figure_count, 0);
+}
+
+TEST(KernelSimdDifferentialTest, FrequencyRowsBitIdenticalAcrossLanes) {
+  const int kSteps = 20001;
+  RunGeometries<FrequencyRowsSoA>(
+      [&](size_t begin, size_t count, FrequencyRowsSoA& out) {
+        return EvalFrequencyRows(10, 25, 8, 40, kSteps, begin, count, out, 2);
+      },
+      static_cast<size_t>(kSteps));
+}
+
+TEST(KernelSimdDifferentialTest, PenaltyRowsBitIdenticalAcrossLanes) {
+  const int kSteps = 20001;
+  RunGeometries<PenaltyRowsSoA>(
+      [&](size_t begin, size_t count, PenaltyRowsSoA& out) {
+        return EvalPenaltyRows(10, 25, 8, 0.2, 100, kSteps, begin, count, out,
+                               2);
+      },
+      static_cast<size_t>(kSteps));
+}
+
+TEST(KernelSimdDifferentialTest,
+     PenaltyRowsBitIdenticalAtZeroAndFullFrequency) {
+  // f = 0 hits the +infinity critical-penalty branch; f = 1 the other
+  // extreme of the region classifier.
+  for (double frequency : {0.0, 1.0}) {
+    RunGeometries<PenaltyRowsSoA>(
+        [&](size_t begin, size_t count, PenaltyRowsSoA& out) {
+          return EvalPenaltyRows(10, 25, 8, frequency, 100, 2001, begin, count,
+                                 out, 1);
+        },
+        2001);
+  }
+}
+
+TEST(KernelSimdDifferentialTest, AsymmetricCellsBitIdenticalAcrossLanes) {
+  // The Figure 3 economics: asymmetric players so the boundary-strip
+  // classifier sees genuinely different critical frequencies per axis.
+  TwoPlayerGameParams params = TwoPlayerGameParams::Symmetric(10, 25, 8);
+  params.player2.benefit = 9;
+  params.player2.cheat_gain = 30;
+  params.audit1.penalty = 40;
+  params.audit2.penalty = 35;
+  const int kGrid = 200;
+  RunGeometries<AsymmetricCellsSoA>(
+      [&](size_t begin, size_t count, AsymmetricCellsSoA& out) {
+        return EvalAsymmetricCells(params, kGrid, begin, count, out, 2);
+      },
+      static_cast<size_t>(kGrid) * kGrid);
+}
+
+TEST(KernelSimdDifferentialTest, NPlayerBandRowsBitIdenticalAcrossLanes) {
+  NPlayerHonestyGame::Params params;
+  params.n = 8;
+  params.benefit = 10;
+  params.gain = LinearGain(20, 2);
+  params.frequency = 0.3;
+  params.uniform_loss = 4;
+  const int kSteps = 2001;
+  const double top =
+      NPlayerPenaltyBound(params.benefit, params.gain, params.frequency,
+                          params.n - 1);
+  RunGeometries<NPlayerBandRowsSoA>(
+      [&](size_t begin, size_t count, NPlayerBandRowsSoA& out) {
+        return EvalNPlayerBandRows(params, top * 1.15, kSteps, begin, count,
+                                   out, 2);
+      },
+      static_cast<size_t>(kSteps));
+}
+
+TEST(KernelSimdDifferentialTest, DevicePointsBitIdenticalAcrossLanes) {
+  // A deterministic mix of operating points, including the branchy
+  // extremes: f = 0 (min_penalty must be +infinity), f = 1, P = 0, and
+  // near-critical frequencies.
+  const size_t kPoints = 20001;
+  DevicePointsSoA in;
+  in.Resize(kPoints);
+  for (size_t k = 0; k < kPoints; ++k) {
+    const double t = static_cast<double>(k) / (kPoints - 1);
+    in.benefit[k] = 5 + 10 * t;
+    in.cheat_gain[k] = 20 + 15 * t;
+    in.frequency[k] = k % 7 == 0 ? 0.0 : (k % 7 == 1 ? 1.0 : t);
+    in.penalty[k] = k % 5 == 0 ? 0.0 : 60 * t;
+  }
+  RunGeometries<DeviceAnswersSoA>(
+      [&](size_t begin, size_t count, DeviceAnswersSoA& out) {
+        return EvalDevicePoints(in, 0.05, begin, count, out, 2);
+      },
+      kPoints);
+}
+
+TEST(KernelSimdDifferentialTest, LanesBitIdenticalAcrossThreadCounts) {
+  // The determinism contract composes with lane choice: every lane must
+  // be bit-identical to serial scalar at every thread count.
+  const int kSteps = 4097;  // not a multiple of the tile size
+  FrequencyRowsSoA expected;
+  {
+    ScopedLane scalar(common::SimdLane::kScalar);
+    ASSERT_TRUE(EvalFrequencyRows(10, 25, 8, 40, kSteps, 0, kSteps, expected,
+                                  /*threads=*/1)
+                    .ok());
+  }
+  for (common::SimdLane lane : common::SupportedSimdLanes()) {
+    for (int threads : {1, 2, 8}) {
+      FrequencyRowsSoA actual;
+      ScopedLane forced(lane);
+      ASSERT_TRUE(EvalFrequencyRows(10, 25, 8, 40, kSteps, 0, kSteps, actual,
+                                    threads)
+                      .ok());
+      ExpectIdentical(expected, actual, lane, kSteps, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsis::game::kernel

@@ -1,0 +1,377 @@
+// Randomized property suite for the SIMD kernel lanes: 200 trials of
+// adversarial economics — denormals, signed zeros, and payoff gaps
+// straddling kPayoffEpsilon — each evaluated at a random batch
+// geometry (steps, misaligned begin, remainder-tail count) under the
+// scalar lane and every supported vector lane, asserting per-row
+// bit-equality of every output column. Where the differential suite
+// pins the figure workloads, this suite hunts the inputs most likely
+// to expose a vector lane that differs by one ulp, one compare
+// semantic (±0.0, NaN ordering), or one reassociation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/simd_dispatch.h"
+#include "game/equilibrium.h"
+#include "game/honesty_games.h"
+#include "game/kernel.h"
+#include "game/nplayer_game.h"
+#include "game/thresholds.h"
+
+namespace hsis::game::kernel {
+namespace {
+
+class ScopedLane {
+ public:
+  explicit ScopedLane(common::SimdLane lane) {
+    const char* prev = std::getenv(common::kSimdLaneEnvVar);
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+    ::setenv(common::kSimdLaneEnvVar, common::SimdLaneName(lane), 1);
+  }
+  ~ScopedLane() {
+    if (had_) {
+      ::setenv(common::kSimdLaneEnvVar, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(common::kSimdLaneEnvVar);
+    }
+  }
+  ScopedLane(const ScopedLane&) = delete;
+  ScopedLane& operator=(const ScopedLane&) = delete;
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+uint64_t Bits(double v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+/// Draws one non-negative magnitude from a mixture tuned to break
+/// vector lanes: plain uniforms, log-uniform spans reaching into the
+/// denormal range, exact zeros of both signs, and values placed a few
+/// ulps around kPayoffEpsilon and the 1e-12 boundary tolerance.
+double DrawMagnitude(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> pick(0, 5);
+  std::uniform_real_distribution<double> uniform(0.0, 50.0);
+  std::uniform_real_distribution<double> exponent(-320.0, 2.0);
+  std::uniform_int_distribution<int> ulps(-4, 4);
+  switch (pick(rng)) {
+    case 0:
+    case 1:
+      return uniform(rng);
+    case 2:  // log-uniform: most draws denormal or deeply subnormal
+      return std::pow(10.0, exponent(rng));
+    case 3:  // signed zero: -0.0 must classify exactly like +0.0
+      return (rng() & 1) ? 0.0 : -0.0;
+    case 4: {  // a few ulps around the equilibrium comparison epsilon
+      double v = kPayoffEpsilon;
+      int n = ulps(rng);
+      for (int i = 0; i < n; ++i) v = std::nextafter(v, 1.0);
+      for (int i = 0; i > n; --i) v = std::nextafter(v, 0.0);
+      return v;
+    }
+    default: {  // around the analytic boundary tolerance
+      double v = 1e-12;
+      int n = ulps(rng);
+      for (int i = 0; i < n; ++i) v = std::nextafter(v, 1.0);
+      for (int i = 0; i > n; --i) v = std::nextafter(v, 0.0);
+      return v;
+    }
+  }
+}
+
+/// A frequency in [0, 1] biased toward the exact endpoints (including
+/// -0.0) and near-critical interior values.
+double DrawFrequency(std::mt19937_64& rng) {
+  std::uniform_int_distribution<int> pick(0, 4);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  switch (pick(rng)) {
+    case 0:
+      return (rng() & 1) ? 0.0 : -0.0;
+    case 1:
+      return 1.0;
+    case 2:
+      return std::pow(10.0, std::uniform_real_distribution<double>(
+                                -320.0, -1.0)(rng));  // denormal-to-tiny
+    default:
+      return uniform(rng);
+  }
+}
+
+struct Geometry {
+  int steps;
+  size_t begin;
+  size_t count;
+};
+
+/// Random sweep geometry exercising every remainder-tail length and
+/// misaligned tile starts: steps up to a few vector widths past the
+/// tile boundary, begin anywhere, count the rest or shorter.
+Geometry DrawGeometry(std::mt19937_64& rng) {
+  Geometry g;
+  g.steps = std::uniform_int_distribution<int>(1, 70)(rng);
+  g.begin = std::uniform_int_distribution<size_t>(
+      0, static_cast<size_t>(g.steps) - 1)(rng);
+  g.count = std::uniform_int_distribution<size_t>(
+      0, static_cast<size_t>(g.steps) - g.begin)(rng);
+  return g;
+}
+
+std::vector<common::SimdLane> VectorLanes() {
+  std::vector<common::SimdLane> lanes;
+  for (common::SimdLane lane : common::SupportedSimdLanes()) {
+    if (lane != common::SimdLane::kScalar) lanes.push_back(lane);
+  }
+  return lanes;
+}
+
+constexpr int kTrials = 200;
+
+TEST(KernelSimdPropertyTest, RandomFrequencySweepsBitIdentical) {
+  std::mt19937_64 rng(0x5151'0001);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const double benefit = DrawMagnitude(rng);
+    const double cheat_gain = benefit + DrawMagnitude(rng) + 1e-300;
+    const double loss = DrawMagnitude(rng);
+    const double penalty = DrawMagnitude(rng);
+    const Geometry g = DrawGeometry(rng);
+
+    FrequencyRowsSoA expected;
+    Status ref;
+    {
+      ScopedLane scalar(common::SimdLane::kScalar);
+      ref = EvalFrequencyRows(benefit, cheat_gain, loss, penalty, g.steps,
+                              g.begin, g.count, expected, 1);
+    }
+    for (common::SimdLane lane : VectorLanes()) {
+      FrequencyRowsSoA actual;
+      ScopedLane forced(lane);
+      Status got = EvalFrequencyRows(benefit, cheat_gain, loss, penalty,
+                                     g.steps, g.begin, g.count, actual, 1);
+      ASSERT_EQ(ref.ok(), got.ok()) << "trial " << trial;
+      if (!ref.ok()) continue;
+      ASSERT_EQ(expected.size(), actual.size()) << "trial " << trial;
+      for (size_t k = 0; k < expected.size(); ++k) {
+        SCOPED_TRACE(testing::Message()
+                     << "trial " << trial << ", lane "
+                     << common::SimdLaneName(lane) << ", row " << k << ", B="
+                     << benefit << " F=" << cheat_gain << " L=" << loss
+                     << " P=" << penalty << ", steps=" << g.steps
+                     << " begin=" << g.begin << " count=" << g.count);
+        EXPECT_EQ(Bits(expected.frequency[k]), Bits(actual.frequency[k]));
+        EXPECT_EQ(expected.region[k], actual.region[k]);
+        EXPECT_EQ(expected.nash_mask[k], actual.nash_mask[k]);
+        EXPECT_EQ(expected.honest_is_dse[k], actual.honest_is_dse[k]);
+        EXPECT_EQ(expected.matches[k], actual.matches[k]);
+      }
+    }
+  }
+}
+
+TEST(KernelSimdPropertyTest, RandomPenaltySweepsBitIdentical) {
+  std::mt19937_64 rng(0x5151'0002);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const double benefit = DrawMagnitude(rng);
+    const double cheat_gain = benefit + DrawMagnitude(rng) + 1e-300;
+    const double loss = DrawMagnitude(rng);
+    const double frequency = DrawFrequency(rng);
+    const double max_penalty = DrawMagnitude(rng);
+    const Geometry g = DrawGeometry(rng);
+
+    PenaltyRowsSoA expected;
+    Status ref;
+    {
+      ScopedLane scalar(common::SimdLane::kScalar);
+      ref = EvalPenaltyRows(benefit, cheat_gain, loss, frequency, max_penalty,
+                            g.steps, g.begin, g.count, expected, 1);
+    }
+    for (common::SimdLane lane : VectorLanes()) {
+      PenaltyRowsSoA actual;
+      ScopedLane forced(lane);
+      Status got =
+          EvalPenaltyRows(benefit, cheat_gain, loss, frequency, max_penalty,
+                          g.steps, g.begin, g.count, actual, 1);
+      ASSERT_EQ(ref.ok(), got.ok()) << "trial " << trial;
+      if (!ref.ok()) continue;
+      ASSERT_EQ(expected.size(), actual.size()) << "trial " << trial;
+      for (size_t k = 0; k < expected.size(); ++k) {
+        SCOPED_TRACE(testing::Message()
+                     << "trial " << trial << ", lane "
+                     << common::SimdLaneName(lane) << ", row " << k << ", B="
+                     << benefit << " F=" << cheat_gain << " L=" << loss
+                     << " f=" << frequency << " Pmax=" << max_penalty
+                     << ", steps=" << g.steps << " begin=" << g.begin
+                     << " count=" << g.count);
+        EXPECT_EQ(Bits(expected.penalty[k]), Bits(actual.penalty[k]));
+        EXPECT_EQ(expected.region[k], actual.region[k]);
+        EXPECT_EQ(expected.nash_mask[k], actual.nash_mask[k]);
+        EXPECT_EQ(expected.honest_is_dse[k], actual.honest_is_dse[k]);
+        EXPECT_EQ(expected.matches[k], actual.matches[k]);
+      }
+    }
+  }
+}
+
+TEST(KernelSimdPropertyTest, RandomAsymmetricGridsBitIdentical) {
+  std::mt19937_64 rng(0x5151'0003);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    TwoPlayerGameParams params;
+    params.player1.benefit = DrawMagnitude(rng);
+    params.player1.cheat_gain =
+        params.player1.benefit + DrawMagnitude(rng) + 1e-300;
+    params.player2.benefit = DrawMagnitude(rng);
+    params.player2.cheat_gain =
+        params.player2.benefit + DrawMagnitude(rng) + 1e-300;
+    params.loss_to_1 = DrawMagnitude(rng);
+    params.loss_to_2 = DrawMagnitude(rng);
+    params.audit1.penalty = DrawMagnitude(rng);
+    params.audit2.penalty = DrawMagnitude(rng);
+    // The grid overwrites frequencies; draw a small grid geometry.
+    const int grid = std::uniform_int_distribution<int>(1, 9)(rng);
+    const size_t cells = static_cast<size_t>(grid) * grid;
+    const size_t begin =
+        std::uniform_int_distribution<size_t>(0, cells - 1)(rng);
+    const size_t count =
+        std::uniform_int_distribution<size_t>(0, cells - begin)(rng);
+
+    AsymmetricCellsSoA expected;
+    Status ref;
+    {
+      ScopedLane scalar(common::SimdLane::kScalar);
+      ref = EvalAsymmetricCells(params, grid, begin, count, expected, 1);
+    }
+    for (common::SimdLane lane : VectorLanes()) {
+      AsymmetricCellsSoA actual;
+      ScopedLane forced(lane);
+      Status got = EvalAsymmetricCells(params, grid, begin, count, actual, 1);
+      ASSERT_EQ(ref.ok(), got.ok()) << "trial " << trial;
+      if (!ref.ok()) continue;
+      ASSERT_EQ(expected.size(), actual.size()) << "trial " << trial;
+      for (size_t k = 0; k < expected.size(); ++k) {
+        SCOPED_TRACE(testing::Message()
+                     << "trial " << trial << ", lane "
+                     << common::SimdLaneName(lane) << ", cell " << k
+                     << ", grid=" << grid << " begin=" << begin
+                     << " count=" << count);
+        EXPECT_EQ(Bits(expected.f1[k]), Bits(actual.f1[k]));
+        EXPECT_EQ(Bits(expected.f2[k]), Bits(actual.f2[k]));
+        EXPECT_EQ(expected.region[k], actual.region[k]);
+        EXPECT_EQ(expected.nash_mask[k], actual.nash_mask[k]);
+        EXPECT_EQ(expected.matches[k], actual.matches[k]);
+      }
+    }
+  }
+}
+
+TEST(KernelSimdPropertyTest, RandomNPlayerBandsBitIdentical) {
+  std::mt19937_64 rng(0x5151'0005);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    NPlayerHonestyGame::Params params;
+    params.n = std::uniform_int_distribution<int>(2, 12)(rng);
+    params.benefit = DrawMagnitude(rng);
+    params.gain = LinearGain(params.benefit + DrawMagnitude(rng) + 1e-300,
+                             DrawMagnitude(rng));
+    params.frequency = DrawFrequency(rng);
+    params.uniform_loss = DrawMagnitude(rng);
+    const double max_penalty = DrawMagnitude(rng);
+    const Geometry g = DrawGeometry(rng);
+
+    NPlayerBandRowsSoA expected;
+    Status ref;
+    {
+      ScopedLane scalar(common::SimdLane::kScalar);
+      ref = EvalNPlayerBandRows(params, max_penalty, g.steps, g.begin, g.count,
+                                expected, 1);
+    }
+    for (common::SimdLane lane : VectorLanes()) {
+      NPlayerBandRowsSoA actual;
+      ScopedLane forced(lane);
+      Status got = EvalNPlayerBandRows(params, max_penalty, g.steps, g.begin,
+                                       g.count, actual, 1);
+      ASSERT_EQ(ref.ok(), got.ok()) << "trial " << trial;
+      if (!ref.ok()) continue;
+      ASSERT_EQ(expected.size(), actual.size()) << "trial " << trial;
+      for (size_t k = 0; k < expected.size(); ++k) {
+        SCOPED_TRACE(testing::Message()
+                     << "trial " << trial << ", lane "
+                     << common::SimdLaneName(lane) << ", row " << k << ", n="
+                     << params.n << " B=" << params.benefit << " f="
+                     << params.frequency << " Pmax=" << max_penalty
+                     << ", steps=" << g.steps << " begin=" << g.begin
+                     << " count=" << g.count);
+        EXPECT_EQ(Bits(expected.penalty[k]), Bits(actual.penalty[k]));
+        EXPECT_EQ(expected.analytic_honest_count[k],
+                  actual.analytic_honest_count[k]);
+        EXPECT_EQ(expected.count_mask[k], actual.count_mask[k]);
+        EXPECT_EQ(expected.honest_is_dominant[k],
+                  actual.honest_is_dominant[k]);
+        EXPECT_EQ(expected.cheat_is_dominant[k], actual.cheat_is_dominant[k]);
+        EXPECT_EQ(expected.matches[k], actual.matches[k]);
+      }
+    }
+  }
+}
+
+TEST(KernelSimdPropertyTest, RandomDevicePointsBitIdentical) {
+  std::mt19937_64 rng(0x5151'0004);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const size_t points = std::uniform_int_distribution<size_t>(1, 70)(rng);
+    DevicePointsSoA in;
+    in.Resize(points);
+    for (size_t k = 0; k < points; ++k) {
+      in.benefit[k] = DrawMagnitude(rng);
+      in.cheat_gain[k] = in.benefit[k] + DrawMagnitude(rng) + 1e-300;
+      in.frequency[k] = DrawFrequency(rng);
+      in.penalty[k] = DrawMagnitude(rng);
+    }
+    const double margin = DrawMagnitude(rng);
+    const size_t begin =
+        std::uniform_int_distribution<size_t>(0, points - 1)(rng);
+    const size_t count =
+        std::uniform_int_distribution<size_t>(0, points - begin)(rng);
+
+    DeviceAnswersSoA expected;
+    Status ref;
+    {
+      ScopedLane scalar(common::SimdLane::kScalar);
+      ref = EvalDevicePoints(in, margin, begin, count, expected, 1);
+    }
+    for (common::SimdLane lane : VectorLanes()) {
+      DeviceAnswersSoA actual;
+      ScopedLane forced(lane);
+      Status got = EvalDevicePoints(in, margin, begin, count, actual, 1);
+      ASSERT_EQ(ref.ok(), got.ok()) << "trial " << trial;
+      if (!ref.ok()) continue;
+      ASSERT_EQ(expected.size(), actual.size()) << "trial " << trial;
+      for (size_t k = 0; k < expected.size(); ++k) {
+        SCOPED_TRACE(testing::Message()
+                     << "trial " << trial << ", lane "
+                     << common::SimdLaneName(lane) << ", point " << k
+                     << ", B=" << in.benefit[begin + k] << " F="
+                     << in.cheat_gain[begin + k] << " f="
+                     << in.frequency[begin + k] << " P="
+                     << in.penalty[begin + k] << " margin=" << margin);
+        EXPECT_EQ(expected.effectiveness[k], actual.effectiveness[k]);
+        EXPECT_EQ(Bits(expected.min_frequency[k]),
+                  Bits(actual.min_frequency[k]));
+        EXPECT_EQ(Bits(expected.min_penalty[k]), Bits(actual.min_penalty[k]));
+        EXPECT_EQ(Bits(expected.zero_penalty_frequency[k]),
+                  Bits(actual.zero_penalty_frequency[k]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hsis::game::kernel
