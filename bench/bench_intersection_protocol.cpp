@@ -6,9 +6,11 @@
 // two-firm intersection (50% overlap, 64-bit test group so throughput
 // measures the pipeline rather than 256-bit modexp) through the legacy
 // whole-set path and the streamed pipeline
-// (`--chunk-size=C --threads=T`), asserts the streamed outcome is
-// bit-identical to the legacy one (exit 1 on any mismatch — this is
-// CI's protocol-scale diff smoke), and reports tuples/sec for both.
+// (`--chunk-size=C --threads=T --pipeline-depth=D`; D >= 2 overlaps
+// the crypto stage with the AEAD/wire stage), asserts the streamed
+// outcome is bit-identical to the legacy one (exit 1 on any mismatch —
+// this is CI's protocol-scale diff smoke, serial and pipelined legs),
+// and reports tuples/sec for both.
 // With `--shards=K` (K > 1) it also drives a K-session heavy-traffic
 // campaign (mixed honest/withhold/probe behavior plus commitment
 // audits) with K session workers. `--json=PATH` writes one
@@ -208,15 +210,15 @@ bool OutcomeMatches(const IntersectionOutcome& streamed,
 /// Runs the legacy and streamed paths on the same N-per-party workload,
 /// enforces bit-identity, reports tuples/sec, and (with --shards=K > 1)
 /// adds a K-session traffic campaign. Returns the process exit code.
-int RunProtocolScale(size_t tuples, size_t chunk_size) {
+int RunProtocolScale(size_t tuples, size_t chunk_size, size_t pipeline_depth) {
   const crypto::PrimeGroup& group = crypto::PrimeGroup::SmallTestGroup();
   crypto::MultisetHashFamily family = FamilyFor(group);
   const int threads = bench::Threads();
 
   bench::PrintRule("protocol-scale: streamed vs legacy intersection");
   std::printf("workload: %zu tuples/party, 50%% overlap, 64-bit test group\n"
-              "streamed: chunk-size %zu, threads %d\n\n",
-              tuples, chunk_size, threads);
+              "streamed: chunk-size %zu, threads %d, pipeline-depth %zu\n\n",
+              tuples, chunk_size, threads, pipeline_depth);
 
   const size_t half = tuples / 2;
   Dataset a = MakeSet(half, "shared-").Union(MakeSet(tuples - half,
@@ -241,6 +243,7 @@ int RunProtocolScale(size_t tuples, size_t chunk_size) {
   IntersectionOptions options;
   options.chunk_size = chunk_size;
   options.threads = threads;
+  options.pipeline_depth = pipeline_depth;
   auto streamed_start = std::chrono::steady_clock::now();
   Rng streamed_rng(42);
   auto streamed = RunTwoPartyIntersectionStreamed(a, b, group, family,
@@ -282,6 +285,7 @@ int RunProtocolScale(size_t tuples, size_t chunk_size) {
     traffic.tuples_per_party = std::min<size_t>(tuples, 512);
     traffic.common_tuples = traffic.tuples_per_party / 4;
     traffic.chunk_size = chunk_size;
+    traffic.pipeline_depth = pipeline_depth;
     traffic.threads = 1;  // parallelism across sessions instead
     traffic.session_threads = sessions;
     auto campaign_start = std::chrono::steady_clock::now();
@@ -390,6 +394,7 @@ BENCHMARK(BM_MultiPartyRing)->Arg(2)->Arg(4)->Arg(8);
 int main(int argc, char** argv) {
   size_t tuples = 0;       // 0 = reproduction mode, no scale run
   size_t chunk_size = kDefaultIntersectionChunkSize;
+  size_t pipeline_depth = 1;
 
   // Strip the bench-specific flags, then let bench_util consume the
   // standard ones (--threads, --shards, --speedup, --json).
@@ -409,6 +414,8 @@ int main(int argc, char** argv) {
       tuples = size_flag("--tuples=", "--tuples");
     } else if (std::strncmp(argv[i], "--chunk-size=", 13) == 0) {
       chunk_size = size_flag("--chunk-size=", "--chunk-size");
+    } else if (std::strncmp(argv[i], "--pipeline-depth=", 17) == 0) {
+      pipeline_depth = size_flag("--pipeline-depth=", "--pipeline-depth");
     } else {
       argv[out++] = argv[i];
     }
@@ -416,7 +423,7 @@ int main(int argc, char** argv) {
   argc = out;
   bench::ConsumeFlags(&argc, argv);
 
-  if (tuples > 0) return RunProtocolScale(tuples, chunk_size);
+  if (tuples > 0) return RunProtocolScale(tuples, chunk_size, pipeline_depth);
 
   PrintMain();
   benchmark::Initialize(&argc, argv);

@@ -241,6 +241,35 @@ inline void WriteJsonRecord(const char* bench, int threads,
   WriteJsonRecord(bench, threads, ActiveLaneOrDie(), cells_per_sec, wall_ms);
 }
 
+/// `WriteJsonRecord` variant for benches that compare algorithm
+/// variants of one code path (e.g. bench_modexp's naive-vs-windowed
+/// ladders): stamps the record's optional `algo` field and the scalar
+/// lane (the modexp path has no SIMD lanes).
+inline void WriteJsonRecordAlgo(const char* bench, int threads,
+                                const char* algo, double cells_per_sec,
+                                double wall_ms) {
+  if (internal::JsonPathStorage().empty()) return;
+  common::PerfRecord record;
+  record.bench = bench;
+  record.threads = threads;
+  record.algo = algo;
+  record.cells_per_sec = cells_per_sec;
+  record.wall_ms = wall_ms;
+  record.git_describe = GitDescribe();
+  auto fail = [](const Status& status) {
+    std::fprintf(stderr, "--json: %s\n", status.ToString().c_str());
+    std::exit(1);
+  };
+  if (Status s = record.Validate(); !s.ok()) fail(s);
+  internal::JsonLinesStorage() += common::PerfRecordToJson(record);
+  if (Status s = hsis::WriteFile(internal::JsonPathStorage(),
+                                 internal::JsonLinesStorage());
+      !s.ok()) {
+    fail(s);
+  }
+  std::printf("wrote perf record -> %s\n", internal::JsonPathStorage().c_str());
+}
+
 /// Removes the hsis flags from argv so google-benchmark never sees
 /// them; called by HSIS_BENCH_MAIN before anything else. Flag values
 /// go through the uniform parsers (`ParseThreadsValue` /

@@ -127,6 +127,9 @@ int main(int argc, char** argv) {
     std::printf("  bench         %s\n", record->bench.c_str());
     std::printf("  threads       %d\n", record->threads);
     std::printf("  lane          %s\n", record->lane.c_str());
+    if (!record->algo.empty()) {
+      std::printf("  algo          %s\n", record->algo.c_str());
+    }
     std::printf("  cells_per_sec %.0f\n", record->cells_per_sec);
     std::printf("  wall_ms       %.3f\n", record->wall_ms);
     std::printf("  git_describe  %s\n", record->git_describe.c_str());

@@ -236,6 +236,10 @@ std::string PerfRecordToJson(const PerfRecord& record) {
   out += std::to_string(record.threads);
   out += ",\"lane\":";
   AppendJsonString(out, record.lane);
+  if (!record.algo.empty()) {
+    out += ",\"algo\":";
+    AppendJsonString(out, record.algo);
+  }
   out += ",\"cells_per_sec\":";
   AppendJsonNumber(out, record.cells_per_sec);
   out += ",\"wall_ms\":";
@@ -253,8 +257,8 @@ Result<PerfRecord> ParsePerfRecord(std::string_view json) {
   }
   PerfRecord record;
   bool seen_schema = false, seen_bench = false, seen_threads = false,
-       seen_lane = false, seen_cells = false, seen_wall = false,
-       seen_git = false;
+       seen_lane = false, seen_algo = false, seen_cells = false,
+       seen_wall = false, seen_git = false;
   bool first = true;
   while (!scanner.Consume('}')) {
     if (!first && !scanner.Consume(',')) {
@@ -300,6 +304,14 @@ Result<PerfRecord> ParsePerfRecord(std::string_view json) {
       }
       seen_lane = true;
       HSIS_ASSIGN_OR_RETURN(record.lane, scanner.String());
+    } else if (key == "algo") {
+      // Optional: single-algorithm benches never write it, and the
+      // serializer skips it when empty, so absent == empty.
+      if (seen_algo) {
+        return Status::InvalidArgument("perf record: duplicate key 'algo'");
+      }
+      seen_algo = true;
+      HSIS_ASSIGN_OR_RETURN(record.algo, scanner.String());
     } else if (key == "cells_per_sec") {
       if (seen_cells) {
         return Status::InvalidArgument(

@@ -46,6 +46,12 @@ struct PerfRecord {
   /// lane that existed before records carried the field — so archived
   /// pre-lane artifacts parse unchanged.
   std::string lane = "scalar";
+  /// Algorithm variant of the measured code path, e.g. "naive" vs
+  /// "window4" for the modexp ladder comparison. Empty (the default)
+  /// means the bench has a single algorithm and is omitted from the
+  /// serialized record, so pre-PR-9 artifacts parse unchanged and
+  /// round-trip byte-identically.
+  std::string algo;
   double cells_per_sec = 0; ///< Sweep cells evaluated per second.
   double wall_ms = 0;       ///< Wall-clock time of the measured run.
   std::string git_describe; ///< `git describe --always --dirty` at build time.
@@ -65,9 +71,10 @@ std::string PerfRecordToJson(const PerfRecord& record);
 /// Strict inverse of `PerfRecordToJson`: accepts exactly one flat JSON
 /// object with the fields in any order (whitespace tolerated),
 /// requires `"schema": "hsis-bench-v1"`, and rejects duplicate,
-/// missing, or unknown keys. `lane` is the one optional key (absent in
-/// records written before the SIMD lanes existed; defaults to
-/// "scalar"). The returned record additionally passes `Validate()`.
+/// missing, or unknown keys. `lane` (absent in records written before
+/// the SIMD lanes existed; defaults to "scalar") and `algo` (absent for
+/// single-algorithm benches; defaults to empty) are the two optional
+/// keys. The returned record additionally passes `Validate()`.
 Result<PerfRecord> ParsePerfRecord(std::string_view json);
 
 /// Schema tag of serialized shard-schedule summaries.

@@ -14,15 +14,19 @@ Result<CommutativeCipher> CommutativeCipher::CreateWithKey(
     return Status::InvalidArgument("commutative key must be in [1, q)");
   }
   HSIS_ASSIGN_OR_RETURN(U256 inverse, group.InverseExponent(key));
-  return CommutativeCipher(group, key, inverse);
+  HSIS_ASSIGN_OR_RETURN(FixedExponentContext encrypt_ctx, group.FixedExp(key));
+  HSIS_ASSIGN_OR_RETURN(FixedExponentContext decrypt_ctx,
+                        group.FixedExp(inverse));
+  return CommutativeCipher(group, key, inverse, std::move(encrypt_ctx),
+                           std::move(decrypt_ctx));
 }
 
 U256 CommutativeCipher::Encrypt(const U256& element) const {
-  return group_.Exp(element, key_);
+  return encrypt_ctx_.ModExp(element);
 }
 
 U256 CommutativeCipher::Decrypt(const U256& element) const {
-  return group_.Exp(element, inverse_key_);
+  return decrypt_ctx_.ModExp(element);
 }
 
 U256 CommutativeCipher::EncryptBytes(const Bytes& data) const {

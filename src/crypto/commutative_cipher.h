@@ -24,10 +24,11 @@ class CommutativeCipher {
   static Result<CommutativeCipher> CreateWithKey(const PrimeGroup& group,
                                                  const U256& key);
 
-  /// Encrypts a group element: element^e mod p.
+  /// Encrypts a group element: element^e mod p. Runs on the cached
+  /// fixed-window schedule for e (bit-identical to `group().Exp`).
   U256 Encrypt(const U256& element) const;
 
-  /// Inverts `Encrypt`: element^{e^{-1} mod q} mod p.
+  /// Inverts `Encrypt`: element^{e^{-1} mod q} mod p, also windowed.
   U256 Decrypt(const U256& element) const;
 
   /// Convenience: hash arbitrary bytes into the group, then encrypt.
@@ -37,12 +38,23 @@ class CommutativeCipher {
   const U256& key() const { return key_; }
 
  private:
-  CommutativeCipher(PrimeGroup group, U256 key, U256 inverse_key)
-      : group_(std::move(group)), key_(key), inverse_key_(inverse_key) {}
+  CommutativeCipher(PrimeGroup group, U256 key, U256 inverse_key,
+                    FixedExponentContext encrypt_ctx,
+                    FixedExponentContext decrypt_ctx)
+      : group_(std::move(group)),
+        key_(key),
+        inverse_key_(inverse_key),
+        encrypt_ctx_(std::move(encrypt_ctx)),
+        decrypt_ctx_(std::move(decrypt_ctx)) {}
 
   PrimeGroup group_;
   U256 key_;
   U256 inverse_key_;
+  // Per-key window schedules, computed once at creation and replayed for
+  // every element of every stream the cipher touches. Self-contained
+  // (they copy the Montgomery context), so moving the cipher is safe.
+  FixedExponentContext encrypt_ctx_;
+  FixedExponentContext decrypt_ctx_;
 };
 
 }  // namespace hsis::crypto

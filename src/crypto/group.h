@@ -44,6 +44,14 @@ class PrimeGroup {
   U256 Exp(const U256& base, const U256& e) const { return ctx_.ModExp(base, e); }
   Result<U256> Inverse(const U256& a) const { return ctx_.ModInversePrime(a); }
 
+  /// Windowed exponentiation context for a fixed exponent over the field
+  /// modulus p. `FixedExp(e).ModExp(x)` returns exactly `Exp(x, e)` for
+  /// every x, with the per-exponent window schedule amortized across
+  /// calls — the fast path for the commutative cipher's per-key streams.
+  Result<FixedExponentContext> FixedExp(const U256& e) const {
+    return FixedExponentContext::Create(ctx_, e);
+  }
+
   /// Uniform exponent in [1, q).
   U256 RandomExponent(Rng& rng) const;
 

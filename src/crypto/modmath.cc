@@ -1,5 +1,7 @@
 #include "crypto/modmath.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace hsis::crypto {
@@ -95,6 +97,66 @@ U256 MontgomeryContext::MontMul(const U256& a, const U256& b) const {
   return result;
 }
 
+U256 MontgomeryContext::MontSqr(const U256& a) const {
+  // Symmetric schoolbook square into 8 limbs: the 6 cross products are
+  // computed once and doubled, then the 4 diagonal squares are added.
+  uint64_t t[9] = {0};
+
+  for (size_t i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (size_t j = i + 1; j < 4; ++j) {
+      uint128 cur =
+          static_cast<uint128>(a.limb[i]) * a.limb[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    t[i + 4] = carry;
+  }
+
+  // Double the cross products. The cross sum is (a^2 - sum a[i]^2) / 2
+  // < 2^511, so the doubled value still fits in 8 limbs.
+  uint64_t top = 0;
+  for (size_t k = 0; k < 8; ++k) {
+    uint64_t next = t[k] >> 63;
+    t[k] = (t[k] << 1) | top;
+    top = next;
+  }
+
+  uint64_t carry = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    uint128 sq = static_cast<uint128>(a.limb[i]) * a.limb[i];
+    uint128 lo = static_cast<uint128>(t[2 * i]) + static_cast<uint64_t>(sq) +
+                 carry;
+    t[2 * i] = static_cast<uint64_t>(lo);
+    uint128 hi = static_cast<uint128>(t[2 * i + 1]) +
+                 static_cast<uint64_t>(sq >> 64) +
+                 static_cast<uint64_t>(lo >> 64);
+    t[2 * i + 1] = static_cast<uint64_t>(hi);
+    carry = static_cast<uint64_t>(hi >> 64);
+  }
+
+  // Separate (SOS) Montgomery reduction of the 512-bit square: zero the
+  // low limbs one at a time with multiples of n, then take the high half.
+  for (size_t i = 0; i < 4; ++i) {
+    uint64_t m = t[i] * n0inv_;
+    carry = 0;
+    for (size_t j = 0; j < 4; ++j) {
+      uint128 cur = static_cast<uint128>(m) * n_.limb[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    for (size_t k = i + 4; carry != 0 && k < 9; ++k) {
+      uint128 cur = static_cast<uint128>(t[k]) + carry;
+      t[k] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+  }
+
+  U256 result(t[4], t[5], t[6], t[7]);
+  if (t[8] != 0 || result >= n_) result = result - n_;
+  return result;
+}
+
 U256 MontgomeryContext::ToMont(const U256& a) const { return MontMul(a, r2_); }
 
 U256 MontgomeryContext::FromMont(const U256& a) const {
@@ -106,9 +168,13 @@ U256 MontgomeryContext::ModMul(const U256& a, const U256& b) const {
 }
 
 U256 MontgomeryContext::ModExp(const U256& base, const U256& exp) const {
-  U256 result = ToMont(U256(1));
-  U256 acc = ToMont(base);
+  // Pre-reduce like ModInversePrime so base >= n and base mod n agree.
+  U256 b = (base >= n_) ? DivMod(base, n_).remainder : base;
   size_t bits = exp.BitLength();
+  if (bits == 0) return U256(1);  // x^0 == 1, including 0^0 by convention
+  if (bits == 1) return b;        // exp == 1
+  U256 result = ToMont(U256(1));
+  U256 acc = ToMont(b);
   for (size_t i = 0; i < bits; ++i) {
     if (exp.Bit(i)) result = MontMul(result, acc);
     acc = MontMul(acc, acc);
@@ -122,6 +188,84 @@ Result<U256> MontgomeryContext::ModInversePrime(const U256& a) const {
     return Status::InvalidArgument("zero has no modular inverse");
   }
   return ModExp(reduced, n_ - U256(2));
+}
+
+namespace {
+
+// Window width minimizing squarings + table mults for an exponent of the
+// given bit length; every production exponent (256-bit) lands on w=4.
+int AutoWindowBits(size_t bits) {
+  if (bits <= 6) return 2;
+  if (bits <= 24) return 3;
+  if (bits <= 336) return 4;
+  return 5;
+}
+
+}  // namespace
+
+Result<FixedExponentContext> FixedExponentContext::Create(
+    const MontgomeryContext& ctx, const U256& exponent, int window_bits) {
+  if (window_bits == 0) window_bits = AutoWindowBits(exponent.BitLength());
+  if (window_bits < 1 || window_bits > kMaxWindowBits) {
+    return Status::InvalidArgument(
+        "fixed-exponent window width must be in [1, 6] (0 = auto)");
+  }
+  return FixedExponentContext(ctx, exponent, window_bits);
+}
+
+FixedExponentContext::FixedExponentContext(const MontgomeryContext& ctx,
+                                           const U256& exponent,
+                                           int window_bits)
+    : ctx_(ctx),
+      exp_(exponent),
+      window_bits_(window_bits),
+      table_size_(1),
+      mont_one_(ctx.ToMont(U256(1))) {
+  // Slice the exponent into w-bit digits from the most significant bit
+  // down; the top digit absorbs the ragged remainder, so every later
+  // window is exactly w squarings. An exponent of 0 yields an empty
+  // schedule.
+  const size_t bits = exp_.BitLength();
+  const size_t w = static_cast<size_t>(window_bits_);
+  const size_t windows = (bits + w - 1) / w;
+  digits_.reserve(windows);
+  for (size_t i = 0; i < windows; ++i) {
+    const size_t lo = (windows - 1 - i) * w;
+    const size_t hi = std::min(lo + w, bits);
+    uint8_t digit = 0;
+    for (size_t b = hi; b-- > lo;) {
+      digit = static_cast<uint8_t>((digit << 1) | (exp_.Bit(b) ? 1 : 0));
+    }
+    digits_.push_back(digit);
+    table_size_ = std::max(table_size_, static_cast<size_t>(digit) + 1);
+  }
+}
+
+U256 FixedExponentContext::ModExp(const U256& base) const {
+  // Same pre-reduction and exp==0/1 short-circuits as the naive ladder.
+  U256 b = (base >= ctx_.modulus()) ? DivMod(base, ctx_.modulus()).remainder
+                                    : base;
+  if (digits_.empty()) return U256(1);
+  if (digits_.size() == 1 && digits_[0] == 1) return b;
+
+  // Power table in the Montgomery domain, built only up to the largest
+  // digit the schedule actually uses (<= 2^w entries).
+  U256 table[size_t{1} << kMaxWindowBits];
+  table[0] = mont_one_;
+  if (table_size_ > 1) table[1] = ctx_.ToMont(b);
+  for (size_t i = 2; i < table_size_; ++i) {
+    table[i] = ctx_.MontMul(table[i - 1], table[1]);
+  }
+
+  // Left-to-right walk: the leading digit seeds the accumulator, every
+  // later window costs w Montgomery squarings plus one table product
+  // when its digit is nonzero.
+  U256 acc = table[digits_[0]];
+  for (size_t i = 1; i < digits_.size(); ++i) {
+    for (int s = 0; s < window_bits_; ++s) acc = ctx_.MontSqr(acc);
+    if (digits_[i] != 0) acc = ctx_.MontMul(acc, table[digits_[i]]);
+  }
+  return ctx_.FromMont(acc);
 }
 
 }  // namespace hsis::crypto

@@ -1,6 +1,9 @@
 #ifndef HSIS_CRYPTO_MODMATH_H_
 #define HSIS_CRYPTO_MODMATH_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "common/result.h"
 #include "common/u256.h"
 
@@ -36,10 +39,20 @@ class MontgomeryContext {
   /// Product of two Montgomery-domain values (result in the domain).
   U256 MontMul(const U256& a, const U256& b) const;
 
+  /// Square of a Montgomery-domain value. Returns exactly
+  /// `MontMul(a, a)` — same integer, same reduction — but computes the
+  /// 512-bit square with the symmetric schoolbook (10 limb products
+  /// instead of 16) before a separate Montgomery reduction pass.
+  U256 MontSqr(const U256& a) const;
+
   /// (a * b) mod n for plain-domain inputs (< n).
   U256 ModMul(const U256& a, const U256& b) const;
 
-  /// base^exp mod n (plain domain, base < n), square-and-multiply.
+  /// base^exp mod n (plain domain), square-and-multiply. A base >= n is
+  /// pre-reduced mod n first (the same convention as `ModInversePrime`),
+  /// so ModExp(base, e) == ModExp(base mod n, e) for every base. exp == 0
+  /// returns 1 for every base (including 0) and exp == 1 returns the
+  /// reduced base, both without entering the ladder.
   U256 ModExp(const U256& base, const U256& exp) const;
 
   /// a^(n-2) mod n — the inverse of `a` when n is prime and a != 0 mod n.
@@ -54,6 +67,57 @@ class MontgomeryContext {
   U256 n_;         // modulus
   uint64_t n0inv_; // -n^{-1} mod 2^64
   U256 r2_;        // (2^256)^2 mod n
+};
+
+/// Fixed-window modular exponentiation for one fixed exponent.
+///
+/// The commutative cipher raises millions of bases to the *same* secret
+/// exponent, so everything that depends only on the exponent — the
+/// left-to-right window digit schedule — is computed once here and
+/// replayed for every base. Each `ModExp` call builds a 2^w-entry table
+/// of base powers in the Montgomery domain, then walks the schedule with
+/// w Montgomery squarings per window and one table multiplication per
+/// nonzero digit. Exactly one `ToMont` and one `FromMont` happen per
+/// call; everything in between stays in the Montgomery domain.
+///
+/// Results are bit-identical to `MontgomeryContext::ModExp(base, e)` for
+/// every (base, exponent, modulus): both paths compute the same exact
+/// integer base^e mod n, and both pre-reduce a base >= n. This is pinned
+/// by the differential suite in tests/crypto/fixed_exponent_test.cc.
+class FixedExponentContext {
+ public:
+  /// Largest accepted window width. w=6 already needs a 64-entry table
+  /// per call; wider windows only pay off for exponents far beyond 256
+  /// bits.
+  static constexpr int kMaxWindowBits = 6;
+
+  /// Builds the per-exponent schedule. `window_bits` 0 picks the width
+  /// automatically from the exponent's bit length (w=4 for the 256-bit
+  /// production exponents); explicit values outside [1, kMaxWindowBits]
+  /// are InvalidArgument. The Montgomery context is captured by value so
+  /// the schedule stays valid when its owner (e.g. a PrimeGroup inside a
+  /// moved CommutativeCipher) relocates.
+  static Result<FixedExponentContext> Create(const MontgomeryContext& ctx,
+                                             const U256& exponent,
+                                             int window_bits = 0);
+
+  /// base^exponent mod n; bit-identical to the naive ladder. A base >= n
+  /// is pre-reduced mod n first.
+  U256 ModExp(const U256& base) const;
+
+  const U256& exponent() const { return exp_; }
+  int window_bits() const { return window_bits_; }
+
+ private:
+  FixedExponentContext(const MontgomeryContext& ctx, const U256& exponent,
+                       int window_bits);
+
+  MontgomeryContext ctx_;
+  U256 exp_;
+  int window_bits_;
+  size_t table_size_;            // 1 + max digit in the schedule
+  U256 mont_one_;                // ToMont(1), the table's 0th power
+  std::vector<uint8_t> digits_;  // window digits, most significant first
 };
 
 }  // namespace hsis::crypto

@@ -1,26 +1,16 @@
 #include "crypto/parallel_modexp.h"
 
-#include <cassert>
-
-#include "common/parallel.h"
-
 namespace hsis::crypto {
 
 void EncryptBatch(const CommutativeCipher& cipher, std::span<const U256> in,
                   std::span<U256> out, int threads) {
   assert(in.size() == out.size());
-  common::ParallelFor(threads, in.size(),
-                      [&](size_t i) { out[i] = cipher.Encrypt(in[i]); });
-}
-
-void HashEncryptBatch(const CommutativeCipher& cipher, size_t n,
-                      const std::function<const Bytes&(size_t)>& get,
-                      std::span<U256> out, int threads) {
-  assert(out.size() == n);
-  const PrimeGroup& group = cipher.group();
-  common::ParallelFor(threads, n, [&](size_t i) {
-    out[i] = cipher.Encrypt(group.HashToElement(get(i)));
-  });
+  common::ParallelForTiles(threads, in.size(), kModexpBatchTile,
+                           [&](size_t lo, size_t hi) {
+                             for (size_t i = lo; i < hi; ++i) {
+                               out[i] = cipher.Encrypt(in[i]);
+                             }
+                           });
 }
 
 }  // namespace hsis::crypto

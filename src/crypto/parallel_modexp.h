@@ -1,10 +1,11 @@
 #ifndef HSIS_CRYPTO_PARALLEL_MODEXP_H_
 #define HSIS_CRYPTO_PARALLEL_MODEXP_H_
 
-#include <functional>
+#include <cassert>
 #include <span>
 
 #include "common/bytes.h"
+#include "common/parallel.h"
 #include "common/u256.h"
 #include "crypto/commutative_cipher.h"
 
@@ -16,13 +17,23 @@
 /// at production data sizes (10^5–10^6 tuples) the crypto throughput,
 /// not the set logic, bounds the protocol. Both stages here follow the
 /// batched-crypto idiom: amortize the fixed per-batch cost, fan the
-/// independent exponentiations out over `common::ParallelFor`, and write
-/// each result into its ordered output slot, so a batch is bit-identical
-/// for every thread count (the determinism contract of
+/// independent exponentiations out over `common::ParallelForTiles`, and
+/// write each result into its ordered output slot, so a batch is
+/// bit-identical for every thread count (the determinism contract of
 /// common/parallel.h). Encryption itself is deterministic — no RNG is
 /// consumed — which is what makes the fan-out safe.
+///
+/// The element accessor of `HashEncryptBatch` is a template parameter
+/// (not `std::function`), and both stages hand the pool whole tiles of
+/// `kModexpBatchTile` elements: the only indirect call is the per-tile
+/// dispatch into the worker body, never per element.
 
 namespace hsis::crypto {
+
+/// Elements per scheduling unit. One modexp is microseconds of work, so
+/// a tile this size makes the per-tile dispatch cost invisible while
+/// still splitting a 4096-element protocol chunk across every worker.
+inline constexpr size_t kModexpBatchTile = 64;
 
 /// out[i] = cipher.Encrypt(in[i]) for every i, fanned out over
 /// `threads` workers (0 = hardware concurrency; resolved via
@@ -32,12 +43,23 @@ void EncryptBatch(const CommutativeCipher& cipher, std::span<const U256> in,
                   std::span<U256> out, int threads);
 
 /// Fused hash-to-group + encrypt over a batch of opaque byte strings:
-/// out[i] = cipher.Encrypt(HashToElement(get(i))). `get(i)` must be safe
-/// to call concurrently for distinct i (a read-only indexed view such as
-/// a dataset chunk).
+/// out[i] = cipher.Encrypt(HashToElement(get(i))). `Get` is any callable
+/// `size_t -> const Bytes&` (a read-only indexed view such as a dataset
+/// chunk); it is instantiated directly into the tile loop, and must be
+/// safe to call concurrently for distinct i.
+template <typename Get>
 void HashEncryptBatch(const CommutativeCipher& cipher, size_t n,
-                      const std::function<const Bytes&(size_t)>& get,
-                      std::span<U256> out, int threads);
+                      const Get& get, std::span<U256> out, int threads) {
+  assert(out.size() == n);
+  const PrimeGroup& group = cipher.group();
+  common::ParallelForTiles(threads, n, kModexpBatchTile,
+                           [&](size_t lo, size_t hi) {
+                             for (size_t i = lo; i < hi; ++i) {
+                               out[i] = cipher.Encrypt(
+                                   group.HashToElement(get(i)));
+                             }
+                           });
+}
 
 }  // namespace hsis::crypto
 

@@ -207,6 +207,11 @@ Status ValidateIntersectionOptions(const IntersectionOptions& options) {
     return Status::InvalidArgument(
         "IntersectionOptions.chunk_size must be >= 1");
   }
+  if (options.pipeline_depth == 0) {
+    return Status::InvalidArgument(
+        "IntersectionOptions.pipeline_depth must be >= 1 "
+        "(1 disables the crypto/wire overlap)");
+  }
   if (options.threads < 0) {
     return Status::InvalidArgument(
         "IntersectionOptions.threads must be >= 0 "

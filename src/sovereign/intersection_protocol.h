@@ -53,15 +53,25 @@ struct IntersectionOptions {
   /// are bit-identical for every thread count. Ignored by the legacy
   /// path.
   int threads = 1;
+  /// Streamed-path crypto/wire overlap: number of encrypted frames that
+  /// may be in flight between the modexp stage and the AEAD/channel
+  /// stage. 1 (the default) is the serial hand-off; depth >= 2 runs the
+  /// encryption of chunk k+1 on a producer thread while chunk k is being
+  /// sealed and shipped, buffering at most `pipeline_depth` finished
+  /// frames. Frames are produced and sent strictly in order, so the wire
+  /// transcript and the outcome are byte-identical at every depth. Must
+  /// be >= 1 (validated like `chunk_size`); the legacy path ignores it.
+  size_t pipeline_depth = 1;
   /// Robustness-testing hooks (see FaultInjection).
   FaultInjection fault_injection;
 };
 
-/// Validates the streamed-path knobs: `chunk_size == 0` and
-/// `threads < 0` are InvalidArgument, mirroring the
-/// `ParseThreadsValue` / `ParseShardsValue` flag contract (0 threads =
-/// hardware concurrency). `RunTwoPartyIntersectionStreamed` calls this
-/// before touching the channel.
+/// Validates the streamed-path knobs: `chunk_size == 0`,
+/// `pipeline_depth == 0`, and `threads < 0` are InvalidArgument,
+/// mirroring the `ParseThreadsValue` / `ParseShardsValue` flag contract
+/// (0 threads = hardware concurrency).
+/// `RunTwoPartyIntersectionStreamed` calls this before touching the
+/// channel.
 Status ValidateIntersectionOptions(const IntersectionOptions& options);
 
 /// What one party walks away with after the protocol.

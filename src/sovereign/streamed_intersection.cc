@@ -12,9 +12,13 @@
 // tests/sovereign/streamed_protocol_test.cc).
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <mutex>
 #include <span>
+#include <thread>
 
 #include "common/parallel.h"
 #include "crypto/commutative_cipher.h"
@@ -102,11 +106,45 @@ Status ReceiveFrame(ChannelEndpoint& channel, Bytes* frame) {
   return Status::OK();
 }
 
+/// The crypto stage for one chunk of phase 2: hash + encrypt through
+/// the parallel modexp stage into the participant's aligned
+/// `self_encrypted` slots, shuffle a frame-local copy, serialize. Pure
+/// function of (chunk index, seed, purpose) given the dataset and
+/// cipher, which is why the pipelined and serial schedules below emit
+/// identical wire bytes.
+Bytes BuildEncryptedFrame(StreamParticipant& p, size_t c, int threads,
+                          uint64_t seed, uint64_t purpose) {
+  std::span<const Tuple> tuples = p.source.Chunk(c);
+  std::span<U256> slots(p.self_encrypted.data() + c * p.source.chunk_size(),
+                        tuples.size());
+  crypto::HashEncryptBatch(
+      p.cipher, tuples.size(),
+      [tuples](size_t i) -> const Bytes& { return tuples[i].value; }, slots,
+      threads);
+  std::vector<U256> frame(slots.begin(), slots.end());
+  Rng shuffle_rng = ChunkRng(seed, purpose, c);
+  shuffle_rng.Shuffle(frame);
+  return c == 0 ? SerializeFirstFrame(kMsgEncryptedSet,
+                                      static_cast<uint32_t>(p.source.total()),
+                                      frame)
+                : SerializeContinuationFrame(kMsgEncryptedSet,
+                                             static_cast<uint32_t>(c), frame);
+}
+
 /// Phase 2, send side: hash + encrypt each chunk through the parallel
 /// modexp stage, shuffle it frame-locally, ship it. The aligned
 /// `self_encrypted` copy is kept for phase 4.
+///
+/// With `depth` >= 2 the crypto stage runs on a producer thread that
+/// stays up to `depth` finished frames ahead, so the ParallelFor modexp
+/// workers for chunk k+1 overlap the AEAD seal + channel transfer of
+/// chunk k on the caller thread. The hand-off is a bounded in-order
+/// queue: frames enter in chunk order, the caller seals and sends them
+/// in chunk order, so the transcript is byte-identical to the serial
+/// schedule (`depth` only bounds how far the producer may run ahead).
 Status SendEncryptedSetStreamed(StreamParticipant& p, int threads,
-                                uint64_t seed, uint64_t purpose) {
+                                uint64_t seed, uint64_t purpose,
+                                size_t depth) {
   const size_t n = p.source.total();
   p.self_encrypted.resize(n);
   const size_t chunks = p.source.chunk_count();
@@ -114,25 +152,53 @@ Status SendEncryptedSetStreamed(StreamParticipant& p, int threads,
     return p.channel.Send(SerializeFirstFrame(
         kMsgEncryptedSet, 0, std::vector<U256>()));
   }
-  for (size_t c = 0; c < chunks; ++c) {
-    std::span<const Tuple> tuples = p.source.Chunk(c);
-    std::span<U256> slots(p.self_encrypted.data() + c * p.source.chunk_size(),
-                          tuples.size());
-    crypto::HashEncryptBatch(
-        p.cipher, tuples.size(),
-        [tuples](size_t i) -> const Bytes& { return tuples[i].value; }, slots,
-        threads);
-    std::vector<U256> frame(slots.begin(), slots.end());
-    Rng shuffle_rng = ChunkRng(seed, purpose, c);
-    shuffle_rng.Shuffle(frame);
-    Bytes wire =
-        c == 0 ? SerializeFirstFrame(kMsgEncryptedSet,
-                                     static_cast<uint32_t>(n), frame)
-               : SerializeContinuationFrame(kMsgEncryptedSet,
-                                            static_cast<uint32_t>(c), frame);
-    HSIS_RETURN_IF_ERROR(p.channel.Send(wire));
+  if (depth <= 1 || chunks == 1) {
+    for (size_t c = 0; c < chunks; ++c) {
+      HSIS_RETURN_IF_ERROR(
+          p.channel.Send(BuildEncryptedFrame(p, c, threads, seed, purpose)));
+    }
+    return Status::OK();
   }
-  return Status::OK();
+
+  std::mutex mu;
+  std::condition_variable room_freed;   // consumer -> producer
+  std::condition_variable frame_ready;  // producer -> consumer
+  std::deque<Bytes> ready;              // finished frames, chunk order
+  bool abort = false;                   // consumer hit a send error
+
+  std::thread producer([&] {
+    for (size_t c = 0; c < chunks; ++c) {
+      Bytes frame = BuildEncryptedFrame(p, c, threads, seed, purpose);
+      std::unique_lock<std::mutex> lock(mu);
+      room_freed.wait(lock, [&] { return ready.size() < depth || abort; });
+      if (abort) return;
+      ready.push_back(std::move(frame));
+      frame_ready.notify_one();
+    }
+  });
+
+  Status status = Status::OK();
+  for (size_t c = 0; c < chunks; ++c) {
+    Bytes wire;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      frame_ready.wait(lock, [&] { return !ready.empty(); });
+      wire = std::move(ready.front());
+      ready.pop_front();
+      room_freed.notify_one();
+    }
+    status = p.channel.Send(wire);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      abort = true;
+      room_freed.notify_one();
+      break;
+    }
+  }
+  // The join is also the memory barrier that publishes the producer's
+  // `self_encrypted` writes to the caller before phase 4 reads them.
+  producer.join();
+  return status;
 }
 
 /// Phase 3: consumes the peer's singly-encrypted stream frame by frame,
@@ -347,11 +413,13 @@ RunTwoPartyIntersectionStreamed(
   HSIS_RETURN_IF_ERROR(ReceiveCommitmentStreamed(a));
   HSIS_RETURN_IF_ERROR(ReceiveCommitmentStreamed(b));
 
-  // Phase 2: chunk-framed singly-encrypted streams.
-  HSIS_RETURN_IF_ERROR(
-      SendEncryptedSetStreamed(a, threads, shuffle_seed, kShuffleSendA));
-  HSIS_RETURN_IF_ERROR(
-      SendEncryptedSetStreamed(b, threads, shuffle_seed, kShuffleSendB));
+  // Phase 2: chunk-framed singly-encrypted streams, with the crypto
+  // stage optionally pipelined `pipeline_depth` frames ahead of the
+  // wire stage.
+  HSIS_RETURN_IF_ERROR(SendEncryptedSetStreamed(
+      a, threads, shuffle_seed, kShuffleSendA, options.pipeline_depth));
+  HSIS_RETURN_IF_ERROR(SendEncryptedSetStreamed(
+      b, threads, shuffle_seed, kShuffleSendB, options.pipeline_depth));
 
   // Phase 3: each double-encrypts the peer's stream chunk by chunk.
   // Fault injection (if any) applies to party B's reply about A's set.

@@ -103,6 +103,45 @@ TEST(PerfRecordTest, ValidatesFieldRanges) {
   EXPECT_FALSE(ParsePerfRecord(frac).ok());
 }
 
+TEST(PerfRecordTest, AlgoFieldRoundTrips) {
+  PerfRecord record = SampleRecord();
+  record.algo = "window4";
+  std::string json = PerfRecordToJson(record);
+  EXPECT_NE(json.find("\"algo\":\"window4\""), std::string::npos);
+  PerfRecord parsed = ParsePerfRecord(json).value();
+  EXPECT_EQ(parsed.algo, "window4");
+  EXPECT_EQ(parsed.lane, record.lane);
+}
+
+TEST(PerfRecordTest, EmptyAlgoIsOmittedFromSerialization) {
+  // Single-algorithm benches leave algo at its empty default; the
+  // serialized record must then be byte-identical to a pre-algo one, so
+  // frozen artifacts from earlier PRs round-trip unchanged.
+  PerfRecord record = SampleRecord();
+  std::string json = PerfRecordToJson(record);
+  EXPECT_EQ(json.find("algo"), std::string::npos);
+  record.algo = "";
+  EXPECT_EQ(PerfRecordToJson(record), json);
+  // Absent on the wire parses back to the empty default.
+  EXPECT_EQ(ParsePerfRecord(json).value().algo, "");
+}
+
+TEST(PerfRecordTest, RejectsDuplicateAlgoKey) {
+  PerfRecord record = SampleRecord();
+  record.algo = "naive";
+  std::string dup = PerfRecordToJson(record);
+  dup.insert(dup.find('}'), ",\"algo\":\"naive\"");
+  EXPECT_FALSE(ParsePerfRecord(dup).ok());
+}
+
+TEST(PerfRecordTest, HostileAlgoLabelRoundTrips) {
+  PerfRecord record = SampleRecord();
+  record.algo = "win\"dow\\4\ttab\nnl";
+  std::string json = PerfRecordToJson(record);
+  EXPECT_EQ(json.find('\n'), json.size() - 1);
+  EXPECT_EQ(ParsePerfRecord(json).value().algo, record.algo);
+}
+
 ScheduleRecord SampleScheduleRecord() {
   ScheduleRecord record;
   record.sweep = "figure1";

@@ -64,12 +64,13 @@ Outcomes RunLegacy(uint64_t seed, bool size_only) {
 }
 
 Outcomes RunStreamed(uint64_t seed, bool size_only, size_t chunk_size,
-                     int threads) {
+                     int threads, size_t pipeline_depth = 1) {
   Rng rng(seed);
   IntersectionOptions options;
   options.size_only = size_only;
   options.chunk_size = chunk_size;
   options.threads = threads;
+  options.pipeline_depth = pipeline_depth;
   Result<Outcomes> run = RunTwoPartyIntersectionStreamed(
       MatrixSetA(), MatrixSetB(), Group(), MuFamily(), rng, options);
   EXPECT_TRUE(run.ok()) << run.status().message();
@@ -127,6 +128,67 @@ TEST(StreamedProtocolTest, DifferentialMatrixSizeOnly) {
           << label;
     }
   }
+}
+
+TEST(StreamedProtocolTest, PipelinedDifferentialMatrixFullMode) {
+  // The crypto/wire overlap must be invisible on the wire: at every
+  // chunk size × thread count × pipeline depth the outcome equals the
+  // legacy path and bytes_sent equals the serial (depth-1) schedule of
+  // the same chunk size — the producer may only run ahead, never
+  // reorder or reframe.
+  const Outcomes legacy = RunLegacy(101, /*size_only=*/false);
+  for (size_t chunk : kChunkSizes) {
+    const Outcomes serial =
+        RunStreamed(101, /*size_only=*/false, chunk, /*threads=*/1);
+    for (size_t depth : {size_t{2}, size_t{3}}) {
+      for (int threads : kThreadCounts) {
+        const std::string label = "chunk=" + std::to_string(chunk) +
+                                  " depth=" + std::to_string(depth) +
+                                  " threads=" + std::to_string(threads);
+        const Outcomes piped =
+            RunStreamed(101, /*size_only=*/false, chunk, threads, depth);
+        ExpectOutcomeEqual(piped.first, legacy.first, "A " + label);
+        ExpectOutcomeEqual(piped.second, legacy.second, "B " + label);
+        EXPECT_EQ(piped.first.bytes_sent, serial.first.bytes_sent) << label;
+        EXPECT_EQ(piped.second.bytes_sent, serial.second.bytes_sent) << label;
+      }
+    }
+  }
+}
+
+TEST(StreamedProtocolTest, PipelinedDifferentialMatrixSizeOnly) {
+  const Outcomes legacy = RunLegacy(202, /*size_only=*/true);
+  for (size_t chunk : kChunkSizes) {
+    const Outcomes serial =
+        RunStreamed(202, /*size_only=*/true, chunk, /*threads=*/1);
+    for (size_t depth : {size_t{2}, size_t{3}}) {
+      const std::string label = "chunk=" + std::to_string(chunk) +
+                                " depth=" + std::to_string(depth);
+      const Outcomes piped =
+          RunStreamed(202, /*size_only=*/true, chunk, /*threads=*/2, depth);
+      ExpectOutcomeEqual(piped.first, legacy.first, "A " + label);
+      ExpectOutcomeEqual(piped.second, legacy.second, "B " + label);
+      EXPECT_TRUE(piped.first.intersection.empty()) << label;
+      EXPECT_EQ(piped.first.bytes_sent, serial.first.bytes_sent) << label;
+      EXPECT_EQ(piped.second.bytes_sent, serial.second.bytes_sent) << label;
+    }
+  }
+}
+
+TEST(StreamedProtocolTest, PipelineDepthBeyondChunkCountIsHarmless) {
+  // A depth larger than the stream (or a single-chunk stream under any
+  // depth) degenerates gracefully: same outcome, same bytes.
+  const Outcomes serial = RunStreamed(505, /*size_only=*/false, 7, 1);
+  for (size_t depth : {size_t{64}, size_t{1000}}) {
+    const Outcomes piped = RunStreamed(505, false, 7, 2, depth);
+    ExpectOutcomeEqual(piped.first, serial.first,
+                       "depth=" + std::to_string(depth));
+    EXPECT_EQ(piped.first.bytes_sent, serial.first.bytes_sent);
+  }
+  const Outcomes one_frame = RunStreamed(505, false, 64, 1);
+  const Outcomes one_piped = RunStreamed(505, false, 64, 2, 3);
+  ExpectOutcomeEqual(one_piped.first, one_frame.first, "single frame");
+  EXPECT_EQ(one_piped.first.bytes_sent, one_frame.first.bytes_sent);
 }
 
 TEST(StreamedProtocolTest, SingleFrameStreamMatchesLegacyWireBytes) {
@@ -236,6 +298,10 @@ TEST(StreamedProtocolTest, OptionValidation) {
   negative_threads.threads = -1;
   EXPECT_EQ(ValidateIntersectionOptions(negative_threads).code(),
             StatusCode::kInvalidArgument);
+  IntersectionOptions zero_depth;
+  zero_depth.pipeline_depth = 0;
+  EXPECT_EQ(ValidateIntersectionOptions(zero_depth).code(),
+            StatusCode::kInvalidArgument);
   EXPECT_TRUE(ValidateIntersectionOptions(IntersectionOptions{}).ok());
   // Hardware-concurrency selection (threads == 0) is valid, per the
   // ParseThreadsValue contract.
@@ -252,6 +318,10 @@ TEST(StreamedProtocolTest, OptionValidation) {
   EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
   run = RunTwoPartyIntersectionStreamed(a, a, Group(), MuFamily(), rng,
                                         negative_threads);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  run = RunTwoPartyIntersectionStreamed(a, a, Group(), MuFamily(), rng,
+                                        zero_depth);
   ASSERT_FALSE(run.ok());
   EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
 }
@@ -366,6 +436,34 @@ TEST(ProtocolTrafficTest, CampaignStatsAreSessionThreadInvariant) {
   EXPECT_EQ(serial->intersections_total, threaded->intersections_total);
   EXPECT_EQ(serial->bytes_on_wire, threaded->bytes_on_wire);
   EXPECT_EQ(serial->protocol_failures, threaded->protocol_failures);
+}
+
+TEST(ProtocolTrafficTest, CampaignStatsArePipelineDepthInvariant) {
+  // Same contract as thread invariance: the crypto/wire overlap inside
+  // each session must not change a single aggregate statistic.
+  sim::ProtocolTrafficOptions options;
+  options.sessions = 12;
+  options.tuples_per_party = 24;
+  options.common_tuples = 8;
+  options.chunk_size = 5;
+  options.seed = 99;
+  auto serial = sim::RunProtocolTrafficCampaign(options, Group(), MuFamily());
+  ASSERT_TRUE(serial.ok()) << serial.status().message();
+  options.pipeline_depth = 3;
+  options.session_threads = 4;
+  auto piped = sim::RunProtocolTrafficCampaign(options, Group(), MuFamily());
+  ASSERT_TRUE(piped.ok()) << piped.status().message();
+
+  EXPECT_EQ(serial->sessions, piped->sessions);
+  EXPECT_EQ(serial->honest, piped->honest);
+  EXPECT_EQ(serial->withheld, piped->withheld);
+  EXPECT_EQ(serial->probed, piped->probed);
+  EXPECT_EQ(serial->audited, piped->audited);
+  EXPECT_EQ(serial->audit_flags, piped->audit_flags);
+  EXPECT_EQ(serial->tuples_processed, piped->tuples_processed);
+  EXPECT_EQ(serial->intersections_total, piped->intersections_total);
+  EXPECT_EQ(serial->bytes_on_wire, piped->bytes_on_wire);
+  EXPECT_EQ(serial->protocol_failures, piped->protocol_failures);
 }
 
 TEST(ProtocolTrafficTest, AuditsFlagEveryCheater) {
