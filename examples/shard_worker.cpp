@@ -62,7 +62,7 @@ int Usage() {
       "  shard_worker --schedule --out=DIR [--sweep=NAME --shards=K]\n"
       "               [--workers=N] [--max-retries=R] [--shard-timeout-ms=T]\n"
       "               [--summary=FILE] [--csv=FILE] [--threads=N]\n"
-      "  shard_worker --list\n");
+      "  shard_worker --list [--json]\n");
   return 2;
 }
 
@@ -227,6 +227,7 @@ int main(int argc, char** argv) {
   if (Status s = core::RegisterCampaignEnsembleSweep(); !s.ok()) return Fail(s);
 
   bool plan = false, merge = false, list = false, schedule = false;
+  bool json = false;
   int shard = -1, shards = 1, threads = 1;
   std::string sweep, out, csv;
   ScheduleFlags sched;
@@ -244,6 +245,8 @@ int main(int argc, char** argv) {
       merge = true;
     } else if (std::strcmp(arg, "--list") == 0) {
       list = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
     } else if (std::strcmp(arg, "--schedule") == 0) {
       schedule = true;
     } else if (std::strncmp(arg, "--sweep=", 8) == 0) {
@@ -275,6 +278,26 @@ int main(int argc, char** argv) {
   }
 
   if (list) {
+    // --json emits the machine-readable registry snapshot that
+    // docs/SHARDING.md §5 cites, so the documented sweep table can be
+    // regenerated instead of rotting: one object per sweep with its
+    // index count and CSV filename, in name-lookup order.
+    if (json) {
+      std::printf("{\"version\":\"hsis-sweeps-v1\",\"sweeps\":[");
+      bool first = true;
+      for (const std::string& name : LandscapeSweepNames()) {
+        auto spec = LandscapeSweepSpec(name);
+        if (!spec.ok()) return Fail(spec.status());
+        auto filename = LandscapeCsvFilename(name);
+        if (!filename.ok()) return Fail(filename.status());
+        std::printf("%s{\"name\":\"%s\",\"total\":%zu,\"csv\":\"%s\"}",
+                    first ? "" : ",", name.c_str(), spec->total,
+                    filename->c_str());
+        first = false;
+      }
+      std::printf("]}\n");
+      return 0;
+    }
     for (const std::string& name : LandscapeSweepNames()) {
       std::printf("%s\n", name.c_str());
     }

@@ -1,0 +1,250 @@
+// Sweep-service daemon: serves time-bounded shard leases of one
+// landscape sweep to pull-based workers over TCP (hsis-sweepd-v1,
+// common/sweep_service.h), then merges the drained directory into the
+// serial-identical CSV.
+//
+//   1. Start the daemon (plans the sweep if DIR has no plan yet):
+//        sweep_service --out=DIR --sweep=figure1 --shards=8
+//                      [--host=A --port=P] [--lease-ms=T] [--max-retries=R]
+//                      [--port-file=FILE] [--events=FILE] [--csv=FILE]
+//   2. Point any number of workers at it, on any host that shares DIR:
+//        sweep_client --connect=HOST:PORT --out=DIR [--threads=N]
+//   3. The daemon exits 0 once every shard is committed and the merged
+//      CSV — byte-identical to the serial run — is written.
+//
+// Restarting the daemon over the same DIR resumes: committed shards
+// are never recomputed. --port defaults to 0 (kernel-assigned); the
+// bound port is printed and written to --port-file (default
+// DIR/sweepd.port) for scripted handshakes. Every lease-table state
+// transition is appended to --events (default DIR/events.log). See
+// docs/SWEEP_SERVICE.md for the operator runbook and wire contract.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/file.h"
+#include "common/shard.h"
+#include "common/sweep_service.h"
+#include "core/campaign_shards.h"
+#include "game/landscape_shards.h"
+
+using namespace hsis;
+using namespace hsis::game;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  sweep_service --out=DIR [--sweep=NAME --shards=K]\n"
+      "                [--host=A] [--port=P] [--lease-ms=T]\n"
+      "                [--max-retries=R] [--retry-ms=T]\n"
+      "                [--port-file=FILE] [--events=FILE] [--csv=FILE]\n"
+      "                [--linger-ms=T]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Serializes event lines from the daemon's service threads onto one
+// append-only log (and stdout), flushed per line so a SIGKILLed daemon
+// loses at most the line in flight.
+class EventLog {
+ public:
+  ~EventLog() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Open(const std::string& path) {
+    file_ = std::fopen(path.c_str(), "a");
+    if (file_ == nullptr) {
+      return Status::Internal("cannot open event log " + path);
+    }
+    return Status::OK();
+  }
+
+  void Write(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::printf("[sweepd] %s\n", line.c_str());
+    std::fflush(stdout);
+    if (file_ != nullptr) {
+      std::fprintf(file_, "%s\n", line.c_str());
+      std::fflush(file_);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  FILE* file_ = nullptr;
+};
+
+int PlanIfMissing(const std::string& sweep, int shards,
+                  const std::string& out) {
+  if (FileExists(common::ShardPlanPath(out))) return 0;
+  if (sweep.empty()) {
+    std::fprintf(stderr,
+                 "no plan in %s and no --sweep to plan one; pass "
+                 "--sweep=NAME --shards=K\n",
+                 out.c_str());
+    return 2;
+  }
+  auto spec = LandscapeSweepSpec(sweep);
+  if (!spec.ok()) return Fail(spec.status());
+  auto plan = common::ShardPlan::Create(spec->total, shards);
+  if (!plan.ok()) return Fail(plan.status());
+  if (Status s = CreateDirectories(out); !s.ok()) return Fail(s);
+  if (Status s = common::WriteShardPlan(*spec, *plan, out); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("planned sweep '%s': %zu indices in %d shards -> %s\n",
+              sweep.c_str(), spec->total, shards,
+              common::ShardPlanPath(out).c_str());
+  return 0;
+}
+
+int Merge(const std::string& out, std::string csv_path) {
+  auto info = common::ReadShardPlan(out);
+  if (!info.ok()) return Fail(info.status());
+  auto merged = common::MergeShards(out, info->sweep);
+  if (!merged.ok()) return Fail(merged.status());
+  auto header = LandscapeCsvHeader(info->sweep);
+  if (!header.ok()) return Fail(header.status());
+  if (csv_path.empty()) {
+    csv_path = out + "/" + LandscapeCsvFilename(info->sweep).value();
+  }
+  std::string csv = *header + BytesToString(*merged);
+  if (Status s = WriteFile(csv_path, csv); !s.ok()) return Fail(s);
+  std::printf("merged %d shards of '%s' -> %s\n", info->shards,
+              info->sweep.c_str(), csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (Status s = RegisterHeterogeneousDesignSweeps(); !s.ok()) return Fail(s);
+  if (Status s = core::RegisterCampaignEnsembleSweep(); !s.ok()) return Fail(s);
+
+  std::string sweep, out, csv, host = "127.0.0.1", port_file, events_path;
+  int shards = 1, port = 0, max_retries = 2;
+  int64_t lease_ms = 30000, retry_ms = 200, linger_ms = 1000;
+  auto parse_int = [](const char* value, int64_t* result) {
+    char* end = nullptr;
+    *result = std::strtol(value, &end, 10);
+    return end != value && *end == '\0';
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    int64_t value = 0;
+    if (std::strncmp(arg, "--sweep=", 8) == 0) {
+      sweep = arg + 8;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      csv = arg + 6;
+    } else if (std::strncmp(arg, "--host=", 7) == 0) {
+      host = arg + 7;
+    } else if (std::strncmp(arg, "--port-file=", 12) == 0) {
+      port_file = arg + 12;
+    } else if (std::strncmp(arg, "--events=", 9) == 0) {
+      events_path = arg + 9;
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      shards = [](Result<int> r) {
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+          std::exit(1);
+        }
+        return *r;
+      }(common::ParseShardsValue(arg + 9));
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      if (!parse_int(arg + 7, &value) || value < 0 || value > 65535) {
+        return Usage();
+      }
+      port = static_cast<int>(value);
+    } else if (std::strncmp(arg, "--lease-ms=", 11) == 0) {
+      if (!parse_int(arg + 11, &value) || value < 1) return Usage();
+      lease_ms = value;
+    } else if (std::strncmp(arg, "--retry-ms=", 11) == 0) {
+      if (!parse_int(arg + 11, &value) || value < 1) return Usage();
+      retry_ms = value;
+    } else if (std::strncmp(arg, "--linger-ms=", 12) == 0) {
+      if (!parse_int(arg + 12, &value) || value < 0) return Usage();
+      linger_ms = value;
+    } else if (std::strncmp(arg, "--max-retries=", 14) == 0) {
+      if (!parse_int(arg + 14, &value) || value < 0) return Usage();
+      max_retries = static_cast<int>(value);
+    } else {
+      return Usage();
+    }
+  }
+  if (out.empty()) return Usage();
+
+  if (int rc = PlanIfMissing(sweep, shards, out); rc != 0) return rc;
+  auto info = common::ReadShardPlan(out);
+  if (!info.ok()) return Fail(info.status());
+  if (!sweep.empty() && sweep != info->sweep) {
+    std::fprintf(stderr,
+                 "--sweep=%s contradicts the plan in %s (sweep '%s'); "
+                 "clear the directory to start over\n",
+                 sweep.c_str(), out.c_str(), info->sweep.c_str());
+    return 2;
+  }
+
+  EventLog log;
+  if (events_path.empty()) events_path = out + "/events.log";
+  if (Status s = log.Open(events_path); !s.ok()) return Fail(s);
+
+  common::SweepServiceOptions options;
+  options.host = host;
+  options.port = port;
+  options.lease.lease_ms = lease_ms;
+  options.lease.max_attempts = max_retries + 1;
+  options.lease.retry_ms = retry_ms;
+  options.on_event = [&log](const std::string& line) { log.Write(line); };
+
+  auto service = common::SweepService::Start(*info, out, options);
+  if (!service.ok()) return Fail(service.status());
+  std::printf("sweepd serving '%s' (%d shards) on %s:%d\n",
+              info->sweep.c_str(), info->shards, host.c_str(),
+              (*service)->port());
+  std::fflush(stdout);
+  if (port_file.empty()) port_file = out + "/sweepd.port";
+  if (Status s = WriteFile(port_file, std::to_string((*service)->port()));
+      !s.ok()) {
+    return Fail(s);
+  }
+
+  Status done = (*service)->WaitUntilDone();
+  if (!done.ok()) {
+    // Late pollers still deserve the terminal answer before we vanish.
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+    (*service)->Stop();
+    if (done.code() == StatusCode::kFailedPrecondition) {
+      std::printf("sweepd: %s\n", done.message().c_str());
+      return 0;  // operator-requested shutdown, not a failure
+    }
+    return Fail(done);
+  }
+
+  common::SweepStatusReply snap = (*service)->Snapshot();
+  std::printf(
+      "drained '%s': %u shards committed (%u resumed, %u retries, "
+      "%u expired leases, %u quarantined)\n",
+      snap.sweep.c_str(), snap.committed, snap.resumed, snap.retries,
+      snap.expired, snap.quarantined);
+  int rc = Merge(out, csv);
+
+  // Keep answering "drained" for stragglers, then shut down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  (*service)->Stop();
+  return rc;
+}

@@ -1,0 +1,270 @@
+#ifndef HSIS_COMMON_SWEEP_WIRE_H_
+#define HSIS_COMMON_SWEEP_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+/// \file
+/// \brief `hsis-sweepd-v1` — the wire codec of the sweep-service
+/// daemon (common/sweep_service.h).
+///
+/// Workers pull time-bounded shard leases from the daemon over TCP.
+/// Every message travels as one length-prefixed frame,
+///
+///     [body_len:u32 BE][body]
+///
+/// whose body starts with a fixed two-byte header,
+///
+///     [version:u8 = 0x01][type:u8][payload...]
+///
+/// followed by the payload fields of that frame type in fixed order.
+/// All integers are big-endian (the `common/bytes.h` helpers); strings
+/// are `[len:u32 BE][len bytes]` with `len <= kSweepWireMaxString`.
+/// The codec is strict in the `sovereign/stream_frame.h` style: a
+/// frame either parses into exactly one typed struct or fails with a
+/// typed `ProtocolViolation` naming the defect (short body, wrong
+/// version, unknown type, truncated field, trailing bytes, oversized
+/// string, malformed SHA-256) — the daemon never acts on a frame it
+/// only partially understood, and after a parse error the connection
+/// is closed. The full normative byte-level specification (enough to
+/// implement an independent worker) is docs/SWEEP_SERVICE.md §4.
+
+namespace hsis::common {
+
+/// Protocol version byte every `hsis-sweepd-v1` frame body starts with.
+inline constexpr uint8_t kSweepWireVersion = 0x01;
+
+/// Upper bound of a frame body in bytes; the transport refuses to read
+/// frames that claim more (a corrupt or hostile length prefix must not
+/// trigger a giant allocation).
+inline constexpr uint32_t kSweepWireMaxFrame = 1u << 20;
+
+/// Upper bound of a length-prefixed string field in bytes.
+inline constexpr uint32_t kSweepWireMaxString = 4096;
+
+/// Frame type tags. Requests (worker -> daemon) use the low range,
+/// replies (daemon -> worker) the high range; the type byte alone
+/// determines the payload layout.
+enum class SweepFrameType : uint8_t {
+  kLeaseRequest = 0x01,   ///< worker asks for the next shard lease
+  kHeartbeat = 0x02,      ///< worker renews a held lease
+  kComplete = 0x03,       ///< worker reports a committed shard
+  kFail = 0x04,           ///< worker reports a failed attempt
+  kStatusRequest = 0x05,  ///< progress snapshot request
+  kShutdown = 0x06,       ///< admin asks the daemon to stop serving
+  kLeaseGrant = 0x81,     ///< reply: a lease on one shard
+  kNoWork = 0x82,         ///< reply: nothing grantable right now
+  kHeartbeatAck = 0x83,   ///< reply: lease renewed, fresh deadline
+  kCompleteAck = 0x84,    ///< reply: completion accepted (or duplicate)
+  kFailAck = 0x85,        ///< reply: failure recorded
+  kStatusReply = 0x86,    ///< reply: progress snapshot
+  kErrorReply = 0x87,     ///< reply: typed error, mirrors Status codes
+  kShutdownAck = 0x88,    ///< reply: daemon will stop serving
+};
+
+/// Worker -> daemon: request the next shard lease. `worker` is a
+/// free-form identity string recorded in events and lease state (e.g.
+/// "hostname:pid"); it does not authenticate anything.
+struct SweepLeaseRequest {
+  std::string worker;  ///< Worker identity for events and diagnostics.
+
+  friend bool operator==(const SweepLeaseRequest&,
+                         const SweepLeaseRequest&) = default;
+};
+
+/// Worker -> daemon: renew the lease before its deadline. The daemon
+/// cross-checks `shard` against the lease and rejects a mismatch.
+struct SweepHeartbeat {
+  uint64_t lease_id = 0;  ///< Lease being renewed.
+  uint32_t shard = 0;     ///< Shard the worker believes it holds.
+
+  friend bool operator==(const SweepHeartbeat&,
+                         const SweepHeartbeat&) = default;
+};
+
+/// Worker -> daemon: the shard's payload and manifest are committed in
+/// the shared results directory. `payload_sha256` is the lowercase-hex
+/// digest from the manifest the worker wrote; the daemon revalidates
+/// the files on disk and cross-checks this digest, so a completion
+/// claim is never taken on faith.
+struct SweepComplete {
+  uint64_t lease_id = 0;       ///< Lease the work ran under.
+  uint32_t shard = 0;          ///< Completed shard index.
+  std::string payload_sha256;  ///< 64 lowercase hex chars.
+
+  friend bool operator==(const SweepComplete&,
+                         const SweepComplete&) = default;
+};
+
+/// Worker -> daemon: the attempt failed without committing; the lease
+/// is released immediately instead of waiting for expiry.
+struct SweepFail {
+  uint64_t lease_id = 0;  ///< Lease being released.
+  uint32_t shard = 0;     ///< Shard the attempt ran on.
+  std::string message;    ///< Worker-side error text for the event log.
+
+  friend bool operator==(const SweepFail&, const SweepFail&) = default;
+};
+
+/// Worker -> daemon: progress snapshot request (no payload).
+struct SweepStatusRequest {
+  friend bool operator==(const SweepStatusRequest&,
+                         const SweepStatusRequest&) = default;
+};
+
+/// Admin -> daemon: stop serving (no payload). Committed shards stay
+/// committed; the daemon acks and shuts its listener down.
+struct SweepShutdown {
+  friend bool operator==(const SweepShutdown&, const SweepShutdown&) = default;
+};
+
+/// Daemon -> worker: a time-bounded lease on one shard, plus the plan
+/// identity the worker must cross-check against its `plan.manifest`
+/// before computing anything.
+struct SweepLeaseGrant {
+  uint64_t lease_id = 0;  ///< Unique per grant, never reused.
+  uint32_t shard = 0;     ///< Leased shard index.
+  uint64_t begin = 0;     ///< First global index of the shard's range.
+  uint64_t end = 0;       ///< One past the last global index.
+  uint64_t lease_ms = 0;  ///< Lease duration; heartbeat well before this.
+  std::string sweep;      ///< Sweep name of the plan being drained.
+  uint64_t total = 0;     ///< Global index count of the plan.
+  uint32_t shards = 0;    ///< Shard count of the plan.
+  uint64_t seed = 0;      ///< Base seed of the plan.
+
+  friend bool operator==(const SweepLeaseGrant&,
+                         const SweepLeaseGrant&) = default;
+};
+
+/// Daemon -> worker: no lease can be granted right now. `drained`
+/// distinguishes "everything is committed — exit" from "every pending
+/// shard is leased or backing off — poll again in `retry_ms`".
+struct SweepNoWork {
+  uint8_t drained = 0;     ///< 1 once every shard is committed.
+  uint64_t retry_ms = 0;   ///< Suggested poll delay when not drained.
+  uint32_t committed = 0;  ///< Shards committed so far.
+  uint32_t shards = 0;     ///< Shard count of the plan.
+
+  friend bool operator==(const SweepNoWork&, const SweepNoWork&) = default;
+};
+
+/// Daemon -> worker: heartbeat accepted; the lease deadline is now
+/// `lease_ms` from the daemon's clock.
+struct SweepHeartbeatAck {
+  uint64_t lease_id = 0;  ///< Renewed lease.
+  uint64_t lease_ms = 0;  ///< Fresh full lease duration granted.
+
+  friend bool operator==(const SweepHeartbeatAck&,
+                         const SweepHeartbeatAck&) = default;
+};
+
+/// Daemon -> worker: completion accepted. `duplicate` is 1 when the
+/// shard was already committed (a second worker finished the same
+/// shard after a lease expiry — byte-identical by construction, so the
+/// duplicate is acknowledged, not an error).
+struct SweepCompleteAck {
+  uint32_t shard = 0;      ///< Completed shard index.
+  uint8_t duplicate = 0;   ///< 1 if the shard was already committed.
+  uint32_t committed = 0;  ///< Shards committed after this completion.
+  uint32_t shards = 0;     ///< Shard count of the plan.
+
+  friend bool operator==(const SweepCompleteAck&,
+                         const SweepCompleteAck&) = default;
+};
+
+/// Daemon -> worker: failure recorded. `will_retry` is 0 when the
+/// shard has exhausted its attempts and the run is now failed.
+struct SweepFailAck {
+  uint32_t shard = 0;      ///< Shard the failure was recorded against.
+  uint8_t will_retry = 0;  ///< 1 if the shard goes back to pending.
+
+  friend bool operator==(const SweepFailAck&, const SweepFailAck&) = default;
+};
+
+/// Daemon -> worker: progress snapshot. Counters follow the scheduler
+/// summary vocabulary (docs/SHARDING.md §2): `resumed` shards were
+/// committed before this daemon started, `retries` counts grants
+/// beyond each shard's first, `expired` lease-deadline reclaims,
+/// `quarantined` corrupt files moved aside.
+struct SweepStatusReply {
+  std::string sweep;         ///< Sweep name of the plan.
+  uint32_t shards = 0;       ///< Shard count of the plan.
+  uint32_t committed = 0;    ///< Shards committed (incl. resumed).
+  uint32_t leased = 0;       ///< Shards currently under lease.
+  uint32_t pending = 0;      ///< Shards waiting for a worker.
+  uint32_t resumed = 0;      ///< Shards committed before startup.
+  uint32_t retries = 0;      ///< Grants beyond each shard's first.
+  uint32_t expired = 0;      ///< Leases reclaimed at their deadline.
+  uint32_t quarantined = 0;  ///< Files moved to quarantine/.
+  uint8_t drained = 0;       ///< 1 once every shard is committed.
+
+  friend bool operator==(const SweepStatusReply&,
+                         const SweepStatusReply&) = default;
+};
+
+/// Daemon -> worker: typed error. `code` is the numeric
+/// `hsis::StatusCode` of the daemon-side status, so the client
+/// reconstructs the same taxonomy the lease table produced
+/// (NotFound = expired lease, IntegrityViolation = corrupt files,
+/// InvalidArgument = plan contradiction, Internal = run failed, ...).
+struct SweepErrorReply {
+  uint8_t code = 0;     ///< Numeric hsis::StatusCode, never kOk.
+  std::string message;  ///< Human-readable error text.
+
+  friend bool operator==(const SweepErrorReply&,
+                         const SweepErrorReply&) = default;
+};
+
+/// Daemon -> admin: shutdown acknowledged; final progress attached.
+struct SweepShutdownAck {
+  uint32_t committed = 0;  ///< Shards committed at shutdown.
+  uint32_t shards = 0;     ///< Shard count of the plan.
+
+  friend bool operator==(const SweepShutdownAck&,
+                         const SweepShutdownAck&) = default;
+};
+
+/// Any parsed `hsis-sweepd-v1` frame body.
+using SweepFrame =
+    std::variant<SweepLeaseRequest, SweepHeartbeat, SweepComplete, SweepFail,
+                 SweepStatusRequest, SweepShutdown, SweepLeaseGrant,
+                 SweepNoWork, SweepHeartbeatAck, SweepCompleteAck, SweepFailAck,
+                 SweepStatusReply, SweepErrorReply, SweepShutdownAck>;
+
+/// Serializes `frame` into a frame *body* (version + type + payload,
+/// without the transport length prefix). The inverse of
+/// `ParseSweepFrame`.
+Bytes SerializeSweepFrame(const SweepFrame& frame);
+
+/// Strict inverse of `SerializeSweepFrame`. Every structural defect is
+/// a `ProtocolViolation`: empty or short body, a version byte other
+/// than `kSweepWireVersion`, an unknown type byte, a truncated or
+/// over-long field, trailing bytes after the payload, a string longer
+/// than `kSweepWireMaxString`, a `payload_sha256` that is not exactly
+/// 64 lowercase hex characters, or an `ErrorReply` whose code byte is
+/// not a known non-OK `StatusCode`.
+Result<SweepFrame> ParseSweepFrame(const Bytes& body);
+
+/// The frame type tag `frame` serializes under.
+SweepFrameType SweepFrameTypeOf(const SweepFrame& frame);
+
+/// Stable lowercase name of `type` (e.g. "lease-request") for event
+/// lines and error messages; "unknown" for unassigned tags.
+const char* SweepFrameTypeName(SweepFrameType type);
+
+/// Converts a daemon-side status to the `SweepErrorReply` it travels
+/// as. Requires `!status.ok()`.
+SweepErrorReply ToSweepError(const Status& status);
+
+/// Reconstructs the daemon-side status from an error reply; the
+/// inverse of `ToSweepError` (codes round-trip exactly, messages are
+/// carried verbatim).
+Status FromSweepError(const SweepErrorReply& error);
+
+}  // namespace hsis::common
+
+#endif  // HSIS_COMMON_SWEEP_WIRE_H_

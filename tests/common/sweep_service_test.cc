@@ -1,0 +1,582 @@
+#include "common/sweep_service.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "common/file.h"
+#include "common/scheduler.h"
+#include "common/shard.h"
+
+namespace hsis::common {
+namespace {
+
+std::string FreshDir(const char* name) {
+  std::string dir = std::string(::testing::TempDir()) + "/" + name;
+  std::filesystem::remove_all(dir);  // committed shards would resume
+  EXPECT_TRUE(CreateDirectories(dir).ok());
+  return dir;
+}
+
+/// Same irregular-record toy sweep as shard_test.cc / scheduler_test.cc,
+/// so the lease table exercises the exact codec the merge validates.
+ShardSweepSpec ToySpec(size_t total) {
+  ShardSweepSpec spec;
+  spec.name = "toy";
+  spec.total = total;
+  spec.seed = 7;
+  spec.record = [](size_t i) -> Result<Bytes> {
+    return ToBytes("r" + std::to_string(i) + std::string(i % 5, 'x') + "\n");
+  };
+  return spec;
+}
+
+Bytes SerialReference(const ShardSweepSpec& spec) {
+  Bytes all;
+  for (size_t i = 0; i < spec.total; ++i) {
+    Bytes record = spec.record(i).value();
+    all.insert(all.end(), record.begin(), record.end());
+  }
+  return all;
+}
+
+struct Fixture {
+  ShardSweepSpec spec;
+  ShardPlan plan;
+  ShardPlanInfo info;
+  std::string dir;
+};
+
+Fixture MakeFixture(const char* name, size_t total, int shards) {
+  Fixture f{ToySpec(total), ShardPlan::Create(total, shards).value(), {},
+            FreshDir(name)};
+  EXPECT_TRUE(WriteShardPlan(f.spec, f.plan, f.dir).ok());
+  f.info = ReadShardPlan(f.dir).value();
+  return f;
+}
+
+SweepLeaseOptions FastLease() {
+  SweepLeaseOptions options;
+  options.lease_ms = 1000;
+  options.max_attempts = 3;
+  options.retry_ms = 10;
+  options.backoff_initial_ms = 0;  // table tests pace with the fake clock
+  return options;
+}
+
+ShardLeaseTable MakeTable(const Fixture& f,
+                          SweepLeaseOptions options = FastLease()) {
+  auto table = ShardLeaseTable::Create(f.info, f.dir, options);
+  EXPECT_TRUE(table.ok()) << table.status();
+  return std::move(table).value();
+}
+
+void RunShard(const Fixture& f, int shard) {
+  ASSERT_TRUE(ShardRunner(f.spec, f.plan).Run(shard, f.dir, 1).ok());
+}
+
+std::string ShaOf(const Fixture& f, int shard) {
+  auto text = ReadFile(ShardManifestPath(f.dir, shard));
+  EXPECT_TRUE(text.ok());
+  auto manifest = ParseShardManifest(*text);
+  EXPECT_TRUE(manifest.ok());
+  return manifest->payload_sha256;
+}
+
+SweepGrant GrantOf(Result<std::variant<SweepGrant, SweepNoGrant>> acquired) {
+  EXPECT_TRUE(acquired.ok()) << acquired.status();
+  EXPECT_TRUE(std::holds_alternative<SweepGrant>(*acquired));
+  return std::get<SweepGrant>(*acquired);
+}
+
+// ---------------------------------------------------------------------
+// Lease table: grant / complete lifecycle (fake clock throughout)
+// ---------------------------------------------------------------------
+
+TEST(ShardLeaseTableTest, GrantsInShardOrderAndDrains) {
+  Fixture f = MakeFixture("lease_drain", 40, 4);
+  ShardLeaseTable table = MakeTable(f);
+
+  for (int k = 0; k < 4; ++k) {
+    SweepGrant grant = GrantOf(table.Acquire("w", 0));
+    EXPECT_EQ(grant.shard, k);
+    EXPECT_EQ(grant.range, f.plan.Range(k));
+    EXPECT_EQ(grant.attempt, 1);
+    RunShard(f, k);
+    auto outcome = table.Complete(grant.lease_id, k, ShaOf(f, k), 1);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_FALSE(outcome->duplicate);
+    EXPECT_EQ(outcome->committed, k + 1);
+  }
+  EXPECT_TRUE(table.drained());
+  EXPECT_TRUE(table.run_status().ok());
+
+  auto drained = table.Acquire("w", 2);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(std::get<SweepNoGrant>(*drained).drained);
+
+  EXPECT_EQ(MergeShards(f.dir, "toy").value(), SerialReference(f.spec));
+}
+
+TEST(ShardLeaseTableTest, ConcurrentLeasesAndNoWorkRetryHint) {
+  Fixture f = MakeFixture("lease_nowork", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+
+  SweepGrant a = GrantOf(table.Acquire("w1", 0));
+  SweepGrant b = GrantOf(table.Acquire("w2", 0));
+  EXPECT_NE(a.shard, b.shard);
+
+  auto none = table.Acquire("w3", 0);
+  ASSERT_TRUE(none.ok());
+  const auto& no_grant = std::get<SweepNoGrant>(*none);
+  EXPECT_FALSE(no_grant.drained);
+  EXPECT_GT(no_grant.retry_ms, 0);
+  EXPECT_EQ(table.stats().leased, 2);
+}
+
+TEST(ShardLeaseTableTest, ExpiredLeaseIsRegranted) {
+  Fixture f = MakeFixture("lease_expiry", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+
+  SweepGrant first = GrantOf(table.Acquire("slow", 0));
+  EXPECT_EQ(first.shard, 0);
+
+  // One tick before the deadline the lease still holds.
+  EXPECT_EQ(table.ExpireLeases(999), 0);
+  // At the deadline the shard is reclaimed and re-granted.
+  SweepGrant second = GrantOf(table.Acquire("fresh", 1000));
+  EXPECT_EQ(second.shard, 0);
+  EXPECT_EQ(second.attempt, 2);
+  EXPECT_NE(second.lease_id, first.lease_id);
+  EXPECT_EQ(table.stats().expired, 1);
+  EXPECT_EQ(table.stats().retries, 1);
+}
+
+TEST(ShardLeaseTableTest, HeartbeatKeepsASlowWorkerAlive) {
+  Fixture f = MakeFixture("lease_heartbeat", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+
+  SweepGrant grant = GrantOf(table.Acquire("slow", 0));
+  for (int64_t now = 800; now <= 4000; now += 800) {
+    auto renewed = table.Renew(grant.lease_id, grant.shard, now);
+    ASSERT_TRUE(renewed.ok()) << renewed.status();
+    EXPECT_EQ(*renewed, 1000);
+  }
+  // Well past the original deadline, the lease survives...
+  EXPECT_EQ(table.ExpireLeases(4500), 0);
+  RunShard(f, grant.shard);
+  auto outcome =
+      table.Complete(grant.lease_id, grant.shard, ShaOf(f, grant.shard), 4600);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_FALSE(outcome->duplicate);
+  EXPECT_EQ(table.stats().expired, 0);
+
+  // ...but without renewal it would not have: the renewed deadline
+  // still expires eventually.
+  SweepGrant other = GrantOf(table.Acquire("slow", 4600));
+  EXPECT_EQ(table.ExpireLeases(5600), 1);
+  auto renewed = table.Renew(other.lease_id, other.shard, 5700);
+  EXPECT_EQ(renewed.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardLeaseTableTest, DuplicateCompletionIsIdempotent) {
+  Fixture f = MakeFixture("lease_duplicate", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+
+  SweepGrant grant = GrantOf(table.Acquire("w", 0));
+  RunShard(f, grant.shard);
+  const std::string sha = ShaOf(f, grant.shard);
+  ASSERT_TRUE(table.Complete(grant.lease_id, grant.shard, sha, 1).ok());
+
+  auto again = table.Complete(grant.lease_id, grant.shard, sha, 2);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(again->duplicate);
+  EXPECT_EQ(table.stats().committed, 1);
+
+  // A duplicate with a contradicting digest is not acknowledged.
+  auto wrong =
+      table.Complete(grant.lease_id, grant.shard, std::string(64, '0'), 3);
+  EXPECT_EQ(wrong.status().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST(ShardLeaseTableTest, WorkerDeadAfterCommitIsReclaimedAsCommitted) {
+  Fixture f = MakeFixture("lease_dead_commit", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+
+  SweepGrant grant = GrantOf(table.Acquire("doomed", 0));
+  RunShard(f, grant.shard);  // committed, but the worker dies unreported
+
+  EXPECT_EQ(table.ExpireLeases(1000), 1);
+  EXPECT_EQ(table.stats().committed, 1);
+  EXPECT_EQ(table.stats().expired, 1);
+
+  // The zombie's late claim over the dead lease is a duplicate, not an
+  // error — records are pure functions of the index.
+  auto late =
+      table.Complete(grant.lease_id, grant.shard, ShaOf(f, grant.shard), 2000);
+  ASSERT_TRUE(late.ok()) << late.status();
+  EXPECT_TRUE(late->duplicate);
+}
+
+TEST(ShardLeaseTableTest, CompletionClaimWithoutFilesIsRejected) {
+  Fixture f = MakeFixture("lease_phantom", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+
+  SweepGrant grant = GrantOf(table.Acquire("liar", 0));
+  auto claim =
+      table.Complete(grant.lease_id, grant.shard, std::string(64, 'a'), 1);
+  EXPECT_EQ(claim.status().code(), StatusCode::kNotFound);
+
+  // The attempt is consumed and the shard goes back to pending.
+  SweepGrant retry = GrantOf(table.Acquire("honest", 2));
+  EXPECT_EQ(retry.shard, grant.shard);
+  EXPECT_EQ(retry.attempt, 2);
+}
+
+TEST(ShardLeaseTableTest, CorruptCompletionQuarantinesThenRecovers) {
+  Fixture f = MakeFixture("lease_corrupt", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+
+  SweepGrant grant = GrantOf(table.Acquire("w", 0));
+  RunShard(f, grant.shard);
+  const std::string sha = ShaOf(f, grant.shard);
+  // Corrupt the payload after the manifest was written.
+  auto payload = ReadFile(ShardPayloadPath(f.dir, grant.shard));
+  ASSERT_TRUE(payload.ok());
+  std::string corrupted = *payload;
+  corrupted.back() ^= 1;
+  ASSERT_TRUE(WriteFile(ShardPayloadPath(f.dir, grant.shard), corrupted).ok());
+
+  auto claim = table.Complete(grant.lease_id, grant.shard, sha, 1);
+  EXPECT_EQ(claim.status().code(), StatusCode::kIntegrityViolation);
+  EXPECT_EQ(table.stats().quarantined, 1);
+  EXPECT_TRUE(FileExists(ShardQuarantineDir(f.dir) + "/shard-" +
+                         std::to_string(grant.shard) + ".q0.bin"));
+
+  // The shard re-grants, re-runs clean, and the merge is still serial.
+  SweepGrant retry = GrantOf(table.Acquire("w", 2));
+  EXPECT_EQ(retry.shard, grant.shard);
+  RunShard(f, retry.shard);
+  ASSERT_TRUE(
+      table.Complete(retry.lease_id, retry.shard, ShaOf(f, retry.shard), 3)
+          .ok());
+  SweepGrant other = GrantOf(table.Acquire("w", 4));
+  RunShard(f, other.shard);
+  ASSERT_TRUE(
+      table.Complete(other.lease_id, other.shard, ShaOf(f, other.shard), 5)
+          .ok());
+  EXPECT_TRUE(table.drained());
+  EXPECT_EQ(MergeShards(f.dir, "toy").value(), SerialReference(f.spec));
+}
+
+TEST(ShardLeaseTableTest, AttemptExhaustionFailsTheRun) {
+  Fixture f = MakeFixture("lease_exhaust", 20, 2);
+  SweepLeaseOptions options = FastLease();
+  options.max_attempts = 2;
+  ShardLeaseTable table = MakeTable(f, options);
+
+  int64_t now = 0;
+  for (int attempt = 1; attempt <= 2; ++attempt) {
+    SweepGrant grant = GrantOf(table.Acquire("crashy", now));
+    EXPECT_EQ(grant.shard, 0);
+    EXPECT_EQ(grant.attempt, attempt);
+    now += options.lease_ms;  // worker dies, lease expires
+  }
+  table.ExpireLeases(now);
+  EXPECT_EQ(table.run_status().code(), StatusCode::kInternal);
+  EXPECT_NE(table.run_status().message().find("shard 0"), std::string::npos);
+
+  auto refused = table.Acquire("w", now + 1);
+  EXPECT_EQ(refused.status().code(), StatusCode::kInternal);
+}
+
+TEST(ShardLeaseTableTest, WorkerFailureReportRequeuesWithBackoff) {
+  Fixture f = MakeFixture("lease_fail_report", 20, 2);
+  SweepLeaseOptions options = FastLease();
+  options.backoff_initial_ms = 100;
+  options.backoff_max_ms = 400;
+  ShardLeaseTable table = MakeTable(f, options);
+
+  SweepGrant grant = GrantOf(table.Acquire("w", 0));
+  auto will_retry = table.ReportFailure(grant.lease_id, grant.shard,
+                                        "injected failure", 10);
+  ASSERT_TRUE(will_retry.ok()) << will_retry.status();
+  EXPECT_TRUE(*will_retry);
+  EXPECT_EQ(table.stats().failed_reports, 1);
+
+  // Shard 0 is backing off: the next grant is shard 1, and the no-work
+  // hint for a third worker is bounded by the remaining backoff.
+  SweepGrant other = GrantOf(table.Acquire("w2", 10));
+  EXPECT_EQ(other.shard, 1);
+  auto none = table.Acquire("w3", 10);
+  ASSERT_TRUE(none.ok());
+  EXPECT_LE(std::get<SweepNoGrant>(*none).retry_ms, 100);
+
+  // After the backoff the shard re-grants.
+  SweepGrant retry = GrantOf(table.Acquire("w3", 110));
+  EXPECT_EQ(retry.shard, 0);
+  EXPECT_EQ(retry.attempt, 2);
+
+  // Reporting a reclaimed lease is NotFound, not a crash.
+  auto stale = table.ReportFailure(grant.lease_id, grant.shard, "late", 200);
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ShardLeaseTableTest, RenewRejectsShardMismatch) {
+  Fixture f = MakeFixture("lease_mismatch", 20, 2);
+  ShardLeaseTable table = MakeTable(f);
+  SweepGrant grant = GrantOf(table.Acquire("w", 0));
+  auto renewed = table.Renew(grant.lease_id, grant.shard + 1, 1);
+  EXPECT_EQ(renewed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardLeaseTableTest, StartupScanResumesCommittedShards) {
+  Fixture f = MakeFixture("lease_resume", 30, 3);
+  RunShard(f, 0);
+  RunShard(f, 2);
+
+  ShardLeaseTable table = MakeTable(f);
+  SweepServiceStats stats = table.stats();
+  EXPECT_EQ(stats.resumed, 2);
+  EXPECT_EQ(stats.committed, 2);
+  EXPECT_EQ(stats.pending, 1);
+
+  SweepGrant grant = GrantOf(table.Acquire("w", 0));
+  EXPECT_EQ(grant.shard, 1);
+  RunShard(f, 1);
+  ASSERT_TRUE(table.Complete(grant.lease_id, 1, ShaOf(f, 1), 1).ok());
+  EXPECT_TRUE(table.drained());
+  EXPECT_EQ(MergeShards(f.dir, "toy").value(), SerialReference(f.spec));
+}
+
+TEST(ShardLeaseTableTest, StartupScanQuarantinesCorruptShards) {
+  Fixture f = MakeFixture("lease_scan_corrupt", 30, 3);
+  RunShard(f, 1);
+  ASSERT_TRUE(
+      WriteFile(ShardPayloadPath(f.dir, 1), "truncated garbage").ok());
+
+  ShardLeaseTable table = MakeTable(f);
+  EXPECT_EQ(table.stats().quarantined, 1);
+  EXPECT_EQ(table.stats().resumed, 0);
+  EXPECT_EQ(table.stats().pending, 3);
+}
+
+TEST(ShardLeaseTableTest, StartupScanRefusesContradictingDirectory) {
+  Fixture f = MakeFixture("lease_scan_contradiction", 30, 3);
+  RunShard(f, 0);
+  // Stand shard 0's files in for shard 1: parses fine, contradicts the
+  // plan — an operator error, not a transient fault.
+  ASSERT_TRUE(std::filesystem::copy_file(
+      ShardPayloadPath(f.dir, 0), ShardPayloadPath(f.dir, 1)));
+  ASSERT_TRUE(std::filesystem::copy_file(
+      ShardManifestPath(f.dir, 0), ShardManifestPath(f.dir, 1)));
+
+  auto table = ShardLeaseTable::Create(f.info, f.dir, FastLease());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardLeaseTableTest, ValidatesOptions) {
+  Fixture f = MakeFixture("lease_options", 10, 1);
+  SweepLeaseOptions bad = FastLease();
+  bad.lease_ms = 0;
+  EXPECT_EQ(ShardLeaseTable::Create(f.info, f.dir, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  bad = FastLease();
+  bad.max_attempts = 0;
+  EXPECT_EQ(ShardLeaseTable::Create(f.info, f.dir, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// The TCP daemon + client (real sockets, loopback, short real leases)
+// ---------------------------------------------------------------------
+
+std::unique_ptr<SweepService> StartService(const Fixture& f,
+                                           int64_t lease_ms = 60000) {
+  SweepServiceOptions options;
+  options.lease.lease_ms = lease_ms;
+  options.lease.backoff_initial_ms = 0;
+  options.lease.retry_ms = 5;
+  options.expiry_poll_ms = 5;
+  auto service = SweepService::Start(f.info, f.dir, options);
+  EXPECT_TRUE(service.ok()) << service.status();
+  return std::move(service).value();
+}
+
+std::unique_ptr<SweepServiceClient> Connect(const SweepService& service) {
+  auto client = SweepServiceClient::Connect("127.0.0.1", service.port());
+  EXPECT_TRUE(client.ok()) << client.status();
+  return std::move(client).value();
+}
+
+// A worker loop over the RPC client: pull, run, report, until drained.
+void DrainWorker(const Fixture& f, const SweepService& service,
+                 const std::string& name) {
+  auto client = SweepServiceClient::Connect("127.0.0.1", service.port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ShardRunner runner(f.spec, f.plan);
+  for (;;) {
+    auto lease = (*client)->RequestLease(name);
+    ASSERT_TRUE(lease.ok()) << lease.status();
+    if (const auto* none = std::get_if<SweepNoWork>(&*lease)) {
+      if (none->drained != 0) return;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(none->retry_ms));
+      continue;
+    }
+    const auto& grant = std::get<SweepLeaseGrant>(*lease);
+    const int shard = static_cast<int>(grant.shard);
+    ASSERT_TRUE(runner.Run(shard, f.dir, 1).ok());
+    auto manifest =
+        ParseShardManifest(ReadFile(ShardManifestPath(f.dir, shard)).value());
+    ASSERT_TRUE(manifest.ok());
+    auto ack =
+        (*client)->Complete(grant.lease_id, shard, manifest->payload_sha256);
+    ASSERT_TRUE(ack.ok()) << ack.status();
+  }
+}
+
+TEST(SweepServiceTest, ConcurrentWorkersDrainByteIdentical) {
+  Fixture f = MakeFixture("svc_drain", 60, 6);
+  auto service = StartService(f);
+
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.emplace_back(
+        [&f, &service, w] { DrainWorker(f, *service, "w" + std::to_string(w)); });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_TRUE(service->WaitUntilDone().ok());
+  EXPECT_TRUE(service->drained());
+  service->Stop();
+  EXPECT_EQ(MergeShards(f.dir, "toy").value(), SerialReference(f.spec));
+}
+
+TEST(SweepServiceTest, AbandonedLeaseExpiresAndRegrants) {
+  Fixture f = MakeFixture("svc_expiry", 20, 2);
+  auto service = StartService(f, /*lease_ms=*/100);
+
+  {
+    // This client takes a lease and vanishes without completing — the
+    // daemon's own expiry poll must reclaim it.
+    auto doomed = Connect(*service);
+    auto lease = doomed->RequestLease("doomed");
+    ASSERT_TRUE(lease.ok()) << lease.status();
+    ASSERT_TRUE(std::holds_alternative<SweepLeaseGrant>(*lease));
+  }
+
+  DrainWorker(f, *service, "survivor");
+  EXPECT_TRUE(service->WaitUntilDone().ok());
+  SweepStatusReply snap = service->Snapshot();
+  EXPECT_GE(snap.expired, 1u);
+  EXPECT_GE(snap.retries, 1u);
+  service->Stop();
+  EXPECT_EQ(MergeShards(f.dir, "toy").value(), SerialReference(f.spec));
+}
+
+TEST(SweepServiceTest, DaemonRestartResumesCommittedShards) {
+  Fixture f = MakeFixture("svc_restart", 40, 4);
+  {
+    auto first = StartService(f);
+    auto client = Connect(*first);
+    ShardRunner runner(f.spec, f.plan);
+    for (int i = 0; i < 2; ++i) {
+      auto lease = client->RequestLease("w");
+      ASSERT_TRUE(lease.ok());
+      const auto& grant = std::get<SweepLeaseGrant>(*lease);
+      const int shard = static_cast<int>(grant.shard);
+      ASSERT_TRUE(runner.Run(shard, f.dir, 1).ok());
+      auto manifest = ParseShardManifest(
+          ReadFile(ShardManifestPath(f.dir, shard)).value());
+      ASSERT_TRUE(
+          client->Complete(grant.lease_id, shard, manifest->payload_sha256)
+              .ok());
+    }
+    first->Stop();  // daemon dies with 2 of 4 shards committed
+  }
+
+  auto second = StartService(f);
+  SweepStatusReply snap = second->Snapshot();
+  EXPECT_EQ(snap.resumed, 2u);
+  EXPECT_EQ(snap.committed, 2u);
+
+  DrainWorker(f, *second, "w");
+  EXPECT_TRUE(second->WaitUntilDone().ok());
+  second->Stop();
+  EXPECT_EQ(MergeShards(f.dir, "toy").value(), SerialReference(f.spec));
+}
+
+TEST(SweepServiceTest, StatusAndShutdownRpcs) {
+  Fixture f = MakeFixture("svc_status", 20, 2);
+  auto service = StartService(f);
+  auto client = Connect(*service);
+
+  auto status = client->QueryStatus();
+  ASSERT_TRUE(status.ok()) << status.status();
+  EXPECT_EQ(status->sweep, "toy");
+  EXPECT_EQ(status->shards, 2u);
+  EXPECT_EQ(status->committed, 0u);
+  EXPECT_EQ(status->drained, 0u);
+
+  auto ack = client->RequestShutdown();
+  ASSERT_TRUE(ack.ok()) << ack.status();
+  EXPECT_EQ(ack->shards, 2u);
+
+  Status done = service->WaitUntilDone();
+  EXPECT_EQ(done.code(), StatusCode::kFailedPrecondition);
+  service->Stop();
+}
+
+TEST(SweepServiceTest, HeartbeatRpcRenewsAndExpiredLeaseIsNotFound) {
+  Fixture f = MakeFixture("svc_heartbeat", 20, 2);
+  auto service = StartService(f, /*lease_ms=*/150);
+  auto client = Connect(*service);
+
+  auto lease = client->RequestLease("w");
+  ASSERT_TRUE(lease.ok());
+  const auto& grant = std::get<SweepLeaseGrant>(*lease);
+  EXPECT_EQ(grant.lease_ms, 150u);
+
+  // Renew a few times across what would have been the deadline.
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    auto ack = client->Heartbeat(grant.lease_id, static_cast<int>(grant.shard));
+    ASSERT_TRUE(ack.ok()) << ack.status();
+    EXPECT_EQ(ack->lease_ms, 150u);
+  }
+  // Stop renewing: the daemon's expiry poll reclaims the lease.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  auto stale = client->Heartbeat(grant.lease_id, static_cast<int>(grant.shard));
+  EXPECT_EQ(stale.status().code(), StatusCode::kNotFound);
+  service->Stop();
+}
+
+TEST(SweepServiceTest, MalformedFrameGetsTypedErrorAndPoisonedConnection) {
+  Fixture f = MakeFixture("svc_malformed", 20, 2);
+  auto service = StartService(f);
+  auto client = Connect(*service);
+
+  // A reply-type frame from a client is a protocol violation: the
+  // daemon answers with a typed error naming the offense, then closes.
+  SweepServiceClient* raw = client.get();
+  // (Ab)use the RPC surface: send a frame the daemon must reject by
+  // encoding it through a second client's socket via the public API is
+  // not possible, so exercise the dispatch path with the status RPC
+  // after a poisoned exchange instead.
+  auto bogus = raw->Complete(1, 0, std::string(63, 'a'));  // short digest
+  EXPECT_EQ(bogus.status().code(), StatusCode::kProtocolViolation);
+
+  // The connection was poisoned client-side too (strict codec): a new
+  // connection still works.
+  auto fresh = Connect(*service);
+  EXPECT_TRUE(fresh->QueryStatus().ok());
+  service->Stop();
+}
+
+}  // namespace
+}  // namespace hsis::common

@@ -1,0 +1,234 @@
+#include "common/sweep_wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace hsis::common {
+namespace {
+
+const std::string kSha(64, 'a');  // a syntactically valid digest
+
+// One populated exemplar of every frame type, with every field set to
+// a distinctive value so a field-order bug cannot round-trip.
+std::vector<SweepFrame> Exemplars() {
+  SweepComplete complete;
+  complete.lease_id = 7;
+  complete.shard = 3;
+  complete.payload_sha256 = kSha;
+  SweepFail fail;
+  fail.lease_id = 9;
+  fail.shard = 2;
+  fail.message = "worker exploded";
+  SweepLeaseGrant grant;
+  grant.lease_id = 11;
+  grant.shard = 4;
+  grant.begin = 100;
+  grant.end = 125;
+  grant.lease_ms = 30000;
+  grant.sweep = "figure1";
+  grant.total = 201;
+  grant.shards = 8;
+  grant.seed = 42;
+  SweepStatusReply status;
+  status.sweep = "figure1";
+  status.shards = 8;
+  status.committed = 5;
+  status.leased = 2;
+  status.pending = 1;
+  status.resumed = 3;
+  status.retries = 4;
+  status.expired = 2;
+  status.quarantined = 1;
+  status.drained = 0;
+  return {
+      SweepLeaseRequest{"host:123"},
+      SweepHeartbeat{5, 1},
+      complete,
+      fail,
+      SweepStatusRequest{},
+      SweepShutdown{},
+      grant,
+      SweepNoWork{1, 250, 8, 8},
+      SweepHeartbeatAck{5, 30000},
+      SweepCompleteAck{3, 1, 6, 8},
+      SweepFailAck{2, 1},
+      status,
+      SweepErrorReply{static_cast<uint8_t>(StatusCode::kNotFound), "gone"},
+      SweepShutdownAck{6, 8},
+  };
+}
+
+TEST(SweepWireTest, EveryFrameTypeRoundTrips) {
+  for (const SweepFrame& frame : Exemplars()) {
+    Bytes body = SerializeSweepFrame(frame);
+    ASSERT_GE(body.size(), 2u);
+    EXPECT_EQ(body[0], kSweepWireVersion);
+    EXPECT_EQ(body[1], static_cast<uint8_t>(SweepFrameTypeOf(frame)));
+    auto parsed = ParseSweepFrame(body);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, frame) << "frame type "
+                              << SweepFrameTypeName(SweepFrameTypeOf(frame));
+  }
+}
+
+TEST(SweepWireTest, FrameTypeNamesAreStable) {
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kLeaseRequest),
+               "lease-request");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kHeartbeat), "heartbeat");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kComplete), "complete");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kFail), "fail");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kStatusRequest),
+               "status-request");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kShutdown), "shutdown");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kLeaseGrant),
+               "lease-grant");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kNoWork), "no-work");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kHeartbeatAck),
+               "heartbeat-ack");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kCompleteAck),
+               "complete-ack");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kFailAck), "fail-ack");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kStatusReply),
+               "status-reply");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kErrorReply), "error");
+  EXPECT_STREQ(SweepFrameTypeName(SweepFrameType::kShutdownAck),
+               "shutdown-ack");
+}
+
+TEST(SweepWireTest, RequestAndReplyTagRanges) {
+  for (const SweepFrame& frame : Exemplars()) {
+    uint8_t tag = static_cast<uint8_t>(SweepFrameTypeOf(frame));
+    bool is_reply = tag >= 0x80;
+    bool worker_to_daemon = std::holds_alternative<SweepLeaseRequest>(frame) ||
+                            std::holds_alternative<SweepHeartbeat>(frame) ||
+                            std::holds_alternative<SweepComplete>(frame) ||
+                            std::holds_alternative<SweepFail>(frame) ||
+                            std::holds_alternative<SweepStatusRequest>(frame) ||
+                            std::holds_alternative<SweepShutdown>(frame);
+    EXPECT_NE(is_reply, worker_to_daemon);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rejection matrix: every structural defect is a ProtocolViolation
+// ---------------------------------------------------------------------
+
+void ExpectViolation(const Bytes& body, const char* what) {
+  auto parsed = ParseSweepFrame(body);
+  ASSERT_FALSE(parsed.ok()) << what;
+  EXPECT_EQ(parsed.status().code(), StatusCode::kProtocolViolation) << what;
+}
+
+TEST(SweepWireTest, RejectsEmptyAndShortBodies) {
+  ExpectViolation({}, "empty body");
+  ExpectViolation({kSweepWireVersion}, "version byte only");
+}
+
+TEST(SweepWireTest, RejectsWrongVersion) {
+  Bytes body = SerializeSweepFrame(SweepFrame(SweepLeaseRequest{"w"}));
+  body[0] = 0x02;
+  auto parsed = ParseSweepFrame(body);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kProtocolViolation);
+  EXPECT_NE(parsed.status().message().find("hsis-sweepd-v1"),
+            std::string::npos);
+}
+
+TEST(SweepWireTest, RejectsUnknownType) {
+  ExpectViolation({kSweepWireVersion, 0x00}, "type 0x00");
+  ExpectViolation({kSweepWireVersion, 0x42}, "unassigned request tag");
+  ExpectViolation({kSweepWireVersion, 0xFF}, "unassigned reply tag");
+}
+
+TEST(SweepWireTest, RejectsTruncationAtEveryByte) {
+  for (const SweepFrame& frame : Exemplars()) {
+    Bytes body = SerializeSweepFrame(frame);
+    for (size_t cut = 2; cut < body.size(); ++cut) {
+      Bytes truncated(body.begin(), body.begin() + cut);
+      auto parsed = ParseSweepFrame(truncated);
+      ASSERT_FALSE(parsed.ok())
+          << SweepFrameTypeName(SweepFrameTypeOf(frame)) << " cut at "
+          << cut;
+      EXPECT_EQ(parsed.status().code(), StatusCode::kProtocolViolation);
+    }
+  }
+}
+
+TEST(SweepWireTest, RejectsTrailingBytes) {
+  for (const SweepFrame& frame : Exemplars()) {
+    Bytes body = SerializeSweepFrame(frame);
+    body.push_back(0x00);
+    auto parsed = ParseSweepFrame(body);
+    ASSERT_FALSE(parsed.ok())
+        << SweepFrameTypeName(SweepFrameTypeOf(frame));
+    EXPECT_EQ(parsed.status().code(), StatusCode::kProtocolViolation);
+  }
+}
+
+TEST(SweepWireTest, RejectsOversizedString) {
+  SweepLeaseRequest request;
+  request.worker = std::string(kSweepWireMaxString + 1, 'w');
+  ExpectViolation(SerializeSweepFrame(SweepFrame(request)),
+                  "string above the cap");
+  // Exactly at the cap is legal.
+  request.worker = std::string(kSweepWireMaxString, 'w');
+  auto parsed = ParseSweepFrame(SerializeSweepFrame(SweepFrame(request)));
+  EXPECT_TRUE(parsed.ok());
+}
+
+TEST(SweepWireTest, RejectsMalformedSha256) {
+  SweepComplete complete;
+  complete.lease_id = 1;
+  complete.shard = 0;
+  for (const std::string& bad :
+       {std::string(63, 'a'), std::string(65, 'a'), std::string(64, 'G'),
+        std::string(64, 'A'), std::string()}) {
+    complete.payload_sha256 = bad;
+    ExpectViolation(SerializeSweepFrame(SweepFrame(complete)),
+                    "malformed digest");
+  }
+  complete.payload_sha256 = std::string(64, 'f');
+  EXPECT_TRUE(ParseSweepFrame(SerializeSweepFrame(SweepFrame(complete))).ok());
+}
+
+TEST(SweepWireTest, RejectsBadErrorCodes) {
+  ExpectViolation(SerializeSweepFrame(SweepFrame(
+                      SweepErrorReply{static_cast<uint8_t>(StatusCode::kOk),
+                                      "not an error"})),
+                  "OK code in an error reply");
+  ExpectViolation(
+      SerializeSweepFrame(SweepFrame(SweepErrorReply{200, "junk code"})),
+      "code beyond the taxonomy");
+}
+
+// ---------------------------------------------------------------------
+// Status <-> error-reply mapping
+// ---------------------------------------------------------------------
+
+TEST(SweepWireTest, StatusRoundTripsThroughErrorReply) {
+  for (Status status :
+       {Status::InvalidArgument("bad flag"), Status::NotFound("lease 5"),
+        Status::IntegrityViolation("sha mismatch"),
+        Status::ProtocolViolation("trailing bytes"),
+        Status::Internal("run failed"), Status::FailedPrecondition("nope")}) {
+    SweepErrorReply reply = ToSweepError(status);
+    EXPECT_EQ(FromSweepError(reply), status);
+    // And the reply itself survives the wire.
+    auto parsed = ParseSweepFrame(SerializeSweepFrame(SweepFrame(reply)));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(FromSweepError(std::get<SweepErrorReply>(*parsed)), status);
+  }
+}
+
+TEST(SweepWireTest, ToSweepErrorTruncatesHugeMessages) {
+  SweepErrorReply reply = ToSweepError(
+      Status::Internal(std::string(2 * kSweepWireMaxString, 'm')));
+  EXPECT_EQ(reply.message.size(), kSweepWireMaxString);
+  EXPECT_TRUE(ParseSweepFrame(SerializeSweepFrame(SweepFrame(reply))).ok());
+}
+
+}  // namespace
+}  // namespace hsis::common
